@@ -1,0 +1,279 @@
+//! FM-index: BWT + checkpointed rank, backward search, sampled locate.
+//!
+//! Alphabet: sentinel (0), A (1), C (2), G (3), T (4). Reads containing
+//! `N` never reach the index — seeding skips seeds with ambiguous bases.
+
+use crate::suffix::{bwt_from_sa, suffix_array};
+use std::collections::HashMap;
+
+const ALPHABET: usize = 5;
+/// Rank checkpoint spacing (rows).
+const OCC_SAMPLE: usize = 128;
+/// SA sampling spacing (text positions).
+const SA_SAMPLE: u32 = 32;
+
+#[inline]
+fn code(b: u8) -> Option<u8> {
+    match b {
+        0 => Some(0),
+        b'A' | b'a' => Some(1),
+        b'C' | b'c' => Some(2),
+        b'G' | b'g' => Some(3),
+        b'T' | b't' => Some(4),
+        _ => None,
+    }
+}
+
+/// The FM-index over a text (no 0 bytes; sentinel added internally).
+pub struct FmIndex {
+    /// BWT as alphabet codes, length `text_len + 1`.
+    bwt: Vec<u8>,
+    /// `c_table[c]` = number of BWT symbols strictly smaller than `c`.
+    c_table: [u64; ALPHABET + 1],
+    /// Rank checkpoints: counts of each code in `bwt[0..k*OCC_SAMPLE)`.
+    checkpoints: Vec<[u32; ALPHABET]>,
+    /// Sampled suffix array: BWT row → text position, for rows whose text
+    /// position is a multiple of [`SA_SAMPLE`].
+    sampled: HashMap<u32, u32>,
+    text_len: usize,
+}
+
+impl FmIndex {
+    /// Build the index. `text` must contain only `ACGT` bytes.
+    pub fn build(text: &[u8]) -> FmIndex {
+        let sa = suffix_array(text);
+        let bwt_ascii = bwt_from_sa(text, &sa);
+        let bwt: Vec<u8> = bwt_ascii
+            .iter()
+            .map(|&b| code(b).expect("text must be ACGT-only"))
+            .collect();
+
+        // C table.
+        let mut counts = [0u64; ALPHABET];
+        for &c in &bwt {
+            counts[c as usize] += 1;
+        }
+        let mut c_table = [0u64; ALPHABET + 1];
+        for i in 0..ALPHABET {
+            c_table[i + 1] = c_table[i] + counts[i];
+        }
+
+        // Rank checkpoints.
+        let m = bwt.len();
+        let n_cp = m / OCC_SAMPLE + 1;
+        let mut checkpoints = Vec::with_capacity(n_cp);
+        let mut running = [0u32; ALPHABET];
+        for (i, &c) in bwt.iter().enumerate() {
+            if i % OCC_SAMPLE == 0 {
+                checkpoints.push(running);
+            }
+            running[c as usize] += 1;
+        }
+        if m % OCC_SAMPLE == 0 {
+            checkpoints.push(running);
+        }
+
+        // Sampled SA over the extended text: row 0 is the sentinel suffix
+        // (text position = text_len); row r+1 corresponds to sa[r].
+        let mut sampled = HashMap::new();
+        let n = text.len() as u32;
+        if n % SA_SAMPLE == 0 {
+            sampled.insert(0u32, n);
+        }
+        for (r, &pos) in sa.iter().enumerate() {
+            if pos % SA_SAMPLE == 0 {
+                sampled.insert(r as u32 + 1, pos);
+            }
+        }
+
+        FmIndex {
+            bwt,
+            c_table,
+            checkpoints,
+            sampled,
+            text_len: text.len(),
+        }
+    }
+
+    /// Length of the indexed text (without sentinel).
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Approximate heap size of the index in bytes (for the per-mapper
+    /// index-load cost model, Fig. 5a).
+    pub fn heap_bytes(&self) -> usize {
+        self.bwt.len()
+            + self.checkpoints.len() * ALPHABET * 4
+            + self.sampled.len() * 8
+    }
+
+    /// Number of occurrences of `c` in `bwt[0..i)`.
+    #[inline]
+    fn occ(&self, c: u8, i: usize) -> u64 {
+        let cp = i / OCC_SAMPLE;
+        let mut count = self.checkpoints[cp][c as usize] as u64;
+        for &b in &self.bwt[cp * OCC_SAMPLE..i] {
+            count += u64::from(b == c);
+        }
+        count
+    }
+
+    #[inline]
+    fn lf(&self, row: usize) -> usize {
+        let c = self.bwt[row];
+        (self.c_table[c as usize] + self.occ(c, row)) as usize
+    }
+
+    /// Backward search: the half-open BWT row interval of suffixes
+    /// prefixed by `pattern`, or `None` if the pattern is absent or holds
+    /// a non-ACGT byte.
+    pub fn search(&self, pattern: &[u8]) -> Option<(u64, u64)> {
+        if pattern.is_empty() {
+            return None;
+        }
+        let mut l = 0u64;
+        let mut r = self.bwt.len() as u64;
+        for &b in pattern.iter().rev() {
+            let c = code(b).filter(|&c| c != 0)?;
+            l = self.c_table[c as usize] + self.occ(c, l as usize);
+            r = self.c_table[c as usize] + self.occ(c, r as usize);
+            if l >= r {
+                return None;
+            }
+        }
+        Some((l, r))
+    }
+
+    /// Number of occurrences of `pattern` in the text.
+    pub fn count(&self, pattern: &[u8]) -> u64 {
+        self.search(pattern).map(|(l, r)| r - l).unwrap_or(0)
+    }
+
+    /// Text position of the suffix at BWT `row`, via LF-walking to a
+    /// sampled row.
+    pub fn locate_row(&self, mut row: u64) -> u64 {
+        let mut steps = 0u64;
+        loop {
+            if let Some(&pos) = self.sampled.get(&(row as u32)) {
+                let n = self.text_len as u64 + 1;
+                return (pos as u64 + steps) % n;
+            }
+            row = self.lf(row as usize) as u64;
+            steps += 1;
+        }
+    }
+
+    /// All text positions where `pattern` occurs, capped at `max_hits`
+    /// (returns `None` if there are more — the repeat-region bail-out).
+    pub fn locate(&self, pattern: &[u8], max_hits: usize) -> Option<Vec<u64>> {
+        let (l, r) = self.search(pattern)?;
+        if (r - l) as usize > max_hits {
+            return None;
+        }
+        let mut hits: Vec<u64> = (l..r).map(|row| self.locate_row(row)).collect();
+        hits.sort_unstable();
+        Some(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_find(text: &[u8], pat: &[u8]) -> Vec<u64> {
+        if pat.is_empty() || pat.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pat.len())
+            .filter(|&i| &text[i..i + pat.len()] == pat)
+            .map(|i| i as u64)
+            .collect()
+    }
+
+    fn pseudo_dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(x >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn count_matches_naive() {
+        let text = pseudo_dna(5000, 3);
+        let fm = FmIndex::build(&text);
+        for (start, len) in [(0usize, 12usize), (100, 20), (4988, 12), (37, 8), (2500, 15)] {
+            let pat = &text[start..start + len];
+            assert_eq!(fm.count(pat), naive_find(&text, pat).len() as u64);
+        }
+        assert_eq!(fm.count(b"ACGTACGTACGTACGTACGTACGTACGTAC"), {
+            naive_find(&text, b"ACGTACGTACGTACGTACGTACGTACGTAC").len() as u64
+        });
+    }
+
+    #[test]
+    fn locate_matches_naive() {
+        let text = pseudo_dna(4000, 17);
+        let fm = FmIndex::build(&text);
+        for (start, len) in [(0usize, 14usize), (1234, 16), (3986, 14), (50, 10)] {
+            let pat = &text[start..start + len];
+            let got = fm.locate(pat, 1000).unwrap();
+            assert_eq!(got, naive_find(&text, pat), "pattern at {start}+{len}");
+        }
+    }
+
+    #[test]
+    fn locate_in_repetitive_text() {
+        // Tandem repeat: every offset of the unit matches many times.
+        let text = b"ACGGT".repeat(300);
+        let fm = FmIndex::build(&text);
+        let pat = b"ACGGTACGGT";
+        let naive = naive_find(&text, pat);
+        assert!(naive.len() > 200);
+        let got = fm.locate(pat, 10_000).unwrap();
+        assert_eq!(got, naive);
+        // Bail-out on too many hits.
+        assert!(fm.locate(pat, 10).is_none());
+    }
+
+    #[test]
+    fn absent_and_invalid_patterns() {
+        let text = pseudo_dna(1000, 5);
+        let fm = FmIndex::build(&text);
+        assert_eq!(fm.count(b""), 0);
+        assert_eq!(fm.count(b"ACGTN"), 0); // N never matches
+        // A pattern guaranteed absent: longer than text.
+        let long = pseudo_dna(2000, 6);
+        assert_eq!(fm.count(&long), 0);
+    }
+
+    #[test]
+    fn single_character_counts() {
+        let text = b"AACCCGGGGT".to_vec();
+        let fm = FmIndex::build(&text);
+        assert_eq!(fm.count(b"A"), 2);
+        assert_eq!(fm.count(b"C"), 3);
+        assert_eq!(fm.count(b"G"), 4);
+        assert_eq!(fm.count(b"T"), 1);
+        assert_eq!(fm.locate(b"T", 10).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn full_text_is_found_at_origin() {
+        let text = pseudo_dna(500, 11);
+        let fm = FmIndex::build(&text);
+        assert_eq!(fm.locate(&text, 5).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn heap_bytes_is_sane() {
+        let text = pseudo_dna(10_000, 1);
+        let fm = FmIndex::build(&text);
+        let bytes = fm.heap_bytes();
+        assert!(bytes > 10_000, "index smaller than text? {bytes}");
+        assert!(bytes < 10 * 10_000, "index blew up: {bytes}");
+    }
+}

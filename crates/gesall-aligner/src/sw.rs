@@ -1,0 +1,373 @@
+//! Smith–Waterman local alignment with affine gaps and traceback.
+//!
+//! Aligns a read against a small reference window around a seed hit.
+//! Unaligned read ends become soft clips — which is why the 5′ *unclipped*
+//! end exists as a derived attribute downstream (MarkDuplicates).
+
+use gesall_formats::sam::cigar::{Cigar, CigarOp};
+
+/// Alignment scoring parameters (Bwa-mem defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Scoring {
+    pub match_score: i32,
+    pub mismatch: i32,
+    /// Penalty charged once per gap (negative).
+    pub gap_open: i32,
+    /// Penalty per gap base (negative).
+    pub gap_extend: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Scoring {
+        Scoring {
+            match_score: 1,
+            mismatch: -4,
+            gap_open: -6,
+            gap_extend: -1,
+        }
+    }
+}
+
+/// Result of a local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Smith–Waterman score of the aligned segment.
+    pub score: i32,
+    /// 0-based start of the alignment within the reference window.
+    pub ref_start: usize,
+    /// CIGAR covering the *whole* query: soft clips for unaligned ends.
+    pub cigar: Cigar,
+    /// Mismatches + inserted + deleted bases in the aligned segment.
+    pub edit_distance: u32,
+    /// First aligned query base (= leading soft clip length).
+    pub query_start: usize,
+    /// One past the last aligned query base.
+    pub query_end: usize,
+}
+
+// Traceback states.
+const TB_STOP: u8 = 0;
+const TB_DIAG: u8 = 1;
+const TB_FROM_E: u8 = 2; // H came from E (insertion run just ended)
+const TB_FROM_F: u8 = 3; // H came from F (deletion run just ended)
+const E_OPEN: u8 = 0; // E run opened here (came from H above)
+const E_EXT: u8 = 1;
+const F_OPEN: u8 = 0;
+const F_EXT: u8 = 1;
+
+/// Local alignment of `query` against `window`. Returns `None` when no
+/// positive-scoring alignment exists.
+pub fn local_align(query: &[u8], window: &[u8], scoring: &Scoring) -> Option<LocalAlignment> {
+    let m = query.len();
+    let w = window.len();
+    if m == 0 || w == 0 {
+        return None;
+    }
+    let cols = w + 1;
+    let neg = i32::MIN / 4;
+    // DP rows (rolling) + full traceback matrices.
+    let mut h_prev = vec![0i32; cols];
+    let mut h_cur = vec![0i32; cols];
+    let mut e_prev = vec![neg; cols];
+    let mut e_cur = vec![neg; cols];
+    let mut f_cur = vec![neg; cols];
+    let mut tb_h = vec![TB_STOP; (m + 1) * cols];
+    let mut tb_e = vec![E_OPEN; (m + 1) * cols];
+    let mut tb_f = vec![F_OPEN; (m + 1) * cols];
+
+    let mut best = 0i32;
+    let mut best_i = 0usize;
+    let mut best_j = 0usize;
+
+    for i in 1..=m {
+        h_cur[0] = 0;
+        f_cur[0] = neg;
+        let qi = query[i - 1];
+        for j in 1..=w {
+            let idx = i * cols + j;
+            // E: gap in reference (insertion to the read).
+            let e_open = h_prev[j] + scoring.gap_open + scoring.gap_extend;
+            let e_ext = e_prev[j] + scoring.gap_extend;
+            let e = if e_ext > e_open {
+                tb_e[idx] = E_EXT;
+                e_ext
+            } else {
+                tb_e[idx] = E_OPEN;
+                e_open
+            };
+            e_cur[j] = e;
+            // F: gap in query (deletion from the read).
+            let f_open = h_cur[j - 1] + scoring.gap_open + scoring.gap_extend;
+            let f_ext = f_cur[j - 1] + scoring.gap_extend;
+            let f = if f_ext > f_open {
+                tb_f[idx] = F_EXT;
+                f_ext
+            } else {
+                tb_f[idx] = F_OPEN;
+                f_open
+            };
+            f_cur[j] = f;
+            // H.
+            let sub = if qi == window[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            let diag = h_prev[j - 1] + sub;
+            let mut h = 0;
+            let mut tb = TB_STOP;
+            if diag > h {
+                h = diag;
+                tb = TB_DIAG;
+            }
+            if e > h {
+                h = e;
+                tb = TB_FROM_E;
+            }
+            if f > h {
+                h = f;
+                tb = TB_FROM_F;
+            }
+            h_cur[j] = h;
+            tb_h[idx] = tb;
+            if h > best {
+                best = h;
+                best_i = i;
+                best_j = j;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+        for v in f_cur.iter_mut() {
+            *v = neg;
+        }
+    }
+
+    if best <= 0 {
+        return None;
+    }
+
+    // Traceback from (best_i, best_j).
+    let mut i = best_i;
+    let mut j = best_j;
+    let mut ops_rev: Vec<CigarOp> = Vec::new();
+    let mut edit = 0u32;
+    let push = |ops: &mut Vec<CigarOp>, op: CigarOp| {
+        if let (Some(last), op_n) = (ops.last_mut(), op) {
+            match (last, op_n) {
+                (CigarOp::Match(a), CigarOp::Match(b)) => {
+                    *a += b;
+                    return;
+                }
+                (CigarOp::Ins(a), CigarOp::Ins(b)) => {
+                    *a += b;
+                    return;
+                }
+                (CigarOp::Del(a), CigarOp::Del(b)) => {
+                    *a += b;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        ops.push(op);
+    };
+    // State machine over (H/E/F).
+    #[derive(PartialEq)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let mut st = St::H;
+    loop {
+        let idx = i * cols + j;
+        match st {
+            St::H => match tb_h[idx] {
+                TB_STOP => break,
+                TB_DIAG => {
+                    if query[i - 1] != window[j - 1] {
+                        edit += 1;
+                    }
+                    push(&mut ops_rev, CigarOp::Match(1));
+                    i -= 1;
+                    j -= 1;
+                }
+                TB_FROM_E => st = St::E,
+                TB_FROM_F => st = St::F,
+                _ => unreachable!(),
+            },
+            St::E => {
+                push(&mut ops_rev, CigarOp::Ins(1));
+                edit += 1;
+                let was_open = tb_e[idx] == E_OPEN;
+                i -= 1;
+                if was_open {
+                    st = St::H;
+                }
+            }
+            St::F => {
+                push(&mut ops_rev, CigarOp::Del(1));
+                edit += 1;
+                let was_open = tb_f[idx] == F_OPEN;
+                j -= 1;
+                if was_open {
+                    st = St::H;
+                }
+            }
+        }
+    }
+
+    let query_start = i;
+    let query_end = best_i;
+    let ref_start = j;
+    let mut ops: Vec<CigarOp> = Vec::new();
+    if query_start > 0 {
+        ops.push(CigarOp::SoftClip(query_start as u32));
+    }
+    ops.extend(ops_rev.into_iter().rev());
+    if query_end < m {
+        ops.push(CigarOp::SoftClip((m - query_end) as u32));
+    }
+
+    Some(LocalAlignment {
+        score: best,
+        ref_start,
+        cigar: Cigar(ops),
+        edit_distance: edit,
+        query_start,
+        query_end,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scoring {
+        Scoring::default()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let q = b"ACGTACGTAC";
+        let w = b"TTTACGTACGTACTTT";
+        let a = local_align(q, w, &s()).unwrap();
+        assert_eq!(a.score, 10);
+        assert_eq!(a.ref_start, 3);
+        assert_eq!(a.cigar.to_string(), "10M");
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(a.query_start, 0);
+        assert_eq!(a.query_end, 10);
+    }
+
+    #[test]
+    fn single_mismatch_in_middle() {
+        let q = b"ACGTACGTACGTACGTACGT";
+        let mut wv = q.to_vec();
+        wv[10] = b'A'; // was C
+        let a = local_align(q, &wv, &s()).unwrap();
+        assert_eq!(a.cigar.to_string(), "20M");
+        assert_eq!(a.edit_distance, 1);
+        assert_eq!(a.score, 19 - 4);
+    }
+
+    #[test]
+    fn insertion_in_read() {
+        // read has 2 extra bases vs reference
+        let reference = b"ACGTACGTTGCATGCAACGT";
+        let mut q = reference.to_vec();
+        q.splice(10..10, [b'G', b'G']);
+        let a = local_align(&q, reference, &s()).unwrap();
+        assert!(a.cigar.to_string().contains('I'), "cigar {}", a.cigar);
+        let ins: u32 = a
+            .cigar
+            .0
+            .iter()
+            .filter_map(|op| match op {
+                CigarOp::Ins(n) => Some(*n),
+                _ => None,
+            })
+            .sum();
+        // The 2-base insertion may be absorbed as clips, but the best
+        // scoring path keeps both flanks: 20 matches - gap cost.
+        assert_eq!(ins, 2);
+        assert_eq!(a.score, 20 - 6 - 2);
+    }
+
+    #[test]
+    fn deletion_from_read() {
+        // Long flanks so bridging the 3-base deletion (gap cost 9) clearly
+        // beats soft-clipping a whole flank.
+        let reference = b"ACGTACGTTGCATGCAACGTCCATGGTTCAGGACTTACAG";
+        let mut q = reference.to_vec();
+        q.drain(18..21);
+        let a = local_align(&q, reference, &s()).unwrap();
+        let del: u32 = a
+            .cigar
+            .0
+            .iter()
+            .filter_map(|op| match op {
+                CigarOp::Del(n) => Some(*n),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(del, 3);
+        assert_eq!(a.edit_distance, 3);
+    }
+
+    #[test]
+    fn low_quality_tail_is_soft_clipped() {
+        // First 30 bases match; last 10 are garbage relative to window.
+        let window = b"GGATCCGGAACCTTGGAACCGGTTAACCGGAATT";
+        let mut q = window[2..32].to_vec();
+        q.extend_from_slice(b"CACACACACA"); // unrelated tail
+        let a = local_align(&q, window, &s()).unwrap();
+        assert_eq!(a.query_start, 0);
+        assert!(a.query_end <= 32);
+        let t = a.cigar.to_string();
+        assert!(t.ends_with('S'), "expected trailing soft clip: {t}");
+        assert_eq!(a.cigar.query_len() as usize, q.len());
+    }
+
+    #[test]
+    fn no_alignment_for_disjoint_sequences() {
+        let a = local_align(b"AAAAAAAA", b"TTTTTTTT", &s());
+        // Single-base matches score 1; local alignment of A vs T text has
+        // no positive cells at all.
+        assert!(a.is_none());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(local_align(b"", b"ACGT", &s()).is_none());
+        assert!(local_align(b"ACGT", b"", &s()).is_none());
+    }
+
+    #[test]
+    fn cigar_query_len_invariant() {
+        // Whatever the alignment, the CIGAR must account for every query
+        // base (softclips + M + I).
+        let window = b"ACGGTTACAGGATACCATGGTTCAGGACTTACA";
+        for q in [
+            b"GGTTACAGGATACC".to_vec(),
+            b"GGTTACAGGAAACC".to_vec(),
+            b"TTTTGGTTACAGGATACC".to_vec(),
+        ] {
+            if let Some(a) = local_align(&q, window, &s()) {
+                assert_eq!(a.cigar.query_len() as usize, q.len(), "query {:?}", q);
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_score_prefers_gap_over_many_mismatches() {
+        // Reference has 1-base deletion relative to read: aligning with a
+        // gap (cost 7) beats forcing 10+ mismatches.
+        let reference = b"ACGTAGCCTAGGATCAGGTTACGATTACGGAT";
+        let mut q = reference.to_vec();
+        q.remove(15);
+        let a = local_align(&q, reference, &s()).unwrap();
+        assert!(a.cigar.to_string().contains('D'), "{}", a.cigar);
+    }
+}

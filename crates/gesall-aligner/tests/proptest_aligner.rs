@@ -1,0 +1,107 @@
+//! Property-based tests of the alignment substrate: suffix array /
+//! FM-index correctness against naive reference implementations, and
+//! Smith–Waterman structural invariants.
+
+use gesall_aligner::fm::FmIndex;
+use gesall_aligner::suffix::suffix_array;
+use gesall_aligner::sw::{local_align, Scoring};
+use proptest::prelude::*;
+
+fn arb_dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        min..max,
+    )
+}
+
+fn naive_sa(text: &[u8]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..text.len() as u32).collect();
+    idx.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    idx
+}
+
+fn naive_count(text: &[u8], pat: &[u8]) -> u64 {
+    if pat.is_empty() || pat.len() > text.len() {
+        return 0;
+    }
+    (0..=text.len() - pat.len())
+        .filter(|&i| &text[i..i + pat.len()] == pat)
+        .count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn suffix_array_matches_naive(text in arb_dna(1, 400)) {
+        prop_assert_eq!(suffix_array(&text), naive_sa(&text));
+    }
+
+    #[test]
+    fn suffix_array_handles_low_complexity(unit in arb_dna(1, 6), reps in 1usize..80) {
+        let text: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        prop_assert_eq!(suffix_array(&text), naive_sa(&text));
+    }
+
+    #[test]
+    fn fm_count_matches_naive(text in arb_dna(20, 600), start in 0usize..500, len in 1usize..20) {
+        let fm = FmIndex::build(&text);
+        // A pattern cut from the text (guaranteed ≥1 occurrence).
+        let start = start % text.len();
+        let len = len.min(text.len() - start).max(1);
+        let pat = &text[start..start + len];
+        prop_assert_eq!(fm.count(pat), naive_count(&text, pat));
+        // And a probably-absent random pattern.
+        let absent = b"ACGTTGCAACGTTGCAACGTT";
+        prop_assert_eq!(fm.count(absent), naive_count(&text, absent));
+    }
+
+    #[test]
+    fn fm_locate_matches_naive(text in arb_dna(30, 400), start in 0usize..300, len in 4usize..16) {
+        let fm = FmIndex::build(&text);
+        let start = start % text.len();
+        let len = len.min(text.len() - start).max(1);
+        let pat = &text[start..start + len];
+        let expected: Vec<u64> = (0..=text.len() - pat.len())
+            .filter(|&i| &text[i..i + pat.len()] == pat)
+            .map(|i| i as u64)
+            .collect();
+        if let Some(hits) = fm.locate(pat, 10_000) {
+            prop_assert_eq!(hits, expected);
+        } else {
+            prop_assert!(expected.len() > 10_000);
+        }
+    }
+
+    #[test]
+    fn smith_waterman_invariants(query in arb_dna(5, 120), window in arb_dna(5, 160)) {
+        if let Some(a) = local_align(&query, &window, &Scoring::default()) {
+            // CIGAR accounts for every query base.
+            prop_assert_eq!(a.cigar.query_len() as usize, query.len());
+            // Score bounded by perfect match.
+            prop_assert!(a.score <= query.len() as i32);
+            prop_assert!(a.score > 0);
+            // Alignment fits in the window.
+            prop_assert!(a.ref_start + a.cigar.reference_len() as usize <= window.len());
+            // Clip bookkeeping is consistent.
+            prop_assert_eq!(a.cigar.leading_clip() as usize, a.query_start);
+            prop_assert_eq!(a.cigar.trailing_clip() as usize, query.len() - a.query_end);
+            prop_assert!(a.cigar.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn smith_waterman_finds_planted_exact_match(
+        window in arb_dna(60, 200),
+        qlen in 20usize..50,
+        offset in 0usize..150,
+    ) {
+        let offset = offset % (window.len().saturating_sub(qlen).max(1));
+        let qlen = qlen.min(window.len() - offset);
+        let query = window[offset..offset + qlen].to_vec();
+        let a = local_align(&query, &window, &Scoring::default()).expect("planted match");
+        // An exact substring must achieve the perfect score.
+        prop_assert_eq!(a.score, qlen as i32);
+        prop_assert_eq!(a.edit_distance, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion targets that regenerate each model-driven table/figure of
+//! the paper — one bench per artifact, so `cargo bench` demonstrably
+//! covers the full experiment surface (and tracks the cost of the models
+//! themselves). The real-execution experiments (Table 8, Fig. 11,
+//! Tables 9/10, Fig. 6a) run minutes of pipeline work and live in the
+//! `experiments` binary instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gesall_bench::sim_experiments as sim;
+
+fn bench_paper_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(10);
+    g.bench_function("table2_single_server", |b| b.iter(sim::table2));
+    g.bench_function("table4_partition_sweep", |b| b.iter(sim::table4));
+    g.bench_function("fig5a_alignment_cost", |b| b.iter(sim::fig5a));
+    g.bench_function("fig5b_phase_breakdown", |b| b.iter(sim::fig5b));
+    g.bench_function("fig5c_thread_speedup", |b| b.iter(sim::fig5c));
+    g.bench_function("table5_scaleup", |b| b.iter(sim::table5));
+    g.bench_function("table6_three_rounds", |b| b.iter(sim::table6));
+    g.bench_function("fig6b_invocation_overhead", |b| b.iter(sim::fig6b));
+    g.bench_function("fig7_task_progress", |b| b.iter(sim::fig7));
+    g.bench_function("table7_production_cluster", |b| b.iter(sim::table7));
+    g.bench_function("fig10_disk_utilisation", |b| b.iter(sim::fig10));
+    g.finish();
+}
+
+criterion_group!(paper, bench_paper_tables);
+criterion_main!(paper);

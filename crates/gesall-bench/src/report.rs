@@ -1,0 +1,118 @@
+//! Small formatting helpers for the experiment reports.
+
+/// Format seconds as `Hh MMm SSs`.
+pub fn hms(seconds: f64) -> String {
+    let s = seconds.round() as i64;
+    let (h, rem) = (s / 3600, s % 3600);
+    let (m, s) = (rem / 60, rem % 60);
+    if h > 0 {
+        format!("{h}h {m:02}m {s:02}s")
+    } else if m > 0 {
+        format!("{m}m {s:02}s")
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// A plain-text table builder with aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut out = String::new();
+            for i in 0..n {
+                let pad = widths[i] - cells[i].chars().count();
+                out.push_str("| ");
+                out.push_str(&cells[i]);
+                out.push_str(&" ".repeat(pad + 1));
+            }
+            out.push('|');
+            out
+        };
+        let mut out = line(&self.headers);
+        out.push('\n');
+        let mut sep = String::new();
+        for w in &widths {
+            sep.push_str("|-");
+            sep.push_str(&"-".repeat(w + 1));
+        }
+        sep.push('|');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render an ASCII sparkline-ish bar chart row: label + proportional bar.
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!("{label:<28} {:<width$} {value:.1}", "#".repeat(n.min(width)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_formats() {
+        assert_eq!(hms(0.0), "0s");
+        assert_eq!(hms(59.4), "59s");
+        assert_eq!(hms(61.0), "1m 01s");
+        assert_eq!(hms(3600.0 + 125.0), "1h 02m 05s");
+        assert_eq!(hms(17_016.0), "4h 43m 36s");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a much longer name".into(), "12345".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(out.contains("| name"));
+    }
+
+    #[test]
+    fn bar_is_proportional() {
+        let full = bar("x", 10.0, 10.0, 20);
+        let half = bar("y", 5.0, 10.0, 20);
+        assert_eq!(full.matches('#').count(), 20);
+        assert_eq!(half.matches('#').count(), 10);
+        assert_eq!(bar("z", 0.0, 0.0, 20).matches('#').count(), 0);
+    }
+}

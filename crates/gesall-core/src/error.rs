@@ -1,0 +1,47 @@
+//! Platform-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the platform layers.
+#[derive(Debug)]
+pub enum PlatformError {
+    Dfs(gesall_dfs::DfsError),
+    Format(gesall_formats::FormatError),
+    Io(std::io::Error),
+    /// A wrapped program or round violated a platform invariant.
+    Invariant(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Dfs(e) => write!(f, "dfs: {e}"),
+            PlatformError::Format(e) => write!(f, "format: {e}"),
+            PlatformError::Io(e) => write!(f, "io: {e}"),
+            PlatformError::Invariant(m) => write!(f, "invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<gesall_dfs::DfsError> for PlatformError {
+    fn from(e: gesall_dfs::DfsError) -> Self {
+        PlatformError::Dfs(e)
+    }
+}
+
+impl From<gesall_formats::FormatError> for PlatformError {
+    fn from(e: gesall_formats::FormatError) -> Self {
+        PlatformError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for PlatformError {
+    fn from(e: std::io::Error) -> Self {
+        PlatformError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PlatformError>;

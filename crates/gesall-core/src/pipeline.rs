@@ -1,0 +1,776 @@
+//! Pipeline planning and end-to-end drivers.
+//!
+//! * [`plan_rounds`] — the paper's round-construction rule (Appendix
+//!   A.2): walk the program list; start a new MapReduce round whenever
+//!   the next program's partitioning requirement is incompatible with
+//!   the current data arrangement.
+//! * [`GesallPlatform`] — the parallel driver running the five wrapped
+//!   rounds over DFS + MapReduce.
+//! * [`serial_pipeline`] — the GATK-best-practices single-node baseline
+//!   (the gold standard of §4).
+//! * [`serial_tail_from_aligned`] / [`serial_tail_from_markdup`] — the
+//!   hybrid pipelines P̄ᵢ ∘ serial used to measure D-impact (§4.5.2).
+
+use crate::error::Result;
+use crate::gdpt::{chromosome_partition, RangeKey};
+use crate::rounds::{
+    build_bloom_from_outputs, BloomBuildMapper, Round1Align, Round2CleanMapper,
+    Round2FixMateReducer, Round3MarkDupMapper, Round3MarkDupReducer, Round4SortMapper,
+    Round4SortReducer, Round5HaplotypeCaller,
+};
+use crate::storage;
+use gesall_aligner::Aligner;
+use gesall_dfs::{Dfs, LogicalPartitionPlacement};
+use gesall_formats::fastq::{pairs_to_interleaved_bytes, split_pairs_into_partitions, ReadPair};
+use gesall_formats::sam::header::ReadGroup;
+use gesall_formats::sam::{SamHeader, SamRecord, SortOrder};
+use gesall_formats::vcf::VariantRecord;
+use gesall_mapreduce::counters::Counters;
+use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
+use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
+use gesall_tools::haplotype_caller::{call_chromosome, HaplotypeCallerConfig};
+use gesall_tools::refview::RefView;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Round planner
+// ---------------------------------------------------------------------
+
+/// A program's logical partitioning requirement (paper §3.2 categories).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Grouped by read name.
+    ByReadName,
+    /// The MarkDuplicates compound 5′-end keys.
+    ByDuplicateKeys,
+    /// Coordinate ranges (per chromosome).
+    ByRange,
+    /// Distributive aggregation by covariate (recalibration tables).
+    ByCovariate,
+    /// No requirement (works on any subset).
+    Any,
+}
+
+impl Partitioning {
+    /// Can a program with requirement `self` run directly on data
+    /// arranged as `arrangement`, without a shuffle?
+    pub fn satisfied_by(&self, arrangement: &Partitioning) -> bool {
+        matches!(self, Partitioning::Any) || self == arrangement
+    }
+}
+
+/// One pipeline step, as declared to the planner.
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    pub name: String,
+    pub requires: Partitioning,
+    /// Arrangement of this program's *output* (None = unchanged).
+    pub produces: Option<Partitioning>,
+}
+
+impl ProgramSpec {
+    pub fn new(name: &str, requires: Partitioning) -> ProgramSpec {
+        ProgramSpec {
+            name: name.into(),
+            requires,
+            produces: None,
+        }
+    }
+
+    pub fn producing(mut self, p: Partitioning) -> ProgramSpec {
+        self.produces = Some(p);
+        self
+    }
+}
+
+/// A planned MapReduce round: the programs fused into it and whether it
+/// needs a shuffle to rearrange its input first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPlan {
+    pub programs: Vec<String>,
+    pub input_arrangement: Partitioning,
+    pub needs_shuffle: bool,
+}
+
+/// The paper's rule: fuse consecutive programs while their partitioning
+/// requirements are compatible with the current arrangement; start a new
+/// round (with a shuffle) when they are not.
+pub fn plan_rounds(initial: Partitioning, programs: &[ProgramSpec]) -> Vec<RoundPlan> {
+    let mut rounds: Vec<RoundPlan> = Vec::new();
+    let mut arrangement = initial;
+    for p in programs {
+        let compatible = p.requires.satisfied_by(&arrangement);
+        let start_new = rounds.is_empty() || !compatible;
+        if start_new {
+            let needs_shuffle = !compatible;
+            if needs_shuffle {
+                arrangement = p.requires.clone();
+            }
+            rounds.push(RoundPlan {
+                programs: vec![p.name.clone()],
+                input_arrangement: arrangement.clone(),
+                needs_shuffle,
+            });
+        } else {
+            rounds.last_mut().expect("non-empty").programs.push(p.name.clone());
+        }
+        if let Some(out) = &p.produces {
+            arrangement = out.clone();
+        }
+    }
+    rounds
+}
+
+/// The paper's secondary-analysis pipeline as ProgramSpecs (Table 2).
+pub fn gatk_best_practices_specs() -> Vec<ProgramSpec> {
+    vec![
+        ProgramSpec::new("Bwa", Partitioning::ByReadName),
+        ProgramSpec::new("SamToBam", Partitioning::Any),
+        ProgramSpec::new("AddReplaceReadGroups", Partitioning::Any),
+        ProgramSpec::new("CleanSam", Partitioning::Any),
+        ProgramSpec::new("FixMateInformation", Partitioning::ByReadName),
+        ProgramSpec::new("MarkDuplicates", Partitioning::ByDuplicateKeys)
+            .producing(Partitioning::ByDuplicateKeys),
+        ProgramSpec::new("SortSam", Partitioning::ByRange).producing(Partitioning::ByRange),
+        ProgramSpec::new("HaplotypeCaller", Partitioning::ByRange),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Parallel platform driver
+// ---------------------------------------------------------------------
+
+/// Which small-variant caller round 5 wraps (paper Table 2 v1/v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallerChoice {
+    /// v2: HaplotypeCaller (greedy active-window segmentation).
+    HaplotypeCaller,
+    /// v1: UnifiedGenotyper (position-independent pileup calling).
+    UnifiedGenotyper,
+}
+
+/// How round 5 partitions the genome for the HaplotypeCaller (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HcPartitioning {
+    /// The production-accepted coarse scheme: one task per chromosome
+    /// (23 tasks for a human genome — the §4.4 underutilization).
+    Chromosome,
+    /// The paper's proposed fine-grained overlapping scheme: segments of
+    /// `segment_len` padded by `overlap` on both sides; reads in overlap
+    /// zones are replicated; calls are emitted only from segment cores.
+    FineGrained { segment_len: i64, overlap: i64 },
+}
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Logical partitions fed to the alignment round.
+    pub n_round1_partitions: usize,
+    /// Reducers for the shuffling rounds (2 and 3).
+    pub n_reducers: usize,
+    /// Threads each alignment mapper gives its wrapped Bwa.
+    pub bwa_threads_per_mapper: usize,
+    /// Use the bloom-filter MarkDup_opt variant.
+    pub markdup_opt: bool,
+    /// Run the base-recalibration rounds (Table 2 steps 11–12) between
+    /// sort and variant calling.
+    pub recalibrate: bool,
+    /// Known variant sites excluded from the recalibration error tally
+    /// (the dbSNP role).
+    pub known_sites: std::sync::Arc<std::collections::HashSet<(i32, i64)>>,
+    /// Which variant caller round 5 wraps.
+    pub caller: CallerChoice,
+    /// Round-5 partitioning scheme for the HaplotypeCaller.
+    pub hc_partitioning: HcPartitioning,
+    /// Sort buffer / merge factor / compression for the MR jobs.
+    pub io_sort_bytes: usize,
+    pub merge_factor: usize,
+    pub compress_map_output: bool,
+    pub seed: u64,
+    pub read_group: ReadGroup,
+    pub hc: HaplotypeCallerConfig,
+    pub ug: gesall_tools::unified_genotyper::GenotyperConfig,
+    pub recal: gesall_tools::recalibration::RecalConfig,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> PlatformConfig {
+        PlatformConfig {
+            n_round1_partitions: 4,
+            n_reducers: 4,
+            bwa_threads_per_mapper: 1,
+            markdup_opt: true,
+            recalibrate: false,
+            known_sites: std::sync::Arc::new(std::collections::HashSet::new()),
+            caller: CallerChoice::HaplotypeCaller,
+            hc_partitioning: HcPartitioning::Chromosome,
+            io_sort_bytes: 8 * 1024 * 1024,
+            merge_factor: 10,
+            compress_map_output: true,
+            seed: 0x6765_7361_6c6c_0001,
+            read_group: ReadGroup::new("rg1", "sample1"),
+            hc: HaplotypeCallerConfig::default(),
+            ug: gesall_tools::unified_genotyper::GenotyperConfig::default(),
+            recal: gesall_tools::recalibration::RecalConfig::default(),
+        }
+    }
+}
+
+/// Summary of one executed round.
+#[derive(Debug, Clone)]
+pub struct RoundSummary {
+    pub name: String,
+    pub wall_ms: f64,
+    pub n_map_tasks: usize,
+    pub n_reduce_tasks: usize,
+    pub counters: Vec<(String, u64)>,
+}
+
+/// End-to-end output of the parallel pipeline.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// Final coordinate-sorted, duplicate-marked records.
+    pub records: Vec<SamRecord>,
+    /// Variant calls from round 5.
+    pub variants: Vec<VariantRecord>,
+    pub rounds: Vec<RoundSummary>,
+}
+
+/// The Gesall platform: DFS + MapReduce engine + configuration.
+pub struct GesallPlatform {
+    pub dfs: Dfs,
+    pub engine: MapReduceEngine,
+    pub config: PlatformConfig,
+    run_seq: std::sync::atomic::AtomicU64,
+}
+
+impl GesallPlatform {
+    pub fn new(dfs: Dfs, engine: MapReduceEngine, config: PlatformConfig) -> GesallPlatform {
+        GesallPlatform {
+            dfs,
+            engine,
+            config,
+            run_seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn job_config(&self, name: &str, n_reducers: usize) -> JobConfig {
+        JobConfig {
+            name: name.into(),
+            n_reducers,
+            io_sort_bytes: self.config.io_sort_bytes,
+            merge_factor: self.config.merge_factor,
+            compress_map_output: self.config.compress_map_output,
+            ..JobConfig::default()
+        }
+    }
+
+    /// Stage a set of BAM logical partitions on the DFS and return the
+    /// input splits (one per partition, data-local).
+    fn stage_bam_partitions(
+        &self,
+        base: &str,
+        header: &SamHeader,
+        partitions: &[Vec<SamRecord>],
+    ) -> Result<Vec<InputSplit<String, Vec<u8>>>> {
+        let placed = storage::upload_partitions(&self.dfs, base, header, partitions)?;
+        let mut splits = Vec::with_capacity(placed.len());
+        for (path, home) in placed {
+            let bytes = self.read_partition_bytes(&path)?;
+            let mut split = InputSplit::new(path.clone(), vec![(path, bytes)]);
+            if let Some(node) = home {
+                split = split.at_node(node % self.engine.cluster().n_nodes());
+            }
+            splits.push(split);
+        }
+        Ok(splits)
+    }
+
+    fn read_partition_bytes(&self, path: &str) -> Result<Vec<u8>> {
+        // Reassemble through the block-aware frame reader (the §3.1 path).
+        let frames = storage::read_frames_from_dfs(&self.dfs, path)?;
+        Ok(frames.concat())
+    }
+
+    /// Run the full five-round pipeline on interleaved read pairs.
+    pub fn run_pipeline(&self, aligner: &Aligner, pairs: Vec<ReadPair>) -> Result<PipelineOutput> {
+        let counters = Counters::new();
+        let mut rounds = Vec::new();
+        // Unique DFS namespace per run so one platform can host many
+        // pipeline executions.
+        let run = self
+            .run_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let base = format!("/pipeline/run{run}");
+        let header = aligner.index().sam_header();
+        let references: Arc<Vec<Vec<u8>>> = Arc::new(
+            (0..aligner.index().n_chromosomes())
+                .map(|i| aligner.index().chromosome_seq(i).to_vec())
+                .collect(),
+        );
+        let chrom_names: Arc<Vec<String>> = Arc::new(
+            (0..aligner.index().n_chromosomes())
+                .map(|i| aligner.index().name(i).to_string())
+                .collect(),
+        );
+
+        // ---- Round 1: alignment (map-only over FASTQ partitions) -----
+        let parts = split_pairs_into_partitions(pairs, self.config.n_round1_partitions.max(1));
+        let mut splits = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            let path = format!("{base}/fastq/part-{i:05}");
+            let bytes = pairs_to_interleaved_bytes(part);
+            let info = self
+                .dfs
+                .write_file_with_policy(&path, &bytes, &LogicalPartitionPlacement)?;
+            let mut split = InputSplit::new(path.clone(), vec![(path, bytes)]);
+            if let Some(node) = info.single_home() {
+                split = split.at_node(node % self.engine.cluster().n_nodes());
+            }
+            splits.push(split);
+        }
+        let r1 = self.engine.run_map_only(
+            self.job_config("round1-align", 1),
+            &Round1Align {
+                aligner,
+                threads_per_mapper: self.config.bwa_threads_per_mapper,
+                counters: counters.clone(),
+            },
+            splits,
+        );
+        r1.counters.merge(&counters);
+        rounds.push(summary("round1-align", &r1.counters, &r1.events, r1.wall_ms));
+
+        // Round 1 output partitions (BAM bytes), already grouped by name
+        // (pairs adjacent).
+        let r1_parts: Vec<Vec<SamRecord>> = r1
+            .outputs
+            .iter()
+            .map(|out| {
+                let (_, bytes) = &out[0];
+                gesall_formats::bam::read_bam(bytes).expect("round1 bam").1
+            })
+            .collect();
+
+        // ---- Round 2: clean (map) + fix-mate (reduce), shuffle by name
+        let splits = self.stage_bam_partitions(&format!("{base}/round1"), &header, &r1_parts)?;
+        let r2 = self.engine.run_job(
+            self.job_config("round2-clean-fixmate", self.config.n_reducers),
+            &Round2CleanMapper {
+                read_group: self.config.read_group.clone(),
+                references: references.clone(),
+                counters: counters.clone(),
+            },
+            &Round2FixMateReducer {
+                counters: counters.clone(),
+            },
+            &HashPartitioner,
+            splits,
+        );
+        r2.counters.merge(&counters);
+        rounds.push(summary(
+            "round2-clean-fixmate",
+            &r2.counters,
+            &r2.events,
+            r2.wall_ms,
+        ));
+        let r2_parts: Vec<Vec<SamRecord>> = r2
+            .outputs
+            .iter()
+            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
+            .collect();
+
+        // ---- Round 2½: bloom build (MarkDup_opt only) -----------------
+        let splits = self.stage_bam_partitions(&format!("{base}/round2"), &header, &r2_parts)?;
+        let bloom = if self.config.markdup_opt {
+            let rb = self.engine.run_map_only(
+                self.job_config("round2b-bloom", 1),
+                &BloomBuildMapper {
+                    counters: counters.clone(),
+                },
+                splits.clone(),
+            );
+            let n_keys: usize = rb.outputs.iter().map(Vec::len).sum();
+            rb.counters.merge(&counters);
+            rounds.push(summary(
+                "round2b-bloom",
+                &rb.counters,
+                &rb.events,
+                rb.wall_ms,
+            ));
+            Some(Arc::new(build_bloom_from_outputs(
+                &rb.outputs,
+                n_keys.max(64),
+            )))
+        } else {
+            None
+        };
+
+        // ---- Round 3: MarkDuplicates (compound shuffle) ---------------
+        let r3 = self.engine.run_job(
+            self.job_config(
+                if self.config.markdup_opt {
+                    "round3-markdup-opt"
+                } else {
+                    "round3-markdup-reg"
+                },
+                self.config.n_reducers,
+            ),
+            &Round3MarkDupMapper {
+                bloom,
+                counters: counters.clone(),
+            },
+            &Round3MarkDupReducer {
+                seed: self.config.seed,
+                counters: counters.clone(),
+            },
+            &HashPartitioner,
+            splits,
+        );
+        r3.counters.merge(&counters);
+        rounds.push(summary("round3-markdup", &r3.counters, &r3.events, r3.wall_ms));
+        let r3_parts: Vec<Vec<SamRecord>> = r3
+            .outputs
+            .iter()
+            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
+            .collect();
+
+        // ---- Round 4: range-partitioned sort --------------------------
+        let n_chroms = chrom_names.len();
+        let splits = self.stage_bam_partitions(&format!("{base}/round3"), &header, &r3_parts)?;
+        let r4 = self.engine.run_job(
+            self.job_config("round4-sort", n_chroms + 1),
+            &Round4SortMapper {
+                counters: counters.clone(),
+            },
+            &Round4SortReducer,
+            &FnPartitioner::new(|k: &RangeKey, n| chromosome_partition(k, n)),
+            splits,
+        );
+        r4.counters.merge(&counters);
+        rounds.push(summary("round4-sort", &r4.counters, &r4.events, r4.wall_ms));
+        let mut sorted_header = header.clone();
+        sorted_header.sort_order = SortOrder::Coordinate;
+        let mut r4_parts: Vec<Vec<SamRecord>> = r4
+            .outputs
+            .iter()
+            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
+            .collect();
+
+        // ---- Rounds 4½a/4½b: base recalibration (steps 11–12) --------
+        if self.config.recalibrate {
+            let splits = self.stage_bam_partitions(
+                &format!("{base}/round4a"),
+                &sorted_header,
+                &r4_parts[..n_chroms],
+            )?;
+            let ra = self.engine.run_map_only(
+                self.job_config("round4a-recal-table", 1),
+                &crate::rounds::RecalTableMapper {
+                    references: references.clone(),
+                    known_sites: self.config.known_sites.clone(),
+                    config: self.config.recal.clone(),
+                    counters: counters.clone(),
+                },
+                splits.clone(),
+            );
+            // The covariate tally is distributive: partial tables from
+            // the partitions merge into exactly the whole-dataset table.
+            let table = Arc::new(crate::rounds::merge_recal_tables(&ra.outputs));
+            ra.counters.merge(&counters);
+            rounds.push(summary(
+                "round4a-recal-table",
+                &ra.counters,
+                &ra.events,
+                ra.wall_ms,
+            ));
+            let rb2 = self.engine.run_map_only(
+                self.job_config("round4b-print-reads", 1),
+                &crate::rounds::PrintReadsMapper {
+                    table,
+                    config: self.config.recal.clone(),
+                    counters: counters.clone(),
+                },
+                splits,
+            );
+            rb2.counters.merge(&counters);
+            rounds.push(summary(
+                "round4b-print-reads",
+                &rb2.counters,
+                &rb2.events,
+                rb2.wall_ms,
+            ));
+            for (i, out) in rb2.outputs.into_iter().enumerate() {
+                r4_parts[i] = out.into_iter().map(|(_, r)| r).collect();
+            }
+        }
+
+        // ---- Round 5: variant calling -----------------------------------
+        // (the unmapped partition, index n_chroms, is skipped)
+        let (r5, round5_name) = match (self.config.caller, self.config.hc_partitioning) {
+            (CallerChoice::UnifiedGenotyper, _) => {
+                let splits = self.stage_bam_partitions(
+                    &format!("{base}/round5in"),
+                    &sorted_header,
+                    &r4_parts[..n_chroms],
+                )?;
+                (
+                    self.engine.run_map_only(
+                        self.job_config("round5-unifiedgenotyper", 1),
+                        &crate::rounds::Round5UnifiedGenotyper {
+                            references: references.clone(),
+                            chrom_names: chrom_names.clone(),
+                            config: self.config.ug.clone(),
+                            counters: counters.clone(),
+                        },
+                        splits,
+                    ),
+                    "round5-unifiedgenotyper",
+                )
+            }
+            (CallerChoice::HaplotypeCaller, HcPartitioning::Chromosome) => {
+                let splits = self.stage_bam_partitions(
+                    &format!("{base}/round5in"),
+                    &sorted_header,
+                    &r4_parts[..n_chroms],
+                )?;
+                (
+                    self.engine.run_map_only(
+                        self.job_config("round5-haplotypecaller", 1),
+                        &Round5HaplotypeCaller {
+                            references: references.clone(),
+                            chrom_names: chrom_names.clone(),
+                            config: self.config.hc.clone(),
+                            counters: counters.clone(),
+                        },
+                        splits,
+                    ),
+                    "round5-haplotypecaller",
+                )
+            }
+            (CallerChoice::HaplotypeCaller, HcPartitioning::FineGrained { segment_len, overlap }) => {
+                // The §3.2 overlapping range scheme: reads overlapping a
+                // padded span are replicated into that segment's
+                // partition; calls are emitted from segment cores only.
+                let ranges = crate::gdpt::OverlappingRanges::new(segment_len, overlap);
+                let mut splits = Vec::new();
+                for (ref_id, part) in r4_parts[..n_chroms].iter().enumerate() {
+                    let chrom_len = references[ref_id].len() as i64;
+                    if part.is_empty() {
+                        continue;
+                    }
+                    for seg in 0..ranges.n_segments(chrom_len) {
+                        let (span_s, span_e) = ranges.segment_span(seg, chrom_len);
+                        let core_s = seg as i64 * segment_len + 1;
+                        let core_e = ((seg as i64 + 1) * segment_len).min(chrom_len);
+                        let seg_records: Vec<SamRecord> = part
+                            .iter()
+                            .filter(|r| {
+                                r.is_mapped() && r.pos <= span_e && r.end_pos() >= span_s
+                            })
+                            .cloned()
+                            .collect();
+                        let label = crate::rounds::fine_segment_label(
+                            ref_id as i32,
+                            (core_s, core_e),
+                            (span_s, span_e),
+                        );
+                        let bytes =
+                            gesall_formats::bam::write_bam(&sorted_header, &seg_records);
+                        let path = format!("{base}/round5fine/{label}");
+                        let info = self.dfs.write_file_with_policy(
+                            &path,
+                            &bytes,
+                            &LogicalPartitionPlacement,
+                        )?;
+                        let mut split = InputSplit::new(label.clone(), vec![(label, bytes)]);
+                        if let Some(node) = info.single_home() {
+                            split = split.at_node(node % self.engine.cluster().n_nodes());
+                        }
+                        splits.push(split);
+                    }
+                }
+                (
+                    self.engine.run_map_only(
+                        self.job_config("round5-hc-finegrained", 1),
+                        &crate::rounds::Round5HaplotypeCallerFine {
+                            references: references.clone(),
+                            chrom_names: chrom_names.clone(),
+                            config: self.config.hc.clone(),
+                            counters: counters.clone(),
+                        },
+                        splits,
+                    ),
+                    "round5-hc-finegrained",
+                )
+            }
+        };
+        r5.counters.merge(&counters);
+        rounds.push(summary(round5_name, &r5.counters, &r5.events, r5.wall_ms));
+        let mut variants: Vec<VariantRecord> = r5
+            .outputs
+            .into_iter()
+            .flatten()
+            .map(|(_, v)| v)
+            .collect();
+        variants.sort_by(|a, b| {
+            (a.chrom.clone(), a.pos, a.ref_allele.clone(), a.alt_allele.clone()).cmp(&(
+                b.chrom.clone(),
+                b.pos,
+                b.ref_allele.clone(),
+                b.alt_allele.clone(),
+            ))
+        });
+
+        let records: Vec<SamRecord> = r4_parts.into_iter().flatten().collect();
+        Ok(PipelineOutput {
+            records,
+            variants,
+            rounds,
+        })
+    }
+}
+
+fn summary(
+    name: &str,
+    counters: &Counters,
+    events: &[gesall_mapreduce::runtime::TaskEvent],
+    wall_ms: f64,
+) -> RoundSummary {
+    use gesall_mapreduce::runtime::TaskKind;
+    RoundSummary {
+        name: name.into(),
+        wall_ms,
+        n_map_tasks: events.iter().filter(|e| e.kind == TaskKind::Map).count(),
+        n_reduce_tasks: events
+            .iter()
+            .filter(|e| e.kind == TaskKind::Reduce)
+            .count(),
+        counters: counters.snapshot(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serial baseline and hybrid pipelines
+// ---------------------------------------------------------------------
+
+/// The GATK-best-practices single-node baseline: serial versions of every
+/// step, whole dataset at once.
+pub fn serial_pipeline(
+    aligner: &Aligner,
+    references: &[Vec<u8>],
+    chrom_names: &[String],
+    pairs: &[ReadPair],
+    read_group: &ReadGroup,
+    seed: u64,
+    hc: &HaplotypeCallerConfig,
+) -> (Vec<SamRecord>, Vec<VariantRecord>) {
+    // Step 1: alignment over the whole input as one serial stream.
+    let aligned = aligner.align_pairs(pairs);
+    let records: Vec<SamRecord> = aligned.into_iter().flat_map(|(a, b)| [a, b]).collect();
+    serial_tail_from_aligned(aligner, references, chrom_names, records, read_group, seed, hc)
+}
+
+/// Serial steps 3..end applied to already-aligned records — the hybrid
+/// pipeline for measuring D-impact of parallel alignment (P̄₁).
+pub fn serial_tail_from_aligned(
+    aligner: &Aligner,
+    references: &[Vec<u8>],
+    chrom_names: &[String],
+    mut records: Vec<SamRecord>,
+    read_group: &ReadGroup,
+    seed: u64,
+    hc: &HaplotypeCallerConfig,
+) -> (Vec<SamRecord>, Vec<VariantRecord>) {
+    let mut header = aligner.index().sam_header();
+    gesall_tools::add_read_groups::add_or_replace_read_groups(
+        &mut header,
+        &mut records,
+        read_group,
+    );
+    gesall_tools::clean_sam::clean_sam(&mut records, RefView::new(references));
+    gesall_tools::fix_mate::fix_mate_information(&mut records);
+    gesall_tools::mark_duplicates::mark_duplicates(&mut records, seed);
+    serial_tail_from_markdup(references, chrom_names, records, hc)
+}
+
+/// Serial sort + HaplotypeCaller applied to duplicate-marked records —
+/// the hybrid pipeline for measuring D-impact of parallel MarkDuplicates
+/// (P̄₂).
+pub fn serial_tail_from_markdup(
+    references: &[Vec<u8>],
+    chrom_names: &[String],
+    mut records: Vec<SamRecord>,
+    hc: &HaplotypeCallerConfig,
+) -> (Vec<SamRecord>, Vec<VariantRecord>) {
+    let mut header = SamHeader::default();
+    gesall_tools::sort_sam::sort_sam(&mut header, &mut records);
+    let rv = RefView::new(references);
+    let mut variants = Vec::new();
+    for (ref_id, name) in chrom_names.iter().enumerate() {
+        let result = call_chromosome(&records, ref_id as i32, name, rv, hc);
+        variants.extend(result.variants);
+    }
+    variants.sort_by(|a, b| {
+        (a.chrom.clone(), a.pos, a.ref_allele.clone(), a.alt_allele.clone()).cmp(&(
+            b.chrom.clone(),
+            b.pos,
+            b.ref_allele.clone(),
+            b.alt_allele.clone(),
+        ))
+    });
+    (records, variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_reproduces_the_papers_round_structure() {
+        let rounds = plan_rounds(Partitioning::ByReadName, &gatk_best_practices_specs());
+        // Round 1: Bwa + SamToBam (+ the next two Any steps fuse into the
+        // map side of round 2 in the paper; the planner fuses them into
+        // round 1 since no shuffle is needed — both are valid fusions,
+        // what matters is WHERE shuffles land).
+        let shuffles: Vec<&RoundPlan> = rounds.iter().filter(|r| r.needs_shuffle).collect();
+        // Shuffles must land exactly before MarkDuplicates and SortSam.
+        assert_eq!(
+            shuffles.len(),
+            2,
+            "expected 2 rearrangements, got {rounds:#?}"
+        );
+        assert_eq!(shuffles[0].programs[0], "MarkDuplicates");
+        assert_eq!(shuffles[1].programs[0], "SortSam");
+        // HaplotypeCaller fuses with SortSam's arrangement.
+        assert!(shuffles[1].programs.contains(&"HaplotypeCaller".to_string()));
+        // FixMateInformation runs without a shuffle (input grouped by
+        // name from alignment).
+        let first = &rounds[0];
+        assert!(first.programs.contains(&"FixMateInformation".to_string()));
+        assert!(!first.needs_shuffle);
+    }
+
+    #[test]
+    fn planner_inserts_shuffle_on_incompatibility() {
+        let programs = vec![
+            ProgramSpec::new("A", Partitioning::ByRange).producing(Partitioning::ByRange),
+            ProgramSpec::new("B", Partitioning::ByReadName),
+            ProgramSpec::new("C", Partitioning::ByReadName),
+            ProgramSpec::new("D", Partitioning::Any),
+        ];
+        let rounds = plan_rounds(Partitioning::ByReadName, &programs);
+        assert_eq!(rounds.len(), 2, "{rounds:#?}");
+        assert!(rounds[0].needs_shuffle); // ByReadName -> ByRange
+        assert!(rounds[1].needs_shuffle); // ByRange -> ByReadName
+        // C fuses (same requirement); D fuses (no requirement).
+        assert_eq!(rounds[1].programs, vec!["B", "C", "D"]);
+    }
+
+    #[test]
+    fn partitioning_compatibility() {
+        assert!(Partitioning::Any.satisfied_by(&Partitioning::ByRange));
+        assert!(Partitioning::ByRange.satisfied_by(&Partitioning::ByRange));
+        assert!(!Partitioning::ByReadName.satisfied_by(&Partitioning::ByRange));
+    }
+}

@@ -1,0 +1,706 @@
+//! The five MapReduce rounds of the paper's pipeline (Appendix A.2),
+//! as `Mapper`/`Reducer` implementations over the engine.
+//!
+//! Every mapper's input value is a *whole logical partition* as BAM (or
+//! FASTQ) bytes — faithfully modelling the wrapper reality: the framework
+//! hands opaque partition bytes to a wrapped single-node program, paying
+//! the record↔bytes **data transformation** cost each way (timed into the
+//! counters, Fig. 6a).
+//!
+//! | Round | Map | Shuffle | Reduce |
+//! |---|---|---|---|
+//! | 1 | Bwa \| SamToBam via streaming | — (map-only) | — |
+//! | 2 | AddReplaceReadGroups + CleanSam | by read name | FixMateInformation |
+//! | 2½ | collect partial-matching 5′ ends | — | (bloom built by driver) |
+//! | 3 | MarkDup key generation (+ filter/bloom) | compound keys | SortSam + MarkDuplicates |
+//! | 4 | extract coordinates | range by chromosome | sort + index |
+//! | 5 | HaplotypeCaller per chromosome | — (map-only) | — |
+
+use crate::gdpt::{
+    markdup_map_pair, BloomFilter, MarkDupKey, MarkDupRole, MarkDupValue, RangeKey,
+};
+use gesall_aligner::Aligner;
+use gesall_formats::bam;
+use gesall_formats::sam::header::ReadGroup;
+use gesall_formats::sam::{SamHeader, SamRecord};
+use gesall_formats::vcf::VariantRecord;
+use gesall_mapreduce::counters::{keys, Counters};
+use gesall_mapreduce::streaming::StreamingHarness;
+use gesall_mapreduce::task::{MapContext, Mapper, ReduceContext, Reducer};
+use gesall_tools::clean_sam::clean_sam;
+use gesall_tools::fix_mate::sync_pair;
+use gesall_tools::haplotype_caller::{call_chromosome, HaplotypeCallerConfig};
+use gesall_tools::mark_duplicates::end_key;
+use gesall_tools::refview::RefView;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Time a data-transformation step into the shared counters.
+fn timed<T>(counters: &Counters, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    counters.add(keys::DATA_TRANSFORM_NANOS, t0.elapsed().as_nanos() as u64);
+    out
+}
+
+fn decode_bam(counters: &Counters, bytes: &[u8]) -> (SamHeader, Vec<SamRecord>) {
+    timed(counters, || {
+        bam::read_bam(bytes).expect("partition bytes must be a valid BAM")
+    })
+}
+
+// ---------------------------------------------------------------------
+// Round 1: alignment (map-only, Hadoop Streaming)
+// ---------------------------------------------------------------------
+
+/// Map-only aligner round: interleaved-FASTQ partition bytes in, BAM
+/// partition bytes out, through the `bwa | samtobam` streaming pipeline.
+pub struct Round1Align<'a> {
+    pub aligner: &'a Aligner,
+    pub threads_per_mapper: usize,
+    pub counters: Counters,
+}
+
+impl Mapper for Round1Align<'_> {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = Vec<u8>;
+
+    fn map(&self, label: String, fastq_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, Vec<u8>>) {
+        let harness = StreamingHarness::new(self.counters.clone());
+        let bwa = crate::programs::BwaMemProgram {
+            aligner: self.aligner,
+            threads: self.threads_per_mapper.max(1),
+        };
+        let bam_bytes = harness
+            .run_pipeline(&[&bwa, &crate::programs::SamToBamProgram], fastq_bytes)
+            .expect("alignment streaming pipeline failed");
+        ctx.emit(label, bam_bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round 2: AddReplaceReadGroups + CleanSam (map), FixMateInformation (reduce)
+// ---------------------------------------------------------------------
+
+/// Round-2 mapper: data cleaning over a BAM partition, shuffled by read
+/// name.
+pub struct Round2CleanMapper {
+    pub read_group: ReadGroup,
+    pub references: Arc<Vec<Vec<u8>>>,
+    pub counters: Counters,
+}
+
+impl Mapper for Round2CleanMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = SamRecord;
+
+    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, SamRecord>) {
+        let (mut header, mut records) = decode_bam(&self.counters, &bam_bytes);
+        let t0 = Instant::now();
+        gesall_tools::add_read_groups::add_or_replace_read_groups(
+            &mut header,
+            &mut records,
+            &self.read_group,
+        );
+        clean_sam(&mut records, RefView::new(&self.references));
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for r in records {
+            ctx.emit(r.name.clone(), r);
+        }
+    }
+}
+
+/// Round-2 reducer: both reads of a pair arrive under the same name key;
+/// FixMateInformation synchronizes them.
+pub struct Round2FixMateReducer {
+    pub counters: Counters,
+}
+
+impl Reducer for Round2FixMateReducer {
+    type InKey = String;
+    type InValue = SamRecord;
+    type OutKey = String;
+    type OutValue = SamRecord;
+
+    fn reduce(
+        &self,
+        name: String,
+        mut values: Vec<SamRecord>,
+        ctx: &mut ReduceContext<'_, String, SamRecord>,
+    ) {
+        let t0 = Instant::now();
+        let primaries: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.flags.is_primary() && r.flags.is_paired())
+            .map(|(i, _)| i)
+            .collect();
+        if let [i, j] = primaries[..] {
+            let (lo, hi) = values.split_at_mut(j.max(i));
+            let (a, b) = if i < j {
+                (&mut lo[i], &mut hi[0])
+            } else {
+                (&mut hi[0], &mut lo[j])
+            };
+            sync_pair(a, b);
+        }
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for r in values {
+            ctx.emit(name.clone(), r);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round 2½: bloom-filter build (MarkDup_opt prep)
+// ---------------------------------------------------------------------
+
+/// Map-only round emitting the wire-encoded 5′-end keys of
+/// partial-matching mapped reads; the driver unions them into the bloom
+/// filter.
+pub struct BloomBuildMapper {
+    pub counters: Counters,
+}
+
+impl Mapper for BloomBuildMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = u64;
+    type OutValue = Vec<u8>;
+
+    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let mut by_name: HashMap<&str, Vec<&SamRecord>> = HashMap::new();
+        for r in &records {
+            if r.flags.is_paired() && r.flags.is_primary() {
+                by_name.entry(r.name.as_str()).or_default().push(r);
+            }
+        }
+        for (_, pair) in by_name {
+            if let [a, b] = pair[..] {
+                let partial_mapped = match (a.is_mapped(), b.is_mapped()) {
+                    (true, false) => Some(a),
+                    (false, true) => Some(b),
+                    _ => None,
+                };
+                if let Some(m) = partial_mapped {
+                    let k = end_key(m);
+                    let mut bytes = Vec::new();
+                    use gesall_formats::wire::Wire;
+                    (k.0 as i64).encode(&mut bytes);
+                    k.1.encode(&mut bytes);
+                    (k.2 as u32).encode(&mut bytes);
+                    ctx.emit(0, bytes);
+                }
+            }
+        }
+    }
+}
+
+/// Decode the end keys a [`BloomBuildMapper`] job emitted and build the
+/// filter.
+pub fn build_bloom_from_outputs(outputs: &[Vec<(u64, Vec<u8>)>], capacity: usize) -> BloomFilter {
+    use gesall_formats::wire::{Cursor, Wire};
+    let mut bloom = BloomFilter::with_capacity(capacity);
+    for out in outputs {
+        for (_, bytes) in out {
+            let mut cur = Cursor::new(bytes);
+            let chrom = i64::decode(&mut cur).expect("bloom key chrom") as i32;
+            let pos = i64::decode(&mut cur).expect("bloom key pos");
+            let strand = u32::decode(&mut cur).expect("bloom key strand") as u8;
+            bloom.insert(&(chrom, pos, strand));
+        }
+    }
+    bloom
+}
+
+// ---------------------------------------------------------------------
+// Round 3: MarkDuplicates (compound group partitioning)
+// ---------------------------------------------------------------------
+
+/// Round-3 mapper: input grouped by read name; emits compound keys with
+/// the map-side witness filter (and optional bloom suppression).
+pub struct Round3MarkDupMapper {
+    /// `Some` = MarkDup_opt; `None` = MarkDup_reg.
+    pub bloom: Option<Arc<BloomFilter>>,
+    pub counters: Counters,
+}
+
+impl Mapper for Round3MarkDupMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = MarkDupKey;
+    type OutValue = MarkDupValue;
+
+    fn map(
+        &self,
+        _label: String,
+        bam_bytes: Vec<u8>,
+        ctx: &mut MapContext<'_, MarkDupKey, MarkDupValue>,
+    ) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        // Pair by name in input order (map-task-local state is fine: the
+        // whole partition is one map invocation).
+        let mut first_seen: HashMap<&str, &SamRecord> = HashMap::new();
+        let mut witness_filter = std::collections::HashSet::new();
+        let mut kvs = Vec::new();
+        for r in &records {
+            if !r.flags.is_paired() || !r.flags.is_primary() {
+                continue;
+            }
+            match first_seen.remove(r.name.as_str()) {
+                None => {
+                    first_seen.insert(r.name.as_str(), r);
+                }
+                Some(mate) => {
+                    markdup_map_pair(
+                        mate,
+                        r,
+                        &mut witness_filter,
+                        self.bloom.as_deref(),
+                        &mut kvs,
+                    );
+                }
+            }
+        }
+        assert!(
+            first_seen.is_empty(),
+            "round-3 partition violated the read-name grouping contract: {} widowed reads",
+            first_seen.len()
+        );
+        for (k, v) in kvs {
+            ctx.emit(k, v);
+        }
+    }
+}
+
+/// Round-3 reducer: applies MarkDuplicates criteria within each key
+/// group. Random tie-breaks are seeded per key, so the outcome is
+/// independent of which reducer sees the group — but *different* from
+/// the serial tool's sequential RNG stream, exactly the discrepancy the
+/// paper measures in Table 8.
+pub struct Round3MarkDupReducer {
+    pub seed: u64,
+    pub counters: Counters,
+}
+
+fn key_seed(seed: u64, key: &MarkDupKey) -> u64 {
+    use gesall_formats::wire::Wire;
+    let bytes = key.to_wire_bytes();
+    let mut h = seed ^ 0x51_7c_c1_b7_27_22_0a_95;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Reducer for Round3MarkDupReducer {
+    type InKey = MarkDupKey;
+    type InValue = MarkDupValue;
+    type OutKey = String;
+    type OutValue = SamRecord;
+
+    fn reduce(
+        &self,
+        key: MarkDupKey,
+        mut values: Vec<MarkDupValue>,
+        ctx: &mut ReduceContext<'_, String, SamRecord>,
+    ) {
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(key_seed(self.seed, &key));
+        match key {
+            MarkDupKey::Pair(_, _) => {
+                // Rebuild pairs by name, in arrival order.
+                let mut order: Vec<String> = Vec::new();
+                let mut pairs: HashMap<String, Vec<SamRecord>> = HashMap::new();
+                for v in values {
+                    debug_assert_eq!(v.role, MarkDupRole::PairMember);
+                    let e = pairs.entry(v.record.name.clone()).or_default();
+                    if e.is_empty() {
+                        order.push(v.record.name.clone());
+                    }
+                    e.push(v.record);
+                }
+                let score = |pair: &Vec<SamRecord>| -> u64 {
+                    pair.iter().map(|r| r.quality_sum()).sum()
+                };
+                let best = order
+                    .iter()
+                    .map(|n| score(&pairs[n]))
+                    .max()
+                    .expect("non-empty group");
+                let ties: Vec<usize> = order
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| score(&pairs[*n]) == best)
+                    .map(|(i, _)| i)
+                    .collect();
+                let keeper = ties[rng.gen_range(0..ties.len())];
+                for (i, name) in order.iter().enumerate() {
+                    let dup = i != keeper;
+                    for mut r in pairs.remove(name).expect("pair present") {
+                        r.flags
+                            .set(gesall_formats::sam::Flags::DUPLICATE, dup);
+                        ctx.emit(name.clone(), r);
+                    }
+                }
+            }
+            MarkDupKey::Single(_) => {
+                let has_witness = values.iter().any(|v| v.role == MarkDupRole::Witness);
+                // Partial matchings: mapped reads compete; mates follow.
+                let mapped_idx: Vec<usize> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.role == MarkDupRole::PartialMapped)
+                    .map(|(i, _)| i)
+                    .collect();
+                let keeper: Option<usize> = if has_witness || mapped_idx.is_empty() {
+                    None
+                } else {
+                    let best = mapped_idx
+                        .iter()
+                        .map(|&i| values[i].record.quality_sum())
+                        .max()
+                        .expect("non-empty");
+                    let ties: Vec<usize> = mapped_idx
+                        .iter()
+                        .copied()
+                        .filter(|&i| values[i].record.quality_sum() == best)
+                        .collect();
+                    Some(ties[rng.gen_range(0..ties.len())])
+                };
+                let keeper_name = keeper.map(|i| values[i].record.name.clone());
+                for v in values.drain(..) {
+                    match v.role {
+                        MarkDupRole::Witness => {} // no output
+                        MarkDupRole::PartialMapped | MarkDupRole::PartialMate => {
+                            let mut r = v.record;
+                            let dup = keeper_name.as_deref() != Some(r.name.as_str());
+                            r.flags
+                                .set(gesall_formats::sam::Flags::DUPLICATE, dup);
+                            ctx.emit(r.name.clone(), r);
+                        }
+                        other => panic!("unexpected role {other:?} under Single key"),
+                    }
+                }
+            }
+            MarkDupKey::Unplaced(_) => {
+                for v in values {
+                    ctx.emit(v.record.name.clone(), v.record);
+                }
+            }
+        }
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round 4: range-partitioned coordinate sort
+// ---------------------------------------------------------------------
+
+/// Round-4 mapper: extract (chromosome, position) shuffle keys.
+pub struct Round4SortMapper {
+    pub counters: Counters,
+}
+
+impl Mapper for Round4SortMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = RangeKey;
+    type OutValue = SamRecord;
+
+    fn map(
+        &self,
+        _label: String,
+        bam_bytes: Vec<u8>,
+        ctx: &mut MapContext<'_, RangeKey, SamRecord>,
+    ) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        for r in records {
+            ctx.emit(RangeKey::of(&r), r);
+        }
+    }
+}
+
+/// Round-4 reducer: records arrive key-sorted (the shuffle did the
+/// sorting); pass them through, preserving order — the reducer output IS
+/// the sorted chromosome partition.
+pub struct Round4SortReducer;
+
+impl Reducer for Round4SortReducer {
+    type InKey = RangeKey;
+    type InValue = SamRecord;
+    type OutKey = RangeKey;
+    type OutValue = SamRecord;
+
+    fn reduce(
+        &self,
+        key: RangeKey,
+        values: Vec<SamRecord>,
+        ctx: &mut ReduceContext<'_, RangeKey, SamRecord>,
+    ) {
+        for r in values {
+            ctx.emit(key, r);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rounds 3½a/3½b: base quality score recalibration (steps 11–12)
+// ---------------------------------------------------------------------
+
+/// Pass-1 mapper: builds a partial [`RecalTable`] per partition and emits
+/// it wire-encoded — the GDPT "group partitioning by user-defined
+/// covariates" pattern (§3.2): the tally is distributive, so partial
+/// tables merge exactly.
+pub struct RecalTableMapper {
+    pub references: Arc<Vec<Vec<u8>>>,
+    /// Known variant sites (ref_id, 1-based pos) excluded from the error
+    /// tally (the dbSNP role).
+    pub known_sites: Arc<std::collections::HashSet<(i32, i64)>>,
+    pub config: gesall_tools::recalibration::RecalConfig,
+    pub counters: Counters,
+}
+
+impl Mapper for RecalTableMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = u64;
+    type OutValue = Vec<u8>;
+
+    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let t0 = Instant::now();
+        let table = gesall_tools::recalibration::base_recalibrator(
+            &records,
+            RefView::new(&self.references),
+            &self.known_sites,
+            &self.config,
+        );
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        use gesall_formats::wire::Wire;
+        ctx.emit(0, table.to_wire_bytes());
+    }
+}
+
+/// Merge the partial tables a [`RecalTableMapper`] job emitted.
+pub fn merge_recal_tables(
+    outputs: &[Vec<(u64, Vec<u8>)>],
+) -> gesall_tools::recalibration::RecalTable {
+    use gesall_formats::wire::Wire;
+    let mut merged = gesall_tools::recalibration::RecalTable::default();
+    for out in outputs {
+        for (_, bytes) in out {
+            let partial = gesall_tools::recalibration::RecalTable::from_wire_bytes(bytes)
+                .expect("partial recal table corrupt");
+            merged.merge(&partial);
+        }
+    }
+    merged
+}
+
+/// Pass-2 mapper (PrintReads): rewrite base qualities from the merged
+/// table; map-only, partition-parallel.
+pub struct PrintReadsMapper {
+    pub table: Arc<gesall_tools::recalibration::RecalTable>,
+    pub config: gesall_tools::recalibration::RecalConfig,
+    pub counters: Counters,
+}
+
+impl Mapper for PrintReadsMapper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = SamRecord;
+
+    fn map(&self, label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, SamRecord>) {
+        let (_, mut records) = decode_bam(&self.counters, &bam_bytes);
+        let t0 = Instant::now();
+        gesall_tools::recalibration::print_reads(&mut records, &self.table, &self.config);
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for r in records {
+            ctx.emit(label.clone(), r);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round 5: HaplotypeCaller (map-only over chromosome partitions)
+// ---------------------------------------------------------------------
+
+/// Round-5 mapper (v1 variant): UnifiedGenotyper over one sorted
+/// chromosome partition — the paper's Unified Genotyper round, which
+/// the bioinformaticians accept at chromosome granularity (§3.2).
+pub struct Round5UnifiedGenotyper {
+    pub references: Arc<Vec<Vec<u8>>>,
+    pub chrom_names: Arc<Vec<String>>,
+    pub config: gesall_tools::unified_genotyper::GenotyperConfig,
+    pub counters: Counters,
+}
+
+impl Mapper for Round5UnifiedGenotyper {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = VariantRecord;
+
+    fn map(
+        &self,
+        _label: String,
+        bam_bytes: Vec<u8>,
+        ctx: &mut MapContext<'_, String, VariantRecord>,
+    ) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let Some(ref_id) = records.iter().find(|r| r.is_mapped()).map(|r| r.ref_id) else {
+            return;
+        };
+        let chrom = self.chrom_names[ref_id as usize].clone();
+        let rv = RefView::new(&self.references);
+        let len = rv.chrom_len(ref_id) as i64;
+        let t0 = Instant::now();
+        let calls = gesall_tools::unified_genotyper::call_region(
+            &records,
+            ref_id,
+            &chrom,
+            1,
+            len,
+            rv,
+            &self.config,
+        );
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for v in calls {
+            ctx.emit(chrom.clone(), v);
+        }
+    }
+}
+
+/// Round-5 mapper (fine-grained variant): HaplotypeCaller over one
+/// **overlapping genome segment** — the paper's §3.2 proposal for
+/// raising the degree of parallelism beyond 23 chromosomes. The split
+/// label encodes `ref_id:core_start:core_end:span_start:span_end`; the
+/// caller walks the padded span but emits only calls anchored inside the
+/// core, so neighbouring segments' overlap regions deduplicate by
+/// construction.
+pub struct Round5HaplotypeCallerFine {
+    pub references: Arc<Vec<Vec<u8>>>,
+    pub chrom_names: Arc<Vec<String>>,
+    pub config: HaplotypeCallerConfig,
+    pub counters: Counters,
+}
+
+/// Encode a fine-grained segment label.
+pub fn fine_segment_label(
+    ref_id: i32,
+    core: (i64, i64),
+    span: (i64, i64),
+) -> String {
+    format!("{ref_id}:{}:{}:{}:{}", core.0, core.1, span.0, span.1)
+}
+
+fn parse_fine_label(label: &str) -> (i32, i64, i64, i64, i64) {
+    let parts: Vec<i64> = label
+        .split(':')
+        .map(|p| p.parse().expect("fine-grained segment label"))
+        .collect();
+    assert_eq!(parts.len(), 5, "label {label:?}");
+    (parts[0] as i32, parts[1], parts[2], parts[3], parts[4])
+}
+
+impl Mapper for Round5HaplotypeCallerFine {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = VariantRecord;
+
+    fn map(
+        &self,
+        label: String,
+        bam_bytes: Vec<u8>,
+        ctx: &mut MapContext<'_, String, VariantRecord>,
+    ) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let (ref_id, core_start, core_end, span_start, span_end) = parse_fine_label(&label);
+        let chrom = self.chrom_names[ref_id as usize].clone();
+        let t0 = Instant::now();
+        let result = gesall_tools::haplotype_caller::call_range(
+            &records,
+            ref_id,
+            &chrom,
+            span_start,
+            span_end,
+            RefView::new(&self.references),
+            &self.config,
+        );
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for v in result.variants {
+            // Core-only emission: the deduplication rule of the
+            // overlapping scheme.
+            if v.pos >= core_start && v.pos <= core_end {
+                ctx.emit(chrom.clone(), v);
+            }
+        }
+    }
+}
+
+/// Round-5 mapper: one sorted chromosome partition in, variant calls out.
+pub struct Round5HaplotypeCaller {
+    pub references: Arc<Vec<Vec<u8>>>,
+    pub chrom_names: Arc<Vec<String>>,
+    pub config: HaplotypeCallerConfig,
+    pub counters: Counters,
+}
+
+impl Mapper for Round5HaplotypeCaller {
+    type InKey = String;
+    type InValue = Vec<u8>;
+    type OutKey = String;
+    type OutValue = VariantRecord;
+
+    fn map(
+        &self,
+        _label: String,
+        bam_bytes: Vec<u8>,
+        ctx: &mut MapContext<'_, String, VariantRecord>,
+    ) {
+        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let Some(ref_id) = records.iter().find(|r| r.is_mapped()).map(|r| r.ref_id) else {
+            return; // empty or all-unmapped partition
+        };
+        debug_assert!(
+            records
+                .iter()
+                .filter(|r| r.is_mapped())
+                .all(|r| r.ref_id == ref_id),
+            "round-5 partition must hold a single chromosome"
+        );
+        let chrom = self.chrom_names[ref_id as usize].clone();
+        let t0 = Instant::now();
+        let result = call_chromosome(
+            &records,
+            ref_id,
+            &chrom,
+            RefView::new(&self.references),
+            &self.config,
+        );
+        self.counters
+            .add(keys::EXTERNAL_PROGRAM_NANOS, t0.elapsed().as_nanos() as u64);
+        for v in result.variants {
+            ctx.emit(chrom.clone(), v);
+        }
+    }
+}

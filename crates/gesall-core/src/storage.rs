@@ -1,0 +1,408 @@
+//! The distributed storage substrate for BAM datasets (paper §3.1).
+//!
+//! Two features:
+//!
+//! 1. **Chunk-aware reading over blocks.** The DFS splits a BAM byte
+//!    stream at block boundaries with no knowledge of chunk framing, so
+//!    the last chunk in a block may continue in the next block. The
+//!    [`BlockFrameReader`] reassembles complete chunk frames from a block
+//!    sequence — the custom `RecordReader` of the paper.
+//! 2. **Logical partitions.** [`upload_bam_partition`] writes a partition
+//!    file whose blocks are pinned to one node (the custom
+//!    `BlockPlacementPolicy`), so a wrapped single-node program can read
+//!    its whole partition locally.
+
+use crate::error::{PlatformError, Result};
+use gesall_dfs::{Dfs, FileInfo, LogicalPartitionPlacement};
+use gesall_formats::bam::{self, ChunkSetReader, FrameHeader, FRAME_HEADER_LEN};
+use gesall_formats::sam::{SamHeader, SamRecord};
+
+/// Reassembles chunk frames from a sequence of DFS blocks, tolerating
+/// frames that straddle block boundaries.
+pub struct BlockFrameReader {
+    carry: Vec<u8>,
+    frames: Vec<Vec<u8>>,
+    /// Number of frames that straddled a block boundary.
+    pub straddled: usize,
+}
+
+impl BlockFrameReader {
+    pub fn new() -> BlockFrameReader {
+        BlockFrameReader {
+            carry: Vec::new(),
+            frames: Vec::new(),
+            straddled: 0,
+        }
+    }
+
+    /// Feed the next block's bytes.
+    pub fn push_block(&mut self, block: &[u8]) {
+        let started_with_carry = !self.carry.is_empty();
+        self.carry.extend_from_slice(block);
+        let mut first_frame_in_block = true;
+        loop {
+            if self.carry.len() < FRAME_HEADER_LEN {
+                break;
+            }
+            let Ok(fh) = FrameHeader::parse(&self.carry) else {
+                break;
+            };
+            let total = fh.frame_len();
+            if self.carry.len() < total {
+                break; // frame continues in the next block
+            }
+            let frame: Vec<u8> = self.carry.drain(..total).collect();
+            if first_frame_in_block && started_with_carry {
+                self.straddled += 1;
+            }
+            first_frame_in_block = false;
+            self.frames.push(frame);
+        }
+    }
+
+    /// Finish, returning the complete frames. Errors if bytes remain
+    /// (truncated trailing frame).
+    pub fn finish(self) -> Result<Vec<Vec<u8>>> {
+        if !self.carry.is_empty() {
+            return Err(PlatformError::Invariant(format!(
+                "{} dangling bytes after the last block",
+                self.carry.len()
+            )));
+        }
+        Ok(self.frames)
+    }
+}
+
+impl Default for BlockFrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Upload a BAM dataset as a regular (spread) DFS file.
+pub fn upload_bam(
+    dfs: &Dfs,
+    path: &str,
+    header: &SamHeader,
+    records: &[SamRecord],
+) -> Result<FileInfo> {
+    let bytes = bam::write_bam(header, records);
+    Ok(dfs.write_file(path, &bytes)?)
+}
+
+/// Upload a BAM dataset as a **logical partition**: all blocks pinned to
+/// one node via the custom placement policy.
+pub fn upload_bam_partition(
+    dfs: &Dfs,
+    path: &str,
+    header: &SamHeader,
+    records: &[SamRecord],
+) -> Result<FileInfo> {
+    let bytes = bam::write_bam(header, records);
+    Ok(dfs.write_file_with_policy(path, &bytes, &LogicalPartitionPlacement)?)
+}
+
+/// Read a BAM file back from the DFS through the block-aware frame
+/// reader (exercising the straddle path), returning header + records.
+pub fn read_bam_from_dfs(dfs: &Dfs, path: &str) -> Result<(SamHeader, Vec<SamRecord>)> {
+    let frames = read_frames_from_dfs(dfs, path)?;
+    let reader = ChunkSetReader::new(&frames)?;
+    let header = reader.header().clone();
+    let records: Vec<SamRecord> = reader.collect();
+    Ok((header, records))
+}
+
+/// Read the chunk frames of a DFS BAM file block by block.
+pub fn read_frames_from_dfs(dfs: &Dfs, path: &str) -> Result<Vec<Vec<u8>>> {
+    let info = dfs.stat(path)?;
+    let mut reader = BlockFrameReader::new();
+    for b in &info.blocks {
+        let bytes = dfs.read_block(b)?;
+        reader.push_block(&bytes);
+    }
+    reader.finish()
+}
+
+/// Read an arbitrary byte range of a DFS file, touching only the blocks
+/// that cover it — the primitive an indexed region query needs.
+pub fn read_byte_range(dfs: &Dfs, path: &str, start: u64, len: u64) -> Result<Vec<u8>> {
+    let info = dfs.stat(path)?;
+    if start + len > info.len as u64 {
+        return Err(PlatformError::Invariant(format!(
+            "byte range {start}+{len} exceeds file length {}",
+            info.len
+        )));
+    }
+    let mut out = Vec::with_capacity(len as usize);
+    let mut block_start = 0u64;
+    for b in &info.blocks {
+        let block_end = block_start + b.len as u64;
+        if block_end > start && block_start < start + len {
+            let bytes = dfs.read_block(b)?;
+            let lo = start.saturating_sub(block_start) as usize;
+            let hi = ((start + len - block_start) as usize).min(b.len);
+            out.extend_from_slice(&bytes[lo..hi]);
+        }
+        block_start = block_end;
+        if block_start >= start + len {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Upload a *sorted, indexed* BAM partition (the Round-4 output format):
+/// writes `<path>` (BAM bytes, logical-partition placement) and
+/// `<path>.idx` (the coordinate index). Returns the index.
+pub fn upload_indexed_bam_partition(
+    dfs: &Dfs,
+    path: &str,
+    header: &SamHeader,
+    records: &[SamRecord],
+) -> Result<gesall_formats::bam::BamIndex> {
+    let (bytes, index) = gesall_formats::bam::write_bam_indexed(header, records);
+    dfs.write_file_with_policy(path, &bytes, &gesall_dfs::LogicalPartitionPlacement)?;
+    dfs.write_file_with_policy(
+        &format!("{path}.idx"),
+        &index.to_bytes(),
+        &gesall_dfs::LogicalPartitionPlacement,
+    )?;
+    Ok(index)
+}
+
+/// Indexed region query over a DFS-resident BAM: fetch the index, pick
+/// the overlapping chunks, and read only their byte ranges (so only the
+/// covering blocks are touched — the paper's Round-5 seek pattern).
+pub fn read_region_from_dfs(
+    dfs: &Dfs,
+    path: &str,
+    ref_id: i32,
+    start: i64,
+    end: i64,
+) -> Result<Vec<SamRecord>> {
+    let index_bytes = dfs.read_file(&format!("{path}.idx"))?;
+    let index = gesall_formats::bam::BamIndex::from_bytes(&index_bytes)?;
+    let mut out = Vec::new();
+    for (offset, len) in index.chunks_for_region(ref_id, start, end) {
+        let frame = read_byte_range(dfs, path, offset, len)?;
+        let (chunk, _) = bam::decode_frame(&frame)?;
+        for rec in chunk.records()? {
+            if rec.overlaps(ref_id, start, end) {
+                out.push(rec);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Upload a set of logical partitions under `base/part-NNNNN`, returning
+/// the per-partition (path, home node). Used by every wrapper round to
+/// stage its input.
+pub fn upload_partitions(
+    dfs: &Dfs,
+    base: &str,
+    header: &SamHeader,
+    partitions: &[Vec<SamRecord>],
+) -> Result<Vec<(String, Option<usize>)>> {
+    let mut out = Vec::with_capacity(partitions.len());
+    for (i, part) in partitions.iter().enumerate() {
+        let path = format!("{base}/part-{i:05}");
+        let info = upload_bam_partition(dfs, &path, header, part)?;
+        out.push((path, info.single_home()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesall_dfs::DfsConfig;
+    use gesall_formats::sam::header::ReferenceSeq;
+    use gesall_formats::sam::{Cigar, Flags};
+
+    fn header() -> SamHeader {
+        SamHeader::new(vec![ReferenceSeq {
+            name: "chr1".into(),
+            len: 1_000_000,
+        }])
+    }
+
+    fn records(n: usize) -> Vec<SamRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = SamRecord::unmapped(
+                    format!("r{i:06}"),
+                    vec![b"ACGT"[i % 4]; 100],
+                    vec![30; 100],
+                );
+                r.flags = Flags(Flags::PAIRED);
+                r.flags.set(Flags::UNMAPPED, false);
+                r.ref_id = 0;
+                r.pos = i as i64 + 1;
+                r.cigar = Cigar::full_match(100);
+                r
+            })
+            .collect()
+    }
+
+    fn small_dfs() -> Dfs {
+        // Tiny blocks so chunks straddle boundaries constantly.
+        Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 4096,
+            replication: 1,
+        })
+    }
+
+    #[test]
+    fn bam_roundtrip_over_blocks_with_straddling() {
+        let dfs = small_dfs();
+        let h = header();
+        let recs = records(3000);
+        upload_bam(&dfs, "/data/sample.bam", &h, &recs).unwrap();
+        // Verify blocks are plural and frames straddle.
+        let info = dfs.stat("/data/sample.bam").unwrap();
+        assert!(info.blocks.len() > 5);
+        let mut reader = BlockFrameReader::new();
+        for b in &info.blocks {
+            reader.push_block(&dfs.read_block(b).unwrap());
+        }
+        assert!(
+            reader.straddled > 0,
+            "4 KiB blocks with ~64 KiB chunks must straddle"
+        );
+        let (h2, r2) = read_bam_from_dfs(&dfs, "/data/sample.bam").unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(r2, recs);
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let dfs = small_dfs();
+        let h = header();
+        let bytes = bam::write_bam(&h, &records(500));
+        dfs.write_file("/trunc", &bytes[..bytes.len() - 10]).unwrap();
+        assert!(read_frames_from_dfs(&dfs, "/trunc").is_err());
+    }
+
+    #[test]
+    fn logical_partition_has_single_home() {
+        let dfs = small_dfs();
+        let h = header();
+        let parts: Vec<Vec<SamRecord>> = records(900)
+            .chunks(300)
+            .map(|c| c.to_vec())
+            .collect();
+        let placed = upload_partitions(&dfs, "/job1/in", &h, &parts).unwrap();
+        assert_eq!(placed.len(), 3);
+        for (path, home) in &placed {
+            assert!(home.is_some(), "{path} not single-homed");
+            let (h2, recs) = read_bam_from_dfs(&dfs, path).unwrap();
+            assert_eq!(h2, h);
+            assert_eq!(recs.len(), 300);
+        }
+        // Partitions keep record order and content.
+        let (_, p0) = read_bam_from_dfs(&dfs, &placed[0].0).unwrap();
+        assert_eq!(p0, parts[0]);
+    }
+
+    #[test]
+    fn empty_partition_roundtrip() {
+        let dfs = small_dfs();
+        let h = header();
+        upload_bam_partition(&dfs, "/empty", &h, &[]).unwrap();
+        let (h2, recs) = read_bam_from_dfs(&dfs, "/empty").unwrap();
+        assert_eq!(h2, h);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn byte_range_reads_across_blocks() {
+        let dfs = small_dfs(); // 4 KiB blocks
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        dfs.write_file("/raw", &data).unwrap();
+        for (start, len) in [(0u64, 10u64), (4090, 20), (8000, 9000), (19_990, 10)] {
+            let got = read_byte_range(&dfs, "/raw", start, len).unwrap();
+            assert_eq!(
+                got,
+                &data[start as usize..(start + len) as usize],
+                "range {start}+{len}"
+            );
+        }
+        assert!(read_byte_range(&dfs, "/raw", 19_995, 10).is_err());
+    }
+
+    #[test]
+    fn indexed_region_query_over_dfs() {
+        let dfs = small_dfs();
+        let h = header();
+        let mut recs = records(4000);
+        recs.sort_by_key(|r| r.coordinate_key());
+        upload_indexed_bam_partition(&dfs, "/sorted/chr1", &h, &recs).unwrap();
+        let got = read_region_from_dfs(&dfs, "/sorted/chr1", 0, 500, 900).unwrap();
+        let expect: Vec<SamRecord> = recs
+            .iter()
+            .filter(|r| r.overlaps(0, 500, 900))
+            .cloned()
+            .collect();
+        assert!(!expect.is_empty());
+        assert_eq!(got, expect);
+        // Empty region on another chromosome.
+        assert!(read_region_from_dfs(&dfs, "/sorted/chr1", 3, 1, 100)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn replicated_partition_survives_node_failure() {
+        // Failure injection: with replication 2, losing the partition's
+        // home node must not lose the data — the DFS serves replicas and
+        // the chunk reader reassembles as usual.
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 4096,
+            replication: 2,
+        });
+        let h = header();
+        let recs = records(1500);
+        let info = upload_bam_partition(&dfs, "/repl/part-0", &h, &recs).unwrap();
+        let home = info.single_home().expect("logical partition is single-homed");
+        dfs.kill_node(home);
+        let (h2, r2) = read_bam_from_dfs(&dfs, "/repl/part-0").unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(r2, recs);
+        // Losing the replica node too is fatal — and detected.
+        let replica = (home + 1) % 4;
+        dfs.kill_node(replica);
+        assert!(read_bam_from_dfs(&dfs, "/repl/part-0").is_err());
+    }
+
+    #[test]
+    fn frame_reader_single_push() {
+        // Whole file in one "block" still works.
+        let h = header();
+        let bytes = bam::write_bam(&h, &records(50));
+        let mut reader = BlockFrameReader::new();
+        reader.push_block(&bytes);
+        let frames = reader.finish().unwrap();
+        assert!(frames.len() >= 2);
+        let reader = ChunkSetReader::new(&frames).unwrap();
+        assert_eq!(reader.header(), &h);
+    }
+
+    #[test]
+    fn frame_reader_byte_at_a_time() {
+        // Pathological splitting: every byte its own block.
+        let h = header();
+        let recs = records(20);
+        let bytes = bam::write_bam(&h, &recs);
+        let mut reader = BlockFrameReader::new();
+        for b in &bytes {
+            reader.push_block(std::slice::from_ref(b));
+        }
+        let frames = reader.finish().unwrap();
+        let cr = ChunkSetReader::new(&frames).unwrap();
+        let got: Vec<SamRecord> = cr.collect();
+        assert_eq!(got, recs);
+    }
+}

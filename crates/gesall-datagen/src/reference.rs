@@ -1,0 +1,409 @@
+//! Synthetic reference genomes.
+//!
+//! Real genomes are not uniform random strings: they carry long tandem
+//! repeats at centromeres, low-complexity blacklisted regions, and
+//! segmental duplications. Those features are what make alignment
+//! ambiguous, and ambiguity is what makes parallel Bwa nondeterministic
+//! (paper §4.5.2 / Fig. 11) — so the generator plants all three.
+
+use gesall_formats::sam::header::{ReferenceSeq, SamHeader};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A half-open 0-based interval `[start, end)` on a chromosome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Region {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Does the interval contain 0-based position `pos`?
+    pub fn contains(&self, pos: usize) -> bool {
+        (self.start..self.end).contains(&pos)
+    }
+
+    /// Does this interval overlap `[start, end)`?
+    pub fn overlaps(&self, start: usize, end: usize) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+/// One synthetic chromosome with its annotated trouble spots.
+#[derive(Debug, Clone)]
+pub struct Chromosome {
+    pub name: String,
+    /// ASCII bases, upper-case `ACGT`.
+    pub seq: Vec<u8>,
+    /// The centromeric tandem-repeat region.
+    pub centromere: Region,
+    /// ENCODE-style blacklisted (low-mappability) regions.
+    pub blacklist: Vec<Region>,
+    /// (source, target) pairs of segmental duplications: `target` holds a
+    /// near-identical copy of `source`.
+    pub seg_dups: Vec<(Region, Region)>,
+}
+
+impl Chromosome {
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Is 0-based `pos` inside the centromere or any blacklisted region —
+    /// the "hard-to-map" filter applied in the paper's Fig. 11 analysis?
+    pub fn is_hard_to_map(&self, pos: usize) -> bool {
+        self.centromere.contains(pos) || self.blacklist.iter().any(|r| r.contains(pos))
+    }
+}
+
+/// Parameters for genome synthesis.
+#[derive(Debug, Clone)]
+pub struct GenomeConfig {
+    /// Chromosome lengths in bases; one chromosome per entry.
+    pub chromosome_lengths: Vec<usize>,
+    /// GC fraction of the random background (human ≈ 0.41).
+    pub gc_content: f64,
+    /// Fraction of each chromosome occupied by the centromere.
+    pub centromere_fraction: f64,
+    /// Length of the tandem-repeat unit inside centromeres (alpha
+    /// satellite is 171 bp in humans).
+    pub repeat_unit_len: usize,
+    /// Number of blacklisted regions per chromosome.
+    pub blacklist_regions: usize,
+    /// Length of each blacklisted region.
+    pub blacklist_len: usize,
+    /// Number of segmental duplications per chromosome.
+    pub seg_dups: usize,
+    /// Length of each segmental duplication.
+    pub seg_dup_len: usize,
+    /// Per-base divergence between a segmental duplication and its source
+    /// (0 = perfect copy ⇒ reads map to both equally).
+    pub seg_dup_divergence: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for GenomeConfig {
+    fn default() -> GenomeConfig {
+        GenomeConfig {
+            chromosome_lengths: vec![1_000_000, 800_000],
+            gc_content: 0.41,
+            centromere_fraction: 0.05,
+            repeat_unit_len: 171,
+            blacklist_regions: 3,
+            blacklist_len: 5_000,
+            seg_dups: 2,
+            seg_dup_len: 10_000,
+            seg_dup_divergence: 0.002,
+            seed: 42,
+        }
+    }
+}
+
+impl GenomeConfig {
+    /// A tiny genome for unit tests (tens of kb).
+    pub fn tiny() -> GenomeConfig {
+        GenomeConfig {
+            chromosome_lengths: vec![60_000, 40_000],
+            blacklist_regions: 1,
+            blacklist_len: 1_500,
+            seg_dups: 1,
+            seg_dup_len: 2_000,
+            ..GenomeConfig::default()
+        }
+    }
+}
+
+/// A complete synthetic reference genome.
+#[derive(Debug, Clone)]
+pub struct ReferenceGenome {
+    pub chromosomes: Vec<Chromosome>,
+}
+
+impl ReferenceGenome {
+    /// Generate a genome from the config. Deterministic in `config.seed`.
+    pub fn generate(config: &GenomeConfig) -> ReferenceGenome {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let chromosomes = config
+            .chromosome_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| generate_chromosome(&mut rng, config, i, len))
+            .collect();
+        ReferenceGenome { chromosomes }
+    }
+
+    /// Total genome length.
+    pub fn total_len(&self) -> usize {
+        self.chromosomes.iter().map(|c| c.len()).sum()
+    }
+
+    /// The SAM header describing this genome's reference dictionary.
+    pub fn sam_header(&self) -> SamHeader {
+        SamHeader::new(
+            self.chromosomes
+                .iter()
+                .map(|c| ReferenceSeq {
+                    name: c.name.clone(),
+                    len: c.len() as u64,
+                })
+                .collect(),
+        )
+    }
+
+    /// Look up a chromosome by name.
+    pub fn chromosome(&self, name: &str) -> Option<&Chromosome> {
+        self.chromosomes.iter().find(|c| c.name == name)
+    }
+
+    /// Concatenate all chromosome sequences (FM-index construction input),
+    /// returning the concatenated text and the start offset of each
+    /// chromosome within it.
+    pub fn concatenated(&self) -> (Vec<u8>, Vec<usize>) {
+        let mut text = Vec::with_capacity(self.total_len());
+        let mut offsets = Vec::with_capacity(self.chromosomes.len());
+        for c in &self.chromosomes {
+            offsets.push(text.len());
+            text.extend_from_slice(&c.seq);
+        }
+        (text, offsets)
+    }
+}
+
+fn random_base(rng: &mut StdRng, gc: f64) -> u8 {
+    if rng.gen_bool(gc) {
+        if rng.gen_bool(0.5) {
+            b'G'
+        } else {
+            b'C'
+        }
+    } else if rng.gen_bool(0.5) {
+        b'A'
+    } else {
+        b'T'
+    }
+}
+
+fn generate_chromosome(
+    rng: &mut StdRng,
+    config: &GenomeConfig,
+    index: usize,
+    len: usize,
+) -> Chromosome {
+    let name = format!("chr{}", index + 1);
+    let mut seq: Vec<u8> = (0..len).map(|_| random_base(rng, config.gc_content)).collect();
+
+    // Centromere: a tandem repeat centred on the midpoint.
+    let cen_len = ((len as f64) * config.centromere_fraction) as usize;
+    let cen_start = len / 2 - cen_len / 2;
+    let centromere = Region {
+        start: cen_start,
+        end: cen_start + cen_len,
+    };
+    let unit: Vec<u8> = (0..config.repeat_unit_len.max(4))
+        .map(|_| random_base(rng, config.gc_content))
+        .collect();
+    for (off, b) in seq[centromere.start..centromere.end].iter_mut().enumerate() {
+        *b = unit[off % unit.len()];
+    }
+
+    // Blacklisted regions: low-complexity (dinucleotide repeat) stretches
+    // away from the centromere.
+    let mut blacklist = Vec::new();
+    let mut attempts = 0;
+    while blacklist.len() < config.blacklist_regions && attempts < 1000 {
+        attempts += 1;
+        let bl_len = config.blacklist_len.min(len / 10);
+        if bl_len == 0 || len <= bl_len {
+            break;
+        }
+        let start = rng.gen_range(0..len - bl_len);
+        let region = Region {
+            start,
+            end: start + bl_len,
+        };
+        if region.overlaps(centromere.start, centromere.end)
+            || blacklist
+                .iter()
+                .any(|r: &Region| r.overlaps(region.start, region.end))
+        {
+            continue;
+        }
+        let di = [random_base(rng, 0.5), random_base(rng, 0.5)];
+        for (off, b) in seq[region.start..region.end].iter_mut().enumerate() {
+            *b = di[off % 2];
+        }
+        blacklist.push(region);
+    }
+    blacklist.sort_by_key(|r| r.start);
+
+    // Segmental duplications: copy a clean segment elsewhere with slight
+    // divergence.
+    let mut seg_dups = Vec::new();
+    let mut attempts = 0;
+    while seg_dups.len() < config.seg_dups && attempts < 1000 {
+        attempts += 1;
+        let sd_len = config.seg_dup_len.min(len / 8);
+        if sd_len == 0 || len <= 2 * sd_len {
+            break;
+        }
+        let src_start = rng.gen_range(0..len - sd_len);
+        let dst_start = rng.gen_range(0..len - sd_len);
+        let src = Region {
+            start: src_start,
+            end: src_start + sd_len,
+        };
+        let dst = Region {
+            start: dst_start,
+            end: dst_start + sd_len,
+        };
+        let clash = |r: &Region| {
+            r.overlaps(centromere.start, centromere.end)
+                || blacklist.iter().any(|b| b.overlaps(r.start, r.end))
+        };
+        if clash(&src) || clash(&dst) || src.overlaps(dst.start, dst.end) {
+            continue;
+        }
+        let copy: Vec<u8> = seq[src.start..src.end].to_vec();
+        for (off, b) in copy.iter().enumerate() {
+            seq[dst.start + off] = if rng.gen_bool(config.seg_dup_divergence) {
+                random_base(rng, 0.5)
+            } else {
+                *b
+            };
+        }
+        seg_dups.push((src, dst));
+    }
+
+    Chromosome {
+        name,
+        seq,
+        centromere,
+        blacklist,
+        seg_dups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesall_formats::dna::{gc_content, is_valid_sequence};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenomeConfig::tiny();
+        let a = ReferenceGenome::generate(&cfg);
+        let b = ReferenceGenome::generate(&cfg);
+        assert_eq!(a.chromosomes[0].seq, b.chromosomes[0].seq);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 43;
+        let c = ReferenceGenome::generate(&cfg2);
+        assert_ne!(a.chromosomes[0].seq, c.chromosomes[0].seq);
+    }
+
+    #[test]
+    fn lengths_and_names() {
+        let cfg = GenomeConfig::tiny();
+        let g = ReferenceGenome::generate(&cfg);
+        assert_eq!(g.chromosomes.len(), 2);
+        assert_eq!(g.chromosomes[0].name, "chr1");
+        assert_eq!(g.chromosomes[0].len(), 60_000);
+        assert_eq!(g.total_len(), 100_000);
+        assert!(is_valid_sequence(&g.chromosomes[0].seq));
+    }
+
+    #[test]
+    fn gc_content_is_plausible() {
+        let g = ReferenceGenome::generate(&GenomeConfig::tiny());
+        let gc = gc_content(&g.chromosomes[0].seq);
+        assert!((0.30..0.55).contains(&gc), "gc was {gc}");
+    }
+
+    #[test]
+    fn centromere_is_tandem_repeat() {
+        let cfg = GenomeConfig::tiny();
+        let g = ReferenceGenome::generate(&cfg);
+        let c = &g.chromosomes[0];
+        let cen = &c.seq[c.centromere.start..c.centromere.end];
+        let unit = cfg.repeat_unit_len;
+        // Period-`unit` structure.
+        for i in unit..cen.len() {
+            assert_eq!(cen[i], cen[i - unit], "centromere not periodic at {i}");
+        }
+        assert!(c.is_hard_to_map(c.centromere.start + 5));
+    }
+
+    #[test]
+    fn blacklist_is_low_complexity_and_disjoint() {
+        let g = ReferenceGenome::generate(&GenomeConfig::tiny());
+        let c = &g.chromosomes[0];
+        assert!(!c.blacklist.is_empty());
+        for r in &c.blacklist {
+            let region = &c.seq[r.start..r.end];
+            // Dinucleotide repeat ⇒ at most 2 distinct bases.
+            let mut distinct: Vec<u8> = region.to_vec();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() <= 2);
+            assert!(!r.overlaps(c.centromere.start, c.centromere.end));
+        }
+    }
+
+    #[test]
+    fn seg_dups_are_near_identical() {
+        let g = ReferenceGenome::generate(&GenomeConfig::tiny());
+        let c = &g.chromosomes[0];
+        assert!(!c.seg_dups.is_empty());
+        for (src, dst) in &c.seg_dups {
+            let a = &c.seq[src.start..src.end];
+            let b = &c.seq[dst.start..dst.end];
+            let mismatches = a.iter().zip(b).filter(|(x, y)| x != y).count();
+            assert!(
+                (mismatches as f64) < 0.01 * a.len() as f64,
+                "seg dup diverged too much: {mismatches}/{}",
+                a.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sam_header_matches_genome() {
+        let g = ReferenceGenome::generate(&GenomeConfig::tiny());
+        let h = g.sam_header();
+        assert_eq!(h.references.len(), 2);
+        assert_eq!(h.references[0].name, "chr1");
+        assert_eq!(h.references[0].len, 60_000);
+    }
+
+    #[test]
+    fn concatenated_offsets() {
+        let g = ReferenceGenome::generate(&GenomeConfig::tiny());
+        let (text, offsets) = g.concatenated();
+        assert_eq!(text.len(), g.total_len());
+        assert_eq!(offsets, vec![0, 60_000]);
+        assert_eq!(&text[60_000..60_010], &g.chromosomes[1].seq[..10]);
+    }
+
+    #[test]
+    fn region_arithmetic() {
+        let r = Region { start: 10, end: 20 };
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(10));
+        assert!(!r.contains(20));
+        assert!(r.overlaps(19, 25));
+        assert!(!r.overlaps(20, 25));
+        assert!(!r.overlaps(0, 10));
+    }
+}

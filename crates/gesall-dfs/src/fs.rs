@@ -1,0 +1,436 @@
+//! The distributed file system: name node + data nodes + client API.
+
+use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// DFS error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    FileNotFound(String),
+    FileExists(String),
+    BlockMissing(u64),
+    BadPolicy(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockMissing(b) => write!(f, "block {b} missing from all replicas"),
+            DfsError::BadPolicy(m) => write!(f, "bad placement: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// One block replica's location and identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    pub id: u64,
+    /// Byte length of this block.
+    pub len: usize,
+    /// Data-node indices holding replicas.
+    pub nodes: Vec<usize>,
+}
+
+/// Metadata of one stored file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    pub path: String,
+    pub len: usize,
+    pub blocks: Vec<BlockInfo>,
+}
+
+impl FileInfo {
+    /// The node holding the first replica of every block — `Some(node)` if
+    /// a single node holds the whole file (a logical partition placed with
+    /// the custom policy), `None` otherwise.
+    pub fn single_home(&self) -> Option<usize> {
+        let first = self.blocks.first()?.nodes.first().copied()?;
+        self.blocks
+            .iter()
+            .all(|b| b.nodes.first() == Some(&first))
+            .then_some(first)
+    }
+}
+
+/// Per-data-node usage counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    pub blocks: usize,
+    pub bytes: usize,
+}
+
+/// DFS configuration.
+#[derive(Debug, Clone)]
+pub struct DfsConfig {
+    pub n_nodes: usize,
+    /// Block size in bytes (HDFS default 128 MiB; tests use KiBs).
+    pub block_size: usize,
+    pub replication: usize,
+}
+
+impl Default for DfsConfig {
+    fn default() -> DfsConfig {
+        DfsConfig {
+            n_nodes: 4,
+            block_size: 128 * 1024 * 1024,
+            replication: 1,
+        }
+    }
+}
+
+struct DataNode {
+    blocks: RwLock<HashMap<u64, Bytes>>,
+}
+
+struct NameNode {
+    files: RwLock<HashMap<String, FileInfo>>,
+}
+
+/// The DFS handle. Cheap to clone (`Arc` inside); safe to share across
+/// worker threads.
+#[derive(Clone)]
+pub struct Dfs {
+    inner: Arc<DfsInner>,
+}
+
+struct DfsInner {
+    config: DfsConfig,
+    namenode: NameNode,
+    datanodes: Vec<DataNode>,
+    next_block: AtomicU64,
+}
+
+impl Dfs {
+    pub fn new(config: DfsConfig) -> Dfs {
+        assert!(config.n_nodes > 0, "need at least one data node");
+        assert!(config.block_size > 0, "block size must be positive");
+        let datanodes = (0..config.n_nodes)
+            .map(|_| DataNode {
+                blocks: RwLock::new(HashMap::new()),
+            })
+            .collect();
+        Dfs {
+            inner: Arc::new(DfsInner {
+                config,
+                namenode: NameNode {
+                    files: RwLock::new(HashMap::new()),
+                },
+                datanodes,
+                next_block: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &DfsConfig {
+        &self.inner.config
+    }
+
+    /// Write a file with the default (spreading) placement.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> Result<FileInfo, DfsError> {
+        self.write_file_with_policy(path, data, &DefaultPlacement)
+    }
+
+    /// Write a file, choosing replica homes with `policy`. This is the
+    /// entry point the logical-partition uploader uses.
+    pub fn write_file_with_policy(
+        &self,
+        path: &str,
+        data: &[u8],
+        policy: &dyn BlockPlacementPolicy,
+    ) -> Result<FileInfo, DfsError> {
+        {
+            let files = self.inner.namenode.files.read();
+            if files.contains_key(path) {
+                return Err(DfsError::FileExists(path.to_string()));
+            }
+        }
+        let n_nodes = self.inner.config.n_nodes;
+        let replication = self.inner.config.replication;
+        let mut blocks = Vec::new();
+        let chunks: Vec<&[u8]> = if data.is_empty() {
+            Vec::new()
+        } else {
+            data.chunks(self.inner.config.block_size).collect()
+        };
+        for (bi, chunk) in chunks.into_iter().enumerate() {
+            let nodes = policy.place(path, bi, n_nodes, replication);
+            if nodes.is_empty() || nodes.iter().any(|&n| n >= n_nodes) {
+                return Err(DfsError::BadPolicy(format!(
+                    "policy returned invalid nodes {nodes:?}"
+                )));
+            }
+            let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
+            let payload = Bytes::copy_from_slice(chunk);
+            for &n in &nodes {
+                self.inner.datanodes[n]
+                    .blocks
+                    .write()
+                    .insert(id, payload.clone());
+            }
+            blocks.push(BlockInfo {
+                id,
+                len: chunk.len(),
+                nodes,
+            });
+        }
+        let info = FileInfo {
+            path: path.to_string(),
+            len: data.len(),
+            blocks,
+        };
+        self.inner
+            .namenode
+            .files
+            .write()
+            .insert(path.to_string(), info.clone());
+        Ok(info)
+    }
+
+    /// File metadata (block list + replica locations).
+    pub fn stat(&self, path: &str) -> Result<FileInfo, DfsError> {
+        self.inner
+            .namenode
+            .files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+    }
+
+    /// Does the file exist?
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.namenode.files.read().contains_key(path)
+    }
+
+    /// Read one block from any live replica.
+    pub fn read_block(&self, block: &BlockInfo) -> Result<Bytes, DfsError> {
+        for &n in &block.nodes {
+            if let Some(b) = self.inner.datanodes[n].blocks.read().get(&block.id) {
+                return Ok(b.clone());
+            }
+        }
+        Err(DfsError::BlockMissing(block.id))
+    }
+
+    /// Read an entire file back.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let info = self.stat(path)?;
+        let mut out = Vec::with_capacity(info.len);
+        for b in &info.blocks {
+            out.extend_from_slice(&self.read_block(b)?);
+        }
+        Ok(out)
+    }
+
+    /// Delete a file and free its replicas.
+    pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        let info = {
+            let mut files = self.inner.namenode.files.write();
+            files
+                .remove(path)
+                .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?
+        };
+        for b in &info.blocks {
+            for &n in &b.nodes {
+                self.inner.datanodes[n].blocks.write().remove(&b.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// All paths with the given prefix, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .namenode
+            .files
+            .read()
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Per-node storage counters (data-locality accounting).
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.inner
+            .datanodes
+            .iter()
+            .map(|dn| {
+                let blocks = dn.blocks.read();
+                NodeStats {
+                    blocks: blocks.len(),
+                    bytes: blocks.values().map(|b| b.len()).sum(),
+                }
+            })
+            .collect()
+    }
+
+    /// Drop every replica a node holds (failure injection for tests).
+    pub fn kill_node(&self, node: usize) {
+        self.inner.datanodes[node].blocks.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{LogicalPartitionPlacement, PinnedPlacement};
+
+    fn small_dfs() -> Dfs {
+        Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 1024,
+            replication: 1,
+        })
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dfs = small_dfs();
+        let data = payload(10_000);
+        let info = dfs.write_file("/a", &data).unwrap();
+        assert_eq!(info.len, 10_000);
+        assert_eq!(info.blocks.len(), 10); // 10 × 1 KiB blocks (last partial? 10000/1024 → 9 full + 1 partial = 10)
+        assert_eq!(dfs.read_file("/a").unwrap(), data);
+    }
+
+    #[test]
+    fn block_splitting_sizes() {
+        let dfs = small_dfs();
+        let info = dfs.write_file("/b", &payload(2500)).unwrap();
+        let sizes: Vec<usize> = info.blocks.iter().map(|b| b.len).collect();
+        assert_eq!(sizes, vec![1024, 1024, 452]);
+    }
+
+    #[test]
+    fn empty_file() {
+        let dfs = small_dfs();
+        let info = dfs.write_file("/empty", &[]).unwrap();
+        assert!(info.blocks.is_empty());
+        assert_eq!(dfs.read_file("/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn duplicate_path_rejected() {
+        let dfs = small_dfs();
+        dfs.write_file("/a", &payload(10)).unwrap();
+        assert!(matches!(
+            dfs.write_file("/a", &payload(10)),
+            Err(DfsError::FileExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = small_dfs();
+        assert!(matches!(
+            dfs.read_file("/nope"),
+            Err(DfsError::FileNotFound(_))
+        ));
+        assert!(dfs.delete("/nope").is_err());
+    }
+
+    #[test]
+    fn delete_frees_replicas() {
+        let dfs = small_dfs();
+        dfs.write_file("/a", &payload(5000)).unwrap();
+        assert!(dfs.node_stats().iter().any(|s| s.blocks > 0));
+        dfs.delete("/a").unwrap();
+        assert!(dfs.node_stats().iter().all(|s| s.blocks == 0));
+        assert!(!dfs.exists("/a"));
+    }
+
+    #[test]
+    fn default_placement_spreads_across_nodes() {
+        let dfs = small_dfs();
+        let info = dfs.write_file("/spread", &payload(8 * 1024)).unwrap();
+        let homes: std::collections::HashSet<usize> = info
+            .blocks
+            .iter()
+            .map(|b| b.nodes[0])
+            .collect();
+        assert_eq!(homes.len(), 4, "8 blocks over 4 nodes should use all");
+        assert_eq!(info.single_home(), None);
+    }
+
+    #[test]
+    fn logical_partition_placement_single_home() {
+        let dfs = small_dfs();
+        let info = dfs
+            .write_file_with_policy("/part-00001", &payload(8 * 1024), &LogicalPartitionPlacement)
+            .unwrap();
+        let home = info.single_home();
+        assert!(home.is_some(), "all blocks must share one home");
+        // And the stats reflect that node holding everything.
+        let stats = dfs.node_stats();
+        assert_eq!(stats[home.unwrap()].bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn replication_survives_node_loss() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+        });
+        let data = payload(4000);
+        let info = dfs
+            .write_file_with_policy("/r", &data, &PinnedPlacement(0))
+            .unwrap();
+        assert!(info.blocks.iter().all(|b| b.nodes.len() == 2));
+        dfs.kill_node(0);
+        assert_eq!(dfs.read_file("/r").unwrap(), data, "replica should serve");
+        dfs.kill_node(1);
+        assert!(matches!(
+            dfs.read_file("/r"),
+            Err(DfsError::BlockMissing(_))
+        ));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let dfs = small_dfs();
+        dfs.write_file("/job/part-0", &payload(1)).unwrap();
+        dfs.write_file("/job/part-1", &payload(1)).unwrap();
+        dfs.write_file("/other", &payload(1)).unwrap();
+        assert_eq!(
+            dfs.list("/job/"),
+            vec!["/job/part-0".to_string(), "/job/part-1".to_string()]
+        );
+        assert_eq!(dfs.list("").len(), 3);
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let dfs = small_dfs();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let dfs = dfs.clone();
+                s.spawn(move || {
+                    for i in 0..20 {
+                        dfs.write_file(&format!("/t{t}/f{i}"), &payload(700)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(dfs.list("/t").len(), 160);
+        let total: usize = dfs.node_stats().iter().map(|s| s.bytes).sum();
+        assert_eq!(total, 160 * 700);
+    }
+}

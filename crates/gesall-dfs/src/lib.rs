@@ -1,0 +1,23 @@
+//! # gesall-dfs
+//!
+//! An HDFS-like distributed block store, in-process.
+//!
+//! Files are split into fixed-size blocks, replicated across data nodes,
+//! and located through a name node — the storage substrate under
+//! Gesall's genomic data layer (paper §3.1). Two features matter to the
+//! paper and are first-class here:
+//!
+//! 1. **Arbitrary block splitting.** A file's byte stream is cut at
+//!    block-size boundaries with no knowledge of record framing, so a
+//!    BAM chunk may straddle two blocks; the platform's record reader
+//!    must stitch them (handled in `gesall-core`).
+//! 2. **Pluggable block placement.** The default policy spreads blocks;
+//!    the custom [`placement::LogicalPartitionPlacement`] pins *all*
+//!    blocks of a file to one node — how Gesall guarantees a logical
+//!    partition is readable locally by a wrapped single-node program.
+
+pub mod fs;
+pub mod placement;
+
+pub use fs::{Dfs, DfsConfig, DfsError, FileInfo, NodeStats};
+pub use placement::{BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement};

@@ -1,0 +1,149 @@
+//! Block placement policies.
+
+
+/// Decides which data nodes receive each block of a file.
+pub trait BlockPlacementPolicy: Send + Sync {
+    /// Nodes (by index) that should hold replicas of block `block_index`
+    /// of file `path`. Must return between 1 and `replication` distinct
+    /// node indices `< n_nodes`.
+    fn place(
+        &self,
+        path: &str,
+        block_index: usize,
+        n_nodes: usize,
+        replication: usize,
+    ) -> Vec<usize>;
+}
+
+/// HDFS-like default: stripe a file's blocks round-robin starting at a
+/// node derived from the file path, replicas on the following nodes.
+pub struct DefaultPlacement;
+
+impl DefaultPlacement {
+    pub fn new() -> DefaultPlacement {
+        DefaultPlacement
+    }
+}
+
+impl Default for DefaultPlacement {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn stable_hash(s: &str) -> usize {
+    // FNV-1a; placement only needs stability, not cryptography.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h as usize
+}
+
+impl BlockPlacementPolicy for DefaultPlacement {
+    fn place(
+        &self,
+        path: &str,
+        block_index: usize,
+        n_nodes: usize,
+        replication: usize,
+    ) -> Vec<usize> {
+        let base = stable_hash(path);
+        let r = replication.min(n_nodes).max(1);
+        (0..r)
+            .map(|k| (base + block_index + k) % n_nodes)
+            .collect()
+    }
+}
+
+/// The paper's custom policy (§3.1): every block of a logical-partition
+/// file lands on **one** node, so a wrapped single-node program can read
+/// the whole partition locally. The node is chosen by a stable hash of
+/// the file path (replicas, if any, go to the following nodes).
+pub struct LogicalPartitionPlacement;
+
+impl BlockPlacementPolicy for LogicalPartitionPlacement {
+    fn place(
+        &self,
+        path: &str,
+        _block_index: usize,
+        n_nodes: usize,
+        replication: usize,
+    ) -> Vec<usize> {
+        let primary = stable_hash(path) % n_nodes;
+        let r = replication.min(n_nodes).max(1);
+        (0..r).map(|k| (primary + k) % n_nodes).collect()
+    }
+}
+
+/// Pins all blocks of every file to an explicit node — used when the
+/// runtime wants to steer a partition at a specific worker.
+pub struct PinnedPlacement(pub usize);
+
+impl BlockPlacementPolicy for PinnedPlacement {
+    fn place(
+        &self,
+        _path: &str,
+        _block_index: usize,
+        n_nodes: usize,
+        replication: usize,
+    ) -> Vec<usize> {
+        let r = replication.min(n_nodes).max(1);
+        (0..r).map(|k| (self.0 + k) % n_nodes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spreads_blocks() {
+        let p = DefaultPlacement::new();
+        let homes: Vec<usize> = (0..8).map(|b| p.place("f", b, 4, 1)[0]).collect();
+        let mut distinct = homes.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "blocks should stripe: {homes:?}");
+    }
+
+    #[test]
+    fn default_replicas_are_distinct_nodes() {
+        let p = DefaultPlacement::new();
+        let nodes = p.place("f", 0, 5, 3);
+        assert_eq!(nodes.len(), 3);
+        let mut d = nodes.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn replication_capped_by_cluster_size() {
+        let p = DefaultPlacement::new();
+        assert_eq!(p.place("f", 0, 2, 3).len(), 2);
+        assert_eq!(p.place("f", 0, 1, 3), vec![0]);
+    }
+
+    #[test]
+    fn logical_partition_pins_all_blocks_to_one_node() {
+        let p = LogicalPartitionPlacement;
+        let first = p.place("part-00000", 0, 8, 1)[0];
+        for b in 1..20 {
+            assert_eq!(p.place("part-00000", b, 8, 1)[0], first);
+        }
+        // Different partitions generally land on different nodes.
+        let homes: std::collections::HashSet<usize> = (0..32)
+            .map(|i| p.place(&format!("part-{i:05}"), 0, 8, 1)[0])
+            .collect();
+        assert!(homes.len() > 3, "partitions too clustered: {homes:?}");
+    }
+
+    #[test]
+    fn pinned_goes_where_told() {
+        let p = PinnedPlacement(3);
+        assert_eq!(p.place("anything", 7, 8, 1), vec![3]);
+        assert_eq!(p.place("x", 0, 8, 2), vec![3, 4]);
+    }
+}

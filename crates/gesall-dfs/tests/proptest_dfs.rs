@@ -1,0 +1,60 @@
+//! Property-based tests of the DFS: files round-trip under any block
+//! size, and placement policies keep their promises.
+
+use gesall_dfs::{Dfs, DfsConfig, LogicalPartitionPlacement};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn files_roundtrip_under_any_block_size(
+        data in proptest::collection::vec(any::<u8>(), 0..20_000),
+        block_size in 1usize..4096,
+        n_nodes in 1usize..8,
+        replication in 1usize..4,
+    ) {
+        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication });
+        let info = dfs.write_file("/f", &data).unwrap();
+        prop_assert_eq!(info.len, data.len());
+        let expected_blocks = data.len().div_ceil(block_size.max(1));
+        prop_assert_eq!(info.blocks.len(), if data.is_empty() { 0 } else { expected_blocks });
+        // Every block's replica count is min(replication, n_nodes).
+        for b in &info.blocks {
+            prop_assert_eq!(b.nodes.len(), replication.min(n_nodes));
+        }
+        prop_assert_eq!(dfs.read_file("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn logical_partitions_always_single_homed(
+        data in proptest::collection::vec(any::<u8>(), 1..10_000),
+        block_size in 64usize..512,
+        n_nodes in 1usize..10,
+        path_salt in 0u32..1000,
+    ) {
+        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication: 1 });
+        let path = format!("/part-{path_salt}");
+        let info = dfs
+            .write_file_with_policy(&path, &data, &LogicalPartitionPlacement)
+            .unwrap();
+        prop_assert!(info.single_home().is_some());
+        prop_assert_eq!(dfs.read_file(&path).unwrap(), data);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact(
+        sizes in proptest::collection::vec(1usize..3000, 1..10),
+        replication in 1usize..3,
+    ) {
+        let dfs = Dfs::new(DfsConfig { n_nodes: 4, block_size: 256, replication });
+        let mut total = 0usize;
+        for (i, size) in sizes.iter().enumerate() {
+            let data = vec![i as u8; *size];
+            dfs.write_file(&format!("/f{i}"), &data).unwrap();
+            total += size * replication.min(4);
+        }
+        let stored: usize = dfs.node_stats().iter().map(|s| s.bytes).sum();
+        prop_assert_eq!(stored, total);
+    }
+}

@@ -1,0 +1,623 @@
+//! A BAM-like binary container.
+//!
+//! A file is a sequence of *chunks*, each an independently-compressed frame:
+//!
+//! ```text
+//! frame := [kind u8][comp_len u32][raw_len u32][crc32(raw) u32][comp bytes]
+//! ```
+//!
+//! * Chunk 0 (`kind = 0`) holds the serialized [`SamHeader`] text.
+//! * Every later chunk (`kind = 1`) holds a batch of wire-encoded
+//!   [`SamRecord`]s whose raw size is capped near [`CHUNK_TARGET_RAW`].
+//!
+//! This mirrors real BAM/BGZF structurally: records are packed into
+//! variable-length compressed chunks, so when the DFS splits the byte
+//! stream into fixed-size blocks, a chunk may straddle a block boundary —
+//! exactly the situation the paper's custom `RecordReader` handles (§3.1).
+//! The [`ChunkScanner`] here does the frame arithmetic; the DFS-aware
+//! record reader in `gesall-core` feeds it bytes from block lists.
+
+use crate::compress::{compress, crc32, decompress};
+use crate::error::{FormatError, Result};
+use crate::sam::{SamHeader, SamRecord};
+use crate::wire::Wire;
+
+/// Target uncompressed payload per record chunk (bytes). Real BGZF blocks
+/// cap at 64 KiB; we default to the same.
+pub const CHUNK_TARGET_RAW: usize = 64 * 1024;
+
+/// Frame header length in bytes: kind + comp_len + raw_len + crc.
+pub const FRAME_HEADER_LEN: usize = 1 + 4 + 4 + 4;
+
+/// Chunk kinds.
+pub const KIND_HEADER: u8 = 0;
+pub const KIND_RECORDS: u8 = 1;
+
+/// A parsed chunk frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: u8,
+    pub comp_len: u32,
+    pub raw_len: u32,
+    pub crc: u32,
+}
+
+impl FrameHeader {
+    /// Parse the 13-byte frame prefix.
+    pub fn parse(bytes: &[u8]) -> Result<FrameHeader> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(FormatError::Bam(format!(
+                "frame header needs {FRAME_HEADER_LEN} bytes, got {}",
+                bytes.len()
+            )));
+        }
+        let kind = bytes[0];
+        if kind != KIND_HEADER && kind != KIND_RECORDS {
+            return Err(FormatError::Bam(format!("bad chunk kind {kind}")));
+        }
+        Ok(FrameHeader {
+            kind,
+            comp_len: u32::from_le_bytes(bytes[1..5].try_into().unwrap()),
+            raw_len: u32::from_le_bytes(bytes[5..9].try_into().unwrap()),
+            crc: u32::from_le_bytes(bytes[9..13].try_into().unwrap()),
+        })
+    }
+
+    /// Total frame length including the header.
+    pub fn frame_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.comp_len as usize
+    }
+}
+
+/// One complete chunk: its kind plus the decompressed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    pub kind: u8,
+    pub raw: Vec<u8>,
+}
+
+impl Chunk {
+    /// Decode the records in a `KIND_RECORDS` chunk.
+    pub fn records(&self) -> Result<Vec<SamRecord>> {
+        if self.kind != KIND_RECORDS {
+            return Err(FormatError::Bam("not a record chunk".into()));
+        }
+        Vec::<SamRecord>::from_wire_bytes(&self.raw)
+    }
+
+    /// Decode the header in a `KIND_HEADER` chunk.
+    pub fn header(&self) -> Result<SamHeader> {
+        if self.kind != KIND_HEADER {
+            return Err(FormatError::Bam("not a header chunk".into()));
+        }
+        let text = String::from_utf8(self.raw.clone())
+            .map_err(|_| FormatError::Bam("header chunk is not utf-8".into()))?;
+        SamHeader::parse_text(&text)
+    }
+}
+
+fn encode_frame(kind: u8, raw: &[u8]) -> Vec<u8> {
+    let comp = compress(raw);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + comp.len());
+    out.push(kind);
+    out.extend_from_slice(&(comp.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(raw).to_le_bytes());
+    out.extend_from_slice(&comp);
+    out
+}
+
+/// Decode one frame starting at `data[0]`, returning the chunk and the
+/// total frame length consumed.
+pub fn decode_frame(data: &[u8]) -> Result<(Chunk, usize)> {
+    let fh = FrameHeader::parse(data)?;
+    let total = fh.frame_len();
+    if data.len() < total {
+        return Err(FormatError::Bam(format!(
+            "truncated frame: need {total} bytes, have {}",
+            data.len()
+        )));
+    }
+    let raw = decompress(&data[FRAME_HEADER_LEN..total])?;
+    if raw.len() != fh.raw_len as usize {
+        return Err(FormatError::Bam("raw length mismatch".into()));
+    }
+    if crc32(&raw) != fh.crc {
+        return Err(FormatError::Bam("crc mismatch (corrupt chunk)".into()));
+    }
+    Ok((
+        Chunk {
+            kind: fh.kind,
+            raw,
+        },
+        total,
+    ))
+}
+
+/// One entry of the coordinate index: a record chunk's byte span and the
+/// coordinate range of the records inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkIndexEntry {
+    /// Byte offset of the chunk frame within the file.
+    pub offset: u64,
+    /// Frame length in bytes.
+    pub len: u64,
+    /// Smallest (ref id, pos) coordinate key in the chunk.
+    pub min_key: (i32, i64),
+    /// Largest coordinate key in the chunk.
+    pub max_key: (i32, i64),
+}
+
+/// The coordinate ("linear") index of a BAM file — what Round 4 of the
+/// paper's pipeline builds alongside the sorted output so Round 5 can
+/// seek to genomic regions without scanning the whole file.
+///
+/// Meaningful for coordinate-sorted files; built for any file (queries
+/// then degrade to scans of overlapping entries).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BamIndex {
+    pub entries: Vec<ChunkIndexEntry>,
+}
+
+impl BamIndex {
+    /// Byte spans of the chunks that may hold records overlapping
+    /// `[start, end]` on `ref_id`. Unmapped-record chunks (key
+    /// `(i32::MAX, _)`) never match.
+    pub fn chunks_for_region(&self, ref_id: i32, start: i64, end: i64) -> Vec<(u64, u64)> {
+        let lo = (ref_id, start);
+        let hi = (ref_id, end);
+        self.entries
+            .iter()
+            .filter(|e| {
+                // Overlap in coordinate-key space. A record at pos p
+                // can extend rightward, so a chunk whose max_key is
+                // slightly left of `start` may still overlap; widen by a
+                // read-length margin.
+                let margin = 1024;
+                let widened_lo = (lo.0, lo.1 - margin);
+                e.min_key <= hi && e.max_key >= widened_lo
+            })
+            .map(|e| (e.offset, e.len))
+            .collect()
+    }
+
+    /// Serialize (for storing next to the BAM file).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::wire::Wire;
+        let rows: Vec<(u64, (u64, ((i64, i64), (i64, i64))))> = self
+            .entries
+            .iter()
+            .map(|e| {
+                (
+                    e.offset,
+                    (
+                        e.len,
+                        (
+                            (e.min_key.0 as i64, e.min_key.1),
+                            (e.max_key.0 as i64, e.max_key.1),
+                        ),
+                    ),
+                )
+            })
+            .collect();
+        rows.to_wire_bytes()
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(data: &[u8]) -> Result<BamIndex> {
+        use crate::wire::Wire;
+        let rows = Vec::<(u64, (u64, ((i64, i64), (i64, i64))))>::from_wire_bytes(data)?;
+        Ok(BamIndex {
+            entries: rows
+                .into_iter()
+                .map(|(offset, (len, ((rlo, plo), (rhi, phi))))| ChunkIndexEntry {
+                    offset,
+                    len,
+                    min_key: (rlo as i32, plo),
+                    max_key: (rhi as i32, phi),
+                })
+                .collect(),
+        })
+    }
+}
+
+/// Streaming writer that batches records into chunks.
+pub struct BamWriter {
+    out: Vec<u8>,
+    pending: Vec<SamRecord>,
+    pending_raw: usize,
+    /// Byte offset of every emitted chunk (header chunk included) — the
+    /// "chunk index" a DFS-aware reader uses to stitch blocks.
+    chunk_offsets: Vec<u64>,
+    records_written: u64,
+    index: BamIndex,
+}
+
+impl BamWriter {
+    /// Begin a file with its header chunk.
+    pub fn new(header: &SamHeader) -> BamWriter {
+        let mut w = BamWriter {
+            out: Vec::new(),
+            pending: Vec::new(),
+            pending_raw: 0,
+            chunk_offsets: Vec::new(),
+            records_written: 0,
+            index: BamIndex::default(),
+        };
+        w.chunk_offsets.push(0);
+        let frame = encode_frame(KIND_HEADER, header.to_text().as_bytes());
+        w.out.extend_from_slice(&frame);
+        w
+    }
+
+    /// Append one record; flushes a chunk when the target raw size is hit.
+    pub fn write_record(&mut self, rec: SamRecord) {
+        // Rough raw-size estimate: wire size ≈ seq + qual + name + ~40.
+        self.pending_raw += rec.seq.len() + rec.qual.len() + rec.name.len() + 40;
+        self.pending.push(rec);
+        self.records_written += 1;
+        if self.pending_raw >= CHUNK_TARGET_RAW {
+            self.flush_chunk();
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let min_key = batch
+            .iter()
+            .map(SamRecord::coordinate_key)
+            .min()
+            .expect("non-empty batch");
+        let max_key = batch
+            .iter()
+            .map(SamRecord::coordinate_key)
+            .max()
+            .expect("non-empty batch");
+        let raw = batch.to_wire_bytes();
+        self.pending_raw = 0;
+        let offset = self.out.len() as u64;
+        self.chunk_offsets.push(offset);
+        let frame = encode_frame(KIND_RECORDS, &raw);
+        self.out.extend_from_slice(&frame);
+        self.index.entries.push(ChunkIndexEntry {
+            offset,
+            len: frame.len() as u64,
+            min_key,
+            max_key,
+        });
+    }
+
+    /// Finish the file, returning (bytes, chunk offsets, record count).
+    pub fn finish(mut self) -> (Vec<u8>, Vec<u64>, u64) {
+        self.flush_chunk();
+        (self.out, self.chunk_offsets, self.records_written)
+    }
+
+    /// Finish, also returning the coordinate index (Round 4's "build the
+    /// BAM file index").
+    pub fn finish_indexed(mut self) -> (Vec<u8>, BamIndex, u64) {
+        self.flush_chunk();
+        (self.out, self.index, self.records_written)
+    }
+}
+
+/// Serialize a header and records, returning the bytes plus the
+/// coordinate index.
+pub fn write_bam_indexed(header: &SamHeader, records: &[SamRecord]) -> (Vec<u8>, BamIndex) {
+    let mut w = BamWriter::new(header);
+    for r in records {
+        w.write_record(r.clone());
+    }
+    let (bytes, index, _) = w.finish_indexed();
+    (bytes, index)
+}
+
+/// Region query over an in-memory indexed BAM: all records overlapping
+/// `[start, end]` (1-based inclusive) on `ref_id`, touching only the
+/// chunks the index selects.
+pub fn read_region(
+    data: &[u8],
+    index: &BamIndex,
+    ref_id: i32,
+    start: i64,
+    end: i64,
+) -> Result<Vec<SamRecord>> {
+    let mut out = Vec::new();
+    for (offset, len) in index.chunks_for_region(ref_id, start, end) {
+        let frame = data
+            .get(offset as usize..(offset + len) as usize)
+            .ok_or_else(|| FormatError::Bam("index points past end of file".into()))?;
+        let (chunk, _) = decode_frame(frame)?;
+        for rec in chunk.records()? {
+            if rec.overlaps(ref_id, start, end) {
+                out.push(rec);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Serialize a header and records into a complete BAM byte buffer.
+pub fn write_bam(header: &SamHeader, records: &[SamRecord]) -> Vec<u8> {
+    let mut w = BamWriter::new(header);
+    for r in records {
+        w.write_record(r.clone());
+    }
+    w.finish().0
+}
+
+/// Scanner over a contiguous BAM byte buffer, yielding chunks.
+pub struct ChunkScanner<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ChunkScanner<'a> {
+    pub fn new(data: &'a [u8]) -> ChunkScanner<'a> {
+        ChunkScanner { data, pos: 0 }
+    }
+
+    /// Byte offset of the next frame.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Next chunk, or `Ok(None)` at end of buffer.
+    pub fn next_chunk(&mut self) -> Result<Option<Chunk>> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        let (chunk, consumed) = decode_frame(&self.data[self.pos..])?;
+        self.pos += consumed;
+        Ok(Some(chunk))
+    }
+}
+
+/// Parse a complete BAM buffer into (header, records). The mirror of
+/// [`write_bam`].
+pub fn read_bam(data: &[u8]) -> Result<(SamHeader, Vec<SamRecord>)> {
+    let mut scanner = ChunkScanner::new(data);
+    let header = scanner
+        .next_chunk()?
+        .ok_or_else(|| FormatError::Bam("empty bam file".into()))?
+        .header()?;
+    let mut records = Vec::new();
+    while let Some(chunk) = scanner.next_chunk()? {
+        records.extend(chunk.records()?);
+    }
+    Ok((header, records))
+}
+
+/// The utility the paper describes in §3.1: given the header chunk's frame
+/// plus an arbitrary *subset* of record-chunk frames (as handed out by the
+/// DFS record reader), iterate the contained records with the header
+/// available — "one-line modification" semantics for single-node programs.
+pub struct ChunkSetReader {
+    header: SamHeader,
+    records: std::vec::IntoIter<SamRecord>,
+}
+
+impl ChunkSetReader {
+    /// `frames` are raw frame byte strings; the first must be the header
+    /// chunk of the file (fetched from the file's first block).
+    pub fn new(frames: &[Vec<u8>]) -> Result<ChunkSetReader> {
+        let first = frames
+            .first()
+            .ok_or_else(|| FormatError::Bam("no chunks supplied".into()))?;
+        let (hc, _) = decode_frame(first)?;
+        let header = hc.header()?;
+        let mut records = Vec::new();
+        for frame in &frames[1..] {
+            let (chunk, _) = decode_frame(frame)?;
+            records.extend(chunk.records()?);
+        }
+        Ok(ChunkSetReader {
+            header,
+            records: records.into_iter(),
+        })
+    }
+
+    pub fn header(&self) -> &SamHeader {
+        &self.header
+    }
+}
+
+impl Iterator for ChunkSetReader {
+    type Item = SamRecord;
+    fn next(&mut self) -> Option<SamRecord> {
+        self.records.next()
+    }
+}
+
+/// Extract the raw frame byte strings of a BAM buffer (header frame first).
+pub fn split_frames(data: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let fh = FrameHeader::parse(&data[pos..])?;
+        let end = pos + fh.frame_len();
+        if end > data.len() {
+            return Err(FormatError::Bam("truncated trailing frame".into()));
+        }
+        frames.push(data[pos..end].to_vec());
+        pos = end;
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sam::header::ReferenceSeq;
+    use crate::sam::{Cigar, Flags};
+
+    fn header() -> SamHeader {
+        SamHeader::new(vec![ReferenceSeq {
+            name: "chr1".into(),
+            len: 100_000,
+        }])
+    }
+
+    fn records(n: usize) -> Vec<SamRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = SamRecord::unmapped(
+                    format!("read{i}"),
+                    vec![b"ACGT"[i % 4]; 100],
+                    vec![(i % 40) as u8; 100],
+                );
+                r.flags = Flags(Flags::PAIRED);
+                r.flags.set(Flags::UNMAPPED, false);
+                r.ref_id = 0;
+                r.pos = (i as i64) * 37 + 1;
+                r.cigar = Cigar::full_match(100);
+                r.mapq = 60;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_small() {
+        let h = header();
+        let recs = records(10);
+        let bytes = write_bam(&h, &recs);
+        let (h2, r2) = read_bam(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(r2, recs);
+    }
+
+    #[test]
+    fn roundtrip_multi_chunk() {
+        let h = header();
+        // ~240 bytes/record estimate → >64KiB needs ~300 records; use 2000
+        // to force many chunks.
+        let recs = records(2000);
+        let bytes = write_bam(&h, &recs);
+        let frames = split_frames(&bytes).unwrap();
+        assert!(
+            frames.len() > 3,
+            "expected several chunks, got {}",
+            frames.len()
+        );
+        let (_, r2) = read_bam(&bytes).unwrap();
+        assert_eq!(r2, recs);
+    }
+
+    #[test]
+    fn empty_record_set() {
+        let h = header();
+        let bytes = write_bam(&h, &[]);
+        let (h2, r2) = read_bam(&bytes).unwrap();
+        assert_eq!(h2, h);
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn chunk_offsets_match_frames() {
+        let h = header();
+        let mut w = BamWriter::new(&h);
+        for r in records(1500) {
+            w.write_record(r);
+        }
+        let (bytes, offsets, n) = w.finish();
+        assert_eq!(n, 1500);
+        let frames = split_frames(&bytes).unwrap();
+        assert_eq!(offsets.len(), frames.len());
+        // Every recorded offset is the start of a parseable frame.
+        for &off in &offsets {
+            FrameHeader::parse(&bytes[off as usize..]).unwrap();
+        }
+    }
+
+    #[test]
+    fn chunk_set_reader_over_subset() {
+        let h = header();
+        let recs = records(2000);
+        let bytes = write_bam(&h, &recs);
+        let frames = split_frames(&bytes).unwrap();
+        // Take the header frame + only the 3rd record frame — a "logical
+        // partition" of the file.
+        let subset = vec![frames[0].clone(), frames[3].clone()];
+        let reader = ChunkSetReader::new(&subset).unwrap();
+        assert_eq!(reader.header(), &h);
+        let got: Vec<SamRecord> = reader.collect();
+        assert!(!got.is_empty());
+        // Those records appear contiguously in the full set.
+        let start = recs.iter().position(|r| r == &got[0]).unwrap();
+        assert_eq!(&recs[start..start + got.len()], got.as_slice());
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let h = header();
+        let recs = records(50);
+        let mut bytes = write_bam(&h, &recs);
+        // Flip a payload byte in the last frame.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(read_bam(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let h = header();
+        let recs = records(50);
+        let bytes = write_bam(&h, &recs);
+        assert!(read_bam(&bytes[..bytes.len() - 3]).is_err());
+        assert!(read_bam(&[]).is_err());
+    }
+
+    #[test]
+    fn region_query_returns_exactly_the_overlapping_records() {
+        let h = header();
+        // Coordinate-sorted records 100 bases long at positions 1, 38, …
+        let mut recs = records(3000);
+        recs.sort_by_key(|r| r.coordinate_key());
+        let (bytes, index) = write_bam_indexed(&h, &recs);
+        assert!(index.entries.len() > 3, "want several chunks");
+        for (start, end) in [(1i64, 500i64), (40_000, 41_000), (110_000, 120_000)] {
+            let got = read_region(&bytes, &index, 0, start, end).unwrap();
+            let expect: Vec<SamRecord> = recs
+                .iter()
+                .filter(|r| r.overlaps(0, start, end))
+                .cloned()
+                .collect();
+            assert_eq!(got, expect, "region {start}..{end}");
+        }
+        // A region on a nonexistent chromosome matches nothing.
+        assert!(read_region(&bytes, &index, 5, 1, 1000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn region_query_reads_fewer_chunks_than_full_scan() {
+        let h = header();
+        let mut recs = records(5000);
+        recs.sort_by_key(|r| r.coordinate_key());
+        let (_, index) = write_bam_indexed(&h, &recs);
+        let touched = index.chunks_for_region(0, 1, 2000).len();
+        assert!(
+            touched * 3 < index.entries.len(),
+            "a small region should touch a small fraction of chunks: {touched}/{}",
+            index.entries.len()
+        );
+    }
+
+    #[test]
+    fn index_serialization_roundtrip() {
+        let h = header();
+        let (_, index) = write_bam_indexed(&h, &records(800));
+        let back = BamIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back, index);
+    }
+
+    #[test]
+    fn frame_header_rejects_bad_kind() {
+        let mut frame = encode_frame(KIND_RECORDS, b"x");
+        frame[0] = 9;
+        assert!(FrameHeader::parse(&frame).is_err());
+    }
+}

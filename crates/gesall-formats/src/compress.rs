@@ -1,0 +1,327 @@
+//! Block compression codec.
+//!
+//! Plays the role BGZF (for BAM chunks) and Snappy (for map-output
+//! compression, §4.2) play in the paper's stack. It is a from-scratch
+//! byte-oriented LZ77 variant:
+//!
+//! * greedy matching through a 4-byte-hash chain table;
+//! * copies encoded as (varint length, varint distance);
+//! * literal runs encoded as (varint length, raw bytes);
+//! * a 1-byte header selects `Lz` or `Store` (used when compression
+//!   would expand the data, e.g. random or already-compressed input).
+//!
+//! A CRC-32 of the uncompressed payload rides along in the BAM chunk frame
+//! (see [`crate::bam`]), not here, so the codec itself stays minimal.
+
+use crate::error::{FormatError, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+const WINDOW: usize = 1 << 16;
+
+/// Method byte values.
+const METHOD_STORE: u8 = 0;
+const METHOD_LZ: u8 = 1;
+
+/// Token tags inside an LZ stream.
+const TAG_LITERALS: u8 = 0;
+const TAG_COPY: u8 = 1;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data
+            .get(*pos)
+            .ok_or_else(|| FormatError::Compress("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(FormatError::Compress("varint overflow".into()));
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Compress `input`. The output always begins with a method byte followed
+/// by a varint of the uncompressed length.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let lz = compress_lz(input);
+    if lz.len() < input.len() {
+        let mut out = Vec::with_capacity(lz.len() + 10);
+        out.push(METHOD_LZ);
+        put_varint(&mut out, input.len() as u64);
+        out.extend_from_slice(&lz);
+        out
+    } else {
+        let mut out = Vec::with_capacity(input.len() + 10);
+        out.push(METHOD_STORE);
+        put_varint(&mut out, input.len() as u64);
+        out.extend_from_slice(input);
+        out
+    }
+}
+
+fn compress_lz(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut literal_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
+        if end > start {
+            out.push(TAG_LITERALS);
+            put_varint(out, (end - start) as u64);
+            out.extend_from_slice(&input[start..end]);
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = head[h];
+        head[h] = i;
+        let mut matched = 0usize;
+        if candidate != usize::MAX
+            && i - candidate <= WINDOW
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            // Extend the match.
+            let max = (input.len() - i).min(MAX_MATCH);
+            matched = MIN_MATCH;
+            while matched < max && input[candidate + matched] == input[i + matched] {
+                matched += 1;
+            }
+        }
+        if matched >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i);
+            out.push(TAG_COPY);
+            put_varint(&mut out, matched as u64);
+            put_varint(&mut out, (i - candidate) as u64);
+            // Insert hash entries inside the match (sparsely, for speed).
+            let step = if matched > 64 { 7 } else { 1 };
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < i + matched {
+                head[hash4(&input[j..])] = j;
+                j += step;
+            }
+            i += matched;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompress a buffer produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    if data.is_empty() {
+        return Err(FormatError::Compress("empty compressed buffer".into()));
+    }
+    let method = data[0];
+    let mut pos = 1usize;
+    let raw_len = get_varint(data, &mut pos)? as usize;
+    match method {
+        METHOD_STORE => {
+            let payload = data
+                .get(pos..)
+                .ok_or_else(|| FormatError::Compress("truncated store block".into()))?;
+            if payload.len() != raw_len {
+                return Err(FormatError::Compress(format!(
+                    "store block length mismatch: header {raw_len}, payload {}",
+                    payload.len()
+                )));
+            }
+            Ok(payload.to_vec())
+        }
+        METHOD_LZ => {
+            let mut out = Vec::with_capacity(raw_len);
+            while pos < data.len() {
+                let tag = data[pos];
+                pos += 1;
+                match tag {
+                    TAG_LITERALS => {
+                        let n = get_varint(data, &mut pos)? as usize;
+                        let lits = data.get(pos..pos + n).ok_or_else(|| {
+                            FormatError::Compress("truncated literal run".into())
+                        })?;
+                        out.extend_from_slice(lits);
+                        pos += n;
+                    }
+                    TAG_COPY => {
+                        let len = get_varint(data, &mut pos)? as usize;
+                        let dist = get_varint(data, &mut pos)? as usize;
+                        if dist == 0 || dist > out.len() {
+                            return Err(FormatError::Compress(format!(
+                                "copy distance {dist} out of range (output {} bytes)",
+                                out.len()
+                            )));
+                        }
+                        if len > MAX_MATCH {
+                            return Err(FormatError::Compress("copy too long".into()));
+                        }
+                        // Overlapping copies are legal (dist < len): copy
+                        // byte by byte.
+                        let start = out.len() - dist;
+                        for k in 0..len {
+                            let b = out[start + k];
+                            out.push(b);
+                        }
+                    }
+                    other => {
+                        return Err(FormatError::Compress(format!("bad token tag {other}")));
+                    }
+                }
+            }
+            if out.len() != raw_len {
+                return Err(FormatError::Compress(format!(
+                    "decompressed {} bytes, header said {raw_len}",
+                    out.len()
+                )));
+            }
+            Ok(out)
+        }
+        other => Err(FormatError::Compress(format!("unknown method {other}"))),
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) used to frame BAM chunks.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small table computed on first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).unwrap();
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"A");
+        roundtrip(b"ACG");
+        roundtrip(b"ACGT");
+    }
+
+    #[test]
+    fn roundtrip_repetitive_compresses_well() {
+        let data: Vec<u8> = b"ACGTACGTACGT".repeat(1000);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "repetitive DNA should compress >4x, got {} -> {}",
+            data.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_copy() {
+        // "aaaa..." forces dist=1 overlapping copies.
+        let data = vec![b'a'; 5000];
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_store() {
+        // Pseudo-random bytes via an LCG: no 4-byte repeats to speak of.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(c[0], METHOD_STORE);
+        assert!(c.len() <= data.len() + 10);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn sam_like_text_compresses() {
+        let mut text = Vec::new();
+        for i in 0..500 {
+            text.extend_from_slice(
+                format!("read{i}\t99\tchr1\t{}\t60\t100M\t=\t{}\t300\n", i * 7, i * 7 + 200)
+                    .as_bytes(),
+            );
+        }
+        let c = compress(&text);
+        assert!(
+            c.len() < text.len() * 3 / 5,
+            "tab-separated records should compress well: {} -> {}",
+            text.len(),
+            c.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), text);
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(20);
+        let mut c = compress(&data);
+        // Flip the method byte to garbage.
+        c[0] = 7;
+        assert!(decompress(&c).is_err());
+        // Truncations.
+        let c = compress(&data);
+        for cut in [1, 2, c.len() / 2, c.len() - 1] {
+            assert!(decompress(&c[..cut]).is_err() || decompress(&c[..cut]).unwrap() != data);
+        }
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+}

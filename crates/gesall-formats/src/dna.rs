@@ -1,0 +1,262 @@
+//! Nucleotide alphabet utilities.
+//!
+//! Sequences are stored as ASCII bytes (`A`, `C`, `G`, `T`, `N`) throughout
+//! the pipeline, matching the text formats; this module provides the
+//! alphabet mapping, complementation, and the 2-bit packing used by the
+//! FM-index.
+
+/// The four nucleotides plus the ambiguity code `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Base {
+    A,
+    C,
+    G,
+    T,
+    /// Ambiguous / unknown base (sequencer no-call or reference gap).
+    N,
+}
+
+impl Base {
+    /// Parse an ASCII byte (case-insensitive). Anything outside `ACGT`
+    /// maps to [`Base::N`], matching common aligner behaviour.
+    #[inline]
+    pub fn from_ascii(b: u8) -> Base {
+        match b | 0x20 {
+            b'a' => Base::A,
+            b'c' => Base::C,
+            b'g' => Base::G,
+            b't' => Base::T,
+            _ => Base::N,
+        }
+    }
+
+    /// Upper-case ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+            Base::N => b'N',
+        }
+    }
+
+    /// Watson–Crick complement; `N` complements to `N`.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+            Base::N => Base::N,
+        }
+    }
+
+    /// 2-bit code for `ACGT` (`A`=0 … `T`=3); `N` has no 2-bit code and
+    /// returns 0 — callers that must distinguish `N` should check first.
+    #[inline]
+    pub fn code2(self) -> u8 {
+        match self {
+            Base::A => 0,
+            Base::C => 1,
+            Base::G => 2,
+            Base::T => 3,
+            Base::N => 0,
+        }
+    }
+}
+
+/// Map an ASCII base to its 2-bit code, or `None` for non-ACGT bytes.
+#[inline]
+pub fn ascii_code2(b: u8) -> Option<u8> {
+    match b | 0x20 {
+        b'a' => Some(0),
+        b'c' => Some(1),
+        b'g' => Some(2),
+        b't' => Some(3),
+        _ => None,
+    }
+}
+
+/// Complement of an ASCII base byte (case preserved as upper-case).
+#[inline]
+pub fn complement_ascii(b: u8) -> u8 {
+    match b | 0x20 {
+        b'a' => b'T',
+        b'c' => b'G',
+        b'g' => b'C',
+        b't' => b'A',
+        _ => b'N',
+    }
+}
+
+/// Reverse-complement an ASCII sequence in place.
+pub fn reverse_complement_in_place(seq: &mut [u8]) {
+    seq.reverse();
+    for b in seq.iter_mut() {
+        *b = complement_ascii(*b);
+    }
+}
+
+/// Reverse-complement an ASCII sequence into a fresh vector.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    let mut v = seq.to_vec();
+    reverse_complement_in_place(&mut v);
+    v
+}
+
+/// True when every byte is a valid (possibly ambiguous) base letter.
+pub fn is_valid_sequence(seq: &[u8]) -> bool {
+    seq.iter()
+        .all(|&b| matches!(b | 0x20, b'a' | b'c' | b'g' | b't' | b'n'))
+}
+
+/// GC fraction of a sequence (`N`s excluded from the denominator).
+/// Returns 0.0 for sequences with no called bases.
+pub fn gc_content(seq: &[u8]) -> f64 {
+    let mut gc = 0usize;
+    let mut called = 0usize;
+    for &b in seq {
+        match b | 0x20 {
+            b'g' | b'c' => {
+                gc += 1;
+                called += 1;
+            }
+            b'a' | b't' => called += 1,
+            _ => {}
+        }
+    }
+    if called == 0 {
+        0.0
+    } else {
+        gc as f64 / called as f64
+    }
+}
+
+/// A 2-bit packed DNA sequence. `N`s are not representable; the packer
+/// records their positions separately so round-trips are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    len: usize,
+    words: Vec<u64>,
+    /// Sorted positions that held `N` in the original sequence.
+    n_positions: Vec<u32>,
+}
+
+impl PackedSeq {
+    /// Pack an ASCII sequence. Positions holding anything other than
+    /// `ACGT` are recorded as `N`.
+    pub fn from_ascii(seq: &[u8]) -> PackedSeq {
+        let mut words = vec![0u64; seq.len().div_ceil(32)];
+        let mut n_positions = Vec::new();
+        for (i, &b) in seq.iter().enumerate() {
+            let code = match ascii_code2(b) {
+                Some(c) => c,
+                None => {
+                    n_positions.push(i as u32);
+                    0
+                }
+            };
+            words[i / 32] |= (code as u64) << ((i % 32) * 2);
+        }
+        PackedSeq {
+            len: seq.len(),
+            words,
+            n_positions,
+        }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base at position `i` as an ASCII byte.
+    #[inline]
+    pub fn get_ascii(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        if self.n_positions.binary_search(&(i as u32)).is_ok() {
+            return b'N';
+        }
+        let code = (self.words[i / 32] >> ((i % 32) * 2)) & 0b11;
+        [b'A', b'C', b'G', b'T'][code as usize]
+    }
+
+    /// Unpack the whole sequence back to ASCII.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.get_ascii(i)).collect()
+    }
+
+    /// Heap bytes used by the packed representation.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8 + self.n_positions.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_roundtrip_and_complement() {
+        for (c, comp) in [(b'A', b'T'), (b'C', b'G'), (b'G', b'C'), (b'T', b'A')] {
+            assert_eq!(Base::from_ascii(c).to_ascii(), c);
+            assert_eq!(Base::from_ascii(c).complement().to_ascii(), comp);
+        }
+        assert_eq!(Base::from_ascii(b'x'), Base::N);
+        assert_eq!(Base::N.complement(), Base::N);
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(Base::from_ascii(b'a'), Base::A);
+        assert_eq!(complement_ascii(b'g'), b'C');
+        assert_eq!(ascii_code2(b't'), Some(3));
+    }
+
+    #[test]
+    fn reverse_complement_basic() {
+        assert_eq!(reverse_complement(b"ACGTN"), b"NACGT".to_vec());
+        assert_eq!(reverse_complement(b""), Vec::<u8>::new());
+        // Reverse complement is an involution.
+        let s = b"GATTACAGATTACA";
+        assert_eq!(reverse_complement(&reverse_complement(s)), s.to_vec());
+    }
+
+    #[test]
+    fn validity_and_gc() {
+        assert!(is_valid_sequence(b"ACGTNacgtn"));
+        assert!(!is_valid_sequence(b"ACGU"));
+        assert!((gc_content(b"GGCC") - 1.0).abs() < 1e-12);
+        assert!((gc_content(b"GCAT") - 0.5).abs() < 1e-12);
+        assert_eq!(gc_content(b"NNN"), 0.0);
+    }
+
+    #[test]
+    fn packed_seq_roundtrip() {
+        let s = b"ACGTNTGCAACGTNNACGT";
+        let p = PackedSeq::from_ascii(s);
+        assert_eq!(p.len(), s.len());
+        assert_eq!(p.to_ascii(), s.to_vec());
+        assert_eq!(p.get_ascii(4), b'N');
+        assert_eq!(p.get_ascii(0), b'A');
+    }
+
+    #[test]
+    fn packed_seq_long() {
+        // Longer than one word to exercise word boundaries.
+        let s: Vec<u8> = (0..1000)
+            .map(|i| b"ACGT"[(i * 7 + i / 3) % 4])
+            .collect();
+        let p = PackedSeq::from_ascii(&s);
+        assert_eq!(p.to_ascii(), s);
+        assert!(p.packed_bytes() < s.len());
+    }
+}

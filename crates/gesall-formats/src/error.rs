@@ -1,0 +1,56 @@
+//! Error type shared by every parser/serializer in this crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or serializing genomic data formats.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A FASTQ stanza was malformed (wrong marker line, truncated record,
+    /// or mismatched sequence/quality lengths).
+    Fastq(String),
+    /// A SAM text line or field could not be parsed.
+    Sam(String),
+    /// A CIGAR string was syntactically or semantically invalid.
+    Cigar(String),
+    /// A binary BAM-like chunk was corrupt (bad magic, CRC mismatch,
+    /// truncated payload).
+    Bam(String),
+    /// A compressed block failed to decode.
+    Compress(String),
+    /// A VCF line could not be parsed.
+    Vcf(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "i/o error: {e}"),
+            FormatError::Fastq(m) => write!(f, "fastq: {m}"),
+            FormatError::Sam(m) => write!(f, "sam: {m}"),
+            FormatError::Cigar(m) => write!(f, "cigar: {m}"),
+            FormatError::Bam(m) => write!(f, "bam: {m}"),
+            FormatError::Compress(m) => write!(f, "compress: {m}"),
+            FormatError::Vcf(m) => write!(f, "vcf: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FormatError {
+    fn from(e: std::io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FormatError>;

@@ -1,0 +1,106 @@
+//! FASTA — the reference-genome interchange format.
+
+use crate::error::{FormatError, Result};
+
+/// One FASTA sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Sequence name (the first token after `>`).
+    pub name: String,
+    /// Bases, upper-cased.
+    pub seq: Vec<u8>,
+}
+
+/// Serialize sequences as FASTA text with 70-column wrapping.
+pub fn to_text(records: &[FastaRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.name);
+        out.push('\n');
+        for line in r.seq.chunks(70) {
+            out.push_str(&String::from_utf8_lossy(line));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse FASTA text.
+pub fn from_text(text: &str) -> Result<Vec<FastaRecord>> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix('>') {
+            let name = h
+                .split_whitespace()
+                .next()
+                .ok_or_else(|| FormatError::Sam(format!("line {}: empty FASTA header", lineno + 1)))?
+                .to_string();
+            records.push(FastaRecord {
+                name,
+                seq: Vec::new(),
+            });
+        } else {
+            let rec = records.last_mut().ok_or_else(|| {
+                FormatError::Sam(format!("line {}: sequence before any header", lineno + 1))
+            })?;
+            for &b in line.as_bytes() {
+                let up = b.to_ascii_uppercase();
+                if !matches!(up, b'A' | b'C' | b'G' | b'T' | b'N') {
+                    return Err(FormatError::Sam(format!(
+                        "line {}: invalid base {:?}",
+                        lineno + 1,
+                        b as char
+                    )));
+                }
+                rec.seq.push(up);
+            }
+        }
+    }
+    if records.is_empty() {
+        return Err(FormatError::Sam("empty FASTA".into()));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![
+            FastaRecord {
+                name: "chr1".into(),
+                seq: b"ACGT".repeat(40),
+            },
+            FastaRecord {
+                name: "chr2".into(),
+                seq: b"TTTAAA".to_vec(),
+            },
+        ];
+        let text = to_text(&recs);
+        assert!(text.starts_with(">chr1\n"));
+        // 160 bases wrap at 70 columns: 3 lines.
+        assert_eq!(text.lines().filter(|l| !l.starts_with('>')).count(), 4);
+        assert_eq!(from_text(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn header_description_dropped_and_case_folded() {
+        let parsed = from_text(">seq1 some description\nacgtn\n").unwrap();
+        assert_eq!(parsed[0].name, "seq1");
+        assert_eq!(parsed[0].seq, b"ACGTN");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_text("ACGT\n").is_err()); // no header
+        assert!(from_text(">x\nACGU\n").is_err()); // bad base
+        assert!(from_text("").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! # gesall-formats
+//!
+//! Genomic data formats for the Gesall-RS platform.
+//!
+//! This crate implements every on-disk/in-flight data representation the
+//! paper's pipeline touches:
+//!
+//! * [`fastq`] — the text format sequencers emit (read name, bases, per-base
+//!   Phred quality), including the interleaved paired-read layout Gesall's
+//!   Round 1 consumes.
+//! * [`sam`] — the Sequence Alignment/Map record model: flags, CIGAR,
+//!   mapping positions, mate information, and the derived *5′ unclipped end*
+//!   attribute MarkDuplicates partitions on (paper Fig. 3).
+//! * [`bam`] — a BAM-like binary container: SAM records serialized and
+//!   packed into independently-compressed variable-length chunks, so chunks
+//!   can straddle DFS block boundaries exactly as §3.1 of the paper requires.
+//! * [`compress`] — the from-scratch LZ block codec that plays the role of
+//!   BGZF/Snappy compression (map-output compression in the shuffle).
+//! * [`vcf`] — variant-call records plus the quality annotations
+//!   (MQ, DP, FS, AB) used by the error-diagnosis study (Tables 8–10).
+//!
+//! The container is *structurally* equivalent to BAM (variable-length
+//! compressed chunks with virtual offsets) but deliberately not
+//! byte-compatible with htslib; see `DESIGN.md` §6.
+
+pub mod bam;
+pub mod compress;
+pub mod dna;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod quality;
+pub mod sam;
+pub mod vcf;
+pub mod wire;
+
+pub use error::{FormatError, Result};

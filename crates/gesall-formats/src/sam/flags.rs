@@ -1,0 +1,119 @@
+//! The SAM FLAG bitfield.
+
+/// SAM alignment flags, bit-compatible with the SAM specification's FLAG
+/// column. Only the bits this pipeline uses are given named accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(pub u16);
+
+impl Flags {
+    pub const PAIRED: u16 = 0x1;
+    pub const PROPER_PAIR: u16 = 0x2;
+    pub const UNMAPPED: u16 = 0x4;
+    pub const MATE_UNMAPPED: u16 = 0x8;
+    pub const REVERSE: u16 = 0x10;
+    pub const MATE_REVERSE: u16 = 0x20;
+    pub const FIRST_IN_PAIR: u16 = 0x40;
+    pub const SECOND_IN_PAIR: u16 = 0x80;
+    pub const SECONDARY: u16 = 0x100;
+    pub const QC_FAIL: u16 = 0x200;
+    pub const DUPLICATE: u16 = 0x400;
+    pub const SUPPLEMENTARY: u16 = 0x800;
+
+    /// Empty flag set.
+    pub fn new() -> Flags {
+        Flags(0)
+    }
+
+    #[inline]
+    pub fn contains(self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+
+    #[inline]
+    pub fn set(&mut self, bit: u16, on: bool) {
+        if on {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+
+    pub fn is_paired(self) -> bool {
+        self.contains(Self::PAIRED)
+    }
+    pub fn is_proper_pair(self) -> bool {
+        self.contains(Self::PROPER_PAIR)
+    }
+    pub fn is_unmapped(self) -> bool {
+        self.contains(Self::UNMAPPED)
+    }
+    pub fn is_mate_unmapped(self) -> bool {
+        self.contains(Self::MATE_UNMAPPED)
+    }
+    pub fn is_reverse(self) -> bool {
+        self.contains(Self::REVERSE)
+    }
+    pub fn is_mate_reverse(self) -> bool {
+        self.contains(Self::MATE_REVERSE)
+    }
+    pub fn is_first_in_pair(self) -> bool {
+        self.contains(Self::FIRST_IN_PAIR)
+    }
+    pub fn is_second_in_pair(self) -> bool {
+        self.contains(Self::SECOND_IN_PAIR)
+    }
+    pub fn is_secondary(self) -> bool {
+        self.contains(Self::SECONDARY)
+    }
+    pub fn is_duplicate(self) -> bool {
+        self.contains(Self::DUPLICATE)
+    }
+    pub fn is_supplementary(self) -> bool {
+        self.contains(Self::SUPPLEMENTARY)
+    }
+
+    /// Primary alignments are neither secondary nor supplementary; only
+    /// they participate in duplicate marking and variant calling.
+    pub fn is_primary(self) -> bool {
+        !self.is_secondary() && !self.is_supplementary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_query() {
+        let mut f = Flags::new();
+        assert!(!f.is_paired());
+        f.set(Flags::PAIRED, true);
+        f.set(Flags::REVERSE, true);
+        assert!(f.is_paired());
+        assert!(f.is_reverse());
+        assert_eq!(f.0, 0x11);
+        f.set(Flags::REVERSE, false);
+        assert!(!f.is_reverse());
+        assert!(f.is_paired());
+    }
+
+    #[test]
+    fn primary_classification() {
+        let mut f = Flags::new();
+        assert!(f.is_primary());
+        f.set(Flags::SECONDARY, true);
+        assert!(!f.is_primary());
+        let mut g = Flags::new();
+        g.set(Flags::SUPPLEMENTARY, true);
+        assert!(!g.is_primary());
+    }
+
+    #[test]
+    fn spec_bit_values() {
+        // Bit positions must match the SAM spec for interop with the text
+        // serialization round-trip.
+        assert_eq!(Flags::PAIRED, 1);
+        assert_eq!(Flags::DUPLICATE, 1024);
+        assert_eq!(Flags::SUPPLEMENTARY, 2048);
+    }
+}

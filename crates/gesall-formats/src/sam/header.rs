@@ -1,0 +1,270 @@
+//! SAM header: reference dictionary, read groups, sort order, programs.
+
+use crate::error::{FormatError, Result};
+use std::fmt;
+
+/// Declared sort order of a SAM/BAM dataset (`@HD SO:` tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortOrder {
+    #[default]
+    Unknown,
+    Unsorted,
+    /// Sorted by read name — the arrangement Fix Mate Info needs.
+    QueryName,
+    /// Sorted by (reference id, position) — required by variant callers.
+    Coordinate,
+}
+
+impl SortOrder {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SortOrder::Unknown => "unknown",
+            SortOrder::Unsorted => "unsorted",
+            SortOrder::QueryName => "queryname",
+            SortOrder::Coordinate => "coordinate",
+        }
+    }
+
+    pub fn parse(s: &str) -> SortOrder {
+        match s {
+            "unsorted" => SortOrder::Unsorted,
+            "queryname" => SortOrder::QueryName,
+            "coordinate" => SortOrder::Coordinate,
+            _ => SortOrder::Unknown,
+        }
+    }
+}
+
+/// One reference sequence (`@SQ` line): a chromosome of the reference
+/// genome with its length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceSeq {
+    pub name: String,
+    pub len: u64,
+}
+
+/// One read group (`@RG` line). AddReplaceReadGroups stamps every record
+/// with one of these ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadGroup {
+    pub id: String,
+    pub sample: String,
+    pub library: String,
+    pub platform: String,
+}
+
+impl ReadGroup {
+    pub fn new(id: impl Into<String>, sample: impl Into<String>) -> ReadGroup {
+        ReadGroup {
+            id: id.into(),
+            sample: sample.into(),
+            library: "lib1".into(),
+            platform: "SYNTH".into(),
+        }
+    }
+}
+
+/// The SAM header. Carried in the first chunk of every BAM-like container
+/// so that Gesall's record reader can fetch it before iterating chunk
+/// subsets (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SamHeader {
+    pub sort_order: SortOrder,
+    pub references: Vec<ReferenceSeq>,
+    pub read_groups: Vec<ReadGroup>,
+    /// Program chain (`@PG` lines): every pipeline step appends itself.
+    pub programs: Vec<String>,
+}
+
+impl SamHeader {
+    pub fn new(references: Vec<ReferenceSeq>) -> SamHeader {
+        SamHeader {
+            sort_order: SortOrder::Unsorted,
+            references,
+            read_groups: Vec::new(),
+            programs: Vec::new(),
+        }
+    }
+
+    /// Resolve a reference name to its id (index into `references`).
+    pub fn reference_id(&self, name: &str) -> Option<usize> {
+        self.references.iter().position(|r| r.name == name)
+    }
+
+    /// Name of reference `id`, or `*` when out of range (unmapped).
+    pub fn reference_name(&self, id: i32) -> &str {
+        if id < 0 {
+            return "*";
+        }
+        self.references
+            .get(id as usize)
+            .map(|r| r.name.as_str())
+            .unwrap_or("*")
+    }
+
+    /// Total reference length across all chromosomes.
+    pub fn genome_len(&self) -> u64 {
+        self.references.iter().map(|r| r.len).sum()
+    }
+
+    /// Serialize to SAM text header lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("@HD\tVN:1.6\tSO:{}\n", self.sort_order.as_str()));
+        for r in &self.references {
+            out.push_str(&format!("@SQ\tSN:{}\tLN:{}\n", r.name, r.len));
+        }
+        for rg in &self.read_groups {
+            out.push_str(&format!(
+                "@RG\tID:{}\tSM:{}\tLB:{}\tPL:{}\n",
+                rg.id, rg.sample, rg.library, rg.platform
+            ));
+        }
+        for p in &self.programs {
+            out.push_str(&format!("@PG\tID:{p}\n"));
+        }
+        out
+    }
+
+    /// Parse SAM text header lines (every line must start with `@`).
+    pub fn parse_text(text: &str) -> Result<SamHeader> {
+        let mut h = SamHeader::default();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let tag = fields
+                .next()
+                .ok_or_else(|| FormatError::Sam("empty header line".into()))?;
+            let kv = |f: &str| -> Option<(String, String)> {
+                f.split_once(':').map(|(k, v)| (k.into(), v.into()))
+            };
+            match tag {
+                "@HD" => {
+                    for f in fields {
+                        if let Some((k, v)) = kv(f) {
+                            if k == "SO" {
+                                h.sort_order = SortOrder::parse(&v);
+                            }
+                        }
+                    }
+                }
+                "@SQ" => {
+                    let mut name = None;
+                    let mut len = None;
+                    for f in fields {
+                        if let Some((k, v)) = kv(f) {
+                            match k.as_str() {
+                                "SN" => name = Some(v),
+                                "LN" => {
+                                    len = Some(v.parse::<u64>().map_err(|_| {
+                                        FormatError::Sam(format!("bad @SQ LN {v:?}"))
+                                    })?)
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    match (name, len) {
+                        (Some(name), Some(len)) => h.references.push(ReferenceSeq { name, len }),
+                        _ => return Err(FormatError::Sam("incomplete @SQ line".into())),
+                    }
+                }
+                "@RG" => {
+                    let mut rg = ReadGroup::new("", "");
+                    for f in fields {
+                        if let Some((k, v)) = kv(f) {
+                            match k.as_str() {
+                                "ID" => rg.id = v,
+                                "SM" => rg.sample = v,
+                                "LB" => rg.library = v,
+                                "PL" => rg.platform = v,
+                                _ => {}
+                            }
+                        }
+                    }
+                    h.read_groups.push(rg);
+                }
+                "@PG" => {
+                    for f in fields {
+                        if let Some((k, v)) = kv(f) {
+                            if k == "ID" {
+                                h.programs.push(v);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(FormatError::Sam(format!("unknown header tag {other:?}")));
+                }
+            }
+        }
+        Ok(h)
+    }
+}
+
+impl fmt::Display for SamHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> SamHeader {
+        let mut h = SamHeader::new(vec![
+            ReferenceSeq {
+                name: "chr1".into(),
+                len: 1_000_000,
+            },
+            ReferenceSeq {
+                name: "chr2".into(),
+                len: 800_000,
+            },
+        ]);
+        h.sort_order = SortOrder::Coordinate;
+        h.read_groups.push(ReadGroup::new("rg1", "NA12878"));
+        h.programs.push("bwa-rs".into());
+        h
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let h = sample_header();
+        let parsed = SamHeader::parse_text(&h.to_text()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn reference_lookup() {
+        let h = sample_header();
+        assert_eq!(h.reference_id("chr2"), Some(1));
+        assert_eq!(h.reference_id("chrX"), None);
+        assert_eq!(h.reference_name(0), "chr1");
+        assert_eq!(h.reference_name(-1), "*");
+        assert_eq!(h.reference_name(99), "*");
+        assert_eq!(h.genome_len(), 1_800_000);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(SamHeader::parse_text("@SQ\tSN:chr1").is_err());
+        assert!(SamHeader::parse_text("@SQ\tSN:chr1\tLN:abc").is_err());
+        assert!(SamHeader::parse_text("@ZZ\tfoo").is_err());
+    }
+
+    #[test]
+    fn sort_order_strings() {
+        for so in [
+            SortOrder::Unknown,
+            SortOrder::Unsorted,
+            SortOrder::QueryName,
+            SortOrder::Coordinate,
+        ] {
+            assert_eq!(SortOrder::parse(so.as_str()), so);
+        }
+    }
+}

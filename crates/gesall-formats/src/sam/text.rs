@@ -1,0 +1,278 @@
+//! Text SAM serialization — the human-readable interchange form that the
+//! "external programs" in the streaming wrapper read and write (paper
+//! Fig. 8: Bwa emits text SAM into a pipe, SamToBam converts it to the
+//! binary container).
+
+use crate::error::{FormatError, Result};
+use crate::quality::{decode_phred33, encode_phred33};
+use crate::sam::cigar::Cigar;
+use crate::sam::flags::Flags;
+use crate::sam::header::SamHeader;
+use crate::sam::record::{SamRecord, NO_REF};
+
+/// Serialize one record as a SAM text line (no trailing newline).
+pub fn record_to_line(rec: &SamRecord, header: &SamHeader) -> String {
+    let rname = header.reference_name(rec.ref_id);
+    let rnext = if rec.mate_ref_id == rec.ref_id && rec.ref_id != NO_REF {
+        "=".to_string()
+    } else {
+        header.reference_name(rec.mate_ref_id).to_string()
+    };
+    let seq = if rec.seq.is_empty() {
+        "*".to_string()
+    } else {
+        String::from_utf8_lossy(&rec.seq).into_owned()
+    };
+    let qual = if rec.qual.is_empty() {
+        "*".to_string()
+    } else {
+        String::from_utf8_lossy(&encode_phred33(&rec.qual)).into_owned()
+    };
+    let mut line = format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+        rec.name,
+        rec.flags.0,
+        rname,
+        rec.pos,
+        rec.mapq,
+        rec.cigar,
+        rnext,
+        rec.mate_pos,
+        rec.tlen,
+        seq,
+        qual
+    );
+    if !rec.read_group.is_empty() {
+        line.push_str(&format!("\tRG:Z:{}", rec.read_group));
+    }
+    line.push_str(&format!(
+        "\tAS:i:{}\tNM:i:{}",
+        rec.alignment_score, rec.edit_distance
+    ));
+    line
+}
+
+/// Parse one SAM text line into a record, resolving reference names via
+/// the header.
+pub fn line_to_record(line: &str, header: &SamHeader) -> Result<SamRecord> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    if fields.len() < 11 {
+        return Err(FormatError::Sam(format!(
+            "sam line has {} fields, need 11",
+            fields.len()
+        )));
+    }
+    let parse_i64 = |s: &str, what: &str| -> Result<i64> {
+        s.parse::<i64>()
+            .map_err(|_| FormatError::Sam(format!("bad {what}: {s:?}")))
+    };
+    let name = fields[0].to_string();
+    let flags = Flags(
+        fields[1]
+            .parse::<u16>()
+            .map_err(|_| FormatError::Sam(format!("bad flags {:?}", fields[1])))?,
+    );
+    let ref_id = if fields[2] == "*" {
+        NO_REF
+    } else {
+        header
+            .reference_id(fields[2])
+            .ok_or_else(|| FormatError::Sam(format!("unknown reference {:?}", fields[2])))?
+            as i32
+    };
+    let pos = parse_i64(fields[3], "pos")?;
+    let mapq = fields[4]
+        .parse::<u8>()
+        .map_err(|_| FormatError::Sam(format!("bad mapq {:?}", fields[4])))?;
+    let cigar = Cigar::parse(fields[5])?;
+    let mate_ref_id = match fields[6] {
+        "*" => NO_REF,
+        "=" => ref_id,
+        other => header
+            .reference_id(other)
+            .ok_or_else(|| FormatError::Sam(format!("unknown mate reference {other:?}")))?
+            as i32,
+    };
+    let mate_pos = parse_i64(fields[7], "pnext")?;
+    let tlen = parse_i64(fields[8], "tlen")?;
+    let seq = if fields[9] == "*" {
+        Vec::new()
+    } else {
+        fields[9].as_bytes().to_vec()
+    };
+    let qual = if fields[10] == "*" {
+        Vec::new()
+    } else {
+        decode_phred33(fields[10].as_bytes())
+            .ok_or_else(|| FormatError::Sam("invalid quality string".into()))?
+    };
+    let mut rec = SamRecord {
+        name,
+        flags,
+        ref_id,
+        pos,
+        mapq,
+        cigar,
+        mate_ref_id,
+        mate_pos,
+        tlen,
+        seq,
+        qual,
+        read_group: String::new(),
+        alignment_score: 0,
+        edit_distance: 0,
+    };
+    // Optional tags.
+    for tag in &fields[11..] {
+        if let Some(v) = tag.strip_prefix("RG:Z:") {
+            rec.read_group = v.to_string();
+        } else if let Some(v) = tag.strip_prefix("AS:i:") {
+            rec.alignment_score = v
+                .parse()
+                .map_err(|_| FormatError::Sam(format!("bad AS tag {v:?}")))?;
+        } else if let Some(v) = tag.strip_prefix("NM:i:") {
+            rec.edit_distance = v
+                .parse()
+                .map_err(|_| FormatError::Sam(format!("bad NM tag {v:?}")))?;
+        }
+        // Unknown tags are ignored, as real parsers do.
+    }
+    Ok(rec)
+}
+
+/// Serialize a whole dataset (header + records) as SAM text.
+pub fn to_text(header: &SamHeader, records: &[SamRecord]) -> String {
+    let mut out = header.to_text();
+    for r in records {
+        out.push_str(&record_to_line(r, header));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse SAM text into (header, records).
+pub fn from_text(text: &str) -> Result<(SamHeader, Vec<SamRecord>)> {
+    let mut header_text = String::new();
+    let mut records = Vec::new();
+    let mut header: Option<SamHeader> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('@') {
+            if header.is_some() {
+                return Err(FormatError::Sam(
+                    "header line after alignment records".into(),
+                ));
+            }
+            header_text.push_str(line);
+            header_text.push('\n');
+        } else {
+            if header.is_none() {
+                header = Some(SamHeader::parse_text(&header_text)?);
+            }
+            records.push(line_to_record(line, header.as_ref().unwrap())?);
+        }
+    }
+    let header = match header {
+        Some(h) => h,
+        None => SamHeader::parse_text(&header_text)?,
+    };
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sam::header::ReferenceSeq;
+
+    fn header() -> SamHeader {
+        SamHeader::new(vec![
+            ReferenceSeq {
+                name: "chr1".into(),
+                len: 10_000,
+            },
+            ReferenceSeq {
+                name: "chr2".into(),
+                len: 8_000,
+            },
+        ])
+    }
+
+    fn record() -> SamRecord {
+        let mut r = SamRecord::unmapped("r1", b"ACGTACGTAC".to_vec(), vec![35; 10]);
+        r.flags = Flags(Flags::PAIRED | Flags::FIRST_IN_PAIR);
+        r.ref_id = 0;
+        r.pos = 100;
+        r.mapq = 47;
+        r.cigar = Cigar::parse("10M").unwrap();
+        r.mate_ref_id = 0;
+        r.mate_pos = 350;
+        r.tlen = 260;
+        r.read_group = "rg9".into();
+        r.alignment_score = 10;
+        r.edit_distance = 1;
+        r
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let h = header();
+        let r = record();
+        let line = record_to_line(&r, &h);
+        assert!(line.contains("\t=\t"), "same-ref mate shown as '=': {line}");
+        let back = line_to_record(&line, &h).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn cross_chromosome_mate_named_explicitly() {
+        let h = header();
+        let mut r = record();
+        r.mate_ref_id = 1;
+        let line = record_to_line(&r, &h);
+        assert!(line.contains("\tchr2\t"));
+        assert_eq!(line_to_record(&line, &h).unwrap(), r);
+    }
+
+    #[test]
+    fn unmapped_record_roundtrip() {
+        let h = header();
+        let r = SamRecord::unmapped("u", b"ACG".to_vec(), vec![2; 3]);
+        let line = record_to_line(&r, &h);
+        assert!(line.contains("\t*\t0\t"));
+        let back = line_to_record(&line, &h).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let h = header();
+        let recs = vec![record(), SamRecord::unmapped("u", b"A".to_vec(), vec![3])];
+        let text = to_text(&h, &recs);
+        let (h2, r2) = from_text(&text).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(r2, recs);
+    }
+
+    #[test]
+    fn rejects_unknown_reference_and_short_lines() {
+        let h = header();
+        assert!(line_to_record("r\t0\tchr9\t1\t0\t1M\t*\t0\t0\tA\tI", &h).is_err());
+        assert!(line_to_record("r\t0\tchr1", &h).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_ignored() {
+        let h = header();
+        let line = "r\t0\tchr1\t5\t60\t3M\t*\t0\t0\tACG\tIII\tXX:Z:whatever\tAS:i:3";
+        let r = line_to_record(line, &h).unwrap();
+        assert_eq!(r.alignment_score, 3);
+    }
+
+    #[test]
+    fn header_after_records_rejected() {
+        let text = "@SQ\tSN:chr1\tLN:100\nr\t4\t*\t0\t0\t*\t*\t0\t0\tA\tI\n@PG\tID:x\n";
+        assert!(from_text(text).is_err());
+    }
+}

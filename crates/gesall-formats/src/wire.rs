@@ -1,0 +1,293 @@
+//! Minimal byte-level encode/decode helpers shared by the BAM container,
+//! the MapReduce shuffle (spill files, byte accounting), and the DFS.
+//!
+//! Everything is little-endian. Variable-length integers use LEB128-style
+//! 7-bit groups.
+
+use crate::error::{FormatError, Result};
+
+/// Append a `u32` (little-endian).
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (little-endian).
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64` (little-endian).
+#[inline]
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a varint (LEB128, unsigned).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append a length-prefixed byte slice (varint length).
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_varint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Cursor for decoding.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(data: &'a [u8]) -> Cursor<'a> {
+        Cursor { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(FormatError::Bam(format!(
+                "truncated buffer: wanted {n} bytes, had {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .take(1)?
+                .first()
+                .expect("take(1) returned a 1-byte slice");
+            if shift >= 64 {
+                return Err(FormatError::Bam("varint overflow".into()));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.get_varint()? as usize;
+        self.take(n)
+    }
+
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| FormatError::Bam("invalid utf-8 in string field".into()))
+    }
+}
+
+/// Types with a stable byte encoding — used for BAM records, shuffle keys
+/// and values, and spill files.
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one value from the cursor.
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self>;
+
+    /// Convenience: encode to a fresh vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Convenience: decode from a full buffer, requiring it be consumed.
+    fn from_wire_bytes(data: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(data);
+        let v = Self::decode(&mut cur)?;
+        if !cur.is_empty() {
+            return Err(FormatError::Bam(format!(
+                "{} trailing bytes after decode",
+                cur.remaining()
+            )));
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        cur.get_varint()
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        // zigzag
+        put_varint(buf, ((*self << 1) ^ (*self >> 63)) as u64);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let z = cur.get_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, *self as u64);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let v = cur.get_varint()?;
+        u32::try_from(v).map_err(|_| FormatError::Bam("u32 overflow".into()))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_str(buf, self);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        cur.get_str()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        Ok(cur.get_bytes()?.to_vec())
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        Ok((A::decode(cur)?, B::decode(cur)?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        let n = cur.get_varint()? as usize;
+        // Defensive cap to avoid OOM on corrupt input.
+        if n > cur.remaining() {
+            return Err(FormatError::Bam(format!(
+                "vec length {n} exceeds remaining bytes"
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(cur)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &vals {
+            put_varint(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(cur.get_varint().unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn zigzag_i64_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, -123456789] {
+            let bytes = v.to_wire_bytes();
+            assert_eq!(i64::from_wire_bytes(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn string_and_bytes_roundtrip() {
+        let s = "read/1 αβγ".to_string();
+        assert_eq!(String::from_wire_bytes(&s.to_wire_bytes()).unwrap(), s);
+        let b = vec![0u8, 255, 3, 7];
+        assert_eq!(Vec::<u8>::from_wire_bytes(&b.to_wire_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn tuple_and_vec_roundtrip() {
+        let v: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), 2)];
+        let bytes = v.to_wire_bytes();
+        assert_eq!(Vec::<(String, u64)>::from_wire_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let s = "hello".to_string().to_wire_bytes();
+        assert!(String::from_wire_bytes(&s[..s.len() - 1]).is_err());
+        // Trailing garbage too.
+        let mut padded = s.clone();
+        padded.push(0);
+        assert!(String::from_wire_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn corrupt_vec_length_rejected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40); // absurd element count
+        assert!(Vec::<u64>::from_wire_bytes(&buf).is_err());
+    }
+}

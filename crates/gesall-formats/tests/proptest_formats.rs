@@ -1,0 +1,186 @@
+//! Property-based tests of the format layer's core invariants:
+//! every serializer/deserializer pair must round-trip arbitrary inputs,
+//! and the codec must never corrupt data regardless of content.
+
+use gesall_formats::bam;
+use gesall_formats::compress::{compress, crc32, decompress};
+use gesall_formats::fastq::{self, FastqRecord, ReadPair};
+use gesall_formats::sam::cigar::{Cigar, CigarOp};
+use gesall_formats::sam::header::{ReferenceSeq, SamHeader};
+use gesall_formats::sam::{Flags, SamRecord};
+use gesall_formats::wire::Wire;
+use proptest::prelude::*;
+
+fn arb_dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 1..max_len)
+}
+
+fn arb_qual(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..60, len..=len)
+}
+
+prop_compose! {
+    fn arb_read()(seq in arb_dna(200))(
+        qual in arb_qual(seq.len()),
+        seq in Just(seq),
+        name in "[a-zA-Z0-9_:/]{1,30}",
+    ) -> FastqRecord {
+        FastqRecord { name, seq, qual }
+    }
+}
+
+fn arb_cigar_ops() -> impl Strategy<Value = Vec<CigarOp>> {
+    // Structurally valid: optional clips around a M/I/D core starting
+    // and ending with M.
+    (
+        proptest::option::of(1u32..30),
+        proptest::collection::vec((1u32..50, 0u8..3), 1..6),
+        proptest::option::of(1u32..30),
+    )
+        .prop_map(|(lead, core, trail)| {
+            let mut ops = Vec::new();
+            if let Some(n) = lead {
+                ops.push(CigarOp::SoftClip(n));
+            }
+            ops.push(CigarOp::Match(10));
+            for (n, kind) in core {
+                match kind {
+                    0 => ops.push(CigarOp::Match(n)),
+                    1 => {
+                        ops.push(CigarOp::Ins(n));
+                        ops.push(CigarOp::Match(1));
+                    }
+                    _ => {
+                        ops.push(CigarOp::Del(n));
+                        ops.push(CigarOp::Match(1));
+                    }
+                }
+            }
+            if let Some(n) = trail {
+                ops.push(CigarOp::SoftClip(n));
+            }
+            ops
+        })
+}
+
+prop_compose! {
+    fn arb_sam_record()(
+        cigar_ops in arb_cigar_ops(),
+        name in "[a-zA-Z0-9_]{1,24}",
+        pos in 1i64..1_000_000,
+        mapq in 0u8..=60,
+        flag_bits in 0u16..0x400,
+        rg in proptest::option::of("[a-z0-9]{1,8}"),
+        score in -50i32..200,
+        nm in 0u32..30,
+    ) -> SamRecord {
+        let cigar = Cigar(cigar_ops);
+        let qlen = cigar.query_len() as usize;
+        let mut r = SamRecord::unmapped(name, vec![b'A'; qlen], vec![30; qlen]);
+        // Keep it mapped & primary-paired-ish but fuzz other flags.
+        let mut flags = Flags(flag_bits & !(Flags::UNMAPPED | Flags::SECONDARY | Flags::SUPPLEMENTARY));
+        flags.set(Flags::UNMAPPED, false);
+        r.flags = flags;
+        r.ref_id = 0;
+        r.pos = pos;
+        r.mapq = mapq;
+        r.cigar = cigar;
+        r.read_group = rg.unwrap_or_default();
+        r.alignment_score = score;
+        r.edit_distance = nm;
+        r
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        let d = decompress(&c).unwrap();
+        prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn codec_roundtrips_repetitive_dna(unit in arb_dna(40), reps in 1usize..200) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips(data in proptest::collection::vec(any::<u8>(), 1..512), bit in 0usize..4096) {
+        let mut mutated = data.clone();
+        let i = (bit / 8) % mutated.len();
+        mutated[i] ^= 1 << (bit % 8);
+        // A single flipped bit must change the CRC.
+        prop_assert_ne!(crc32(&data), crc32(&mutated));
+    }
+
+    #[test]
+    fn sam_record_wire_roundtrip(rec in arb_sam_record()) {
+        let bytes = rec.to_wire_bytes();
+        let back = SamRecord::from_wire_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn cigar_text_roundtrip(ops in arb_cigar_ops()) {
+        let c = Cigar(ops);
+        let parsed = Cigar::parse(&c.to_string()).unwrap();
+        prop_assert_eq!(&parsed, &c);
+        // Derived attributes are consistent.
+        prop_assert_eq!(
+            c.unclipped_start(1000) + c.leading_clip() as i64,
+            1000
+        );
+        prop_assert!(c.unclipped_end(1000) >= 1000);
+    }
+
+    #[test]
+    fn fastq_text_roundtrip(reads in proptest::collection::vec(arb_read(), 1..20)) {
+        let bytes = fastq::to_bytes(&reads);
+        let parsed = fastq::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(parsed, reads);
+    }
+
+    #[test]
+    fn interleaved_pairs_roundtrip(reads in proptest::collection::vec(arb_read(), 1..12)) {
+        let pairs: Vec<ReadPair> = reads
+            .into_iter()
+            .map(|r| {
+                let mut r2 = r.clone();
+                r2.seq.reverse();
+                r2.qual.reverse();
+                ReadPair::new(r, r2).unwrap()
+            })
+            .collect();
+        let bytes = fastq::pairs_to_interleaved_bytes(&pairs);
+        let back = fastq::pairs_from_interleaved_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn bam_roundtrip_preserves_records(records in proptest::collection::vec(arb_sam_record(), 0..60)) {
+        let header = SamHeader::new(vec![ReferenceSeq { name: "chr1".into(), len: 2_000_000 }]);
+        let bytes = bam::write_bam(&header, &records);
+        let (h2, r2) = bam::read_bam(&bytes).unwrap();
+        prop_assert_eq!(h2, header);
+        prop_assert_eq!(r2, records);
+    }
+
+    #[test]
+    fn partition_split_is_a_partition(n_pairs in 0usize..200, parts in 1usize..16) {
+        let pairs: Vec<ReadPair> = (0..n_pairs)
+            .map(|i| {
+                let r = FastqRecord { name: format!("p{i}"), seq: b"ACGT".to_vec(), qual: vec![30; 4] };
+                ReadPair::new(r.clone(), r).unwrap()
+            })
+            .collect();
+        let split = fastq::split_pairs_into_partitions(pairs.clone(), parts);
+        prop_assert_eq!(split.len(), parts);
+        let flat: Vec<ReadPair> = split.concat();
+        prop_assert_eq!(flat, pairs); // order-preserving, lossless
+    }
+}

@@ -1,0 +1,122 @@
+//! Job counters — the numbers the paper's analysis keeps citing
+//! ("72 million more records than the input are shuffled", "1.92× the
+//! input data", spill counts, merge passes).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Well-known counter names.
+pub mod keys {
+    pub const MAP_INPUT_RECORDS: &str = "map.input.records";
+    pub const MAP_OUTPUT_RECORDS: &str = "map.output.records";
+    pub const MAP_OUTPUT_BYTES: &str = "map.output.bytes";
+    pub const MAP_SPILLS: &str = "map.spills";
+    pub const MAP_MERGE_SEGMENTS: &str = "map.merge.segments";
+    pub const SHUFFLE_RECORDS: &str = "shuffle.records";
+    pub const SHUFFLE_BYTES: &str = "shuffle.bytes";
+    pub const SHUFFLE_BYTES_RAW: &str = "shuffle.bytes.raw";
+    pub const REDUCE_INPUT_GROUPS: &str = "reduce.input.groups";
+    pub const REDUCE_OUTPUT_RECORDS: &str = "reduce.output.records";
+    pub const REDUCE_MERGE_PASSES: &str = "reduce.merge.passes";
+    pub const REDUCE_MERGE_BYTES: &str = "reduce.merge.bytes";
+    /// Nanoseconds spent converting between framework records and
+    /// external-program bytes (the Fig. 6a overhead).
+    pub const DATA_TRANSFORM_NANOS: &str = "wrapper.transform.nanos";
+    /// Nanoseconds spent inside wrapped external programs.
+    pub const EXTERNAL_PROGRAM_NANOS: &str = "wrapper.external.nanos";
+}
+
+/// A concurrent bag of named `u64` counters.
+#[derive(Clone, Default)]
+pub struct Counters {
+    inner: Arc<Mutex<BTreeMap<String, u64>>>,
+}
+
+impl Counters {
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock();
+        *m.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Merge another counter bag into this one.
+    pub fn merge(&self, other: &Counters) {
+        let other = other.inner.lock().clone();
+        let mut m = self.inner.lock();
+        for (k, v) in other {
+            *m.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+impl std::fmt::Debug for Counters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_snapshot() {
+        let c = Counters::new();
+        c.add("a", 5);
+        c.add("a", 2);
+        c.add("b", 1);
+        assert_eq!(c.get("a"), 7);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(
+            c.snapshot(),
+            vec![("a".to_string(), 7), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn merge_sums() {
+        let a = Counters::new();
+        let b = Counters::new();
+        a.add("x", 1);
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn concurrent_adds() {
+        let c = Counters::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get("n"), 8000);
+    }
+}

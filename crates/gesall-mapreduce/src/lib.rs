@@ -1,0 +1,39 @@
+//! # gesall-mapreduce
+//!
+//! An in-process MapReduce engine with Hadoop's performance-relevant
+//! anatomy, executing real work on real threads:
+//!
+//! * [`task`] — `Mapper` / `Reducer` traits over typed, wire-encodable
+//!   key-value records;
+//! * [`shuffle`] — the map-side **sort buffer** (`io.sort.mb`) with
+//!   spill-and-merge, partitioned map output, optional map-output
+//!   compression, and the reduce-side **multipass merge** — the machinery
+//!   behind the paper's Fig. 5(b), Fig. 10, and Table 7 observations;
+//! * [`cluster`] — a YARN-like resource model: nodes × (vcores, memory)
+//!   ⇒ container slots per node; tasks run in waves when slots are
+//!   scarce;
+//! * [`runtime`] — the job driver: input splits with locality
+//!   preferences, map wave, shuffle accounting, reduce wave, per-task
+//!   history events (the raw material of task-progress plots, Fig. 7);
+//! * [`streaming`] — the Hadoop-Streaming analogue: byte pipes with
+//!   bounded 64 KiB buffers connecting the framework to "external"
+//!   programs, with the data-transformation steps separately timed
+//!   (Fig. 6a/6b);
+//! * [`counters`] — job counters (records/bytes shuffled, spills, merge
+//!   passes, transformation time).
+//!
+//! Scale note: this engine runs *mini-scale* workloads for correctness
+//! and accuracy experiments. Paper-scale timing behaviour (220 GB input,
+//! 15 nodes) is modelled by `gesall-sim` using the same phase structure.
+
+pub mod cluster;
+pub mod counters;
+pub mod runtime;
+pub mod shuffle;
+pub mod streaming;
+pub mod task;
+
+pub use cluster::{ClusterResources, NodeResources};
+pub use counters::Counters;
+pub use runtime::{InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind};
+pub use task::{HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer};

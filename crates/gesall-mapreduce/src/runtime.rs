@@ -1,0 +1,609 @@
+//! The job driver: input splits → map wave → shuffle → reduce wave.
+
+use crate::cluster::ClusterResources;
+use crate::counters::{keys, Counters};
+use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer};
+use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-job configuration (the Hadoop parameters the paper tunes).
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    pub name: String,
+    pub n_reducers: usize,
+    /// Map-side sort buffer (`mapreduce.task.io.sort.mb`), in bytes here.
+    pub io_sort_bytes: usize,
+    /// Reduce-side merge fan-in.
+    pub merge_factor: usize,
+    /// Compress map output (the paper's Snappy setting).
+    pub compress_map_output: bool,
+    /// `mapreduce.job.reduce.slowstart.completedmaps` — fraction of maps
+    /// that must finish before reducers are scheduled. The in-process
+    /// engine always barriers maps before reduces; the value is recorded
+    /// in the result for the cost model (gesall-sim) to consume.
+    pub slowstart_completed_maps: f64,
+    pub map_vcores: usize,
+    pub map_memory_mb: usize,
+    pub reduce_vcores: usize,
+    pub reduce_memory_mb: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> JobConfig {
+        JobConfig {
+            name: "job".into(),
+            n_reducers: 1,
+            io_sort_bytes: 64 * 1024 * 1024,
+            merge_factor: 10,
+            compress_map_output: true,
+            slowstart_completed_maps: 0.05,
+            map_vcores: 1,
+            map_memory_mb: 1024,
+            reduce_vcores: 1,
+            reduce_memory_mb: 1024,
+        }
+    }
+}
+
+/// One unit of map input: typed records plus a locality preference
+/// (the node holding the logical partition's blocks).
+#[derive(Debug, Clone)]
+pub struct InputSplit<K, V> {
+    pub label: String,
+    pub preferred_node: Option<usize>,
+    pub records: Vec<(K, V)>,
+}
+
+impl<K, V> InputSplit<K, V> {
+    pub fn new(label: impl Into<String>, records: Vec<(K, V)>) -> InputSplit<K, V> {
+        InputSplit {
+            label: label.into(),
+            preferred_node: None,
+            records,
+        }
+    }
+
+    pub fn at_node(mut self, node: usize) -> InputSplit<K, V> {
+        self.preferred_node = Some(node);
+        self
+    }
+}
+
+/// Map task or reduce task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    Map,
+    Reduce,
+}
+
+/// A completed task's history record — the raw material for Fig. 7-style
+/// progress plots.
+#[derive(Debug, Clone)]
+pub struct TaskEvent {
+    pub kind: TaskKind,
+    pub task_id: usize,
+    pub node: usize,
+    /// Milliseconds since job start.
+    pub start_ms: f64,
+    pub end_ms: f64,
+    /// Whether the task ran on its preferred (data-local) node.
+    pub data_local: bool,
+}
+
+/// Everything a finished job reports.
+#[derive(Debug)]
+pub struct JobResult<K, V> {
+    /// One output vector per reducer (or per map task for map-only jobs).
+    pub outputs: Vec<Vec<(K, V)>>,
+    pub counters: Counters,
+    pub events: Vec<TaskEvent>,
+    pub wall_ms: f64,
+    pub config: JobConfig,
+}
+
+/// The engine: a cluster's worth of worker threads.
+pub struct MapReduceEngine {
+    cluster: ClusterResources,
+}
+
+struct TaskQueue {
+    /// (task index, preferred node).
+    pending: Mutex<Vec<(usize, Option<usize>)>>,
+}
+
+impl TaskQueue {
+    fn new(tasks: Vec<(usize, Option<usize>)>) -> TaskQueue {
+        TaskQueue {
+            pending: Mutex::new(tasks),
+        }
+    }
+
+    /// Pop a task local to `node` (preferred node matches, or no
+    /// preference).
+    fn pop_local(&self, node: usize) -> Option<usize> {
+        let mut q = self.pending.lock();
+        let pos = q
+            .iter()
+            .position(|&(_, pref)| pref == Some(node) || pref.is_none())?;
+        Some(q.remove(pos).0)
+    }
+
+    /// Pop any task (a remote steal); returns (task index, was_local).
+    fn pop_any(&self, node: usize) -> Option<(usize, bool)> {
+        let mut q = self.pending.lock();
+        if q.is_empty() {
+            None
+        } else {
+            let (t, pref) = q.remove(0);
+            Some((t, pref.is_none() || pref == Some(node)))
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.lock().is_empty()
+    }
+}
+
+impl MapReduceEngine {
+    pub fn new(cluster: ClusterResources) -> MapReduceEngine {
+        MapReduceEngine { cluster }
+    }
+
+    /// A single-node engine with `slots` concurrent tasks.
+    pub fn local(slots: usize) -> MapReduceEngine {
+        MapReduceEngine::new(ClusterResources::uniform(1, slots.max(1), usize::MAX / 2))
+    }
+
+    pub fn cluster(&self) -> &ClusterResources {
+        &self.cluster
+    }
+
+    /// Run a full map + shuffle + reduce job.
+    pub fn run_job<M, R>(
+        &self,
+        config: JobConfig,
+        mapper: &M,
+        reducer: &R,
+        partitioner: &dyn Partitioner<M::OutKey>,
+        splits: Vec<InputSplit<M::InKey, M::InValue>>,
+    ) -> JobResult<R::OutKey, R::OutValue>
+    where
+        M: Mapper,
+        R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
+    {
+        let counters = Counters::new();
+        let events: Arc<Mutex<Vec<TaskEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let t0 = Instant::now();
+        let n_maps = splits.len();
+        let n_reducers = config.n_reducers.max(1);
+
+        // ---- Map wave -------------------------------------------------
+        let splits: Vec<Mutex<Option<InputSplit<M::InKey, M::InValue>>>> =
+            splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let map_outputs: Vec<Mutex<Option<Vec<Segment>>>> =
+            (0..n_maps).map(|_| Mutex::new(None)).collect();
+        let queue = TaskQueue::new(
+            (0..n_maps)
+                .map(|i| (i, splits[i].lock().as_ref().unwrap().preferred_node))
+                .collect(),
+        );
+
+        self.run_wave(
+            config.map_vcores,
+            config.map_memory_mb,
+            &queue,
+            |task_id, node, local| {
+                let split = splits[task_id]
+                    .lock()
+                    .take()
+                    .expect("split taken exactly once");
+                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
+                counters.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
+                let mut buf = SortSpillBuffer::new(
+                    config.io_sort_bytes,
+                    n_reducers,
+                    partitioner,
+                    config.compress_map_output,
+                    counters.clone(),
+                );
+                {
+                    let mut sink = |k: M::OutKey, v: M::OutValue| buf.emit(k, v);
+                    let mut ctx = MapContext { sink: &mut sink };
+                    for (k, v) in split.records {
+                        mapper.map(k, v, &mut ctx);
+                    }
+                    mapper.finish(&mut ctx);
+                }
+                *map_outputs[task_id].lock() = Some(buf.finish());
+                events.lock().push(TaskEvent {
+                    kind: TaskKind::Map,
+                    task_id,
+                    node,
+                    start_ms,
+                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    data_local: local,
+                });
+            },
+        );
+
+        // ---- Shuffle + reduce wave ------------------------------------
+        let map_outputs: Vec<Vec<Segment>> = map_outputs
+            .into_iter()
+            .map(|m| m.into_inner().expect("map output present"))
+            .collect();
+        let reduce_outputs: Vec<Mutex<Vec<(R::OutKey, R::OutValue)>>> =
+            (0..n_reducers).map(|_| Mutex::new(Vec::new())).collect();
+        let queue = TaskQueue::new((0..n_reducers).map(|i| (i, None)).collect());
+
+        self.run_wave(
+            config.reduce_vcores,
+            config.reduce_memory_mb,
+            &queue,
+            |partition, node, local| {
+                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let segments: Vec<Segment> = map_outputs
+                    .iter()
+                    .map(|per_map| per_map[partition].clone())
+                    .collect();
+                let grouped = reduce_merge::<M::OutKey, M::OutValue>(
+                    segments,
+                    config.merge_factor,
+                    config.compress_map_output,
+                    &counters,
+                );
+                let mut out = Vec::new();
+                {
+                    let mut ctx = ReduceContext { out: &mut out };
+                    for (k, vs) in grouped {
+                        reducer.reduce(k, vs, &mut ctx);
+                    }
+                    reducer.finish(&mut ctx);
+                }
+                counters.add(keys::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                *reduce_outputs[partition].lock() = out;
+                events.lock().push(TaskEvent {
+                    kind: TaskKind::Reduce,
+                    task_id: partition,
+                    node,
+                    start_ms,
+                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    data_local: local,
+                });
+            },
+        );
+
+        let outputs = reduce_outputs.into_iter().map(|m| m.into_inner()).collect();
+        let mut events = Arc::try_unwrap(events)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        events.sort_by(|a, b| {
+            (a.kind == TaskKind::Reduce, a.task_id).cmp(&(b.kind == TaskKind::Reduce, b.task_id))
+        });
+        JobResult {
+            outputs,
+            counters,
+            events,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            config,
+        }
+    }
+
+    /// Run a map-only job (the paper's Round 1): each map task's emitted
+    /// records come back in emission order, one output per split.
+    pub fn run_map_only<M>(
+        &self,
+        config: JobConfig,
+        mapper: &M,
+        splits: Vec<InputSplit<M::InKey, M::InValue>>,
+    ) -> JobResult<M::OutKey, M::OutValue>
+    where
+        M: Mapper,
+    {
+        let counters = Counters::new();
+        let events: Arc<Mutex<Vec<TaskEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let t0 = Instant::now();
+        let n_maps = splits.len();
+        let splits: Vec<Mutex<Option<InputSplit<M::InKey, M::InValue>>>> =
+            splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let outputs: Vec<Mutex<Vec<(M::OutKey, M::OutValue)>>> =
+            (0..n_maps).map(|_| Mutex::new(Vec::new())).collect();
+        let queue = TaskQueue::new(
+            (0..n_maps)
+                .map(|i| (i, splits[i].lock().as_ref().unwrap().preferred_node))
+                .collect(),
+        );
+        self.run_wave(
+            config.map_vcores,
+            config.map_memory_mb,
+            &queue,
+            |task_id, node, local| {
+                let split = splits[task_id].lock().take().expect("split taken once");
+                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
+                counters.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
+                let mut out = Vec::new();
+                {
+                    let mut sink = |k, v| out.push((k, v));
+                    let mut ctx = MapContext { sink: &mut sink };
+                    for (k, v) in split.records {
+                        mapper.map(k, v, &mut ctx);
+                    }
+                    mapper.finish(&mut ctx);
+                }
+                counters.add(keys::MAP_OUTPUT_RECORDS, out.len() as u64);
+                *outputs[task_id].lock() = out;
+                events.lock().push(TaskEvent {
+                    kind: TaskKind::Map,
+                    task_id,
+                    node,
+                    start_ms,
+                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    data_local: local,
+                });
+            },
+        );
+        let outputs = outputs.into_iter().map(|m| m.into_inner()).collect();
+        let mut events = Arc::try_unwrap(events)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        events.sort_by_key(|e| e.task_id);
+        JobResult {
+            outputs,
+            counters,
+            events,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            config,
+        }
+    }
+
+    /// Execute one wave of tasks with per-node container slots.
+    fn run_wave<F>(&self, task_vcores: usize, task_memory_mb: usize, queue: &TaskQueue, body: F)
+    where
+        F: Fn(usize, usize, bool) + Send + Sync,
+    {
+        crossbeam::thread::scope(|s| {
+            for node in 0..self.cluster.n_nodes() {
+                let slots = self.cluster.slots_on(node, task_vcores, task_memory_mb);
+                for _ in 0..slots.max(if node == 0 { 1 } else { 0 }) {
+                    let body = &body;
+                    s.spawn(move |_| loop {
+                        // Delay scheduling: prefer local tasks; wait one
+                        // beat before stealing a remote one.
+                        if let Some(task) = queue.pop_local(node) {
+                            body(task, node, true);
+                            continue;
+                        }
+                        if queue.is_empty() {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(500));
+                        if let Some(task) = queue.pop_local(node) {
+                            body(task, node, true);
+                        } else if let Some((task, local)) = queue.pop_any(node) {
+                            body(task, node, local);
+                        } else {
+                            break;
+                        }
+                    });
+                }
+            }
+        })
+        .expect("task wave panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::HashPartitioner;
+
+    /// Word-count: the canonical smoke test.
+    struct Tokenize;
+    impl Mapper for Tokenize {
+        type InKey = u64;
+        type InValue = String;
+        type OutKey = String;
+        type OutValue = u64;
+        fn map(&self, _k: u64, line: String, ctx: &mut MapContext<'_, String, u64>) {
+            for w in line.split_whitespace() {
+                ctx.emit(w.to_string(), 1);
+            }
+        }
+    }
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = String;
+        type InValue = u64;
+        type OutKey = String;
+        type OutValue = u64;
+        fn reduce(&self, k: String, vs: Vec<u64>, ctx: &mut ReduceContext<'_, String, u64>) {
+            ctx.emit(k, vs.iter().sum());
+        }
+    }
+
+    fn word_splits(n_splits: usize, lines_per: usize) -> Vec<InputSplit<u64, String>> {
+        (0..n_splits)
+            .map(|s| {
+                let records = (0..lines_per)
+                    .map(|i| {
+                        (
+                            i as u64,
+                            format!("alpha beta w{} alpha", (s * lines_per + i) % 13),
+                        )
+                    })
+                    .collect();
+                InputSplit::new(format!("split-{s}"), records)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096));
+        let cfg = JobConfig {
+            n_reducers: 4,
+            io_sort_bytes: 512, // force spills
+            map_memory_mb: 1024,
+            reduce_memory_mb: 1024,
+            ..JobConfig::default()
+        };
+        let res = engine.run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(6, 50));
+        let mut all: Vec<(String, u64)> = res.outputs.into_iter().flatten().collect();
+        all.sort();
+        let alpha = all.iter().find(|(k, _)| k == "alpha").unwrap();
+        assert_eq!(alpha.1, 2 * 6 * 50);
+        let beta = all.iter().find(|(k, _)| k == "beta").unwrap();
+        assert_eq!(beta.1, 6 * 50);
+        // 13 w-words + alpha + beta.
+        assert_eq!(all.len(), 15);
+        // Counters sane.
+        assert_eq!(res.counters.get(keys::MAP_INPUT_RECORDS), 300);
+        assert_eq!(res.counters.get(keys::MAP_OUTPUT_RECORDS), 1200);
+        assert!(res.counters.get(keys::MAP_SPILLS) >= 6);
+        assert_eq!(res.counters.get(keys::SHUFFLE_RECORDS), 1200);
+        assert_eq!(res.counters.get(keys::REDUCE_OUTPUT_RECORDS), 15);
+        // Events: 6 maps + 4 reduces.
+        assert_eq!(
+            res.events.iter().filter(|e| e.kind == TaskKind::Map).count(),
+            6
+        );
+        assert_eq!(
+            res.events
+                .iter()
+                .filter(|e| e.kind == TaskKind::Reduce)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_cluster_shapes() {
+        let splits = || word_splits(5, 40);
+        let run = |nodes: usize, slots: usize, reducers: usize| {
+            let engine = MapReduceEngine::new(ClusterResources::uniform(nodes, slots, 8192));
+            let cfg = JobConfig {
+                n_reducers: reducers,
+                io_sort_bytes: 1024,
+                ..JobConfig::default()
+            };
+            let mut res = engine
+                .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, splits())
+                .outputs;
+            for o in &mut res {
+                o.sort();
+            }
+            res
+        };
+        let a = run(1, 1, 3);
+        let b = run(4, 4, 3);
+        assert_eq!(a, b, "output must not depend on physical parallelism");
+    }
+
+    #[test]
+    fn map_only_preserves_order_per_split() {
+        struct Identity;
+        impl Mapper for Identity {
+            type InKey = u64;
+            type InValue = String;
+            type OutKey = u64;
+            type OutValue = String;
+            fn map(&self, k: u64, v: String, ctx: &mut MapContext<'_, u64, String>) {
+                ctx.emit(k, v);
+            }
+        }
+        let engine = MapReduceEngine::local(4);
+        let splits = vec![
+            InputSplit::new("a", vec![(3u64, "x".to_string()), (1, "y".into())]),
+            InputSplit::new("b", vec![(9u64, "z".to_string())]),
+        ];
+        let res = engine.run_map_only(JobConfig::default(), &Identity, splits);
+        assert_eq!(res.outputs.len(), 2);
+        assert_eq!(res.outputs[0], vec![(3, "x".to_string()), (1, "y".into())]);
+        assert_eq!(res.outputs[1], vec![(9, "z".to_string())]);
+    }
+
+    #[test]
+    fn locality_preference_honored_when_slots_free() {
+        let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 4096));
+        struct Nop;
+        impl Mapper for Nop {
+            type InKey = u64;
+            type InValue = u64;
+            type OutKey = u64;
+            type OutValue = u64;
+            fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
+                ctx.emit(k, v);
+            }
+        }
+        let splits: Vec<InputSplit<u64, u64>> = (0..4)
+            .map(|i| InputSplit::new(format!("s{i}"), vec![(i as u64, 0)]).at_node(i))
+            .collect();
+        let res = engine.run_map_only(JobConfig::default(), &Nop, splits);
+        let local = res.events.iter().filter(|e| e.data_local).count();
+        assert!(
+            local >= 3,
+            "most tasks should run data-local: {:?}",
+            res.events
+        );
+    }
+
+    #[test]
+    fn single_reducer_gets_everything_sorted_by_key() {
+        struct KeyEcho;
+        impl Mapper for KeyEcho {
+            type InKey = u64;
+            type InValue = u64;
+            type OutKey = u64;
+            type OutValue = u64;
+            fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
+                ctx.emit(k, v);
+            }
+        }
+        struct CollectOrdered;
+        impl Reducer for CollectOrdered {
+            type InKey = u64;
+            type InValue = u64;
+            type OutKey = u64;
+            type OutValue = u64;
+            fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut ReduceContext<'_, u64, u64>) {
+                for v in vs {
+                    ctx.emit(k, v);
+                }
+            }
+        }
+        let engine = MapReduceEngine::local(3);
+        let splits: Vec<InputSplit<u64, u64>> = (0..3)
+            .map(|s| {
+                InputSplit::new(
+                    format!("s{s}"),
+                    (0..100u64).rev().map(|i| (i * 7 % 50, i)).collect(),
+                )
+            })
+            .collect();
+        let cfg = JobConfig {
+            n_reducers: 1,
+            ..JobConfig::default()
+        };
+        let res = engine.run_job(cfg, &KeyEcho, &CollectOrdered, &HashPartitioner, splits);
+        let keys: Vec<u64> = res.outputs[0].iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "reduce input must arrive key-sorted");
+        assert_eq!(keys.len(), 300);
+    }
+
+    #[test]
+    fn empty_job() {
+        let engine = MapReduceEngine::local(2);
+        let res = engine.run_job(
+            JobConfig::default(),
+            &Tokenize,
+            &Sum,
+            &HashPartitioner,
+            Vec::new(),
+        );
+        assert_eq!(res.outputs.len(), 1);
+        assert!(res.outputs[0].is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! The sort-spill-merge pipeline.
+//!
+//! Map side: emitted records serialize into a bounded **sort buffer**
+//! (`io.sort.mb`). A full buffer is sorted by (partition, key) and
+//! spilled; when the map function finishes, all spills are merged into a
+//! single sorted, partitioned output (the *map-side merge* whose disk
+//! contention dominates Fig. 5(b) at large partition sizes).
+//!
+//! Reduce side: each reducer fetches its partition's segment from every
+//! map output and runs a **multipass merge** bounded by `merge_factor`
+//! — the quadratic-in-data-per-disk behaviour of Li et al. [15] that
+//! explains the paper's disk findings (Appendix B.1).
+
+use crate::counters::{keys, Counters};
+use crate::task::Partitioner;
+use gesall_formats::compress::{compress, decompress};
+use gesall_formats::wire::{Cursor, Wire};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One sorted run of encoded (key, value) records.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Possibly-compressed payload.
+    pub data: Vec<u8>,
+    /// Uncompressed payload length.
+    pub raw_len: usize,
+    /// Record count.
+    pub records: u64,
+    /// Was [`Segment::data`] compressed?
+    pub compressed: bool,
+}
+
+impl Segment {
+    pub fn empty() -> Segment {
+        Segment {
+            data: Vec::new(),
+            raw_len: 0,
+            records: 0,
+            compressed: false,
+        }
+    }
+
+    /// Serialize a sorted run of typed pairs.
+    pub fn from_pairs<K: Wire, V: Wire>(pairs: &[(K, V)], use_compression: bool) -> Segment {
+        let mut raw = Vec::new();
+        for (k, v) in pairs {
+            k.encode(&mut raw);
+            v.encode(&mut raw);
+        }
+        let raw_len = raw.len();
+        if use_compression {
+            let data = compress(&raw);
+            Segment {
+                data,
+                raw_len,
+                records: pairs.len() as u64,
+                compressed: true,
+            }
+        } else {
+            Segment {
+                data: raw,
+                raw_len,
+                records: pairs.len() as u64,
+                compressed: false,
+            }
+        }
+    }
+
+    /// Decode back into typed pairs.
+    pub fn to_pairs<K: Wire, V: Wire>(&self) -> Vec<(K, V)> {
+        let raw_storage;
+        let raw: &[u8] = if self.compressed {
+            raw_storage = decompress(&self.data).expect("segment payload corrupt");
+            &raw_storage
+        } else {
+            &self.data
+        };
+        let mut cur = Cursor::new(raw);
+        let mut out = Vec::with_capacity(self.records as usize);
+        for _ in 0..self.records {
+            let k = K::decode(&mut cur).expect("segment key corrupt");
+            let v = V::decode(&mut cur).expect("segment value corrupt");
+            out.push((k, v));
+        }
+        assert!(cur.is_empty(), "trailing bytes in segment");
+        out
+    }
+
+    /// Bytes that travel over the wire for this segment.
+    pub fn wire_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Stable k-way merge of sorted runs by key (ties broken by run order,
+/// then intra-run order — deterministic).
+pub fn merge_runs<K: Wire + Ord + Clone, V: Wire>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Heap of (key, run_idx) → pop smallest; stability from run_idx order.
+    let mut iters: Vec<std::vec::IntoIter<(K, V)>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+    let mut heads: Vec<Option<V>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        match it.next() {
+            Some((k, v)) => {
+                heap.push(Reverse((k, i)));
+                heads.push(Some(v));
+            }
+            None => heads.push(None),
+        }
+    }
+    while let Some(Reverse((k, i))) = heap.pop() {
+        let v = heads[i].take().expect("head value present for popped run");
+        out.push((k, v));
+        if let Some((nk, nv)) = iters[i].next() {
+            heap.push(Reverse((nk, i)));
+            heads[i] = Some(nv);
+        }
+    }
+    out
+}
+
+/// The map-side sort buffer.
+pub struct SortSpillBuffer<'a, K: Wire + Ord + Clone, V: Wire> {
+    io_sort_bytes: usize,
+    n_partitions: usize,
+    partitioner: &'a dyn Partitioner<K>,
+    use_compression: bool,
+    current: Vec<(usize, K, V)>,
+    current_bytes: usize,
+    /// Each spill holds one sorted run per partition.
+    spills: Vec<Vec<Vec<(K, V)>>>,
+    counters: Counters,
+}
+
+impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
+    pub fn new(
+        io_sort_bytes: usize,
+        n_partitions: usize,
+        partitioner: &'a dyn Partitioner<K>,
+        use_compression: bool,
+        counters: Counters,
+    ) -> Self {
+        SortSpillBuffer {
+            io_sort_bytes: io_sort_bytes.max(1),
+            n_partitions: n_partitions.max(1),
+            partitioner,
+            use_compression,
+            current: Vec::new(),
+            current_bytes: 0,
+            spills: Vec::new(),
+            counters,
+        }
+    }
+
+    /// Serialize-account and buffer one record; spill when full.
+    pub fn emit(&mut self, key: K, value: V) {
+        // Hadoop serializes into the sort buffer; we account the same
+        // bytes without keeping the encoding.
+        let mut scratch = Vec::new();
+        key.encode(&mut scratch);
+        value.encode(&mut scratch);
+        self.current_bytes += scratch.len();
+        self.counters.add(keys::MAP_OUTPUT_BYTES, scratch.len() as u64);
+        self.counters.add(keys::MAP_OUTPUT_RECORDS, 1);
+        let p = self.partitioner.partition(&key, self.n_partitions);
+        self.current.push((p, key, value));
+        if self.current_bytes >= self.io_sort_bytes {
+            self.spill();
+        }
+    }
+
+    fn spill(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.current);
+        self.current_bytes = 0;
+        batch.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut runs: Vec<Vec<(K, V)>> = (0..self.n_partitions).map(|_| Vec::new()).collect();
+        for (p, k, v) in batch {
+            runs[p].push((k, v));
+        }
+        self.spills.push(runs);
+        self.counters.add(keys::MAP_SPILLS, 1);
+    }
+
+    /// Finish the map task: merge all spills into one sorted segment per
+    /// partition.
+    pub fn finish(mut self) -> Vec<Segment> {
+        self.spill();
+        let n_spills = self.spills.len();
+        if n_spills > 1 {
+            self.counters
+                .add(keys::MAP_MERGE_SEGMENTS, n_spills as u64);
+        }
+        let mut per_partition: Vec<Vec<Vec<(K, V)>>> =
+            (0..self.n_partitions).map(|_| Vec::new()).collect();
+        for spill in self.spills {
+            for (p, run) in spill.into_iter().enumerate() {
+                if !run.is_empty() {
+                    per_partition[p].push(run);
+                }
+            }
+        }
+        per_partition
+            .into_iter()
+            .map(|runs| {
+                let merged = if runs.len() == 1 {
+                    runs.into_iter().next().unwrap()
+                } else {
+                    merge_runs(runs)
+                };
+                Segment::from_pairs(&merged, self.use_compression)
+            })
+            .collect()
+    }
+}
+
+/// Reduce-side shuffle + multipass merge: fetch one segment per map task,
+/// merge them down to a single grouped stream.
+pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
+    segments: Vec<Segment>,
+    merge_factor: usize,
+    use_compression: bool,
+    counters: &Counters,
+) -> Vec<(K, Vec<V>)> {
+    let merge_factor = merge_factor.max(2);
+    for s in &segments {
+        counters.add(keys::SHUFFLE_RECORDS, s.records);
+        counters.add(keys::SHUFFLE_BYTES, s.wire_len() as u64);
+        counters.add(keys::SHUFFLE_BYTES_RAW, s.raw_len as u64);
+    }
+    let mut runs: std::collections::VecDeque<Vec<(K, V)>> = segments
+        .iter()
+        .filter(|s| s.records > 0)
+        .map(|s| s.to_pairs())
+        .collect();
+    // Intermediate passes: merge `merge_factor` runs at a time, rewriting
+    // the merged run to "disk" (accounted via REDUCE_MERGE_BYTES).
+    while runs.len() > merge_factor {
+        let take = merge_factor.min(runs.len());
+        let batch: Vec<Vec<(K, V)>> = (0..take).map(|_| runs.pop_front().unwrap()).collect();
+        let merged = merge_runs(batch);
+        // Model the disk rewrite of the intermediate pass.
+        let seg = Segment::from_pairs(&merged, use_compression);
+        counters.add(keys::REDUCE_MERGE_PASSES, 1);
+        counters.add(keys::REDUCE_MERGE_BYTES, seg.wire_len() as u64);
+        runs.push_back(merged);
+    }
+    let merged = merge_runs(runs.into_iter().collect());
+    // Group consecutive equal keys.
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in merged {
+        match out.last_mut() {
+            Some((lk, vs)) if *lk == k => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    counters.add(keys::REDUCE_INPUT_GROUPS, out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::HashPartitioner;
+
+    #[test]
+    fn segment_roundtrip_compressed_and_raw() {
+        let pairs: Vec<(String, u64)> = (0..500)
+            .map(|i| (format!("key{:04}", i % 50), i))
+            .collect();
+        for comp in [false, true] {
+            let seg = Segment::from_pairs(&pairs, comp);
+            assert_eq!(seg.records, 500);
+            assert_eq!(seg.compressed, comp);
+            let back: Vec<(String, u64)> = seg.to_pairs();
+            assert_eq!(back, pairs);
+            if comp {
+                assert!(seg.wire_len() < seg.raw_len, "repetitive keys compress");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_runs_is_sorted_and_stable() {
+        let a = vec![("a".to_string(), 1u64), ("c".into(), 2), ("e".into(), 3)];
+        let b = vec![("a".to_string(), 10u64), ("b".into(), 11)];
+        let merged = merge_runs(vec![a, b]);
+        let keys: Vec<&str> = merged.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "a", "b", "c", "e"]);
+        // Stability: run 0's "a" precedes run 1's.
+        assert_eq!(merged[0].1, 1);
+        assert_eq!(merged[1].1, 10);
+    }
+
+    #[test]
+    fn merge_runs_empty_inputs() {
+        let merged: Vec<(u64, u64)> = merge_runs(vec![]);
+        assert!(merged.is_empty());
+        let merged: Vec<(u64, u64)> = merge_runs(vec![vec![], vec![(1, 2)], vec![]]);
+        assert_eq!(merged, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn sort_buffer_spills_when_full() {
+        let counters = Counters::new();
+        let p = HashPartitioner;
+        let mut buf: SortSpillBuffer<'_, u64, u64> =
+            SortSpillBuffer::new(256, 2, &p, false, counters.clone());
+        for i in 0..200u64 {
+            buf.emit(i % 37, i);
+        }
+        let segs = buf.finish();
+        assert_eq!(segs.len(), 2);
+        assert!(counters.get(keys::MAP_SPILLS) > 1, "tiny buffer must spill");
+        assert_eq!(counters.get(keys::MAP_OUTPUT_RECORDS), 200);
+        // All records preserved, each segment sorted.
+        let mut n = 0;
+        for s in &segs {
+            let pairs: Vec<(u64, u64)> = s.to_pairs();
+            assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+            n += pairs.len();
+        }
+        assert_eq!(n, 200);
+    }
+
+    #[test]
+    fn partitioning_respects_partitioner() {
+        let counters = Counters::new();
+        let p = crate::task::FnPartitioner::new(|k: &u64, n| (*k as usize) % n);
+        let mut buf: SortSpillBuffer<'_, u64, String> =
+            SortSpillBuffer::new(1 << 20, 3, &p, false, counters);
+        for i in 0..60u64 {
+            buf.emit(i, format!("v{i}"));
+        }
+        let segs = buf.finish();
+        for (pi, s) in segs.iter().enumerate() {
+            for (k, _) in s.to_pairs::<u64, String>() {
+                assert_eq!(k as usize % 3, pi);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_merge_groups_by_key() {
+        let counters = Counters::new();
+        let seg1 = Segment::from_pairs(&[(1u64, 10u64), (2, 20)], false);
+        let seg2 = Segment::from_pairs(&[(1u64, 11u64), (3, 30)], false);
+        let grouped = reduce_merge::<u64, u64>(vec![seg1, seg2], 10, false, &counters);
+        assert_eq!(
+            grouped,
+            vec![(1, vec![10, 11]), (2, vec![20]), (3, vec![30])]
+        );
+        assert_eq!(counters.get(keys::SHUFFLE_RECORDS), 4);
+        assert_eq!(counters.get(keys::REDUCE_INPUT_GROUPS), 3);
+        assert_eq!(counters.get(keys::REDUCE_MERGE_PASSES), 0);
+    }
+
+    #[test]
+    fn reduce_merge_multipass_when_many_segments() {
+        let counters = Counters::new();
+        let segments: Vec<Segment> = (0..20u64)
+            .map(|s| Segment::from_pairs(&[(s, s * 100), (s + 100, s)], false))
+            .collect();
+        let grouped = reduce_merge::<u64, u64>(segments, 4, false, &counters);
+        assert_eq!(grouped.len(), 40);
+        assert!(
+            counters.get(keys::REDUCE_MERGE_PASSES) >= 4,
+            "20 segments at factor 4 need multiple passes, got {}",
+            counters.get(keys::REDUCE_MERGE_PASSES)
+        );
+        assert!(counters.get(keys::REDUCE_MERGE_BYTES) > 0);
+        // Sorted overall.
+        let ks: Vec<u64> = grouped.iter().map(|(k, _)| *k).collect();
+        let mut sorted = ks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ks, sorted);
+    }
+
+    #[test]
+    fn fewer_segments_than_factor_means_no_extra_pass() {
+        let counters = Counters::new();
+        let segments: Vec<Segment> = (0..5u64)
+            .map(|s| Segment::from_pairs(&[(s, s)], false))
+            .collect();
+        let _ = reduce_merge::<u64, u64>(segments, 10, false, &counters);
+        assert_eq!(counters.get(keys::REDUCE_MERGE_PASSES), 0);
+    }
+}

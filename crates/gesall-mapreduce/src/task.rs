@@ -1,0 +1,142 @@
+//! Mapper / Reducer traits and their emit contexts.
+
+use gesall_formats::wire::Wire;
+
+/// A map function over typed records. `map` is called once per input
+/// record; emitted pairs flow into the sort-spill-merge pipeline.
+pub trait Mapper: Send + Sync {
+    type InKey: Wire + Send;
+    type InValue: Wire + Send;
+    type OutKey: Wire + Ord + Clone + Send;
+    type OutValue: Wire + Send;
+
+    fn map(
+        &self,
+        key: Self::InKey,
+        value: Self::InValue,
+        ctx: &mut MapContext<'_, Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once per input split after its last record — for batch-style
+    /// mappers (e.g. a wrapped aligner) that buffer input and flush here.
+    fn finish(&self, _ctx: &mut MapContext<'_, Self::OutKey, Self::OutValue>) {}
+}
+
+/// A reduce function: one call per distinct key with all its values.
+pub trait Reducer: Send + Sync {
+    type InKey: Wire + Ord + Clone + Send;
+    type InValue: Wire + Send;
+    type OutKey: Wire + Send;
+    type OutValue: Wire + Send;
+
+    fn reduce(
+        &self,
+        key: Self::InKey,
+        values: Vec<Self::InValue>,
+        ctx: &mut ReduceContext<'_, Self::OutKey, Self::OutValue>,
+    );
+
+    /// Called once per reduce task after the last key — for reducers that
+    /// aggregate across keys (e.g. a wrapped MarkDuplicates that needs all
+    /// reads of its partition sorted first).
+    fn finish(&self, _ctx: &mut ReduceContext<'_, Self::OutKey, Self::OutValue>) {}
+}
+
+/// Sink for map output.
+pub struct MapContext<'a, K, V> {
+    pub(crate) sink: &'a mut dyn FnMut(K, V),
+}
+
+impl<K, V> MapContext<'_, K, V> {
+    pub fn emit(&mut self, key: K, value: V) {
+        (self.sink)(key, value);
+    }
+}
+
+/// Sink for reduce output.
+pub struct ReduceContext<'a, K, V> {
+    pub(crate) out: &'a mut Vec<(K, V)>,
+}
+
+impl<K, V> ReduceContext<'_, K, V> {
+    pub fn emit(&mut self, key: K, value: V) {
+        self.out.push((key, value));
+    }
+}
+
+/// Routes a key to one of `n` reduce partitions.
+pub trait Partitioner<K>: Send + Sync {
+    fn partition(&self, key: &K, n_partitions: usize) -> usize;
+}
+
+/// Default partitioner: FNV-1a over the key's wire encoding.
+pub struct HashPartitioner;
+
+impl<K: Wire> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, n_partitions: usize) -> usize {
+        let bytes = key.to_wire_bytes();
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        (h % n_partitions as u64) as usize
+    }
+}
+
+/// Partition by a caller-supplied function (range partitioning et al.).
+pub struct FnPartitioner<K, F: Fn(&K, usize) -> usize + Send + Sync>(
+    pub F,
+    pub std::marker::PhantomData<K>,
+);
+
+impl<K, F: Fn(&K, usize) -> usize + Send + Sync> FnPartitioner<K, F> {
+    pub fn new(f: F) -> Self {
+        FnPartitioner(f, std::marker::PhantomData)
+    }
+}
+
+impl<K: Send + Sync, F: Fn(&K, usize) -> usize + Send + Sync> Partitioner<K>
+    for FnPartitioner<K, F>
+{
+    fn partition(&self, key: &K, n_partitions: usize) -> usize {
+        (self.0)(key, n_partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_in_range_and_stable() {
+        let p = HashPartitioner;
+        for k in 0u64..500 {
+            let a = Partitioner::partition(&p, &k, 7);
+            let b = Partitioner::partition(&p, &k, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads() {
+        let p = HashPartitioner;
+        let mut buckets = vec![0usize; 8];
+        for k in 0u64..4000 {
+            buckets[Partitioner::partition(&p, &format!("key{k}"), 8)] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(
+            max < min * 2,
+            "partitions badly skewed: {buckets:?}"
+        );
+    }
+
+    #[test]
+    fn fn_partitioner_delegates() {
+        let p = FnPartitioner::new(|k: &u64, n| (*k as usize) % n);
+        assert_eq!(p.partition(&13, 5), 3);
+    }
+}

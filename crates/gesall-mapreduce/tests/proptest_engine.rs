@@ -1,0 +1,122 @@
+//! Property-based tests of the MapReduce engine's semantic invariants:
+//! the output must be independent of partitioning, cluster shape, sort
+//! buffer size, and compression — only then can the platform claim
+//! "same program, parallel execution".
+
+use gesall_mapreduce::shuffle::{merge_runs, Segment};
+use gesall_mapreduce::{
+    ClusterResources, HashPartitioner, InputSplit, JobConfig, MapContext, MapReduceEngine, Mapper,
+    ReduceContext, Reducer,
+};
+use proptest::prelude::*;
+
+struct KeyMod(u64);
+impl Mapper for KeyMod {
+    type InKey = u64;
+    type InValue = u64;
+    type OutKey = u64;
+    type OutValue = u64;
+    fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
+        ctx.emit(k % self.0, v.wrapping_add(k));
+    }
+}
+
+struct SumAndCount;
+impl Reducer for SumAndCount {
+    type InKey = u64;
+    type InValue = u64;
+    type OutKey = u64;
+    type OutValue = u64;
+    fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut ReduceContext<'_, u64, u64>) {
+        ctx.emit(k, vs.iter().fold(0u64, |a, b| a.wrapping_add(*b)));
+        ctx.emit(k, vs.len() as u64);
+    }
+}
+
+fn run(
+    records: &[(u64, u64)],
+    n_splits: usize,
+    nodes: usize,
+    slots: usize,
+    reducers: usize,
+    sort_bytes: usize,
+    compress: bool,
+) -> Vec<(u64, u64)> {
+    let engine = MapReduceEngine::new(ClusterResources::uniform(nodes, slots, 1 << 20));
+    let per = records.len().div_ceil(n_splits.max(1)).max(1);
+    let splits: Vec<InputSplit<u64, u64>> = records
+        .chunks(per)
+        .enumerate()
+        .map(|(i, c)| InputSplit::new(format!("s{i}"), c.to_vec()))
+        .collect();
+    let cfg = JobConfig {
+        n_reducers: reducers,
+        io_sort_bytes: sort_bytes,
+        compress_map_output: compress,
+        ..JobConfig::default()
+    };
+    let res = engine.run_job(cfg, &KeyMod(17), &SumAndCount, &HashPartitioner, splits);
+    let mut all: Vec<(u64, u64)> = res.outputs.into_iter().flatten().collect();
+    all.sort_unstable();
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn output_invariant_under_execution_shape(
+        records in proptest::collection::vec((0u64..1000, 0u64..1_000_000), 1..300),
+        n_splits in 1usize..8,
+        nodes in 1usize..5,
+        slots in 1usize..4,
+        reducers in 1usize..6,
+        sort_shift in 6u32..16,
+        compress in any::<bool>(),
+    ) {
+        let baseline = run(&records, 1, 1, 1, 1, 1 << 20, false);
+        let varied = run(&records, n_splits, nodes, slots, reducers, 1usize << sort_shift, compress);
+        prop_assert_eq!(baseline, varied);
+    }
+
+    #[test]
+    fn merge_runs_equals_global_sort(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((0u64..100, any::<u64>()), 0..50),
+            0..6,
+        )
+    ) {
+        let sorted_runs: Vec<Vec<(u64, u64)>> = runs
+            .into_iter()
+            .map(|mut r| {
+                r.sort_by_key(|(k, _)| *k);
+                r
+            })
+            .collect();
+        let mut expected: Vec<(u64, u64)> = sorted_runs.iter().flatten().cloned().collect();
+        expected.sort_by_key(|(k, _)| *k); // stable: preserves run order for ties
+        let merged = merge_runs(sorted_runs);
+        // Key sequence identical; values per key form the same multiset.
+        prop_assert_eq!(
+            merged.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            expected.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        );
+        let mut mv: Vec<(u64, u64)> = merged;
+        let mut ev = expected;
+        mv.sort_unstable();
+        ev.sort_unstable();
+        prop_assert_eq!(mv, ev);
+    }
+
+    #[test]
+    fn segment_roundtrip_any_pairs(
+        pairs in proptest::collection::vec(("[a-z]{0,12}", any::<u64>()), 0..200),
+        compress in any::<bool>(),
+    ) {
+        let pairs: Vec<(String, u64)> = pairs;
+        let seg = Segment::from_pairs(&pairs, compress);
+        prop_assert_eq!(seg.records, pairs.len() as u64);
+        let back: Vec<(String, u64)> = seg.to_pairs();
+        prop_assert_eq!(back, pairs);
+    }
+}

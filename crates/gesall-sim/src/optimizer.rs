@@ -1,0 +1,233 @@
+//! A pipeline execution-plan optimizer — the paper's Appendix C research
+//! question #4: "a pipeline optimizer that can best configure the
+//! execution plan of a deep pipeline to meet both user requirements on
+//! running time and a genome center's requirements on throughput or
+//! efficiency."
+//!
+//! The optimizer searches the configuration space the paper explores by
+//! hand in §4 — logical partition counts, mappers×threads per node,
+//! reducers, slow-start, MarkDup variant — using the `mr_model` /
+//! `bwa_model` cost functions, and returns the best plan under either
+//! objective.
+
+use crate::bwa_model::{alignment_round_seconds, AlignRoundConfig, Readahead};
+use crate::mr_model::{job_metrics, markdup_job, round2_job, round5_wall_seconds, JobMetrics};
+use crate::spec::{ClusterSpec, WorkloadSpec};
+
+/// What the optimizer minimizes/maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize end-to-end wall clock (the clinician's 1–2 day target).
+    WallClock,
+    /// Maximize resource efficiency (the genome center's throughput
+    /// concern — its farm is shared across many pipelines).
+    Efficiency,
+}
+
+/// A fully-configured execution plan for the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionPlan {
+    /// Alignment round: logical partitions and the process/thread split.
+    pub align_partitions: usize,
+    pub align_mappers_per_node: usize,
+    pub align_threads_per_mapper: usize,
+    /// Shuffling rounds: partitions, concurrent tasks, slow-start.
+    pub shuffle_partitions: usize,
+    pub tasks_per_node: usize,
+    pub slowstart: f64,
+    /// Bloom-filter MarkDuplicates?
+    pub markdup_opt: bool,
+}
+
+/// The evaluated cost of a plan.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanCost {
+    pub align_s: f64,
+    pub round2_s: f64,
+    pub markdup_s: f64,
+    pub round5_s: f64,
+    pub total_s: f64,
+    /// Mean resource efficiency over the shuffling rounds.
+    pub efficiency: f64,
+}
+
+/// Evaluate one plan on a cluster/workload.
+pub fn evaluate_plan(
+    cluster: &ClusterSpec,
+    workload: &WorkloadSpec,
+    plan: &ExecutionPlan,
+) -> PlanCost {
+    let align_s = alignment_round_seconds(
+        cluster,
+        workload,
+        &AlignRoundConfig {
+            n_partitions: plan.align_partitions,
+            mappers_per_node: plan.align_mappers_per_node,
+            threads_per_mapper: plan.align_threads_per_mapper,
+            readahead: Readahead::Small,
+            streaming_overhead: 1.12,
+        },
+    );
+    let serial_md_s = 14.45 * 3600.0;
+    let (_, m2): (_, JobMetrics) = job_metrics(
+        cluster,
+        &round2_job(
+            workload,
+            plan.shuffle_partitions,
+            plan.tasks_per_node,
+            plan.tasks_per_node,
+        ),
+        serial_md_s, // common baseline so efficiencies compare consistently across plans
+    );
+    let (_, m3) = job_metrics(
+        cluster,
+        &markdup_job(
+            workload,
+            plan.markdup_opt,
+            plan.shuffle_partitions,
+            plan.tasks_per_node,
+            plan.tasks_per_node,
+            plan.slowstart,
+        ),
+        serial_md_s,
+    );
+    let round5_s = round5_wall_seconds(cluster, workload);
+    let total_s = align_s + m2.wall_s + m3.wall_s + round5_s;
+    PlanCost {
+        align_s,
+        round2_s: m2.wall_s,
+        markdup_s: m3.wall_s,
+        round5_s,
+        total_s,
+        efficiency: (m2.resource_efficiency + m3.resource_efficiency) / 2.0,
+    }
+}
+
+/// Enumerate the candidate space the paper tunes by hand.
+fn candidate_plans(cluster: &ClusterSpec) -> Vec<ExecutionPlan> {
+    let cores = cluster.node.cores;
+    let mut plans = Vec::new();
+    // Process/thread splits of the node's cores.
+    let splits: Vec<(usize, usize)> = (0..)
+        .map(|i| 1usize << i)
+        .take_while(|&m| m <= cores)
+        .filter(|&m| cores % m == 0)
+        .map(|m| (m, cores / m))
+        .collect();
+    for &(mappers, threads) in &splits {
+        for parts_factor in [1usize, 4, 16] {
+            for tasks in [cores / 4, cores / 2, cores].into_iter().filter(|&t| t > 0) {
+                for slowstart in [0.05, 0.8] {
+                    for markdup_opt in [false, true] {
+                        plans.push(ExecutionPlan {
+                            align_partitions: cluster.n_nodes * mappers * parts_factor,
+                            align_mappers_per_node: mappers,
+                            align_threads_per_mapper: threads,
+                            shuffle_partitions: cluster.n_nodes * tasks,
+                            tasks_per_node: tasks,
+                            slowstart,
+                            markdup_opt,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// Search the plan space; returns the best plan and its cost.
+pub fn optimize(
+    cluster: &ClusterSpec,
+    workload: &WorkloadSpec,
+    objective: Objective,
+) -> (ExecutionPlan, PlanCost) {
+    let mut best: Option<(ExecutionPlan, PlanCost)> = None;
+    for plan in candidate_plans(cluster) {
+        let cost = evaluate_plan(cluster, workload, &plan);
+        let better = match (&best, objective) {
+            (None, _) => true,
+            (Some((_, b)), Objective::WallClock) => cost.total_s < b.total_s,
+            (Some((_, b)), Objective::Efficiency) => cost.efficiency > b.efficiency,
+        };
+        if better {
+            best = Some((plan, cost));
+        }
+    }
+    best.expect("candidate space is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizer_prefers_process_hierarchy_for_alignment() {
+        // The §4.3 finding, rediscovered automatically: many processes
+        // with few threads beat one fat multithreaded process.
+        let (plan, _) = optimize(
+            &ClusterSpec::cluster_a(),
+            &WorkloadSpec::na12878(),
+            Objective::WallClock,
+        );
+        assert!(
+            plan.align_mappers_per_node >= 4,
+            "expected a process-heavy split, got {plan:?}"
+        );
+        assert!(plan.align_threads_per_mapper <= 6);
+    }
+
+    #[test]
+    fn optimizer_always_picks_markdup_opt() {
+        // The bloom variant dominates on both objectives.
+        for objective in [Objective::WallClock, Objective::Efficiency] {
+            let (plan, _) = optimize(
+                &ClusterSpec::cluster_b(),
+                &WorkloadSpec::na12878(),
+                objective,
+            );
+            assert!(plan.markdup_opt, "{objective:?} should pick MarkDup_opt");
+        }
+    }
+
+    #[test]
+    fn efficiency_objective_prefers_late_slowstart() {
+        let (plan, _) = optimize(
+            &ClusterSpec::cluster_a(),
+            &WorkloadSpec::na12878(),
+            Objective::Efficiency,
+        );
+        assert!(
+            plan.slowstart > 0.5,
+            "efficiency objective should avoid idle reducers, got {plan:?}"
+        );
+    }
+
+    #[test]
+    fn objectives_trade_off() {
+        let c = ClusterSpec::cluster_a();
+        let w = WorkloadSpec::na12878();
+        let (_, fast) = optimize(&c, &w, Objective::WallClock);
+        let (_, efficient) = optimize(&c, &w, Objective::Efficiency);
+        assert!(fast.total_s <= efficient.total_s + 1.0);
+        assert!(efficient.efficiency >= fast.efficiency - 1e-9);
+    }
+
+    #[test]
+    fn plan_cost_components_positive() {
+        let c = ClusterSpec::cluster_b();
+        let w = WorkloadSpec::na12878();
+        let (plan, cost) = optimize(&c, &w, Objective::WallClock);
+        assert!(cost.align_s > 0.0);
+        assert!(cost.round2_s > 0.0);
+        assert!(cost.markdup_s > 0.0);
+        assert!(cost.round5_s > 0.0);
+        assert!(
+            (cost.total_s - (cost.align_s + cost.round2_s + cost.markdup_s + cost.round5_s))
+                .abs()
+                < 1e-6
+        );
+        // The plan fits the cluster.
+        assert!(plan.align_mappers_per_node * plan.align_threads_per_mapper <= c.node.cores);
+    }
+}

@@ -1,0 +1,199 @@
+//! Trace synthesis: per-node task progress (Fig. 7) and disk
+//! utilisation over time (Fig. 10), derived from the MR phase model.
+
+use crate::mr_model::{simulate_mr_job, MrJobSpec, DISK_MERGE_CAPACITY_GB};
+use crate::spec::ClusterSpec;
+
+/// Task phases shown in the Fig. 7 progress plot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Map,
+    ShuffleMerge,
+    Reduce,
+}
+
+/// One bar of the progress plot: a task phase on a node.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskBar {
+    pub node: usize,
+    pub phase: Phase,
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+/// Deterministic per-(node, salt) jitter in `[-1, 1]`.
+fn jitter(node: usize, salt: u64) -> f64 {
+    let mut h = (node as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ salt;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h % 2001) as f64 / 1000.0 - 1.0
+}
+
+/// Synthesize the Fig. 7 per-node task progress bars for a job: map
+/// bars, shuffle+merge bars, and reduce bars per node, with realistic
+/// straggler jitter. Even progress across nodes (small spread) is what
+/// the paper observes with adequate disks.
+pub fn progress_trace(cluster: &ClusterSpec, job: &MrJobSpec) -> Vec<TaskBar> {
+    let b = simulate_mr_job(cluster, job);
+    let mut bars = Vec::new();
+    // Jitter scale: disk pressure widens the spread (stragglers) —
+    // Fig. 7's "with 1 disk progress is already quite even; with 6 disks
+    // very even".
+    let per_disk_gb = job.shuffle_gb / cluster.n_nodes as f64 / cluster.node.disks.len() as f64;
+    let pressure = (per_disk_gb / DISK_MERGE_CAPACITY_GB).min(2.0);
+    let spread = 0.03 + 0.10 * pressure;
+    for node in 0..cluster.n_nodes {
+        let map_end = (b.map_s + b.map_merge_s) * (1.0 + spread * jitter(node, 1));
+        bars.push(TaskBar {
+            node,
+            phase: Phase::Map,
+            start_s: 0.0,
+            end_s: map_end,
+        });
+        let sm_end = map_end + b.shuffle_merge_s * (1.0 + spread * jitter(node, 2));
+        bars.push(TaskBar {
+            node,
+            phase: Phase::ShuffleMerge,
+            start_s: map_end,
+            end_s: sm_end,
+        });
+        bars.push(TaskBar {
+            node,
+            phase: Phase::Reduce,
+            start_s: sm_end,
+            end_s: sm_end + b.reduce_s * (1.0 + spread * jitter(node, 3)),
+        });
+    }
+    bars
+}
+
+/// One sample of a disk-utilisation trace.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskUtilSample {
+    pub t_s: f64,
+    pub util_pct: f64,
+}
+
+/// Synthesize a Fig. 10-style utilisation trace for one data disk of one
+/// node over the job. A disk handling more than its merge capacity is
+/// *maxed out* (pegged near 100% through shuffle+merge, the Fig. 10(a)
+/// signature); under capacity it breathes.
+pub fn disk_util_trace(cluster: &ClusterSpec, job: &MrJobSpec, samples: usize) -> Vec<DiskUtilSample> {
+    let b = simulate_mr_job(cluster, job);
+    let per_disk_gb = job.shuffle_gb / cluster.n_nodes as f64 / cluster.node.disks.len() as f64;
+    let overloaded = per_disk_gb > DISK_MERGE_CAPACITY_GB;
+    let total = b.wall_s;
+    let map_end = b.map_s + b.map_merge_s;
+    let sm_end = map_end + b.shuffle_merge_s;
+    (0..samples)
+        .map(|i| {
+            let t = total * i as f64 / samples.max(1) as f64;
+            let noise = jitter(i, 7) * 8.0;
+            let base = if t < map_end {
+                // Map phase: input reads + spills.
+                35.0 + 15.0 * jitter(i, 11)
+            } else if t < sm_end {
+                if overloaded {
+                    97.0 + 2.0 * jitter(i, 13) // pegged
+                } else {
+                    55.0 + 20.0 * jitter(i, 13)
+                }
+            } else {
+                // Reduce: output writes.
+                40.0 + 15.0 * jitter(i, 17)
+            };
+            DiskUtilSample {
+                t_s: t,
+                util_pct: (base + noise).clamp(0.0, 100.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr_model::markdup_job;
+    use crate::spec::WorkloadSpec;
+
+    fn job(opt: bool) -> MrJobSpec {
+        markdup_job(&WorkloadSpec::na12878(), opt, 64, 16, 16, 0.05)
+    }
+
+    #[test]
+    fn progress_bars_cover_all_nodes_and_phases() {
+        let c = ClusterSpec::cluster_b();
+        let bars = progress_trace(&c, &job(true));
+        assert_eq!(bars.len(), 4 * 3);
+        for node in 0..4 {
+            let node_bars: Vec<_> = bars.iter().filter(|b| b.node == node).collect();
+            assert_eq!(node_bars.len(), 3);
+            // Phases ordered and contiguous.
+            assert!(node_bars[0].end_s <= node_bars[1].start_s + 1e-9);
+            assert!(node_bars[1].end_s <= node_bars[2].start_s + 1e-9);
+            for b in node_bars {
+                assert!(b.end_s > b.start_s);
+            }
+        }
+    }
+
+    #[test]
+    fn reg_trace_spread_wider_than_opt() {
+        // Fig. 7 commentary: with heavy per-disk load, stragglers appear.
+        let one_disk = ClusterSpec::cluster_b_with_disks(1);
+        let spread = |j: &MrJobSpec| {
+            let bars = progress_trace(&one_disk, j);
+            let ends: Vec<f64> = bars
+                .iter()
+                .filter(|b| b.phase == Phase::Reduce)
+                .map(|b| b.end_s)
+                .collect();
+            let max = ends.iter().cloned().fold(f64::MIN, f64::max);
+            let min = ends.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / max
+        };
+        assert!(spread(&job(false)) > spread(&job(true)) * 0.99);
+    }
+
+    #[test]
+    fn overloaded_disk_is_pegged_during_merge_like_fig10a() {
+        // MarkDup_reg on 1 disk: ~196 GB/disk ⇒ pegged.
+        let c1 = ClusterSpec::cluster_b_with_disks(1);
+        let trace = disk_util_trace(&c1, &job(false), 400);
+        let b = simulate_mr_job(&c1, &job(false));
+        let in_merge: Vec<&DiskUtilSample> = trace
+            .iter()
+            .filter(|s| s.t_s > b.map_s + b.map_merge_s && s.t_s < b.map_s + b.map_merge_s + b.shuffle_merge_s)
+            .collect();
+        assert!(!in_merge.is_empty());
+        let mean: f64 =
+            in_merge.iter().map(|s| s.util_pct).sum::<f64>() / in_merge.len() as f64;
+        assert!(mean > 90.0, "reg/1-disk merge should be pegged, got {mean:.0}%");
+
+        // MarkDup_opt on 1 disk (~94 GB/disk): not pegged (Fig. 10c).
+        let trace_opt = disk_util_trace(&c1, &job(true), 400);
+        let b_opt = simulate_mr_job(&c1, &job(true));
+        let in_merge_opt: Vec<&DiskUtilSample> = trace_opt
+            .iter()
+            .filter(|s| {
+                s.t_s > b_opt.map_s + b_opt.map_merge_s
+                    && s.t_s < b_opt.map_s + b_opt.map_merge_s + b_opt.shuffle_merge_s
+            })
+            .collect();
+        let mean_opt: f64 = in_merge_opt.iter().map(|s| s.util_pct).sum::<f64>()
+            / in_merge_opt.len().max(1) as f64;
+        assert!(
+            mean_opt < 80.0,
+            "opt/1-disk merge should not be pegged, got {mean_opt:.0}%"
+        );
+    }
+
+    #[test]
+    fn utilisation_is_bounded() {
+        let c = ClusterSpec::cluster_b();
+        for s in disk_util_trace(&c, &job(true), 200) {
+            assert!((0.0..=100.0).contains(&s.util_pct));
+        }
+    }
+}

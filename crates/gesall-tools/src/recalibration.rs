@@ -1,0 +1,460 @@
+//! Base quality score recalibration (paper Table 2, steps 11–12).
+//!
+//! The sequencer's reported base qualities are systematically biased —
+//! e.g. by machine cycle (bases near read ends are worse than reported).
+//! **BaseRecalibrator** tallies empirical error rates per *covariate*
+//! (read group, reported quality, machine-cycle bucket, dinucleotide
+//! context) by comparing aligned bases against the reference away from
+//! known variant sites; **PrintReads** rewrites each base's quality to
+//! the empirical value.
+//!
+//! GDPT-wise this is the paper's example of *group partitioning by
+//! user-defined covariates* (§3.2): the tally is a distributive
+//! aggregation, so the platform parallelizes pass 1 as map-side partial
+//! tables merged in reducers.
+
+use crate::refview::RefView;
+use gesall_formats::quality::error_prob_to_phred;
+use gesall_formats::sam::cigar::CigarOp;
+use gesall_formats::sam::SamRecord;
+use std::collections::{BTreeMap, HashSet};
+
+/// One covariate bucket.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Covariate {
+    pub read_group: String,
+    pub reported_qual: u8,
+    /// Machine cycle / 8 (bucketed).
+    pub cycle_bucket: u8,
+    /// Preceding base and current base (dinucleotide context), as called.
+    pub context: [u8; 2],
+}
+
+/// Tallied observations for one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    pub observations: u64,
+    pub errors: u64,
+}
+
+impl Tally {
+    /// Empirical quality with a +1/+2 pseudo-count (Laplace) smoother.
+    pub fn empirical_quality(&self) -> u8 {
+        let p = (self.errors as f64 + 1.0) / (self.observations as f64 + 2.0);
+        error_prob_to_phred(p)
+    }
+}
+
+/// The recalibration table: full covariates plus a coarse
+/// (read group, reported quality) fallback for sparse buckets.
+#[derive(Debug, Clone, Default)]
+pub struct RecalTable {
+    pub by_covariate: BTreeMap<Covariate, Tally>,
+    pub by_reported: BTreeMap<(String, u8), Tally>,
+}
+
+impl RecalTable {
+    /// Merge another table into this one (the reduce step of the
+    /// parallel recalibrator).
+    pub fn merge(&mut self, other: &RecalTable) {
+        for (k, t) in &other.by_covariate {
+            let e = self.by_covariate.entry(k.clone()).or_default();
+            e.observations += t.observations;
+            e.errors += t.errors;
+        }
+        for (k, t) in &other.by_reported {
+            let e = self.by_reported.entry(k.clone()).or_default();
+            e.observations += t.observations;
+            e.errors += t.errors;
+        }
+    }
+
+    pub fn total_observations(&self) -> u64 {
+        self.by_reported.values().map(|t| t.observations).sum()
+    }
+}
+
+impl gesall_formats::wire::Wire for Covariate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.read_group.encode(buf);
+        (self.reported_qual as u32).encode(buf);
+        (self.cycle_bucket as u32).encode(buf);
+        self.context.to_vec().encode(buf);
+    }
+
+    fn decode(
+        cur: &mut gesall_formats::wire::Cursor<'_>,
+    ) -> gesall_formats::error::Result<Self> {
+        let read_group = String::decode(cur)?;
+        let reported_qual = u32::decode(cur)? as u8;
+        let cycle_bucket = u32::decode(cur)? as u8;
+        let ctx = Vec::<u8>::decode(cur)?;
+        if ctx.len() != 2 {
+            return Err(gesall_formats::FormatError::Bam(
+                "covariate context must be 2 bytes".into(),
+            ));
+        }
+        Ok(Covariate {
+            read_group,
+            reported_qual,
+            cycle_bucket,
+            context: [ctx[0], ctx[1]],
+        })
+    }
+}
+
+impl gesall_formats::wire::Wire for RecalTable {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let fine: Vec<(Covariate, (u64, u64))> = self
+            .by_covariate
+            .iter()
+            .map(|(k, t)| (k.clone(), (t.observations, t.errors)))
+            .collect();
+        let coarse: Vec<((String, u64), (u64, u64))> = self
+            .by_reported
+            .iter()
+            .map(|((rg, q), t)| ((rg.clone(), *q as u64), (t.observations, t.errors)))
+            .collect();
+        fine.encode(buf);
+        coarse.encode(buf);
+    }
+
+    fn decode(
+        cur: &mut gesall_formats::wire::Cursor<'_>,
+    ) -> gesall_formats::error::Result<Self> {
+        let fine = Vec::<(Covariate, (u64, u64))>::decode(cur)?;
+        let coarse = Vec::<((String, u64), (u64, u64))>::decode(cur)?;
+        let mut table = RecalTable::default();
+        for (k, (observations, errors)) in fine {
+            table.by_covariate.insert(
+                k,
+                Tally {
+                    observations,
+                    errors,
+                },
+            );
+        }
+        for ((rg, q), (observations, errors)) in coarse {
+            table.by_reported.insert(
+                (rg, q as u8),
+                Tally {
+                    observations,
+                    errors,
+                },
+            );
+        }
+        Ok(table)
+    }
+}
+
+/// Recalibration parameters.
+#[derive(Debug, Clone)]
+pub struct RecalConfig {
+    pub min_mapq: u8,
+    /// Buckets with fewer observations fall back to the coarse table.
+    pub min_observations: u64,
+}
+
+impl Default for RecalConfig {
+    fn default() -> RecalConfig {
+        RecalConfig {
+            min_mapq: 20,
+            min_observations: 30,
+        }
+    }
+}
+
+fn cycle_of(i: usize, read_len: usize, reverse: bool) -> usize {
+    if reverse {
+        read_len - 1 - i
+    } else {
+        i
+    }
+}
+
+fn covariate(rec: &SamRecord, read_index: usize) -> Covariate {
+    let cycle = cycle_of(read_index, rec.seq.len(), rec.flags.is_reverse());
+    let prev = if read_index > 0 {
+        rec.seq[read_index - 1]
+    } else {
+        b'N'
+    };
+    Covariate {
+        read_group: rec.read_group.clone(),
+        reported_qual: rec.qual[read_index],
+        cycle_bucket: (cycle / 8).min(255) as u8,
+        context: [prev, rec.seq[read_index]],
+    }
+}
+
+/// Walk a record's aligned (M) bases, yielding (read index, 1-based ref
+/// position).
+fn aligned_bases(rec: &SamRecord) -> Vec<(usize, i64)> {
+    let mut out = Vec::with_capacity(rec.seq.len());
+    let mut rp = rec.pos;
+    let mut qp = 0usize;
+    for op in &rec.cigar.0 {
+        match *op {
+            CigarOp::Match(n) => {
+                for k in 0..n as usize {
+                    out.push((qp + k, rp + k as i64));
+                }
+                qp += n as usize;
+                rp += n as i64;
+            }
+            CigarOp::Ins(n) | CigarOp::SoftClip(n) => qp += n as usize,
+            CigarOp::Del(n) | CigarOp::Skip(n) => rp += n as i64,
+            CigarOp::HardClip(_) => {}
+        }
+    }
+    out
+}
+
+/// Pass 1: build the table from aligned records. `known_sites` are
+/// (ref_id, 1-based pos) positions to exclude (known variants must not
+/// count as sequencing errors).
+pub fn base_recalibrator(
+    records: &[SamRecord],
+    reference: RefView<'_>,
+    known_sites: &HashSet<(i32, i64)>,
+    config: &RecalConfig,
+) -> RecalTable {
+    let mut table = RecalTable::default();
+    for rec in records {
+        if !rec.is_mapped()
+            || !rec.flags.is_primary()
+            || rec.flags.is_duplicate()
+            || rec.mapq < config.min_mapq
+        {
+            continue;
+        }
+        for (qi, rp) in aligned_bases(rec) {
+            if known_sites.contains(&(rec.ref_id, rp)) {
+                continue;
+            }
+            let Some(ref_base) = reference.base(rec.ref_id, rp) else {
+                continue;
+            };
+            let called = rec.seq[qi];
+            if !matches!(called, b'A' | b'C' | b'G' | b'T') {
+                continue;
+            }
+            let err = u64::from(called != ref_base);
+            let cov = covariate(rec, qi);
+            let coarse = (cov.read_group.clone(), cov.reported_qual);
+            let t = table.by_covariate.entry(cov).or_default();
+            t.observations += 1;
+            t.errors += err;
+            let t = table.by_reported.entry(coarse).or_default();
+            t.observations += 1;
+            t.errors += err;
+        }
+    }
+    table
+}
+
+/// Pass 2 (PrintReads): rewrite base qualities from the table. Returns
+/// how many base qualities changed.
+pub fn print_reads(records: &mut [SamRecord], table: &RecalTable, config: &RecalConfig) -> u64 {
+    let mut changed = 0u64;
+    for rec in records.iter_mut() {
+        if rec.seq.is_empty() {
+            continue;
+        }
+        for qi in 0..rec.seq.len() {
+            let cov = covariate(rec, qi);
+            let fine = table.by_covariate.get(&cov);
+            let new_q = match fine {
+                Some(t) if t.observations >= config.min_observations => t.empirical_quality(),
+                _ => match table
+                    .by_reported
+                    .get(&(cov.read_group.clone(), cov.reported_qual))
+                {
+                    Some(t) if t.observations >= config.min_observations => {
+                        t.empirical_quality()
+                    }
+                    _ => rec.qual[qi],
+                },
+            };
+            if new_q != rec.qual[qi] {
+                rec.qual[qi] = new_q;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesall_formats::sam::{Cigar, Flags};
+
+    fn aligned(name: &str, pos: i64, seq: &[u8], qual: u8) -> SamRecord {
+        let mut r = SamRecord::unmapped(name, seq.to_vec(), vec![qual; seq.len()]);
+        r.flags = Flags(0);
+        r.ref_id = 0;
+        r.pos = pos;
+        r.mapq = 60;
+        r.cigar = Cigar::full_match(seq.len() as u32);
+        r.read_group = "rg1".into();
+        r
+    }
+
+    #[test]
+    fn tally_empirical_quality() {
+        let t = Tally {
+            observations: 998,
+            errors: 9,
+        };
+        // (9+1)/(998+2) = 0.01 → Q20.
+        assert_eq!(t.empirical_quality(), 20);
+        let perfect = Tally {
+            observations: 100_000,
+            errors: 0,
+        };
+        assert!(perfect.empirical_quality() >= 50);
+    }
+
+    #[test]
+    fn recalibrator_counts_errors_against_reference() {
+        let seqs = vec![b"ACGTACGTACGTACGT".to_vec()];
+        let reference = RefView::new(&seqs);
+        // Read matches reference except one base.
+        let mut seq = seqs[0].clone();
+        seq[5] = b'A'; // ref has C at pos 6
+        let rec = aligned("r", 1, &seq, 30);
+        let table = base_recalibrator(
+            &[rec],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        let coarse = table.by_reported.get(&("rg1".to_string(), 30)).unwrap();
+        assert_eq!(coarse.observations, 16);
+        assert_eq!(coarse.errors, 1);
+    }
+
+    #[test]
+    fn known_sites_excluded() {
+        let seqs = vec![b"ACGTACGTACGTACGT".to_vec()];
+        let reference = RefView::new(&seqs);
+        let mut seq = seqs[0].clone();
+        seq[5] = b'A';
+        let rec = aligned("r", 1, &seq, 30);
+        let mut known = HashSet::new();
+        known.insert((0, 6i64)); // the mismatch site is a known variant
+        let table = base_recalibrator(&[rec], reference, &known, &RecalConfig::default());
+        let coarse = table.by_reported.get(&("rg1".to_string(), 30)).unwrap();
+        assert_eq!(coarse.observations, 15);
+        assert_eq!(coarse.errors, 0);
+    }
+
+    #[test]
+    fn duplicates_and_low_mapq_skipped() {
+        let seqs = vec![b"ACGTACGT".to_vec()];
+        let reference = RefView::new(&seqs);
+        let mut dup = aligned("d", 1, &seqs[0], 30);
+        dup.flags.set(Flags::DUPLICATE, true);
+        let mut low = aligned("l", 1, &seqs[0], 30);
+        low.mapq = 5;
+        let table = base_recalibrator(
+            &[dup, low],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        assert_eq!(table.total_observations(), 0);
+    }
+
+    #[test]
+    fn print_reads_corrects_overconfident_qualities() {
+        // Reported Q40 but the empirical error rate is ~3%: PrintReads
+        // must lower the qualities.
+        let seqs = vec![(0..64).map(|i| b"ACGT"[i % 4]).collect::<Vec<u8>>()];
+        let reference = RefView::new(&seqs);
+        let mut records = Vec::new();
+        for k in 0..50 {
+            let mut seq = seqs[0].clone();
+            if k % 2 == 0 {
+                // one error per even read ≈ 1/64 per base... concentrate:
+                seq[(k / 2) % 64] = match seq[(k / 2) % 64] {
+                    b'A' => b'C',
+                    _ => b'A',
+                };
+            }
+            records.push(aligned(&format!("r{k}"), 1, &seq, 40));
+        }
+        let table = base_recalibrator(
+            &records,
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        let changed = print_reads(&mut records, &table, &RecalConfig::default());
+        assert!(changed > 0);
+        let q = records[0].qual[0];
+        assert!(
+            q < 40,
+            "empirical quality should be below reported 40, got {q}"
+        );
+        // Error rate 25/(50*64) ≈ 0.78% → ~Q21.
+        assert!((15..=30).contains(&q), "unexpected empirical q {q}");
+    }
+
+    #[test]
+    fn table_merge_is_additive() {
+        let seqs = vec![b"ACGTACGT".to_vec()];
+        let reference = RefView::new(&seqs);
+        let r1 = aligned("a", 1, &seqs[0], 30);
+        let r2 = aligned("b", 1, &seqs[0], 30);
+        let both = base_recalibrator(
+            &[r1.clone(), r2.clone()],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        let mut merged = base_recalibrator(
+            &[r1],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        merged.merge(&base_recalibrator(
+            &[r2],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        ));
+        assert_eq!(merged.by_reported, both.by_reported);
+        assert_eq!(merged.by_covariate, both.by_covariate);
+    }
+
+    #[test]
+    fn recal_table_wire_roundtrip() {
+        use gesall_formats::wire::Wire;
+        let seqs = vec![b"ACGTACGTACGTACGT".to_vec()];
+        let reference = RefView::new(&seqs);
+        let mut seq = seqs[0].clone();
+        seq[3] = b'A';
+        let rec = aligned("r", 1, &seq, 30);
+        let table = base_recalibrator(
+            &[rec],
+            reference,
+            &HashSet::new(),
+            &RecalConfig::default(),
+        );
+        assert!(!table.by_covariate.is_empty());
+        let bytes = table.to_wire_bytes();
+        let back = RecalTable::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back.by_covariate, table.by_covariate);
+        assert_eq!(back.by_reported, table.by_reported);
+    }
+
+    #[test]
+    fn cycle_accounts_for_strand() {
+        assert_eq!(cycle_of(0, 100, false), 0);
+        assert_eq!(cycle_of(0, 100, true), 99);
+        assert_eq!(cycle_of(99, 100, true), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! A read-only view of the reference sequences, keyed by the `ref_id`
+//! used in SAM records.
+
+/// Borrowed reference sequences: `seqs[ref_id]` is the chromosome's ASCII
+/// bases.
+#[derive(Clone, Copy)]
+pub struct RefView<'a> {
+    seqs: &'a [Vec<u8>],
+}
+
+impl<'a> RefView<'a> {
+    pub fn new(seqs: &'a [Vec<u8>]) -> RefView<'a> {
+        RefView { seqs }
+    }
+
+    pub fn n_chromosomes(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Chromosome length, 0 for out-of-range ids.
+    pub fn chrom_len(&self, ref_id: i32) -> usize {
+        usize::try_from(ref_id)
+            .ok()
+            .and_then(|i| self.seqs.get(i))
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Base at 1-based position `pos` on `ref_id`, or `None` out of range.
+    pub fn base(&self, ref_id: i32, pos: i64) -> Option<u8> {
+        if pos < 1 {
+            return None;
+        }
+        usize::try_from(ref_id)
+            .ok()
+            .and_then(|i| self.seqs.get(i))
+            .and_then(|s| s.get(pos as usize - 1))
+            .copied()
+    }
+
+    /// Slice `[start, end]` (1-based inclusive), clamped to the
+    /// chromosome.
+    pub fn slice(&self, ref_id: i32, start: i64, end: i64) -> &'a [u8] {
+        let Ok(i) = usize::try_from(ref_id) else {
+            return &[];
+        };
+        let Some(s) = self.seqs.get(i) else {
+            return &[];
+        };
+        let lo = (start.max(1) - 1) as usize;
+        let hi = (end.clamp(0, s.len() as i64)) as usize;
+        if lo >= hi {
+            &[]
+        } else {
+            &s[lo..hi]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        let seqs = vec![b"ACGT".to_vec(), b"TTAA".to_vec()];
+        let v = RefView::new(&seqs);
+        assert_eq!(v.n_chromosomes(), 2);
+        assert_eq!(v.chrom_len(0), 4);
+        assert_eq!(v.chrom_len(-1), 0);
+        assert_eq!(v.chrom_len(9), 0);
+        assert_eq!(v.base(0, 1), Some(b'A'));
+        assert_eq!(v.base(0, 4), Some(b'T'));
+        assert_eq!(v.base(0, 5), None);
+        assert_eq!(v.base(0, 0), None);
+        assert_eq!(v.base(1, 2), Some(b'T'));
+    }
+
+    #[test]
+    fn slices_clamped() {
+        let seqs = vec![b"ACGTACGT".to_vec()];
+        let v = RefView::new(&seqs);
+        assert_eq!(v.slice(0, 2, 4), b"CGT");
+        assert_eq!(v.slice(0, -5, 3), b"ACG");
+        assert_eq!(v.slice(0, 7, 100), b"GT");
+        assert_eq!(v.slice(0, 5, 4), b"");
+        assert_eq!(v.slice(3, 1, 4), b"");
+    }
+}

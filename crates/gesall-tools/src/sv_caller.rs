@@ -1,0 +1,351 @@
+//! Structural-variant detection from discordant read pairs — the role
+//! GASV [33] plays in the paper's pipeline ("Large structure variants
+//! span thousands of bases or across chromosomes", §2.1). A
+//! paired-end-signature caller:
+//!
+//! * **Deletions**: clusters of pairs whose observed insert size is far
+//!   above the library distribution (the reads flank the deleted
+//!   segment);
+//! * **Inversions**: clusters of pairs in same-strand (FF/RR)
+//!   orientation;
+//! * **Translocations**: clusters of pairs whose mates map to different
+//!   chromosomes.
+//!
+//! GDPT-wise this is range partitioning with a *large* overlap (SV
+//! breakpoints can sit thousands of bases apart), which is why the paper
+//! treats SV callers as the hard case for fine-grained partitioning.
+
+use gesall_formats::sam::SamRecord;
+
+/// The kinds of structural events this caller reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvKind {
+    /// Deleted segment between the mates.
+    Deletion,
+    /// Inverted segment (same-strand pair orientation).
+    Inversion,
+    /// Mates on different chromosomes.
+    Translocation { other_chrom: i32 },
+}
+
+/// One structural-variant call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvCall {
+    pub kind: SvKind,
+    pub chrom: i32,
+    /// Approximate 1-based breakpoint interval.
+    pub start: i64,
+    pub end: i64,
+    /// Supporting discordant pairs.
+    pub support: u32,
+}
+
+/// Caller parameters.
+#[derive(Debug, Clone)]
+pub struct SvConfig {
+    /// Library insert mean/sd (from alignment-time statistics).
+    pub insert_mean: f64,
+    pub insert_sd: f64,
+    /// Pairs with |tlen| above mean + z·sd are deletion evidence.
+    pub deletion_z: f64,
+    /// Minimum supporting pairs per call.
+    pub min_support: u32,
+    /// Pairs whose starts are within this distance cluster together.
+    pub cluster_window: i64,
+    /// Minimum mapping quality of both reads.
+    pub min_mapq: u8,
+}
+
+impl Default for SvConfig {
+    fn default() -> SvConfig {
+        SvConfig {
+            insert_mean: 400.0,
+            insert_sd: 50.0,
+            deletion_z: 6.0,
+            min_support: 4,
+            cluster_window: 600,
+            min_mapq: 30,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Evidence {
+    chrom: i32,
+    start: i64,
+    end: i64,
+}
+
+/// Detect structural variants from primary aligned pairs. `records`
+/// should be the full (or per-chromosome) record set; mates are matched
+/// by read name.
+pub fn call_structural_variants(records: &[SamRecord], cfg: &SvConfig) -> Vec<SvCall> {
+    use std::collections::HashMap;
+    // Collect one entry per pair (from the leftmost mate's perspective).
+    let mut first_seen: HashMap<&str, &SamRecord> = HashMap::new();
+    let mut deletions: Vec<Evidence> = Vec::new();
+    let mut inversions: Vec<Evidence> = Vec::new();
+    let mut translocations: Vec<(i32, i64, i32)> = Vec::new();
+    for r in records {
+        if !r.flags.is_primary() || !r.is_mapped() || r.flags.is_duplicate() {
+            continue;
+        }
+        let Some(mate) = first_seen.remove(r.name.as_str()) else {
+            first_seen.insert(r.name.as_str(), r);
+            continue;
+        };
+        if mate.mapq < cfg.min_mapq || r.mapq < cfg.min_mapq {
+            continue;
+        }
+        let (left, right) = if (mate.ref_id, mate.pos) <= (r.ref_id, r.pos) {
+            (mate, r)
+        } else {
+            (r, mate)
+        };
+        if left.ref_id != right.ref_id {
+            translocations.push((left.ref_id, left.pos, right.ref_id));
+            continue;
+        }
+        let span = right.end_pos() - left.pos + 1;
+        let same_strand = left.flags.is_reverse() == right.flags.is_reverse();
+        if same_strand {
+            inversions.push(Evidence {
+                chrom: left.ref_id,
+                start: left.pos,
+                end: right.end_pos(),
+            });
+        } else if (span as f64) > cfg.insert_mean + cfg.deletion_z * cfg.insert_sd {
+            // The deleted segment sits between the inner mate ends.
+            deletions.push(Evidence {
+                chrom: left.ref_id,
+                start: left.end_pos() + 1,
+                end: right.pos - 1,
+            });
+        }
+    }
+
+    let mut calls = Vec::new();
+    for (evidence, kind) in [(deletions, SvKind::Deletion), (inversions, SvKind::Inversion)] {
+        calls.extend(cluster_evidence(evidence, kind, cfg));
+    }
+    // Translocations cluster by (chrom, window, other chrom).
+    translocations.sort_unstable();
+    let mut i = 0;
+    while i < translocations.len() {
+        let (chrom, pos, other) = translocations[i];
+        let mut j = i;
+        while j + 1 < translocations.len() {
+            let (c2, p2, o2) = translocations[j + 1];
+            if c2 == chrom && o2 == other && p2 - translocations[j].1 <= cfg.cluster_window {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let support = (j - i + 1) as u32;
+        if support >= cfg.min_support {
+            calls.push(SvCall {
+                kind: SvKind::Translocation { other_chrom: other },
+                chrom,
+                start: pos,
+                end: translocations[j].1,
+                support,
+            });
+        }
+        i = j + 1;
+    }
+    calls.sort_by_key(|c| (c.chrom, c.start, c.end));
+    calls
+}
+
+fn cluster_evidence(mut evidence: Vec<Evidence>, kind: SvKind, cfg: &SvConfig) -> Vec<SvCall> {
+    evidence.sort_by_key(|e| (e.chrom, e.start));
+    let mut calls = Vec::new();
+    let mut i = 0;
+    while i < evidence.len() {
+        let mut j = i;
+        while j + 1 < evidence.len()
+            && evidence[j + 1].chrom == evidence[i].chrom
+            && evidence[j + 1].start - evidence[j].start <= cfg.cluster_window
+        {
+            j += 1;
+        }
+        let cluster = &evidence[i..=j];
+        let support = cluster.len() as u32;
+        if support >= cfg.min_support {
+            // Breakpoint interval: the intersection-ish median of the
+            // supporting pairs.
+            let mut starts: Vec<i64> = cluster.iter().map(|e| e.start).collect();
+            let mut ends: Vec<i64> = cluster.iter().map(|e| e.end).collect();
+            starts.sort_unstable();
+            ends.sort_unstable();
+            let start = starts[starts.len() / 2];
+            let end = ends[ends.len() / 2].max(start);
+            calls.push(SvCall {
+                kind: kind.clone(),
+                chrom: cluster[0].chrom,
+                start,
+                end,
+                support,
+            });
+        }
+        i = j + 1;
+    }
+    let _ = kind;
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesall_formats::sam::{Cigar, Flags};
+
+    fn pair(
+        name: &str,
+        chrom_a: i32,
+        pos_a: i64,
+        rev_a: bool,
+        chrom_b: i32,
+        pos_b: i64,
+        rev_b: bool,
+    ) -> [SamRecord; 2] {
+        let mk = |first: bool, chrom: i32, pos: i64, rev: bool| {
+            let mut r = SamRecord::unmapped(name, vec![b'A'; 100], vec![30; 100]);
+            let mut f = Flags(Flags::PAIRED);
+            f.set(Flags::REVERSE, rev);
+            f.set(
+                if first {
+                    Flags::FIRST_IN_PAIR
+                } else {
+                    Flags::SECOND_IN_PAIR
+                },
+                true,
+            );
+            r.flags = f;
+            r.ref_id = chrom;
+            r.pos = pos;
+            r.mapq = 60;
+            r.cigar = Cigar::full_match(100);
+            r
+        };
+        [mk(true, chrom_a, pos_a, rev_a), mk(false, chrom_b, pos_b, rev_b)]
+    }
+
+    /// A normal FR pair with ~400 bp insert.
+    fn normal_pair(name: &str, pos: i64) -> [SamRecord; 2] {
+        pair(name, 0, pos, false, 0, pos + 300, true)
+    }
+
+    #[test]
+    fn clean_library_calls_nothing() {
+        let mut records = Vec::new();
+        for i in 0..200 {
+            records.extend(normal_pair(&format!("n{i}"), 1000 + i * 40));
+        }
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+
+    #[test]
+    fn deletion_detected_from_stretched_pairs() {
+        let mut records = Vec::new();
+        for i in 0..200 {
+            records.extend(normal_pair(&format!("n{i}"), 1000 + i * 40));
+        }
+        // 6 pairs spanning a ~2 kb deletion at ~[10100, 12050]:
+        // insert ≈ 2400 ≫ 400 + 6·50.
+        for k in 0..6 {
+            records.extend(pair(
+                &format!("d{k}"),
+                0,
+                9900 + k * 20,
+                false,
+                0,
+                12_200 + k * 20,
+                true,
+            ));
+        }
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert_eq!(calls.len(), 1, "{calls:?}");
+        let c = &calls[0];
+        assert_eq!(c.kind, SvKind::Deletion);
+        assert_eq!(c.support, 6);
+        assert!(
+            (c.start - 10_050).abs() < 200 && (c.end - 12_250).abs() < 200,
+            "breakpoints {c:?}"
+        );
+    }
+
+    #[test]
+    fn inversion_detected_from_same_strand_pairs() {
+        let mut records = Vec::new();
+        for i in 0..100 {
+            records.extend(normal_pair(&format!("n{i}"), 500 + i * 60));
+        }
+        for k in 0..5 {
+            // FF orientation.
+            records.extend(pair(&format!("i{k}"), 0, 5000 + k * 30, false, 0, 5400 + k * 30, false));
+        }
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert_eq!(calls.len(), 1, "{calls:?}");
+        assert_eq!(calls[0].kind, SvKind::Inversion);
+        assert_eq!(calls[0].support, 5);
+    }
+
+    #[test]
+    fn translocation_detected_from_cross_chromosome_pairs() {
+        let mut records = Vec::new();
+        for i in 0..100 {
+            records.extend(normal_pair(&format!("n{i}"), 500 + i * 60));
+        }
+        for k in 0..4 {
+            records.extend(pair(&format!("t{k}"), 0, 8000 + k * 50, false, 1, 2000, true));
+        }
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert_eq!(calls.len(), 1, "{calls:?}");
+        assert!(matches!(
+            calls[0].kind,
+            SvKind::Translocation { other_chrom: 1 }
+        ));
+        assert_eq!(calls[0].support, 4);
+    }
+
+    #[test]
+    fn low_support_and_low_mapq_suppressed() {
+        let mut records = Vec::new();
+        for i in 0..50 {
+            records.extend(normal_pair(&format!("n{i}"), 500 + i * 60));
+        }
+        // Only 2 supporting pairs (< min_support 4).
+        for k in 0..2 {
+            records.extend(pair(&format!("d{k}"), 0, 9000 + k * 10, false, 0, 12_000, true));
+        }
+        // 6 pairs but low mapq.
+        for k in 0..6 {
+            let mut p = pair(&format!("q{k}"), 0, 20_000 + k * 10, false, 0, 24_000, true);
+            p[0].mapq = 5;
+            records.extend(p);
+        }
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+
+    #[test]
+    fn duplicates_do_not_add_support() {
+        let mut records = Vec::new();
+        for i in 0..50 {
+            records.extend(normal_pair(&format!("n{i}"), 500 + i * 60));
+        }
+        for k in 0..6 {
+            let mut p = pair(&format!("d{k}"), 0, 9000 + k * 10, false, 0, 12_000, true);
+            if k >= 3 {
+                p[0].flags.set(Flags::DUPLICATE, true);
+                p[1].flags.set(Flags::DUPLICATE, true);
+            }
+            records.extend(p);
+        }
+        // Only 3 non-duplicate supporters < min_support.
+        let calls = call_structural_variants(&records, &SvConfig::default());
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+}

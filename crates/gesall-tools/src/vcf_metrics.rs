@@ -1,0 +1,231 @@
+//! Variant-set comparison metrics — the paper's Tables 9/10 and the
+//! GIAB-style precision/sensitivity evaluation of Appendix B.3.
+
+use gesall_formats::vcf::{Genotype, VariantRecord};
+use std::collections::HashSet;
+
+/// A site identity usable as a set element.
+pub type SiteKey = (String, i64, String, String);
+
+/// The three-way split of two call sets (paper's Intersection / Hybrid /
+/// Serial labels).
+#[derive(Debug, Clone)]
+pub struct VariantSetSplit {
+    /// Calls present in both sets (taken from set `a`).
+    pub intersection: Vec<VariantRecord>,
+    /// Calls only in `a`.
+    pub only_a: Vec<VariantRecord>,
+    /// Calls only in `b`.
+    pub only_b: Vec<VariantRecord>,
+}
+
+/// Split two call sets by site identity.
+pub fn split_call_sets(a: &[VariantRecord], b: &[VariantRecord]) -> VariantSetSplit {
+    let keys_a: HashSet<SiteKey> = a.iter().map(|v| v.site_key()).collect();
+    let keys_b: HashSet<SiteKey> = b.iter().map(|v| v.site_key()).collect();
+    VariantSetSplit {
+        intersection: a
+            .iter()
+            .filter(|v| keys_b.contains(&v.site_key()))
+            .cloned()
+            .collect(),
+        only_a: a
+            .iter()
+            .filter(|v| !keys_b.contains(&v.site_key()))
+            .cloned()
+            .collect(),
+        only_b: b
+            .iter()
+            .filter(|v| !keys_a.contains(&v.site_key()))
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Aggregate quality metrics of one variant set — the columns of the
+/// paper's Tables 9/10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantSetMetrics {
+    pub n: usize,
+    pub mean_qual: f64,
+    /// Mean RMS mapping quality (MQ).
+    pub mean_mq: f64,
+    /// Mean read depth (DP).
+    pub mean_dp: f64,
+    /// Mean Fisher strand (FS).
+    pub mean_fs: f64,
+    /// Mean allele balance (AB).
+    pub mean_ab: f64,
+    /// Transition/transversion ratio (≈2 for good human call sets).
+    pub ti_tv: f64,
+    /// Het/hom-alt genotype ratio.
+    pub het_hom: f64,
+}
+
+/// Compute the metric row for a variant set.
+pub fn variant_set_metrics(vs: &[VariantRecord]) -> VariantSetMetrics {
+    let n = vs.len();
+    let nf = n.max(1) as f64;
+    let mean = |f: &dyn Fn(&VariantRecord) -> f64| vs.iter().map(f).sum::<f64>() / nf + 0.0;
+    let ti = vs
+        .iter()
+        .filter(|v| v.is_transition() == Some(true))
+        .count() as f64;
+    let tv = vs
+        .iter()
+        .filter(|v| v.is_transition() == Some(false))
+        .count() as f64;
+    let het = vs.iter().filter(|v| v.genotype == Genotype::Het).count() as f64;
+    let hom = vs
+        .iter()
+        .filter(|v| v.genotype == Genotype::HomAlt)
+        .count() as f64;
+    VariantSetMetrics {
+        n,
+        mean_qual: mean(&|v| v.qual),
+        mean_mq: mean(&|v| v.mapping_quality),
+        mean_dp: mean(&|v| v.depth as f64),
+        mean_fs: mean(&|v| v.fisher_strand),
+        mean_ab: mean(&|v| v.allele_balance),
+        ti_tv: if tv > 0.0 { ti / tv } else { ti },
+        het_hom: if hom > 0.0 { het / hom } else { het },
+    }
+}
+
+/// Precision/sensitivity of `calls` against a truth set of site keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionSensitivity {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+    pub precision: f64,
+    pub sensitivity: f64,
+}
+
+/// Score calls against truth (both matched by exact site key).
+pub fn precision_sensitivity(
+    calls: &[VariantRecord],
+    truth: &HashSet<SiteKey>,
+) -> PrecisionSensitivity {
+    let call_keys: HashSet<SiteKey> = calls.iter().map(|v| v.site_key()).collect();
+    let tp = call_keys.intersection(truth).count();
+    let fp = call_keys.difference(truth).count();
+    let fn_ = truth.difference(&call_keys).count();
+    PrecisionSensitivity {
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fn_,
+        precision: if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else {
+            1.0
+        },
+        sensitivity: if tp + fn_ > 0 {
+            tp as f64 / (tp + fn_) as f64
+        } else {
+            1.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(pos: i64, r: &str, a: &str, qual: f64, gt: Genotype) -> VariantRecord {
+        VariantRecord {
+            chrom: "chr1".into(),
+            pos,
+            ref_allele: r.into(),
+            alt_allele: a.into(),
+            qual,
+            genotype: gt,
+            depth: 30,
+            mapping_quality: 55.0,
+            fisher_strand: 1.0,
+            allele_balance: 0.5,
+        }
+    }
+
+    #[test]
+    fn split_three_ways() {
+        let a = vec![
+            var(1, "A", "G", 50.0, Genotype::Het),
+            var(2, "C", "T", 60.0, Genotype::Het),
+        ];
+        let b = vec![
+            var(2, "C", "T", 61.0, Genotype::Het),
+            var(3, "G", "A", 70.0, Genotype::HomAlt),
+        ];
+        let s = split_call_sets(&a, &b);
+        assert_eq!(s.intersection.len(), 1);
+        assert_eq!(s.intersection[0].pos, 2);
+        assert_eq!(s.only_a.len(), 1);
+        assert_eq!(s.only_a[0].pos, 1);
+        assert_eq!(s.only_b.len(), 1);
+        assert_eq!(s.only_b[0].pos, 3);
+    }
+
+    #[test]
+    fn same_pos_different_allele_is_discordant() {
+        let a = vec![var(5, "A", "G", 50.0, Genotype::Het)];
+        let b = vec![var(5, "A", "T", 50.0, Genotype::Het)];
+        let s = split_call_sets(&a, &b);
+        assert!(s.intersection.is_empty());
+        assert_eq!(s.only_a.len(), 1);
+        assert_eq!(s.only_b.len(), 1);
+    }
+
+    #[test]
+    fn metrics_computation() {
+        let vs = vec![
+            var(1, "A", "G", 40.0, Genotype::Het),    // transition
+            var(2, "C", "T", 60.0, Genotype::Het),    // transition
+            var(3, "A", "C", 80.0, Genotype::HomAlt), // transversion
+            var(4, "AT", "A", 20.0, Genotype::Het),   // indel: no ti/tv
+        ];
+        let m = variant_set_metrics(&vs);
+        assert_eq!(m.n, 4);
+        assert!((m.mean_qual - 50.0).abs() < 1e-9);
+        assert!((m.ti_tv - 2.0).abs() < 1e-9);
+        assert!((m.het_hom - 3.0).abs() < 1e-9);
+        assert!((m.mean_dp - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_empty_set() {
+        let m = variant_set_metrics(&[]);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.mean_qual, 0.0);
+        assert_eq!(m.ti_tv, 0.0);
+    }
+
+    #[test]
+    fn precision_sensitivity_basic() {
+        let calls = vec![
+            var(1, "A", "G", 50.0, Genotype::Het),
+            var(2, "C", "T", 50.0, Genotype::Het),
+            var(3, "G", "A", 50.0, Genotype::Het), // FP
+        ];
+        let truth: HashSet<SiteKey> = [
+            ("chr1".to_string(), 1i64, "A".to_string(), "G".to_string()),
+            ("chr1".to_string(), 2, "C".to_string(), "T".to_string()),
+            ("chr1".to_string(), 9, "T".to_string(), "C".to_string()), // FN
+        ]
+        .into_iter()
+        .collect();
+        let ps = precision_sensitivity(&calls, &truth);
+        assert_eq!(ps.true_positives, 2);
+        assert_eq!(ps.false_positives, 1);
+        assert_eq!(ps.false_negatives, 1);
+        assert!((ps.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((ps.sensitivity - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let ps = precision_sensitivity(&[], &HashSet::new());
+        assert_eq!(ps.precision, 1.0);
+        assert_eq!(ps.sensitivity, 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Cluster tuning with the performance model: explore the paper's
+//! parameter space — logical partition sizes, process-vs-thread
+//! hierarchy, disks per node, slow-start — before buying hardware.
+//!
+//! ```text
+//! cargo run --release --example cluster_tuning
+//! ```
+
+use gesall::sim::bwa_model::{
+    alignment_round_seconds, thread_speedup, AlignRoundConfig, Readahead,
+};
+use gesall::sim::mr_model::{job_metrics, markdup_job, simulate_mr_job};
+use gesall::sim::{ClusterSpec, WorkloadSpec};
+
+fn hms(s: f64) -> String {
+    let s = s.round() as i64;
+    format!("{}h {:02}m", s / 3600, (s % 3600) / 60)
+}
+
+fn main() {
+    let w = WorkloadSpec::na12878();
+    let a = ClusterSpec::cluster_a();
+
+    println!("=== 1. How should I slice the alignment mappers? (Cluster A) ===");
+    println!("{:<28} {:>12}", "config (mappers x threads)", "wall");
+    for (m, t) in [(1usize, 24usize), (2, 12), (4, 6), (6, 4), (12, 2), (24, 1)] {
+        let cfg = AlignRoundConfig {
+            n_partitions: 90,
+            mappers_per_node: m,
+            threads_per_mapper: t,
+            readahead: Readahead::Small,
+            streaming_overhead: 1.12,
+        };
+        println!(
+            "{:<28} {:>12}",
+            format!("{m} x {t}"),
+            hms(alignment_round_seconds(&a, &w, &cfg))
+        );
+    }
+    println!(
+        "(thread speedup saturates: 24 threads only give {:.1}x — use processes)",
+        thread_speedup(24, Readahead::Small)
+    );
+
+    println!("\n=== 2. How many disks does MarkDuplicates need? (Cluster B) ===");
+    println!(
+        "{:<10} {:>14} {:>14}  rule: 1 disk per ~100 GB shuffled",
+        "disks", "MarkDup_reg", "MarkDup_opt"
+    );
+    for d in [1usize, 2, 3, 6] {
+        let c = ClusterSpec::cluster_b_with_disks(d);
+        let reg = simulate_mr_job(&c, &markdup_job(&w, false, 64, 16, 16, 0.05));
+        let opt = simulate_mr_job(&c, &markdup_job(&w, true, 64, 16, 16, 0.05));
+        println!("{:<10} {:>14} {:>14}", d, hms(reg.wall_s), hms(opt.wall_s));
+    }
+
+    println!("\n=== 3. Does the bloom-filter MarkDup_opt pay off everywhere? ===");
+    for nodes in [5usize, 15] {
+        let mut c = ClusterSpec::cluster_a();
+        c.n_nodes = nodes;
+        let gold = 14.45 * 3600.0;
+        let (_, reg) = job_metrics(&c, &markdup_job(&w, false, nodes * 6, 6, 6, 0.05), gold);
+        let (_, opt) = job_metrics(&c, &markdup_job(&w, true, nodes * 6, 6, 6, 0.05), gold);
+        println!(
+            "{nodes:>2} nodes: reg {} (eff {:.2}) vs opt {} (eff {:.2})",
+            hms(reg.wall_s),
+            reg.resource_efficiency,
+            hms(opt.wall_s),
+            opt.resource_efficiency
+        );
+    }
+
+    println!("\n=== 4. Slow-start: stop reducers from squatting ===");
+    for ss in [0.05, 0.5, 0.8] {
+        let c = ClusterSpec::cluster_a();
+        let gold = 14.45 * 3600.0;
+        let (b, m) = job_metrics(&c, &markdup_job(&w, true, 90, 6, 6, ss), gold);
+        println!(
+            "slowstart {ss:<4}: wall {}, idle reducer slot-time {}, efficiency {:.3}",
+            hms(m.wall_s),
+            hms(b.reducer_idle_slot_s),
+            m.resource_efficiency
+        );
+    }
+
+    println!("\n=== 5. What if we upgraded Cluster A's network to 10 Gbps? ===");
+    let mut fast = ClusterSpec::cluster_a();
+    fast.node.network_gbps = 10.0;
+    for (label, c) in [("1 Gbps", &a), ("10 Gbps", &fast)] {
+        let b = simulate_mr_job(c, &markdup_job(&w, false, 90, 6, 6, 0.05));
+        println!(
+            "{label}: MarkDup_reg wall {} (shuffle+merge {})",
+            hms(b.wall_s),
+            hms(b.shuffle_merge_s)
+        );
+    }
+    println!("(disks, not the network, bound the shuffle on Cluster A)");
+}

@@ -1,0 +1,112 @@
+//! Error diagnosis: why does the parallel pipeline differ (slightly)
+//! from the serial one? Runs both on the same synthetic sample and walks
+//! the toolkit: D-count, weighted D-count, D-impact, and where the
+//! disagreements live.
+//!
+//! ```text
+//! cargo run --release --example error_diagnosis
+//! ```
+
+use gesall::aligner::{Aligner, AlignerConfig, ReferenceIndex};
+use gesall::datagen::donor::DonorConfig;
+use gesall::datagen::reads::ReadSimConfig;
+use gesall::datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
+use gesall::formats::fastq::split_pairs_into_partitions;
+use gesall::platform::diagnosis::{diff_alignments, diff_variants};
+use gesall::platform::pipeline::{serial_tail_from_aligned, PlatformConfig};
+
+fn main() {
+    let genome = ReferenceGenome::generate(&GenomeConfig::default());
+    let donor = DonorGenome::generate(&genome, &DonorConfig::default());
+    let (pairs, _) = ReadSimulator::new(
+        &genome,
+        &donor,
+        ReadSimConfig {
+            n_pairs: 20_000,
+            ..ReadSimConfig::default()
+        },
+    )
+    .simulate();
+    let chroms: Vec<(String, Vec<u8>)> = genome
+        .chromosomes
+        .iter()
+        .map(|c| (c.name.clone(), c.seq.clone()))
+        .collect();
+    let references: Vec<Vec<u8>> = chroms.iter().map(|(_, s)| s.clone()).collect();
+    let chrom_names: Vec<String> = chroms.iter().map(|(n, _)| n.clone()).collect();
+    let aligner = Aligner::new(ReferenceIndex::build(&chroms), AlignerConfig::default());
+    let cfg = PlatformConfig::default();
+
+    // Serial alignment vs partitioned ("parallel") alignment.
+    println!("aligning {} pairs serially and in 4 partitions...", pairs.len());
+    let serial: Vec<_> = aligner
+        .align_pairs(&pairs)
+        .into_iter()
+        .flat_map(|(a, b)| [a, b])
+        .collect();
+    let parallel: Vec<_> = split_pairs_into_partitions(pairs.clone(), 4)
+        .iter()
+        .flat_map(|p| aligner.align_pairs(p).into_iter().flat_map(|(a, b)| [a, b]))
+        .collect();
+
+    let d = diff_alignments(&serial, &parallel);
+    println!("\n-- alignment stage (the paper's P1) --");
+    println!("concordant read ends : {}", d.concordant);
+    println!("discordant (D count) : {}", d.d_count());
+    println!("weighted D count     : {:.1} ({:.4}% of reads)", d.weighted_d_count(), d.weighted_d_count_pct(serial.len() as u64));
+    println!(
+        "low-quality fraction of discordants: {:.0}% — partitioning does not\n  corrupt confident alignments, it perturbs the already-ambiguous ones",
+        100.0 * d.low_quality_fraction()
+    );
+    // Which regions? Repetitive = centromere + blacklist + segmental
+    // duplications (multi-mapping territory).
+    let hard = d
+        .discordant
+        .iter()
+        .filter(|x| {
+            let c = &genome.chromosomes[x.serial.ref_id.max(0) as usize];
+            let p = (x.serial.pos - 1).max(0) as usize;
+            x.serial.pos >= 1
+                && (c.is_hard_to_map(p)
+                    || c.seg_dups.iter().any(|(s, t)| s.contains(p) || t.contains(p)))
+        })
+        .count();
+    println!(
+        "discordants inside repetitive regions (centromere/blacklist/segdup): {}/{}",
+        hard,
+        d.discordant.len()
+    );
+
+    // D-impact: run the serial tail on both alignment outputs and diff
+    // the final variant calls.
+    println!("\n-- final-variant impact (D impact) --");
+    let (_, v_serial) = serial_tail_from_aligned(
+        &aligner,
+        &references,
+        &chrom_names,
+        serial,
+        &cfg.read_group,
+        cfg.seed,
+        &cfg.hc,
+    );
+    let (_, v_hybrid) = serial_tail_from_aligned(
+        &aligner,
+        &references,
+        &chrom_names,
+        parallel,
+        &cfg.read_group,
+        cfg.seed,
+        &cfg.hc,
+    );
+    let vd = diff_variants(&v_serial, &v_hybrid);
+    println!("concordant variants  : {}", vd.concordant);
+    println!("discordant (D impact): {} ({} serial-only, {} hybrid-only)", vd.d_impact(), vd.only_serial.len(), vd.only_parallel.len());
+    println!("weighted D impact    : {:.2} ({:.3}% of calls)", vd.weighted_d_impact(), vd.weighted_d_impact_pct());
+    if vd.d_impact() > 0 {
+        let (inter, s_only, h_only) = vd.metric_rows(&v_serial, &v_hybrid);
+        println!(
+            "mean QUAL: intersection {:.0} vs serial-only {:.0} / hybrid-only {:.0}\n  (discordant calls are the low-confidence ones — the paper's conclusion)",
+            inter.mean_qual, s_only.mean_qual, h_only.mean_qual
+        );
+    }
+}

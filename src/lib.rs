@@ -1,0 +1,13 @@
+//! Gesall-RS facade crate: re-exports every subsystem under one roof.
+//!
+//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-reproduction results.
+
+pub use gesall_aligner as aligner;
+pub use gesall_core as platform;
+pub use gesall_datagen as datagen;
+pub use gesall_dfs as dfs;
+pub use gesall_formats as formats;
+pub use gesall_mapreduce as mapreduce;
+pub use gesall_sim as sim;
+pub use gesall_tools as tools;
