@@ -69,7 +69,7 @@ impl FmIndex {
             }
             running[c as usize] += 1;
         }
-        if m % OCC_SAMPLE == 0 {
+        if m.is_multiple_of(OCC_SAMPLE) {
             checkpoints.push(running);
         }
 
@@ -77,7 +77,7 @@ impl FmIndex {
         // (text position = text_len); row r+1 corresponds to sa[r].
         let mut sampled = HashMap::new();
         let n = text.len() as u32;
-        if n % SA_SAMPLE == 0 {
+        if n.is_multiple_of(SA_SAMPLE) {
             sampled.insert(0u32, n);
         }
         for (r, &pos) in sa.iter().enumerate() {

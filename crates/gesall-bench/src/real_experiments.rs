@@ -251,7 +251,7 @@ pub fn table8(world: &ExperimentWorld) -> String {
         let whole = call_range(recs, 0, "chr1", 1, len, rv, &world.config.hc);
         let mut split = call_range(recs, 0, "chr1", 1, mid, rv, &world.config.hc).variants;
         split.extend(call_range(recs, 0, "chr1", mid + 1, len, rv, &world.config.hc).variants);
-        split.sort_by(|a, b| (a.pos, a.ref_allele.clone()).cmp(&(b.pos, b.ref_allele.clone())));
+        split.sort_by_key(|v| (v.pos, v.ref_allele.clone()));
         split.dedup_by(|a, b| a.site_key() == b.site_key());
         let d = dv(&whole.variants, &split);
         (whole.windows.len(), d.concordant, d.d_impact())
@@ -555,7 +555,8 @@ pub fn substrate(world: &ExperimentWorld) -> String {
             },
             &HashPartitioner,
             splits,
-        );
+        )
+        .expect("markdup round runs without fault injection");
         t.row(&[
             label.into(),
             res.counters.get(keys::MAP_SPILLS).to_string(),

@@ -190,7 +190,9 @@ pub fn mr_diff_alignments(
         n_reducers: n_reducers.max(1),
         ..JobConfig::default()
     };
-    let res = engine.run_job(cfg, &DiffMapper, &DiffReducer, &HashPartitioner, splits);
+    let res = engine
+        .run_job(cfg, &DiffMapper, &DiffReducer, &HashPartitioner, splits)
+        .expect("diff job runs without fault injection");
     let mut out = MrDiffResult {
         concordant: 0,
         discordant: 0,

@@ -6,6 +6,9 @@ use std::fmt;
 #[derive(Debug)]
 pub enum PlatformError {
     Dfs(gesall_dfs::DfsError),
+    /// The MapReduce engine gave up on a job (task out of attempts, no
+    /// healthy nodes left, or a wave worker died).
+    Engine(gesall_mapreduce::GesallError),
     Format(gesall_formats::FormatError),
     Io(std::io::Error),
     /// A wrapped program or round violated a platform invariant.
@@ -16,6 +19,7 @@ impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlatformError::Dfs(e) => write!(f, "dfs: {e}"),
+            PlatformError::Engine(e) => write!(f, "engine: {e}"),
             PlatformError::Format(e) => write!(f, "format: {e}"),
             PlatformError::Io(e) => write!(f, "io: {e}"),
             PlatformError::Invariant(m) => write!(f, "invariant violated: {m}"),
@@ -28,6 +32,12 @@ impl std::error::Error for PlatformError {}
 impl From<gesall_dfs::DfsError> for PlatformError {
     fn from(e: gesall_dfs::DfsError) -> Self {
         PlatformError::Dfs(e)
+    }
+}
+
+impl From<gesall_mapreduce::GesallError> for PlatformError {
+    fn from(e: gesall_mapreduce::GesallError) -> Self {
+        PlatformError::Engine(e)
     }
 }
 

@@ -254,6 +254,28 @@ impl GesallPlatform {
         }
     }
 
+    /// Like [`GesallPlatform::new`], but wires the engine's node-death
+    /// hook to the DFS: when the engine declares a node dead mid-wave,
+    /// the DFS fails the same node (scrubbing its replicas from file
+    /// metadata) and immediately re-replicates under-replicated blocks
+    /// onto surviving nodes — the YARN-NodeManager-death → HDFS-
+    /// re-replication coupling of a real cluster.
+    pub fn with_fault_tolerance(
+        dfs: Dfs,
+        engine: MapReduceEngine,
+        config: PlatformConfig,
+    ) -> GesallPlatform {
+        let hook_dfs = dfs.clone();
+        let n_dfs_nodes = dfs.config().n_nodes;
+        let engine = engine.on_node_death(move |node| {
+            if node < n_dfs_nodes {
+                hook_dfs.fail_node(node);
+                hook_dfs.re_replicate();
+            }
+        });
+        GesallPlatform::new(dfs, engine, config)
+    }
+
     fn job_config(&self, name: &str, n_reducers: usize) -> JobConfig {
         JobConfig {
             name: name.into(),
@@ -337,7 +359,7 @@ impl GesallPlatform {
                 counters: counters.clone(),
             },
             splits,
-        );
+        )?;
         r1.counters.merge(&counters);
         rounds.push(summary("round1-align", &r1.counters, &r1.events, r1.wall_ms));
 
@@ -366,7 +388,7 @@ impl GesallPlatform {
             },
             &HashPartitioner,
             splits,
-        );
+        )?;
         r2.counters.merge(&counters);
         rounds.push(summary(
             "round2-clean-fixmate",
@@ -389,7 +411,7 @@ impl GesallPlatform {
                     counters: counters.clone(),
                 },
                 splits.clone(),
-            );
+            )?;
             let n_keys: usize = rb.outputs.iter().map(Vec::len).sum();
             rb.counters.merge(&counters);
             rounds.push(summary(
@@ -426,7 +448,7 @@ impl GesallPlatform {
             },
             &HashPartitioner,
             splits,
-        );
+        )?;
         r3.counters.merge(&counters);
         rounds.push(summary("round3-markdup", &r3.counters, &r3.events, r3.wall_ms));
         let r3_parts: Vec<Vec<SamRecord>> = r3
@@ -446,7 +468,7 @@ impl GesallPlatform {
             &Round4SortReducer,
             &FnPartitioner::new(|k: &RangeKey, n| chromosome_partition(k, n)),
             splits,
-        );
+        )?;
         r4.counters.merge(&counters);
         rounds.push(summary("round4-sort", &r4.counters, &r4.events, r4.wall_ms));
         let mut sorted_header = header.clone();
@@ -473,7 +495,7 @@ impl GesallPlatform {
                     counters: counters.clone(),
                 },
                 splits.clone(),
-            );
+            )?;
             // The covariate tally is distributive: partial tables from
             // the partitions merge into exactly the whole-dataset table.
             let table = Arc::new(crate::rounds::merge_recal_tables(&ra.outputs));
@@ -492,7 +514,7 @@ impl GesallPlatform {
                     counters: counters.clone(),
                 },
                 splits,
-            );
+            )?;
             rb2.counters.merge(&counters);
             rounds.push(summary(
                 "round4b-print-reads",
@@ -524,7 +546,7 @@ impl GesallPlatform {
                             counters: counters.clone(),
                         },
                         splits,
-                    ),
+                    )?,
                     "round5-unifiedgenotyper",
                 )
             }
@@ -544,7 +566,7 @@ impl GesallPlatform {
                             counters: counters.clone(),
                         },
                         splits,
-                    ),
+                    )?,
                     "round5-haplotypecaller",
                 )
             }
@@ -600,7 +622,7 @@ impl GesallPlatform {
                             counters: counters.clone(),
                         },
                         splits,
-                    ),
+                    )?,
                     "round5-hc-finegrained",
                 )
             }
@@ -637,14 +659,22 @@ fn summary(
     events: &[gesall_mapreduce::runtime::TaskEvent],
     wall_ms: f64,
 ) -> RoundSummary {
-    use gesall_mapreduce::runtime::TaskKind;
+    use gesall_mapreduce::runtime::{AttemptOutcome, TaskKind};
+    // Count committed tasks, not attempts: retries and speculative losers
+    // also leave events, but only one attempt per task ever succeeds.
+    let done = |e: &&gesall_mapreduce::runtime::TaskEvent| e.outcome == AttemptOutcome::Succeeded;
     RoundSummary {
         name: name.into(),
         wall_ms,
-        n_map_tasks: events.iter().filter(|e| e.kind == TaskKind::Map).count(),
+        n_map_tasks: events
+            .iter()
+            .filter(|e| e.kind == TaskKind::Map)
+            .filter(done)
+            .count(),
         n_reduce_tasks: events
             .iter()
             .filter(|e| e.kind == TaskKind::Reduce)
+            .filter(done)
             .count(),
         counters: counters.snapshot(),
     }

@@ -394,3 +394,56 @@ fn truth_set_recovery_is_strong() {
     );
     let _ = &w.genome; // silence unused when assertions hold
 }
+
+#[test]
+fn faulty_pipeline_matches_fault_free_output() {
+    // The whole-stack robustness check: ~15% of map attempts panic and a
+    // node dies during round 1's map wave. The fault-tolerant platform
+    // (engine node-death hook wired to DFS fail_node + re_replicate)
+    // must still produce byte-identical records and variants.
+    use gesall_mapreduce::{FaultPlan, TaskKind};
+
+    let w = build_world(600);
+    let cfg = || PlatformConfig {
+        n_round1_partitions: 4,
+        n_reducers: 3,
+        ..PlatformConfig::default()
+    };
+
+    let baseline = platform(cfg())
+        .run_pipeline(&w.aligner, w.pairs.clone())
+        .unwrap();
+
+    let dfs = Dfs::new(DfsConfig {
+        n_nodes: 4,
+        block_size: 64 * 1024,
+        replication: 2, // so fail_node leaves survivors to re-replicate
+    });
+    let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192)).with_fault_plan(
+        FaultPlan::seeded(0xBAD5EED)
+            .with_map_panic_rate(0.15)
+            // The rounds have few map tasks, so also force one panic:
+            // map task 0's first attempt dies in every round.
+            .panic_on(TaskKind::Map, 0, 0)
+            .kill_node_after_maps(1, 2),
+    );
+    let p = GesallPlatform::with_fault_tolerance(dfs, engine, cfg());
+    let out = p.run_pipeline(&w.aligner, w.pairs.clone()).unwrap();
+
+    assert_eq!(out.records, baseline.records);
+    assert_eq!(out.variants, baseline.variants);
+    // The death actually happened and propagated engine → DFS.
+    assert_eq!(p.engine.dead_nodes(), vec![1]);
+    assert!(p.dfs.is_node_dead(1));
+    assert!(!p.dfs.is_node_dead(0));
+    // Injected panics were absorbed by retries somewhere in the rounds.
+    let failed: u64 = out
+        .rounds
+        .iter()
+        .flat_map(|r| r.counters.iter())
+        .filter(|(k, _)| k == gesall_mapreduce::counters::keys::FAILED_ATTEMPTS)
+        .map(|(_, v)| *v)
+        .max()
+        .unwrap_or(0);
+    assert!(failed > 0, "the 15% panic rate must have fired at least once");
+}

@@ -112,7 +112,7 @@ impl DonorGenome {
                     let len = rng.gen_range(1..=config.max_indel_len);
                     let kind = if rng.gen_bool(0.5) {
                         let ins: Vec<u8> =
-                            (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+                            (0..len).map(|_| b"ACGT"[rng.gen_range(0..4usize)]).collect();
                         VarKind::Ins(ins)
                     } else {
                         VarKind::Del(len)

@@ -212,7 +212,7 @@ impl<'a> ReadSimulator<'a> {
         let cfg = &self.config;
         let n = seq.len();
         let mut qual = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, base) in seq.iter_mut().enumerate() {
             // Error rate ramps up over the second half of the read.
             let ramp = if n > 1 {
                 (i as f64 / (n - 1) as f64 - 0.5).max(0.0) * 2.0
@@ -223,17 +223,17 @@ impl<'a> ReadSimulator<'a> {
             let q = gesall_formats::quality::error_prob_to_phred(p_err).min(40);
             // Reported quality wobbles ±3 around the true value, so the
             // base recalibrator has systematic bias to find.
-            let reported = (q as i32 + rng.gen_range(-3..=3)).clamp(2, 41) as u8;
+            let reported = (q as i32 + rng.gen_range(-3i32..=3)).clamp(2, 41) as u8;
             qual.push(reported);
             if rng.gen_bool(p_err) {
-                let cur = seq[i];
+                let cur = *base;
                 let alt = loop {
-                    let c = b"ACGT"[rng.gen_range(0..4)];
+                    let c = b"ACGT"[rng.gen_range(0..4usize)];
                     if c != cur {
                         break c;
                     }
                 };
-                seq[i] = alt;
+                *base = alt;
             }
         }
         (seq, qual)

@@ -3,7 +3,7 @@
 use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
 use bytes::Bytes;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,6 +15,7 @@ pub enum DfsError {
     FileExists(String),
     BlockMissing(u64),
     BadPolicy(String),
+    NoLiveNodes,
 }
 
 impl fmt::Display for DfsError {
@@ -24,6 +25,7 @@ impl fmt::Display for DfsError {
             DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
             DfsError::BlockMissing(b) => write!(f, "block {b} missing from all replicas"),
             DfsError::BadPolicy(m) => write!(f, "bad placement: {m}"),
+            DfsError::NoLiveNodes => write!(f, "no live data nodes remain"),
         }
     }
 }
@@ -68,6 +70,21 @@ pub struct NodeStats {
     pub bytes: usize,
 }
 
+/// What a node failure cost the filesystem — returned by
+/// [`Dfs::fail_node`] so the caller (typically the MapReduce engine's
+/// node-death hook) can decide whether to re-replicate or re-run work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureReport {
+    /// The node that was declared dead.
+    pub node: usize,
+    /// Block ids whose **last** replica lived on the dead node — their
+    /// data is gone and files containing them are unreadable.
+    pub blocks_lost: Vec<u64>,
+    /// Block ids that survive on other nodes but now hold fewer replicas
+    /// than `DfsConfig::replication` — candidates for [`Dfs::re_replicate`].
+    pub under_replicated: Vec<u64>,
+}
+
 /// DFS configuration.
 #[derive(Debug, Clone)]
 pub struct DfsConfig {
@@ -107,6 +124,9 @@ struct DfsInner {
     namenode: NameNode,
     datanodes: Vec<DataNode>,
     next_block: AtomicU64,
+    /// Nodes declared dead via `fail_node`. Writes avoid them; they never
+    /// come back (matching the engine's permanent node-death model).
+    dead: RwLock<HashSet<usize>>,
 }
 
 impl Dfs {
@@ -126,6 +146,7 @@ impl Dfs {
                 },
                 datanodes,
                 next_block: AtomicU64::new(1),
+                dead: RwLock::new(HashSet::new()),
             }),
         }
     }
@@ -155,6 +176,10 @@ impl Dfs {
         }
         let n_nodes = self.inner.config.n_nodes;
         let replication = self.inner.config.replication;
+        let dead = self.inner.dead.read().clone();
+        if dead.len() >= n_nodes {
+            return Err(DfsError::NoLiveNodes);
+        }
         let mut blocks = Vec::new();
         let chunks: Vec<&[u8]> = if data.is_empty() {
             Vec::new()
@@ -168,6 +193,7 @@ impl Dfs {
                     "policy returned invalid nodes {nodes:?}"
                 )));
             }
+            let nodes = remap_around_dead(nodes, &dead, n_nodes)?;
             let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
             let payload = Bytes::copy_from_slice(chunk);
             for &n in &nodes {
@@ -277,10 +303,130 @@ impl Dfs {
             .collect()
     }
 
-    /// Drop every replica a node holds (failure injection for tests).
+    /// Drop every replica a node holds **without** telling the name node.
+    ///
+    /// This is the raw storage-loss primitive (a disk wipe the cluster has
+    /// not noticed yet): metadata still lists the node, reads skip the
+    /// missing replicas, writes still target it. For a *detected* failure
+    /// with metadata scrubbing and a damage report, use [`Dfs::fail_node`].
     pub fn kill_node(&self, node: usize) {
         self.inner.datanodes[node].blocks.write().clear();
     }
+
+    /// Declare a node dead: drop its replicas, scrub it from every file's
+    /// block locations, and exclude it from future writes.
+    ///
+    /// Returns a [`FailureReport`] listing blocks that lost their last
+    /// replica and blocks that are now under-replicated. Calling it twice
+    /// for the same node is a no-op reporting no further damage.
+    pub fn fail_node(&self, node: usize) -> FailureReport {
+        assert!(node < self.inner.config.n_nodes, "no such node: {node}");
+        self.inner.dead.write().insert(node);
+        self.inner.datanodes[node].blocks.write().clear();
+        let target = self.inner.config.replication;
+        let mut report = FailureReport {
+            node,
+            ..FailureReport::default()
+        };
+        let mut files = self.inner.namenode.files.write();
+        for info in files.values_mut() {
+            for b in info.blocks.iter_mut() {
+                if let Some(pos) = b.nodes.iter().position(|&n| n == node) {
+                    b.nodes.remove(pos);
+                    if b.nodes.is_empty() {
+                        report.blocks_lost.push(b.id);
+                    } else if b.nodes.len() < target {
+                        report.under_replicated.push(b.id);
+                    }
+                }
+            }
+        }
+        report.blocks_lost.sort_unstable();
+        report.under_replicated.sort_unstable();
+        report
+    }
+
+    /// Nodes declared dead via [`Dfs::fail_node`], sorted.
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.inner.dead.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Has `node` been declared dead?
+    pub fn is_node_dead(&self, node: usize) -> bool {
+        self.inner.dead.read().contains(&node)
+    }
+
+    /// Copy surviving replicas of under-replicated blocks onto live nodes
+    /// until every block reaches `min(replication, live nodes)` replicas —
+    /// the name node's re-replication sweep after a failure. Targets are
+    /// chosen least-loaded-first. Returns the number of replicas created.
+    pub fn re_replicate(&self) -> usize {
+        let dead = self.inner.dead.read().clone();
+        let live: Vec<usize> = (0..self.inner.config.n_nodes)
+            .filter(|n| !dead.contains(n))
+            .collect();
+        let effective = self.inner.config.replication.min(live.len());
+        let mut created = 0;
+        let mut files = self.inner.namenode.files.write();
+        for info in files.values_mut() {
+            for b in info.blocks.iter_mut() {
+                while !b.nodes.is_empty() && b.nodes.len() < effective {
+                    // A surviving replica to copy from (kill_node may have
+                    // silently wiped some listed homes, so probe them all).
+                    let Some(payload) = b.nodes.iter().find_map(|&n| {
+                        self.inner.datanodes[n].blocks.read().get(&b.id).cloned()
+                    }) else {
+                        break;
+                    };
+                    let Some(&dst) = live
+                        .iter()
+                        .filter(|n| !b.nodes.contains(n))
+                        .min_by_key(|&&n| self.inner.datanodes[n].blocks.read().len())
+                    else {
+                        break;
+                    };
+                    self.inner.datanodes[dst].blocks.write().insert(b.id, payload);
+                    b.nodes.push(dst);
+                    created += 1;
+                }
+            }
+        }
+        created
+    }
+}
+
+/// Substitute dead nodes in a placement with the next live node (cyclic
+/// scan) not already chosen. If fewer live nodes exist than requested
+/// replicas, the surplus replicas are dropped rather than doubled up.
+fn remap_around_dead(
+    nodes: Vec<usize>,
+    dead: &HashSet<usize>,
+    n_nodes: usize,
+) -> Result<Vec<usize>, DfsError> {
+    if dead.is_empty() {
+        return Ok(nodes);
+    }
+    let mut out: Vec<usize> = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        let mut cand = n;
+        let mut steps = 0;
+        while dead.contains(&cand) || out.contains(&cand) {
+            cand = (cand + 1) % n_nodes;
+            steps += 1;
+            if steps > n_nodes {
+                break;
+            }
+        }
+        if steps <= n_nodes {
+            out.push(cand);
+        }
+    }
+    if out.is_empty() {
+        return Err(DfsError::NoLiveNodes);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -400,6 +546,106 @@ mod tests {
         assert!(matches!(
             dfs.read_file("/r"),
             Err(DfsError::BlockMissing(_))
+        ));
+    }
+
+    #[test]
+    fn fail_node_reports_under_replicated_blocks() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+        });
+        let data = payload(2000); // 4 blocks, replicas on nodes {0, 1}
+        let info = dfs
+            .write_file_with_policy("/r", &data, &PinnedPlacement(0))
+            .unwrap();
+        let report = dfs.fail_node(0);
+        assert_eq!(report.node, 0);
+        assert!(report.blocks_lost.is_empty(), "replicas survive on node 1");
+        assert_eq!(report.under_replicated.len(), info.blocks.len());
+        // Metadata no longer lists the dead node.
+        let info = dfs.stat("/r").unwrap();
+        assert!(info.blocks.iter().all(|b| b.nodes == vec![1]));
+        assert_eq!(dfs.read_file("/r").unwrap(), data);
+        assert_eq!(dfs.dead_nodes(), vec![0]);
+        assert!(dfs.is_node_dead(0) && !dfs.is_node_dead(1));
+        // Failing the same node again reports no further damage.
+        let again = dfs.fail_node(0);
+        assert!(again.blocks_lost.is_empty() && again.under_replicated.is_empty());
+    }
+
+    #[test]
+    fn fail_node_reports_lost_blocks_when_unreplicated() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 1,
+        });
+        let info = dfs
+            .write_file_with_policy("/r", &payload(1500), &PinnedPlacement(2))
+            .unwrap();
+        let report = dfs.fail_node(2);
+        assert_eq!(report.blocks_lost.len(), info.blocks.len());
+        assert!(report.under_replicated.is_empty());
+        assert!(matches!(dfs.read_file("/r"), Err(DfsError::BlockMissing(_))));
+    }
+
+    #[test]
+    fn re_replicate_restores_replication_factor() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+        });
+        let data = payload(4000);
+        dfs.write_file_with_policy("/r", &data, &PinnedPlacement(0))
+            .unwrap();
+        let report = dfs.fail_node(0);
+        assert!(!report.under_replicated.is_empty());
+        let created = dfs.re_replicate();
+        assert_eq!(created, report.under_replicated.len());
+        let info = dfs.stat("/r").unwrap();
+        assert!(info.blocks.iter().all(|b| b.nodes.len() == 2));
+        assert!(info.blocks.iter().all(|b| !b.nodes.contains(&0)));
+        // The restored replication survives losing the other original home.
+        dfs.fail_node(1);
+        assert_eq!(dfs.read_file("/r").unwrap(), data);
+        // Nothing left to do: only one live node remains, so effective
+        // replication caps at 1 and a second sweep creates nothing.
+        assert_eq!(dfs.re_replicate(), 0);
+    }
+
+    #[test]
+    fn writes_avoid_dead_nodes() {
+        let dfs = small_dfs();
+        dfs.fail_node(2);
+        let info = dfs
+            .write_file_with_policy("/pinned", &payload(3000), &PinnedPlacement(2))
+            .unwrap();
+        assert!(
+            info.blocks.iter().all(|b| !b.nodes.contains(&2)),
+            "placement must be remapped off the dead node: {:?}",
+            info.blocks
+        );
+        assert_eq!(dfs.read_file("/pinned").unwrap(), payload(3000));
+        // Spreading writes also skip the dead node.
+        let info = dfs.write_file("/spread", &payload(8 * 1024)).unwrap();
+        assert!(info.blocks.iter().all(|b| !b.nodes.contains(&2)));
+    }
+
+    #[test]
+    fn all_nodes_dead_rejects_writes() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 512,
+            replication: 1,
+        });
+        dfs.fail_node(0);
+        dfs.fail_node(1);
+        assert!(matches!(
+            dfs.write_file("/x", &payload(10)),
+            Err(DfsError::NoLiveNodes)
         ));
     }
 

@@ -159,6 +159,10 @@ pub struct BamIndex {
     pub entries: Vec<ChunkIndexEntry>,
 }
 
+/// Wire row for one index entry:
+/// `(offset, (len, ((min_ref, min_pos), (max_ref, max_pos))))`.
+type IndexRow = (u64, (u64, ((i64, i64), (i64, i64))));
+
 impl BamIndex {
     /// Byte spans of the chunks that may hold records overlapping
     /// `[start, end]` on `ref_id`. Unmapped-record chunks (key
@@ -184,7 +188,7 @@ impl BamIndex {
     /// Serialize (for storing next to the BAM file).
     pub fn to_bytes(&self) -> Vec<u8> {
         use crate::wire::Wire;
-        let rows: Vec<(u64, (u64, ((i64, i64), (i64, i64))))> = self
+        let rows: Vec<IndexRow> = self
             .entries
             .iter()
             .map(|e| {
@@ -206,7 +210,7 @@ impl BamIndex {
     /// Deserialize.
     pub fn from_bytes(data: &[u8]) -> Result<BamIndex> {
         use crate::wire::Wire;
-        let rows = Vec::<(u64, (u64, ((i64, i64), (i64, i64))))>::from_wire_bytes(data)?;
+        let rows = Vec::<IndexRow>::from_wire_bytes(data)?;
         Ok(BamIndex {
             entries: rows
                 .into_iter()

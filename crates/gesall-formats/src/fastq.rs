@@ -141,7 +141,7 @@ impl<R: BufRead> FastqReader<R> {
     pub fn read_record(&mut self) -> Result<Option<FastqRecord>> {
         let header = match self.next_line()? {
             None => return Ok(None),
-            Some(l) if l.is_empty() => return Ok(None),
+            Some("") => return Ok(None),
             Some(l) => l.to_string(),
         };
         if !header.starts_with('@') {

@@ -285,7 +285,7 @@ mod tests {
         let a = mapped_record("a", 0, 5, "10M");
         let b = mapped_record("b", 1, 1, "10M");
         let u = SamRecord::unmapped("u", vec![], vec![]);
-        let mut v = vec![u.clone(), b.clone(), a.clone()];
+        let mut v = [u.clone(), b.clone(), a.clone()];
         v.sort_by_key(|r| r.coordinate_key());
         assert_eq!(v[0].name, "a");
         assert_eq!(v[1].name, "b");

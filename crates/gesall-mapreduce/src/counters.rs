@@ -25,6 +25,16 @@ pub mod keys {
     pub const DATA_TRANSFORM_NANOS: &str = "wrapper.transform.nanos";
     /// Nanoseconds spent inside wrapped external programs.
     pub const EXTERNAL_PROGRAM_NANOS: &str = "wrapper.external.nanos";
+    /// Task attempts that panicked and were retried (or aborted the job).
+    pub const FAILED_ATTEMPTS: &str = "fault.failed.attempts";
+    /// Speculative (backup) attempts launched for stragglers.
+    pub const SPECULATIVE_LAUNCHED: &str = "fault.speculative.launched";
+    /// Attempts whose committed-too-late results were discarded after a
+    /// speculative race.
+    pub const SPECULATIVE_WASTED: &str = "fault.speculative.wasted";
+    /// Completed map tasks re-executed because the node holding their
+    /// shuffle output died.
+    pub const MAPS_RERUN_ON_NODE_LOSS: &str = "fault.maps.rerun.on.node.loss";
 }
 
 /// A concurrent bag of named `u64` counters.

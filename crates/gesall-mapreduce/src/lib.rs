@@ -28,6 +28,8 @@
 
 pub mod cluster;
 pub mod counters;
+pub mod error;
+pub mod fault;
 pub mod runtime;
 pub mod shuffle;
 pub mod streaming;
@@ -35,5 +37,9 @@ pub mod task;
 
 pub use cluster::{ClusterResources, NodeResources};
 pub use counters::Counters;
-pub use runtime::{InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind};
+pub use error::GesallError;
+pub use fault::{FaultPlan, NodeDeath};
+pub use runtime::{
+    AttemptOutcome, InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind,
+};
 pub use task::{HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer};

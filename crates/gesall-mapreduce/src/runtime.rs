@@ -1,12 +1,30 @@
 //! The job driver: input splits → map wave → shuffle → reduce wave.
+//!
+//! Tasks execute as numbered *attempts* under `catch_unwind` isolation:
+//! a panicking attempt is retried (with exponential backoff) up to
+//! [`JobConfig::max_attempts`] times before the job fails. Stragglers are
+//! backed up by speculative attempts, first finisher wins. Node deaths —
+//! injected via [`crate::fault::FaultPlan`] — re-schedule the dead node's
+//! in-flight attempts and re-run already-committed map tasks whose
+//! shuffle output lived on it, exactly as Hadoop must when a slave is
+//! lost mid-job (the failure model behind the paper's production-cluster
+//! observations).
 
 use crate::cluster::ClusterResources;
 use crate::counters::{keys, Counters};
+use crate::error::{panic_message, GesallError};
+use crate::fault::{FaultPlan, NodeDeath};
 use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer};
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
 use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Per-task output slots: `None` until the task's winning attempt commits.
+type TaskOutputs<K, V> = Vec<Mutex<Option<Vec<(K, V)>>>>;
 
 /// Per-job configuration (the Hadoop parameters the paper tunes).
 #[derive(Debug, Clone)]
@@ -28,6 +46,21 @@ pub struct JobConfig {
     pub map_memory_mb: usize,
     pub reduce_vcores: usize,
     pub reduce_memory_mb: usize,
+    /// Maximum attempts per task (`mapreduce.map.maxattempts` analogue).
+    /// A task whose attempts all fail aborts the job.
+    pub max_attempts: usize,
+    /// Base delay before re-running a failed attempt; doubles per
+    /// consecutive failure of the same task.
+    pub retry_backoff_ms: f64,
+    /// Launch backup attempts for stragglers
+    /// (`mapreduce.map.speculative` analogue).
+    pub speculative: bool,
+    /// An attempt is a straggler once it has run this multiple of the
+    /// median completed-attempt runtime.
+    pub speculative_multiplier: f64,
+    /// ... but never before it has run at least this long (keeps
+    /// micro-tasks from being pointlessly backed up).
+    pub speculative_min_runtime_ms: f64,
 }
 
 impl Default for JobConfig {
@@ -43,6 +76,11 @@ impl Default for JobConfig {
             map_memory_mb: 1024,
             reduce_vcores: 1,
             reduce_memory_mb: 1024,
+            max_attempts: 4,
+            retry_backoff_ms: 10.0,
+            speculative: true,
+            speculative_multiplier: 1.5,
+            speculative_min_runtime_ms: 25.0,
         }
     }
 }
@@ -72,18 +110,37 @@ impl<K, V> InputSplit<K, V> {
 }
 
 /// Map task or reduce task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     Map,
     Reduce,
 }
 
-/// A completed task's history record — the raw material for Fig. 7-style
-/// progress plots.
+/// How one task attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt's result was committed as the task's output.
+    Succeeded,
+    /// The attempt panicked; the task was retried (or the job aborted).
+    Failed,
+    /// The attempt finished but its result was discarded — it lost a
+    /// speculative race, or its node died while it ran.
+    Killed,
+}
+
+/// One task attempt's history record — the raw material for Fig. 7-style
+/// progress plots and for fault post-mortems.
 #[derive(Debug, Clone)]
 pub struct TaskEvent {
     pub kind: TaskKind,
     pub task_id: usize,
+    /// Attempt number within the task, starting at 0.
+    pub attempt: usize,
+    /// Whether this was a speculative (backup) attempt.
+    pub speculative: bool,
+    pub outcome: AttemptOutcome,
+    /// Panic message for `Failed` attempts.
+    pub error: Option<String>,
     pub node: usize,
     /// Milliseconds since job start.
     pub start_ms: f64,
@@ -103,52 +160,55 @@ pub struct JobResult<K, V> {
     pub config: JobConfig,
 }
 
+impl<K, V> JobResult<K, V> {
+    /// Canonical attempt history: one line per attempt, sorted, with
+    /// wall-clock times and node/thread placement excluded. For a given
+    /// [`FaultPlan`] seed this is byte-identical across runs — the
+    /// contract the seed-determinism test asserts.
+    pub fn history(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{:?} task={} attempt={} speculative={} outcome={:?} error={}",
+                    e.kind,
+                    e.task_id,
+                    e.attempt,
+                    e.speculative,
+                    e.outcome,
+                    e.error.as_deref().unwrap_or("-"),
+                )
+            })
+            .collect();
+        lines.sort();
+        lines
+    }
+}
+
 /// The engine: a cluster's worth of worker threads.
 pub struct MapReduceEngine {
     cluster: ClusterResources,
-}
-
-struct TaskQueue {
-    /// (task index, preferred node).
-    pending: Mutex<Vec<(usize, Option<usize>)>>,
-}
-
-impl TaskQueue {
-    fn new(tasks: Vec<(usize, Option<usize>)>) -> TaskQueue {
-        TaskQueue {
-            pending: Mutex::new(tasks),
-        }
-    }
-
-    /// Pop a task local to `node` (preferred node matches, or no
-    /// preference).
-    fn pop_local(&self, node: usize) -> Option<usize> {
-        let mut q = self.pending.lock();
-        let pos = q
-            .iter()
-            .position(|&(_, pref)| pref == Some(node) || pref.is_none())?;
-        Some(q.remove(pos).0)
-    }
-
-    /// Pop any task (a remote steal); returns (task index, was_local).
-    fn pop_any(&self, node: usize) -> Option<(usize, bool)> {
-        let mut q = self.pending.lock();
-        if q.is_empty() {
-            None
-        } else {
-            let (t, pref) = q.remove(0);
-            Some((t, pref.is_none() || pref == Some(node)))
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.pending.lock().is_empty()
-    }
+    fault_plan: FaultPlan,
+    /// Scheduled deaths not yet fired (each fires at most once per engine).
+    pending_deaths: Mutex<Vec<NodeDeath>>,
+    /// Nodes lost so far; a dead node schedules no further attempts, in
+    /// any wave of any subsequent job on this engine.
+    dead_nodes: Mutex<HashSet<usize>>,
+    /// Called (outside scheduler locks) when a node dies — the DFS layer
+    /// hooks re-replication in here.
+    node_death_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
 
 impl MapReduceEngine {
     pub fn new(cluster: ClusterResources) -> MapReduceEngine {
-        MapReduceEngine { cluster }
+        MapReduceEngine {
+            cluster,
+            fault_plan: FaultPlan::default(),
+            pending_deaths: Mutex::new(Vec::new()),
+            dead_nodes: Mutex::new(HashSet::new()),
+            node_death_hook: None,
+        }
     }
 
     /// A single-node engine with `slots` concurrent tasks.
@@ -156,8 +216,36 @@ impl MapReduceEngine {
         MapReduceEngine::new(ClusterResources::uniform(1, slots.max(1), usize::MAX / 2))
     }
 
+    /// Inject faults according to `plan` (panics, slowdowns, node deaths).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> MapReduceEngine {
+        *self.pending_deaths.get_mut() = plan.node_deaths().to_vec();
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Register a callback fired once per node death, after the scheduler
+    /// has marked the node dead and re-queued its work.
+    pub fn on_node_death(
+        mut self,
+        hook: impl Fn(usize) + Send + Sync + 'static,
+    ) -> MapReduceEngine {
+        self.node_death_hook = Some(Arc::new(hook));
+        self
+    }
+
     pub fn cluster(&self) -> &ClusterResources {
         &self.cluster
+    }
+
+    /// Nodes that have died so far on this engine.
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dead_nodes.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn is_dead(&self, node: usize) -> bool {
+        self.dead_nodes.lock().contains(&node)
     }
 
     /// Run a full map + shuffle + reduce job.
@@ -168,81 +256,70 @@ impl MapReduceEngine {
         reducer: &R,
         partitioner: &dyn Partitioner<M::OutKey>,
         splits: Vec<InputSplit<M::InKey, M::InValue>>,
-    ) -> JobResult<R::OutKey, R::OutValue>
+    ) -> Result<JobResult<R::OutKey, R::OutValue>, GesallError>
     where
         M: Mapper,
         R: Reducer<InKey = M::OutKey, InValue = M::OutValue>,
     {
         let counters = Counters::new();
-        let events: Arc<Mutex<Vec<TaskEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
         let t0 = Instant::now();
         let n_maps = splits.len();
         let n_reducers = config.n_reducers.max(1);
 
         // ---- Map wave -------------------------------------------------
-        let splits: Vec<Mutex<Option<InputSplit<M::InKey, M::InValue>>>> =
-            splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
         let map_outputs: Vec<Mutex<Option<Vec<Segment>>>> =
             (0..n_maps).map(|_| Mutex::new(None)).collect();
-        let queue = TaskQueue::new(
-            (0..n_maps)
-                .map(|i| (i, splits[i].lock().as_ref().unwrap().preferred_node))
-                .collect(),
-        );
+        let prefs: Vec<Option<usize>> = splits.iter().map(|s| s.preferred_node).collect();
 
         self.run_wave(
-            config.map_vcores,
-            config.map_memory_mb,
-            &queue,
-            |task_id, node, local| {
-                let split = splits[task_id]
-                    .lock()
-                    .take()
-                    .expect("split taken exactly once");
-                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
-                counters.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
+            TaskKind::Map,
+            &config,
+            &counters,
+            &events,
+            t0,
+            &prefs,
+            &map_outputs,
+            |task_id, bag| {
+                let split = &splits[task_id];
+                bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
                 let mut buf = SortSpillBuffer::new(
                     config.io_sort_bytes,
                     n_reducers,
                     partitioner,
                     config.compress_map_output,
-                    counters.clone(),
+                    bag.clone(),
                 );
                 {
                     let mut sink = |k: M::OutKey, v: M::OutValue| buf.emit(k, v);
                     let mut ctx = MapContext { sink: &mut sink };
-                    for (k, v) in split.records {
-                        mapper.map(k, v, &mut ctx);
+                    for (k, v) in &split.records {
+                        mapper.map(k.clone(), v.clone(), &mut ctx);
                     }
                     mapper.finish(&mut ctx);
                 }
-                *map_outputs[task_id].lock() = Some(buf.finish());
-                events.lock().push(TaskEvent {
-                    kind: TaskKind::Map,
-                    task_id,
-                    node,
-                    start_ms,
-                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
-                    data_local: local,
-                });
+                buf.finish()
             },
-        );
+        )?;
 
         // ---- Shuffle + reduce wave ------------------------------------
         let map_outputs: Vec<Vec<Segment>> = map_outputs
             .into_iter()
             .map(|m| m.into_inner().expect("map output present"))
             .collect();
-        let reduce_outputs: Vec<Mutex<Vec<(R::OutKey, R::OutValue)>>> =
-            (0..n_reducers).map(|_| Mutex::new(Vec::new())).collect();
-        let queue = TaskQueue::new((0..n_reducers).map(|i| (i, None)).collect());
+        let reduce_outputs: TaskOutputs<R::OutKey, R::OutValue> =
+            (0..n_reducers).map(|_| Mutex::new(None)).collect();
+        let reduce_prefs: Vec<Option<usize>> = vec![None; n_reducers];
 
         self.run_wave(
-            config.reduce_vcores,
-            config.reduce_memory_mb,
-            &queue,
-            |partition, node, local| {
-                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
+            TaskKind::Reduce,
+            &config,
+            &counters,
+            &events,
+            t0,
+            &reduce_prefs,
+            &reduce_outputs,
+            |partition, bag| {
                 let segments: Vec<Segment> = map_outputs
                     .iter()
                     .map(|per_map| per_map[partition].clone())
@@ -251,7 +328,7 @@ impl MapReduceEngine {
                     segments,
                     config.merge_factor,
                     config.compress_map_output,
-                    &counters,
+                    bag,
                 );
                 let mut out = Vec::new();
                 {
@@ -261,33 +338,24 @@ impl MapReduceEngine {
                     }
                     reducer.finish(&mut ctx);
                 }
-                counters.add(keys::REDUCE_OUTPUT_RECORDS, out.len() as u64);
-                *reduce_outputs[partition].lock() = out;
-                events.lock().push(TaskEvent {
-                    kind: TaskKind::Reduce,
-                    task_id: partition,
-                    node,
-                    start_ms,
-                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
-                    data_local: local,
-                });
+                bag.add(keys::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                out
             },
-        );
+        )?;
 
-        let outputs = reduce_outputs.into_iter().map(|m| m.into_inner()).collect();
-        let mut events = Arc::try_unwrap(events)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        events.sort_by(|a, b| {
-            (a.kind == TaskKind::Reduce, a.task_id).cmp(&(b.kind == TaskKind::Reduce, b.task_id))
-        });
-        JobResult {
+        let outputs = reduce_outputs
+            .into_iter()
+            .map(|m| m.into_inner().expect("reduce output present"))
+            .collect();
+        let mut events = events.into_inner();
+        sort_events(&mut events);
+        Ok(JobResult {
             outputs,
             counters,
             events,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             config,
-        }
+        })
     }
 
     /// Run a map-only job (the paper's Round 1): each map task's emitted
@@ -297,99 +365,523 @@ impl MapReduceEngine {
         config: JobConfig,
         mapper: &M,
         splits: Vec<InputSplit<M::InKey, M::InValue>>,
-    ) -> JobResult<M::OutKey, M::OutValue>
+    ) -> Result<JobResult<M::OutKey, M::OutValue>, GesallError>
     where
         M: Mapper,
     {
         let counters = Counters::new();
-        let events: Arc<Mutex<Vec<TaskEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
         let t0 = Instant::now();
         let n_maps = splits.len();
-        let splits: Vec<Mutex<Option<InputSplit<M::InKey, M::InValue>>>> =
-            splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
-        let outputs: Vec<Mutex<Vec<(M::OutKey, M::OutValue)>>> =
-            (0..n_maps).map(|_| Mutex::new(Vec::new())).collect();
-        let queue = TaskQueue::new(
-            (0..n_maps)
-                .map(|i| (i, splits[i].lock().as_ref().unwrap().preferred_node))
-                .collect(),
-        );
+        let outputs: TaskOutputs<M::OutKey, M::OutValue> =
+            (0..n_maps).map(|_| Mutex::new(None)).collect();
+        let prefs: Vec<Option<usize>> = splits.iter().map(|s| s.preferred_node).collect();
+
         self.run_wave(
-            config.map_vcores,
-            config.map_memory_mb,
-            &queue,
-            |task_id, node, local| {
-                let split = splits[task_id].lock().take().expect("split taken once");
-                let start_ms = t0.elapsed().as_secs_f64() * 1e3;
-                counters.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
+            TaskKind::Map,
+            &config,
+            &counters,
+            &events,
+            t0,
+            &prefs,
+            &outputs,
+            |task_id, bag| {
+                let split = &splits[task_id];
+                bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
                 let mut out = Vec::new();
                 {
                     let mut sink = |k, v| out.push((k, v));
                     let mut ctx = MapContext { sink: &mut sink };
-                    for (k, v) in split.records {
-                        mapper.map(k, v, &mut ctx);
+                    for (k, v) in &split.records {
+                        mapper.map(k.clone(), v.clone(), &mut ctx);
                     }
                     mapper.finish(&mut ctx);
                 }
-                counters.add(keys::MAP_OUTPUT_RECORDS, out.len() as u64);
-                *outputs[task_id].lock() = out;
-                events.lock().push(TaskEvent {
-                    kind: TaskKind::Map,
-                    task_id,
-                    node,
-                    start_ms,
-                    end_ms: t0.elapsed().as_secs_f64() * 1e3,
-                    data_local: local,
-                });
+                bag.add(keys::MAP_OUTPUT_RECORDS, out.len() as u64);
+                out
             },
-        );
-        let outputs = outputs.into_iter().map(|m| m.into_inner()).collect();
-        let mut events = Arc::try_unwrap(events)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone());
-        events.sort_by_key(|e| e.task_id);
-        JobResult {
+        )?;
+
+        let outputs = outputs
+            .into_inner_vec()
+            .into_iter()
+            .map(|o| o.expect("map output present"))
+            .collect();
+        let mut events = events.into_inner();
+        sort_events(&mut events);
+        Ok(JobResult {
             outputs,
             counters,
             events,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             config,
+        })
+    }
+
+    /// Execute one wave of tasks with per-node container slots, attempt
+    /// retries, speculative backups, and node-loss recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn run_wave<T, F>(
+        &self,
+        kind: TaskKind,
+        config: &JobConfig,
+        counters: &Counters,
+        events: &Mutex<Vec<TaskEvent>>,
+        t0: Instant,
+        prefs: &[Option<usize>],
+        outputs: &[Mutex<Option<T>>],
+        body: F,
+    ) -> Result<(), GesallError>
+    where
+        T: Send,
+        F: Fn(usize, &Counters) -> T + Send + Sync,
+    {
+        let n_tasks = prefs.len();
+        let done: Vec<AtomicBool> = (0..n_tasks).map(|_| AtomicBool::new(false)).collect();
+        let state = Mutex::new(WaveState {
+            pending: (0..n_tasks)
+                .map(|t| PendingTask {
+                    task: t,
+                    not_before: None,
+                })
+                .collect(),
+            running: Vec::new(),
+            tasks: (0..n_tasks)
+                .map(|t| TaskState {
+                    preferred: prefs[t],
+                    failures: 0,
+                    next_attempt: 0,
+                    backup_launched: false,
+                    home: None,
+                })
+                .collect(),
+            remaining: n_tasks,
+            completed_ms: Vec::new(),
+            total_commits: 0,
+            fatal: None,
+        });
+        let wave = WaveCtx {
+            engine: self,
+            kind,
+            config,
+            counters,
+            events,
+            t0,
+            state: &state,
+            done: &done,
+            outputs,
+        };
+
+        // Deaths already due (threshold 0) fire before any work starts.
+        if kind == TaskKind::Map {
+            let fired = {
+                let mut st = state.lock();
+                wave.fire_due_deaths(&mut st)
+            };
+            wave.notify_deaths(&fired);
+        }
+
+        let (task_vcores, task_memory_mb) = match kind {
+            TaskKind::Map => (config.map_vcores, config.map_memory_mb),
+            TaskKind::Reduce => (config.reduce_vcores, config.reduce_memory_mb),
+        };
+
+        let scope_result = crossbeam::thread::scope(|s| {
+            let mut first_live_worker = true;
+            for node in 0..self.cluster.n_nodes() {
+                if self.is_dead(node) {
+                    continue;
+                }
+                let slots = self.cluster.slots_on(node, task_vcores, task_memory_mb);
+                let slots = slots.max(if first_live_worker { 1 } else { 0 });
+                if slots > 0 {
+                    first_live_worker = false;
+                }
+                for _ in 0..slots {
+                    let wave = &wave;
+                    let body = &body;
+                    s.spawn(move |_| wave.worker_loop(node, body));
+                }
+            }
+        });
+        scope_result.map_err(|_| GesallError::Runtime("task wave worker panicked".into()))?;
+
+        let st = state.into_inner();
+        if let Some(fatal) = st.fatal {
+            return Err(fatal);
+        }
+        if st.remaining > 0 {
+            return Err(GesallError::NoHealthyNodes {
+                pending_tasks: st.remaining,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn sort_events(events: &mut [TaskEvent]) {
+    events.sort_by(|a, b| {
+        (a.kind == TaskKind::Reduce, a.task_id, a.attempt).cmp(&(
+            b.kind == TaskKind::Reduce,
+            b.task_id,
+            b.attempt,
+        ))
+    });
+}
+
+/// Helper so `Vec<Mutex<Option<T>>>` unwraps uniformly.
+trait IntoInnerVec<T> {
+    fn into_inner_vec(self) -> Vec<Option<T>>;
+}
+
+impl<T> IntoInnerVec<T> for Vec<Mutex<Option<T>>> {
+    fn into_inner_vec(self) -> Vec<Option<T>> {
+        self.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+struct PendingTask {
+    task: usize,
+    /// Earliest time the task may be re-attempted (retry backoff).
+    not_before: Option<Instant>,
+}
+
+struct TaskState {
+    preferred: Option<usize>,
+    failures: usize,
+    next_attempt: usize,
+    backup_launched: bool,
+    /// Node whose local disk holds the committed output (shuffle home).
+    home: Option<usize>,
+}
+
+struct RunningAttempt {
+    task: usize,
+    attempt: usize,
+    started: Instant,
+    speculative: bool,
+}
+
+struct WaveState {
+    pending: Vec<PendingTask>,
+    running: Vec<RunningAttempt>,
+    tasks: Vec<TaskState>,
+    /// Tasks without a committed output.
+    remaining: usize,
+    /// Durations of committed attempts — the speculative baseline.
+    completed_ms: Vec<f64>,
+    /// Successful commits in this wave (monotone; re-runs recount).
+    total_commits: usize,
+    fatal: Option<GesallError>,
+}
+
+#[derive(Clone, Copy)]
+struct Assignment {
+    task: usize,
+    attempt: usize,
+    speculative: bool,
+    data_local: bool,
+}
+
+enum Acquired {
+    Got(Assignment),
+    Idle,
+    Exit,
+}
+
+struct WaveCtx<'a, T> {
+    engine: &'a MapReduceEngine,
+    kind: TaskKind,
+    config: &'a JobConfig,
+    counters: &'a Counters,
+    events: &'a Mutex<Vec<TaskEvent>>,
+    t0: Instant,
+    state: &'a Mutex<WaveState>,
+    done: &'a [AtomicBool],
+    outputs: &'a [Mutex<Option<T>>],
+}
+
+impl<T> WaveCtx<'_, T> {
+    fn now_ms(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e3
+    }
+
+    fn worker_loop<F>(&self, node: usize, body: &F)
+    where
+        F: Fn(usize, &Counters) -> T + Send + Sync,
+    {
+        loop {
+            // Delay scheduling: prefer local tasks; wait one beat before
+            // stealing a remote one (or launching a backup attempt).
+            match self.acquire(node, false) {
+                Acquired::Exit => break,
+                Acquired::Got(a) => {
+                    self.run_attempt(node, a, body);
+                    continue;
+                }
+                Acquired::Idle => {}
+            }
+            std::thread::sleep(Duration::from_micros(500));
+            match self.acquire(node, true) {
+                Acquired::Exit => break,
+                Acquired::Got(a) => self.run_attempt(node, a, body),
+                Acquired::Idle => std::thread::sleep(Duration::from_micros(200)),
+            }
         }
     }
 
-    /// Execute one wave of tasks with per-node container slots.
-    fn run_wave<F>(&self, task_vcores: usize, task_memory_mb: usize, queue: &TaskQueue, body: F)
+    /// Pick work for `node`. Local pending tasks first; with
+    /// `allow_steal`, remote pending tasks, then speculative backups.
+    fn acquire(&self, node: usize, allow_steal: bool) -> Acquired {
+        let mut st = self.state.lock();
+        if st.fatal.is_some() || st.remaining == 0 || self.engine.is_dead(node) {
+            return Acquired::Exit;
+        }
+        let now = Instant::now();
+        let ready = |p: &PendingTask| p.not_before.is_none_or(|nb| nb <= now);
+
+        let local_pos = st.pending.iter().position(|p| {
+            ready(p)
+                && (st.tasks[p.task].preferred == Some(node) || st.tasks[p.task].preferred.is_none())
+        });
+        let pos = match local_pos {
+            Some(p) => Some(p),
+            None if allow_steal => st.pending.iter().position(ready),
+            None => None,
+        };
+        if let Some(pos) = pos {
+            let task = st.pending.remove(pos).task;
+            let ts = &mut st.tasks[task];
+            let attempt = ts.next_attempt;
+            ts.next_attempt += 1;
+            let data_local = ts.preferred == Some(node) || ts.preferred.is_none();
+            st.running.push(RunningAttempt {
+                task,
+                attempt,
+                started: now,
+                speculative: false,
+            });
+            return Acquired::Got(Assignment {
+                task,
+                attempt,
+                speculative: false,
+                data_local,
+            });
+        }
+
+        if allow_steal && self.config.speculative && !st.completed_ms.is_empty() {
+            let mut sorted = st.completed_ms.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = sorted[sorted.len() / 2];
+            let threshold = (self.config.speculative_multiplier * median)
+                .max(self.config.speculative_min_runtime_ms);
+            let straggler = st.running.iter().position(|r| {
+                !r.speculative
+                    && !self.done[r.task].load(Ordering::SeqCst)
+                    && !st.tasks[r.task].backup_launched
+                    && r.started.elapsed().as_secs_f64() * 1e3 > threshold
+            });
+            if let Some(pos) = straggler {
+                let task = st.running[pos].task;
+                let ts = &mut st.tasks[task];
+                ts.backup_launched = true;
+                let attempt = ts.next_attempt;
+                ts.next_attempt += 1;
+                let data_local = ts.preferred == Some(node) || ts.preferred.is_none();
+                st.running.push(RunningAttempt {
+                    task,
+                    attempt,
+                    started: now,
+                    speculative: true,
+                });
+                self.counters.add(keys::SPECULATIVE_LAUNCHED, 1);
+                return Acquired::Got(Assignment {
+                    task,
+                    attempt,
+                    speculative: true,
+                    data_local,
+                });
+            }
+        }
+        Acquired::Idle
+    }
+
+    fn run_attempt<F>(&self, node: usize, a: Assignment, body: &F)
     where
-        F: Fn(usize, usize, bool) + Send + Sync,
+        F: Fn(usize, &Counters) -> T + Send + Sync,
     {
-        crossbeam::thread::scope(|s| {
-            for node in 0..self.cluster.n_nodes() {
-                let slots = self.cluster.slots_on(node, task_vcores, task_memory_mb);
-                for _ in 0..slots.max(if node == 0 { 1 } else { 0 }) {
-                    let body = &body;
-                    s.spawn(move |_| loop {
-                        // Delay scheduling: prefer local tasks; wait one
-                        // beat before stealing a remote one.
-                        if let Some(task) = queue.pop_local(node) {
-                            body(task, node, true);
-                            continue;
-                        }
-                        if queue.is_empty() {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_micros(500));
-                        if let Some(task) = queue.pop_local(node) {
-                            body(task, node, true);
-                        } else if let Some((task, local)) = queue.pop_any(node) {
-                            body(task, node, local);
-                        } else {
-                            break;
-                        }
+        let start_ms = self.now_ms();
+
+        // Injected straggler: sleep in small beats, bailing out early if
+        // the task is won by another attempt or this node dies (the
+        // cancellation path for speculative losers).
+        if let Some(ms) = self
+            .engine
+            .fault_plan
+            .slowdown_ms(self.kind, a.task, a.attempt)
+        {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            while Instant::now() < deadline {
+                if self.done[a.task].load(Ordering::SeqCst) || self.engine.is_dead(node) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        let bag = Counters::new();
+        let plan = &self.engine.fault_plan;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if plan.should_panic(self.kind, a.task, a.attempt) {
+                panic!("{}", FaultPlan::panic_message(self.kind, a.task, a.attempt));
+            }
+            body(a.task, &bag)
+        }));
+
+        let end_ms = self.now_ms();
+        let mut st = self.state.lock();
+        let started = st
+            .running
+            .iter()
+            .position(|r| r.task == a.task && r.attempt == a.attempt)
+            .map(|pos| st.running.remove(pos).started);
+        if st.fatal.is_some() {
+            return; // Job already failed; drop silently.
+        }
+        let event = |outcome: AttemptOutcome, error: Option<String>| TaskEvent {
+            kind: self.kind,
+            task_id: a.task,
+            attempt: a.attempt,
+            speculative: a.speculative,
+            outcome,
+            error,
+            node,
+            start_ms,
+            end_ms,
+            data_local: a.data_local,
+        };
+
+        match result {
+            Ok(value) => {
+                if self.done[a.task].load(Ordering::SeqCst) {
+                    // Lost the race to another attempt of the same task.
+                    if st.tasks[a.task].backup_launched {
+                        self.counters.add(keys::SPECULATIVE_WASTED, 1);
+                    }
+                    self.events.lock().push(event(AttemptOutcome::Killed, None));
+                    return;
+                }
+                if self.engine.is_dead(node) {
+                    // The node died while this attempt ran; its local
+                    // output is gone. Re-queue the task.
+                    self.events.lock().push(event(AttemptOutcome::Killed, None));
+                    st.pending.push(PendingTask {
+                        task: a.task,
+                        not_before: None,
+                    });
+                    return;
+                }
+                *self.outputs[a.task].lock() = Some(value);
+                self.done[a.task].store(true, Ordering::SeqCst);
+                st.tasks[a.task].home = Some(node);
+                st.remaining -= 1;
+                if let Some(started) = started {
+                    st.completed_ms
+                        .push(started.elapsed().as_secs_f64() * 1e3);
+                }
+                st.total_commits += 1;
+                self.counters.merge(&bag);
+                self.events
+                    .lock()
+                    .push(event(AttemptOutcome::Succeeded, None));
+                let fired = if self.kind == TaskKind::Map {
+                    self.fire_due_deaths(&mut st)
+                } else {
+                    Vec::new()
+                };
+                drop(st);
+                self.notify_deaths(&fired);
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                if self.done[a.task].load(Ordering::SeqCst) {
+                    // The task already succeeded elsewhere; this failure
+                    // is moot and must not count against the task.
+                    self.events
+                        .lock()
+                        .push(event(AttemptOutcome::Failed, Some(msg)));
+                    return;
+                }
+                self.counters.add(keys::FAILED_ATTEMPTS, 1);
+                st.tasks[a.task].failures += 1;
+                let failures = st.tasks[a.task].failures;
+                self.events
+                    .lock()
+                    .push(event(AttemptOutcome::Failed, Some(msg.clone())));
+                if failures >= self.config.max_attempts {
+                    st.fatal = Some(GesallError::TaskFailed {
+                        kind: self.kind,
+                        task_id: a.task,
+                        attempts: failures,
+                        last_error: msg,
+                    });
+                } else {
+                    let backoff = self.config.retry_backoff_ms
+                        * (1u64 << (failures - 1).min(16)) as f64;
+                    st.pending.push(PendingTask {
+                        task: a.task,
+                        not_before: Some(Instant::now() + Duration::from_secs_f64(backoff / 1e3)),
                     });
                 }
             }
-        })
-        .expect("task wave panicked");
+        }
+    }
+
+    /// Fire scheduled deaths whose map-commit threshold has been reached.
+    /// Runs under the wave lock: marks the node dead, evicts committed
+    /// map outputs homed on it, and re-queues those tasks. Returns the
+    /// nodes that died so the caller can notify the hook lock-free.
+    fn fire_due_deaths(&self, st: &mut WaveState) -> Vec<usize> {
+        let mut fired = Vec::new();
+        let mut pending_deaths = self.engine.pending_deaths.lock();
+        let mut i = 0;
+        while i < pending_deaths.len() {
+            if pending_deaths[i].after_completed_maps <= st.total_commits {
+                let death = pending_deaths.remove(i);
+                self.engine.dead_nodes.lock().insert(death.node);
+                fired.push(death.node);
+                // Completed map outputs on the dead node's disk are gone:
+                // evict and re-run, as Hadoop re-runs map tasks whose
+                // shuffle output was on a lost slave.
+                for task in 0..st.tasks.len() {
+                    if st.tasks[task].home == Some(death.node)
+                        && self.done[task].load(Ordering::SeqCst)
+                    {
+                        *self.outputs[task].lock() = None;
+                        self.done[task].store(false, Ordering::SeqCst);
+                        st.tasks[task].home = None;
+                        st.tasks[task].backup_launched = false;
+                        st.remaining += 1;
+                        st.pending.push(PendingTask {
+                            task,
+                            not_before: None,
+                        });
+                        self.counters.add(keys::MAPS_RERUN_ON_NODE_LOSS, 1);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        fired
+    }
+
+    fn notify_deaths(&self, nodes: &[usize]) {
+        if let Some(hook) = &self.engine.node_death_hook {
+            for &node in nodes {
+                hook(node);
+            }
+        }
     }
 }
 
@@ -448,7 +940,9 @@ mod tests {
             reduce_memory_mb: 1024,
             ..JobConfig::default()
         };
-        let res = engine.run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(6, 50));
+        let res = engine
+            .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(6, 50))
+            .unwrap();
         let mut all: Vec<(String, u64)> = res.outputs.into_iter().flatten().collect();
         all.sort();
         let alpha = all.iter().find(|(k, _)| k == "alpha").unwrap();
@@ -463,7 +957,8 @@ mod tests {
         assert!(res.counters.get(keys::MAP_SPILLS) >= 6);
         assert_eq!(res.counters.get(keys::SHUFFLE_RECORDS), 1200);
         assert_eq!(res.counters.get(keys::REDUCE_OUTPUT_RECORDS), 15);
-        // Events: 6 maps + 4 reduces.
+        // Events: 6 maps + 4 reduces, all first-attempt successes in a
+        // fault-free run.
         assert_eq!(
             res.events.iter().filter(|e| e.kind == TaskKind::Map).count(),
             6
@@ -475,6 +970,11 @@ mod tests {
                 .count(),
             4
         );
+        assert!(res
+            .events
+            .iter()
+            .all(|e| e.outcome == AttemptOutcome::Succeeded && e.attempt == 0));
+        assert_eq!(res.counters.get(keys::FAILED_ATTEMPTS), 0);
     }
 
     #[test]
@@ -489,6 +989,7 @@ mod tests {
             };
             let mut res = engine
                 .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, splits())
+                .unwrap()
                 .outputs;
             for o in &mut res {
                 o.sort();
@@ -517,7 +1018,9 @@ mod tests {
             InputSplit::new("a", vec![(3u64, "x".to_string()), (1, "y".into())]),
             InputSplit::new("b", vec![(9u64, "z".to_string())]),
         ];
-        let res = engine.run_map_only(JobConfig::default(), &Identity, splits);
+        let res = engine
+            .run_map_only(JobConfig::default(), &Identity, splits)
+            .unwrap();
         assert_eq!(res.outputs.len(), 2);
         assert_eq!(res.outputs[0], vec![(3, "x".to_string()), (1, "y".into())]);
         assert_eq!(res.outputs[1], vec![(9, "z".to_string())]);
@@ -539,7 +1042,9 @@ mod tests {
         let splits: Vec<InputSplit<u64, u64>> = (0..4)
             .map(|i| InputSplit::new(format!("s{i}"), vec![(i as u64, 0)]).at_node(i))
             .collect();
-        let res = engine.run_map_only(JobConfig::default(), &Nop, splits);
+        let res = engine
+            .run_map_only(JobConfig::default(), &Nop, splits)
+            .unwrap();
         let local = res.events.iter().filter(|e| e.data_local).count();
         assert!(
             local >= 3,
@@ -585,7 +1090,9 @@ mod tests {
             n_reducers: 1,
             ..JobConfig::default()
         };
-        let res = engine.run_job(cfg, &KeyEcho, &CollectOrdered, &HashPartitioner, splits);
+        let res = engine
+            .run_job(cfg, &KeyEcho, &CollectOrdered, &HashPartitioner, splits)
+            .unwrap();
         let keys: Vec<u64> = res.outputs[0].iter().map(|(k, _)| *k).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
@@ -596,13 +1103,15 @@ mod tests {
     #[test]
     fn empty_job() {
         let engine = MapReduceEngine::local(2);
-        let res = engine.run_job(
-            JobConfig::default(),
-            &Tokenize,
-            &Sum,
-            &HashPartitioner,
-            Vec::new(),
-        );
+        let res = engine
+            .run_job(
+                JobConfig::default(),
+                &Tokenize,
+                &Sum,
+                &HashPartitioner,
+                Vec::new(),
+            )
+            .unwrap();
         assert_eq!(res.outputs.len(), 1);
         assert!(res.outputs[0].is_empty());
     }

@@ -9,6 +9,7 @@
 //! halves separately so the wrapper rounds can report the same split.
 
 use crate::counters::{keys, Counters};
+use crate::error::{panic_message, GesallError};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::io::{Read, Write};
 use std::time::Instant;
@@ -142,6 +143,13 @@ pub struct StreamingTimings {
     pub transform_nanos: u64,
 }
 
+/// Wrap a streaming failure as an `io::Error` whose source is a
+/// [`GesallError::Streaming`], so pipeline callers keep their
+/// `io::Result` signature while fault-aware callers can downcast.
+fn streaming_io_error(msg: String) -> std::io::Error {
+    std::io::Error::other(GesallError::Streaming(msg))
+}
+
 /// Runs a chain of external programs connected by pipes
 /// (e.g. `bwa | samtobam`, Fig. 8).
 pub struct StreamingHarness {
@@ -206,12 +214,26 @@ impl StreamingHarness {
             let out = final_reader
                 .expect("pipeline built at least one stage")
                 .read_to_end_vec()?;
-            for h in handles {
-                h.join().expect("external program thread panicked")?;
+            for (h, prog) in handles.into_iter().zip(programs) {
+                // A panicking program is a failed pipeline, not a crashed
+                // process: surface it as an error so the surrounding task
+                // attempt can fail cleanly and be retried.
+                h.join().map_err(|payload| {
+                    streaming_io_error(format!(
+                        "external program '{}' panicked: {}",
+                        prog.name(),
+                        panic_message(payload.as_ref()),
+                    ))
+                })??;
             }
             Ok(out)
         })
-        .expect("streaming scope panicked")
+        .unwrap_or_else(|payload| {
+            Err(streaming_io_error(format!(
+                "streaming scope panicked: {}",
+                panic_message(payload.as_ref()),
+            )))
+        })
     }
 
     /// Timing snapshot from the counters.
@@ -334,6 +356,37 @@ mod tests {
         let v: u64 = h.transform(|| (0..10_000u64).sum());
         assert_eq!(v, 49995000);
         assert!(c.get(keys::DATA_TRANSFORM_NANOS) > 0);
+    }
+
+    /// Panics mid-stream, as a segfaulting wrapped binary would.
+    struct Crasher;
+    impl ExternalProgram for Crasher {
+        fn name(&self) -> &str {
+            "crasher"
+        }
+        fn run(&self, _stdin: PipeReader, _stdout: PipeWriter) -> std::io::Result<()> {
+            panic!("wrapped binary crashed");
+        }
+    }
+
+    #[test]
+    fn panicking_program_is_an_error_not_an_abort() {
+        let h = StreamingHarness::new(Counters::new());
+        let err = h.run_pipeline(&[&Crasher], b"x".to_vec()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("crasher") && msg.contains("wrapped binary crashed"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn panicking_middle_stage_fails_whole_pipeline() {
+        let h = StreamingHarness::new(Counters::new());
+        let err = h
+            .run_pipeline(&[&Upper, &Crasher, &RevLines], b"abc\n".to_vec())
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"));
     }
 
     #[test]

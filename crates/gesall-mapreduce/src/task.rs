@@ -4,9 +4,14 @@ use gesall_formats::wire::Wire;
 
 /// A map function over typed records. `map` is called once per input
 /// record; emitted pairs flow into the sort-spill-merge pipeline.
+///
+/// Input records must be `Clone + Sync`: the fault-tolerant runtime keeps
+/// splits alive for the whole wave and hands each (re-)attempt its own
+/// copy of the records, so a retried or speculative attempt starts from
+/// pristine input.
 pub trait Mapper: Send + Sync {
-    type InKey: Wire + Send;
-    type InValue: Wire + Send;
+    type InKey: Wire + Clone + Send + Sync;
+    type InValue: Wire + Clone + Send + Sync;
     type OutKey: Wire + Ord + Clone + Send;
     type OutValue: Wire + Send;
 

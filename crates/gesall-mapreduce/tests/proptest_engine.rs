@@ -55,7 +55,9 @@ fn run(
         compress_map_output: compress,
         ..JobConfig::default()
     };
-    let res = engine.run_job(cfg, &KeyMod(17), &SumAndCount, &HashPartitioner, splits);
+    let res = engine
+        .run_job(cfg, &KeyMod(17), &SumAndCount, &HashPartitioner, splits)
+        .expect("fault-free job must succeed");
     let mut all: Vec<(u64, u64)> = res.outputs.into_iter().flatten().collect();
     all.sort_unstable();
     all

@@ -111,7 +111,7 @@ fn candidate_plans(cluster: &ClusterSpec) -> Vec<ExecutionPlan> {
     let splits: Vec<(usize, usize)> = (0..)
         .map(|i| 1usize << i)
         .take_while(|&m| m <= cores)
-        .filter(|&m| cores % m == 0)
+        .filter(|&m| cores.is_multiple_of(m))
         .map(|m| (m, cores / m))
         .collect();
     for &(mappers, threads) in &splits {

@@ -219,8 +219,7 @@ pub fn call_range(
         variants.extend(calls);
     }
     // Adjacent windows can overlap after padding; dedup by site.
-    variants.sort_by(|a, b| (a.pos, a.ref_allele.clone(), a.alt_allele.clone())
-        .cmp(&(b.pos, b.ref_allele.clone(), b.alt_allele.clone())));
+    variants.sort_by_key(|v| (v.pos, v.ref_allele.clone(), v.alt_allele.clone()));
     variants.dedup_by(|a, b| a.site_key() == b.site_key());
     HaplotypeCallerResult { variants, windows }
 }

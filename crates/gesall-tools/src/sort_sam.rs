@@ -9,7 +9,7 @@ use gesall_formats::sam::{SamHeader, SamRecord, SortOrder};
 /// keep their input order (which is what makes serial/parallel diffing
 /// meaningful).
 pub fn sort_sam(header: &mut SamHeader, records: &mut [SamRecord]) {
-    records.sort_by(|a, b| a.coordinate_key().cmp(&b.coordinate_key()));
+    records.sort_by_key(|r| r.coordinate_key());
     header.sort_order = SortOrder::Coordinate;
 }
 

@@ -1,0 +1,24 @@
+# Development shortcuts. `just smoke` is the CI gate — run it before
+# pushing; it must pass with zero warnings.
+
+# Build, test, and lint exactly as CI does.
+smoke:
+    cargo build --release --offline --workspace
+    cargo test -q --offline --workspace
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Fast inner-loop check.
+check:
+    cargo check --offline --workspace --all-targets
+
+# Full test run with output on failure.
+test:
+    cargo test --offline --workspace
+
+# Lint only.
+lint:
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Format (requires rustfmt).
+fmt:
+    cargo fmt --all

@@ -97,7 +97,11 @@ fn get_num<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> T {
 
 type AnyError = Box<dyn std::error::Error>;
 
-fn load_reference(path: &str) -> Result<(Vec<(String, Vec<u8>)>, Vec<Vec<u8>>, Vec<String>), AnyError> {
+/// Loaded reference: (name, sequence) pairs plus the sequences and
+/// names split out for callers that want just one side.
+type ReferenceData = (Vec<(String, Vec<u8>)>, Vec<Vec<u8>>, Vec<String>);
+
+fn load_reference(path: &str) -> Result<ReferenceData, AnyError> {
     let text = std::fs::read_to_string(path)?;
     let recs = fasta::from_text(&text)?;
     let chroms: Vec<(String, Vec<u8>)> =

@@ -1,0 +1,191 @@
+//! Offline shim for the subset of `criterion` this workspace uses. It is a
+//! minimal timing harness: each benchmark runs a warm-up pass plus a small
+//! fixed number of timed iterations and prints the mean per-iteration time.
+//! Statistical machinery (outlier analysis, HTML reports) is out of scope.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+const TIMED_ITERS: u32 = 10;
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation, reported alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..TIMED_ITERS {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / TIMED_ITERS as f64;
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0 };
+    f(&mut b);
+    let per_iter = b.mean_ns / 1.0e6;
+    match throughput {
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            let mib_s = n as f64 / (b.mean_ns / 1.0e9) / (1024.0 * 1024.0);
+            println!("bench {label}: {per_iter:.3} ms/iter ({mib_s:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            let elem_s = n as f64 / (b.mean_ns / 1.0e9);
+            println!("bench {label}: {per_iter:.3} ms/iter ({elem_s:.0} elem/s)");
+        }
+        _ => println!("bench {label}: {per_iter:.3} ms/iter"),
+    }
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! `Serialize` / `Deserialize` derive markers on simulation spec types.
+//! No serializer is ever driven, so the traits are empty markers and the
+//! derives (re-exported under the `derive` feature) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

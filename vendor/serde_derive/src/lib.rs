@@ -1,0 +1,15 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as a marker (no serializer is ever
+//! instantiated), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
