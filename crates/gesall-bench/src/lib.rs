@@ -12,9 +12,14 @@
 //!   Fig. 11, Tables 9/10, Fig. 6a) executed for real at mini scale on
 //!   synthetic genomes through the full platform stack.
 //!
+//! Plus [`smoke`] — the tiny traced end-to-end run behind
+//! `just bench-smoke`, which emits `BENCH_smoke.json` and fails if any
+//! of the six phase timings is missing.
+//!
 //! Run everything with `cargo run -p gesall-bench --release --bin
 //! experiments -- all`.
 
 pub mod real_experiments;
 pub mod report;
 pub mod sim_experiments;
+pub mod smoke;

@@ -1,0 +1,219 @@
+//! The `bench-smoke` experiment: a tiny end-to-end pipeline run with
+//! tracing on, proving the whole telemetry path works — per-phase
+//! breakdown covering all six phases, task Gantt, straggler stats,
+//! shuffle matrix, and a `BENCH_smoke.json` record on disk.
+//!
+//! This is the CI gate for the observability subsystem: it fails if any
+//! phase timing is missing, so a refactor that silently drops a phase
+//! counter breaks the build, not the next perf investigation.
+
+use crate::real_experiments::Scale;
+use gesall_aligner::{Aligner, AlignerConfig, ReferenceIndex};
+use gesall_core::pipeline::{GesallPlatform, PlatformConfig};
+use gesall_datagen::donor::DonorConfig;
+use gesall_datagen::reads::ReadSimConfig;
+use gesall_datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
+use gesall_dfs::{Dfs, DfsConfig};
+use gesall_mapreduce::{ClusterResources, MapReduceEngine, Recorder, SpanKind};
+use gesall_telemetry::report::{gantt, shuffle_matrix, straggler_report, GanttRow};
+use gesall_telemetry::BenchRecord;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything a smoke run produces.
+pub struct SmokeOutcome {
+    /// Human-readable report (phase table, Gantt, stragglers, shuffle).
+    pub report: String,
+    /// The machine-readable record appended to `BENCH_smoke.json`.
+    pub record: BenchRecord,
+    /// Where the record was written (None when no out dir was given).
+    pub bench_path: Option<PathBuf>,
+}
+
+/// Run the tiny traced pipeline. With an `out_dir`, the bench record is
+/// appended to `BENCH_smoke.json` there and the full span trace is
+/// streamed to `smoke_trace.jsonl`. Errors if the pipeline fails or any
+/// of the six phases recorded no time.
+pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
+    let scale = Scale::tiny();
+    let genome = ReferenceGenome::generate(&GenomeConfig {
+        chromosome_lengths: scale.chromosome_lengths.to_vec(),
+        ..GenomeConfig::default()
+    });
+    let donor = DonorGenome::generate(&genome, &DonorConfig::default());
+    let (pairs, _) = ReadSimulator::new(
+        &genome,
+        &donor,
+        ReadSimConfig {
+            n_pairs: scale.n_pairs,
+            duplicate_rate: 0.05,
+            ..ReadSimConfig::default()
+        },
+    )
+    .simulate();
+    let chroms: Vec<(String, Vec<u8>)> = genome
+        .chromosomes
+        .iter()
+        .map(|c| (c.name.clone(), c.seq.clone()))
+        .collect();
+    let aligner = Aligner::new(ReferenceIndex::build(&chroms), AlignerConfig::default());
+
+    let recorder = match out_dir {
+        Some(dir) => Recorder::with_jsonl_sink(&dir.join("smoke_trace.jsonl"))
+            .map_err(|e| format!("cannot open trace sink: {e}"))?,
+        None => Recorder::new(),
+    };
+    let dfs = Dfs::new(DfsConfig {
+        n_nodes: 4,
+        block_size: 64 * 1024,
+        replication: 1,
+    });
+    let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192))
+        .with_recorder(recorder.clone());
+    // A starved sort buffer and minimal merge fan-in force spills and
+    // multipass merges even at this scale, so every phase shows up.
+    let io_sort_bytes = 2048usize;
+    let merge_factor = 2usize;
+    let config = PlatformConfig {
+        n_round1_partitions: scale.n_partitions,
+        n_reducers: scale.n_partitions,
+        io_sort_bytes,
+        merge_factor,
+        ..PlatformConfig::default()
+    };
+    let platform = GesallPlatform::new(dfs, engine, config);
+    let t0 = std::time::Instant::now();
+    let out = platform
+        .run_pipeline(&aligner, pairs)
+        .map_err(|e| format!("smoke pipeline failed: {e:?}"))?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Aggregate counters across rounds. Phase and engine counters are
+    // per-job (sum); wrapper.* counters are pipeline-cumulative — they
+    // are merged into every round's snapshot — so take the final value.
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for round in &out.rounds {
+        for (k, v) in &round.counters {
+            let slot = agg.entry(k.clone()).or_insert(0);
+            if k.starts_with("wrapper.") {
+                *slot = (*slot).max(*v);
+            } else {
+                *slot += *v;
+            }
+        }
+    }
+    let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
+    record.wall_ms = wall_ms;
+    record.workload = vec![
+        ("n_pairs".into(), scale.n_pairs.to_string()),
+        ("genome_bp".into(), genome.total_len().to_string()),
+        ("n_rounds".into(), out.rounds.len().to_string()),
+        ("n_variants".into(), out.variants.len().to_string()),
+    ];
+    record.config = vec![
+        ("n_partitions".into(), scale.n_partitions.to_string()),
+        ("io_sort_bytes".into(), io_sort_bytes.to_string()),
+        ("merge_factor".into(), merge_factor.to_string()),
+    ];
+    if !record.covers_all_phases() {
+        return Err(format!(
+            "smoke run recorded no time for phases {:?} — the decomposition is broken",
+            record.missing_phases()
+        ));
+    }
+
+    let mut text = String::new();
+    text.push_str(&format!(
+        "== bench-smoke: traced end-to-end pipeline ({} pairs, {} bp, {:.0} ms) ==\n\n",
+        scale.n_pairs,
+        genome.total_len(),
+        wall_ms
+    ));
+    text.push_str("Per-phase breakdown (ms, summed across tasks):\n");
+    text.push_str(&out.phase_table());
+
+    // Task timeline across the whole run, from the attempt spans.
+    let mut attempts = recorder.spans_of_kind(SpanKind::TaskAttempt);
+    attempts.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+    let bars: Vec<GanttRow> = attempts
+        .iter()
+        .map(|s| GanttRow {
+            label: s.name.clone(),
+            start_ms: s.start_ms,
+            end_ms: s.end_ms,
+        })
+        .collect();
+    text.push_str("\nTask attempts (all rounds, shared time axis):\n");
+    text.push_str(&gantt(&bars, 60));
+
+    let group = |prefix: &str| -> Vec<f64> {
+        attempts
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.end_ms - s.start_ms)
+            .collect()
+    };
+    text.push_str("\nStraggler / skew statistics:\n");
+    text.push_str(&straggler_report(&[
+        ("map".to_string(), group("map-")),
+        ("reduce".to_string(), group("reduce-")),
+    ]));
+
+    text.push_str("\nShuffle matrix (bytes moved, all shuffling rounds):\n");
+    text.push_str(&shuffle_matrix(&recorder.shuffle_cells()));
+
+    let bench_path = match out_dir {
+        Some(dir) => Some(
+            record
+                .append_to_dir(dir)
+                .map_err(|e| format!("cannot write bench record: {e}"))?,
+        ),
+        None => None,
+    };
+    if let Some(p) = &bench_path {
+        text.push_str(&format!("\nBench record appended to {}\n", p.display()));
+    }
+    Ok(SmokeOutcome {
+        report: text,
+        record,
+        bench_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesall_telemetry::bench::read_bench_file;
+    use gesall_telemetry::Phase;
+
+    #[test]
+    fn smoke_covers_all_phases_and_writes_valid_json() {
+        let dir = std::env::temp_dir().join(format!("gesall-smoke-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let outcome = run_smoke(Some(&dir)).expect("smoke run succeeds");
+        assert!(outcome.record.covers_all_phases());
+        for phase in Phase::ALL {
+            assert!(
+                outcome.report.contains(phase.name()),
+                "report lacks phase {}",
+                phase.name()
+            );
+        }
+        assert!(outcome.report.contains("Shuffle matrix"));
+        assert!(outcome.report.contains("skew"));
+        // The record on disk round-trips through the JSON parser.
+        let path = outcome.bench_path.expect("bench path written");
+        let records = read_bench_file(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "smoke");
+        assert!(records[0].covers_all_phases());
+        assert!(records[0].wall_ms > 0.0);
+        // The span trace streamed to JSONL, one parseable object per line.
+        let trace = std::fs::read_to_string(dir.join("smoke_trace.jsonl")).unwrap();
+        assert!(trace.lines().count() > 10);
+        for line in trace.lines().take(5) {
+            gesall_telemetry::Json::parse(line).expect("valid JSONL span");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

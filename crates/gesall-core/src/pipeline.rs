@@ -28,6 +28,7 @@ use gesall_formats::vcf::VariantRecord;
 use gesall_mapreduce::counters::Counters;
 use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
 use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
+use gesall_telemetry::{report, OpenSpan, PhaseRow, SpanId, SpanKind};
 use gesall_tools::haplotype_caller::{call_chromosome, HaplotypeCallerConfig};
 use gesall_tools::refview::RefView;
 use std::sync::Arc;
@@ -236,6 +237,22 @@ pub struct PipelineOutput {
     pub rounds: Vec<RoundSummary>,
 }
 
+impl PipelineOutput {
+    /// Per-round phase-breakdown rows (the paper's Tables 4–7 shape),
+    /// built from each round's `phase.*.nanos` counters.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        self.rounds
+            .iter()
+            .map(|r| PhaseRow::from_snapshot(&r.name, r.wall_ms, &r.counters))
+            .collect()
+    }
+
+    /// The rendered rounds × phases breakdown table.
+    pub fn phase_table(&self) -> String {
+        report::phase_table(&self.phase_rows())
+    }
+}
+
 /// The Gesall platform: DFS + MapReduce engine + configuration.
 pub struct GesallPlatform {
     pub dfs: Dfs,
@@ -276,13 +293,14 @@ impl GesallPlatform {
         GesallPlatform::new(dfs, engine, config)
     }
 
-    fn job_config(&self, name: &str, n_reducers: usize) -> JobConfig {
+    fn job_config(&self, name: &str, n_reducers: usize, parent: SpanId) -> JobConfig {
         JobConfig {
             name: name.into(),
             n_reducers,
             io_sort_bytes: self.config.io_sort_bytes,
             merge_factor: self.config.merge_factor,
             compress_map_output: self.config.compress_map_output,
+            parent_span: parent,
             ..JobConfig::default()
         }
     }
@@ -324,6 +342,22 @@ impl GesallPlatform {
             .run_seq
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let base = format!("/pipeline/run{run}");
+        let recorder = self.engine.recorder().clone();
+        let pipeline_name = format!("pipeline-run{run}");
+        let pipeline_span = recorder.start(SpanKind::Pipeline, &pipeline_name, SpanId::NONE);
+        // Closes a round span, carrying the round's task counts and
+        // counter snapshot so the trace alone reconstructs the table.
+        let end_round = |open: OpenSpan, s: &RoundSummary| {
+            recorder.end_with(
+                open,
+                &s.name,
+                vec![
+                    ("n_map_tasks".to_string(), s.n_map_tasks.to_string()),
+                    ("n_reduce_tasks".to_string(), s.n_reduce_tasks.to_string()),
+                ],
+                s.counters.clone(),
+            );
+        };
         let header = aligner.index().sam_header();
         let references: Arc<Vec<Vec<u8>>> = Arc::new(
             (0..aligner.index().n_chromosomes())
@@ -351,8 +385,9 @@ impl GesallPlatform {
             }
             splits.push(split);
         }
+        let rspan = recorder.start(SpanKind::Round, "round1-align", pipeline_span.id);
         let r1 = self.engine.run_map_only(
-            self.job_config("round1-align", 1),
+            self.job_config("round1-align", 1, rspan.id),
             &Round1Align {
                 aligner,
                 threads_per_mapper: self.config.bwa_threads_per_mapper,
@@ -361,7 +396,9 @@ impl GesallPlatform {
             splits,
         )?;
         r1.counters.merge(&counters);
-        rounds.push(summary("round1-align", &r1.counters, &r1.events, r1.wall_ms));
+        let s = summary("round1-align", &r1.counters, &r1.events, r1.wall_ms);
+        end_round(rspan, &s);
+        rounds.push(s);
 
         // Round 1 output partitions (BAM bytes), already grouped by name
         // (pairs adjacent).
@@ -376,8 +413,9 @@ impl GesallPlatform {
 
         // ---- Round 2: clean (map) + fix-mate (reduce), shuffle by name
         let splits = self.stage_bam_partitions(&format!("{base}/round1"), &header, &r1_parts)?;
+        let rspan = recorder.start(SpanKind::Round, "round2-clean-fixmate", pipeline_span.id);
         let r2 = self.engine.run_job(
-            self.job_config("round2-clean-fixmate", self.config.n_reducers),
+            self.job_config("round2-clean-fixmate", self.config.n_reducers, rspan.id),
             &Round2CleanMapper {
                 read_group: self.config.read_group.clone(),
                 references: references.clone(),
@@ -390,12 +428,9 @@ impl GesallPlatform {
             splits,
         )?;
         r2.counters.merge(&counters);
-        rounds.push(summary(
-            "round2-clean-fixmate",
-            &r2.counters,
-            &r2.events,
-            r2.wall_ms,
-        ));
+        let s = summary("round2-clean-fixmate", &r2.counters, &r2.events, r2.wall_ms);
+        end_round(rspan, &s);
+        rounds.push(s);
         let r2_parts: Vec<Vec<SamRecord>> = r2
             .outputs
             .iter()
@@ -405,8 +440,9 @@ impl GesallPlatform {
         // ---- Round 2½: bloom build (MarkDup_opt only) -----------------
         let splits = self.stage_bam_partitions(&format!("{base}/round2"), &header, &r2_parts)?;
         let bloom = if self.config.markdup_opt {
+            let rspan = recorder.start(SpanKind::Round, "round2b-bloom", pipeline_span.id);
             let rb = self.engine.run_map_only(
-                self.job_config("round2b-bloom", 1),
+                self.job_config("round2b-bloom", 1, rspan.id),
                 &BloomBuildMapper {
                     counters: counters.clone(),
                 },
@@ -414,12 +450,9 @@ impl GesallPlatform {
             )?;
             let n_keys: usize = rb.outputs.iter().map(Vec::len).sum();
             rb.counters.merge(&counters);
-            rounds.push(summary(
-                "round2b-bloom",
-                &rb.counters,
-                &rb.events,
-                rb.wall_ms,
-            ));
+            let s = summary("round2b-bloom", &rb.counters, &rb.events, rb.wall_ms);
+            end_round(rspan, &s);
+            rounds.push(s);
             Some(Arc::new(build_bloom_from_outputs(
                 &rb.outputs,
                 n_keys.max(64),
@@ -429,6 +462,7 @@ impl GesallPlatform {
         };
 
         // ---- Round 3: MarkDuplicates (compound shuffle) ---------------
+        let rspan = recorder.start(SpanKind::Round, "round3-markdup", pipeline_span.id);
         let r3 = self.engine.run_job(
             self.job_config(
                 if self.config.markdup_opt {
@@ -437,6 +471,7 @@ impl GesallPlatform {
                     "round3-markdup-reg"
                 },
                 self.config.n_reducers,
+                rspan.id,
             ),
             &Round3MarkDupMapper {
                 bloom,
@@ -450,7 +485,9 @@ impl GesallPlatform {
             splits,
         )?;
         r3.counters.merge(&counters);
-        rounds.push(summary("round3-markdup", &r3.counters, &r3.events, r3.wall_ms));
+        let s = summary("round3-markdup", &r3.counters, &r3.events, r3.wall_ms);
+        end_round(rspan, &s);
+        rounds.push(s);
         let r3_parts: Vec<Vec<SamRecord>> = r3
             .outputs
             .iter()
@@ -460,8 +497,9 @@ impl GesallPlatform {
         // ---- Round 4: range-partitioned sort --------------------------
         let n_chroms = chrom_names.len();
         let splits = self.stage_bam_partitions(&format!("{base}/round3"), &header, &r3_parts)?;
+        let rspan = recorder.start(SpanKind::Round, "round4-sort", pipeline_span.id);
         let r4 = self.engine.run_job(
-            self.job_config("round4-sort", n_chroms + 1),
+            self.job_config("round4-sort", n_chroms + 1, rspan.id),
             &Round4SortMapper {
                 counters: counters.clone(),
             },
@@ -470,7 +508,9 @@ impl GesallPlatform {
             splits,
         )?;
         r4.counters.merge(&counters);
-        rounds.push(summary("round4-sort", &r4.counters, &r4.events, r4.wall_ms));
+        let s = summary("round4-sort", &r4.counters, &r4.events, r4.wall_ms);
+        end_round(rspan, &s);
+        rounds.push(s);
         let mut sorted_header = header.clone();
         sorted_header.sort_order = SortOrder::Coordinate;
         let mut r4_parts: Vec<Vec<SamRecord>> = r4
@@ -486,8 +526,9 @@ impl GesallPlatform {
                 &sorted_header,
                 &r4_parts[..n_chroms],
             )?;
+            let rspan = recorder.start(SpanKind::Round, "round4a-recal-table", pipeline_span.id);
             let ra = self.engine.run_map_only(
-                self.job_config("round4a-recal-table", 1),
+                self.job_config("round4a-recal-table", 1, rspan.id),
                 &crate::rounds::RecalTableMapper {
                     references: references.clone(),
                     known_sites: self.config.known_sites.clone(),
@@ -500,14 +541,12 @@ impl GesallPlatform {
             // the partitions merge into exactly the whole-dataset table.
             let table = Arc::new(crate::rounds::merge_recal_tables(&ra.outputs));
             ra.counters.merge(&counters);
-            rounds.push(summary(
-                "round4a-recal-table",
-                &ra.counters,
-                &ra.events,
-                ra.wall_ms,
-            ));
+            let s = summary("round4a-recal-table", &ra.counters, &ra.events, ra.wall_ms);
+            end_round(rspan, &s);
+            rounds.push(s);
+            let rspan = recorder.start(SpanKind::Round, "round4b-print-reads", pipeline_span.id);
             let rb2 = self.engine.run_map_only(
-                self.job_config("round4b-print-reads", 1),
+                self.job_config("round4b-print-reads", 1, rspan.id),
                 &crate::rounds::PrintReadsMapper {
                     table,
                     config: self.config.recal.clone(),
@@ -516,12 +555,9 @@ impl GesallPlatform {
                 splits,
             )?;
             rb2.counters.merge(&counters);
-            rounds.push(summary(
-                "round4b-print-reads",
-                &rb2.counters,
-                &rb2.events,
-                rb2.wall_ms,
-            ));
+            let s = summary("round4b-print-reads", &rb2.counters, &rb2.events, rb2.wall_ms);
+            end_round(rspan, &s);
+            rounds.push(s);
             for (i, out) in rb2.outputs.into_iter().enumerate() {
                 r4_parts[i] = out.into_iter().map(|(_, r)| r).collect();
             }
@@ -529,6 +565,8 @@ impl GesallPlatform {
 
         // ---- Round 5: variant calling -----------------------------------
         // (the unmapped partition, index n_chroms, is skipped)
+        // The span name is fixed at close time, once the variant is known.
+        let rspan = recorder.start(SpanKind::Round, "round5", pipeline_span.id);
         let (r5, round5_name) = match (self.config.caller, self.config.hc_partitioning) {
             (CallerChoice::UnifiedGenotyper, _) => {
                 let splits = self.stage_bam_partitions(
@@ -538,7 +576,7 @@ impl GesallPlatform {
                 )?;
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-unifiedgenotyper", 1),
+                        self.job_config("round5-unifiedgenotyper", 1, rspan.id),
                         &crate::rounds::Round5UnifiedGenotyper {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),
@@ -558,7 +596,7 @@ impl GesallPlatform {
                 )?;
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-haplotypecaller", 1),
+                        self.job_config("round5-haplotypecaller", 1, rspan.id),
                         &Round5HaplotypeCaller {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),
@@ -614,7 +652,7 @@ impl GesallPlatform {
                 }
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-hc-finegrained", 1),
+                        self.job_config("round5-hc-finegrained", 1, rspan.id),
                         &crate::rounds::Round5HaplotypeCallerFine {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),
@@ -628,7 +666,9 @@ impl GesallPlatform {
             }
         };
         r5.counters.merge(&counters);
-        rounds.push(summary(round5_name, &r5.counters, &r5.events, r5.wall_ms));
+        let s = summary(round5_name, &r5.counters, &r5.events, r5.wall_ms);
+        end_round(rspan, &s);
+        rounds.push(s);
         let mut variants: Vec<VariantRecord> = r5
             .outputs
             .into_iter()
@@ -645,6 +685,13 @@ impl GesallPlatform {
         });
 
         let records: Vec<SamRecord> = r4_parts.into_iter().flatten().collect();
+        recorder.end_with(
+            pipeline_span,
+            &pipeline_name,
+            vec![("n_rounds".to_string(), rounds.len().to_string())],
+            counters.snapshot(),
+        );
+        recorder.flush();
         Ok(PipelineOutput {
             records,
             variants,

@@ -396,6 +396,63 @@ fn truth_set_recovery_is_strong() {
 }
 
 #[test]
+fn traced_pipeline_emits_round_spans_and_phase_table() {
+    use gesall_mapreduce::{Phase, Recorder, SpanKind};
+    let w = build_world(600);
+    let dfs = Dfs::new(DfsConfig {
+        n_nodes: 4,
+        block_size: 64 * 1024,
+        replication: 1,
+    });
+    let recorder = Recorder::new();
+    let engine =
+        MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192)).with_recorder(recorder.clone());
+    // Tiny sort buffer + low fan-in force spills and multipass merges, so
+    // the shuffling rounds exercise every phase of the decomposition.
+    let p = GesallPlatform::new(
+        dfs,
+        engine,
+        PlatformConfig {
+            io_sort_bytes: 2048,
+            merge_factor: 2,
+            ..PlatformConfig::default()
+        },
+    );
+    let out = p.run_pipeline(&w.aligner, w.pairs.clone()).unwrap();
+
+    // One pipeline span; one round span per executed round, all its children.
+    let pipes = recorder.spans_of_kind(SpanKind::Pipeline);
+    assert_eq!(pipes.len(), 1);
+    let rounds = recorder.spans_of_kind(SpanKind::Round);
+    assert_eq!(rounds.len(), out.rounds.len());
+    assert!(rounds.iter().all(|r| r.parent == pipes[0].id));
+    let names: Vec<&str> = rounds.iter().map(|r| r.name.as_str()).collect();
+    for s in &out.rounds {
+        assert!(names.contains(&s.name.as_str()), "missing round span {}", s.name);
+    }
+    // Each round's job nests under its round span.
+    let round_ids: Vec<_> = rounds.iter().map(|r| r.id).collect();
+    let jobs = recorder.spans_of_kind(SpanKind::Job);
+    assert_eq!(jobs.len(), out.rounds.len());
+    assert!(jobs.iter().all(|j| round_ids.contains(&j.parent)));
+
+    // The shuffling rounds decompose into all six phases.
+    let rows = out.phase_rows();
+    for label in ["round2-clean-fixmate", "round3-markdup", "round4-sort"] {
+        let row = rows.iter().find(|r| r.label == label).unwrap();
+        assert!(
+            row.covers_all_phases(),
+            "{label} missing phases:\n{}",
+            out.phase_table()
+        );
+    }
+    let table = out.phase_table();
+    for phase in Phase::ALL {
+        assert!(table.contains(phase.name()), "table lacks column {}", phase.name());
+    }
+}
+
+#[test]
 fn faulty_pipeline_matches_fault_free_output() {
     // The whole-stack robustness check: ~15% of map attempts panic and a
     // node dies during round 1's map wave. The fault-tolerant platform

@@ -2,6 +2,7 @@
 
 use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
 use bytes::Bytes;
+use gesall_telemetry::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -127,6 +128,24 @@ struct DfsInner {
     /// Nodes declared dead via `fail_node`. Writes avoid them; they never
     /// come back (matching the engine's permanent node-death model).
     dead: RwLock<HashSet<usize>>,
+    /// Block-level I/O counters (see [`metrics_keys`]).
+    metrics: MetricsRegistry,
+}
+
+/// Counter names the DFS maintains on its [`MetricsRegistry`].
+pub mod metrics_keys {
+    /// Replicas written (block writes × replication).
+    pub const BLOCKS_WRITTEN: &str = "dfs.blocks.written";
+    /// Payload bytes written across all replicas.
+    pub const BYTES_WRITTEN: &str = "dfs.bytes.written";
+    /// Block reads served from a live replica.
+    pub const BLOCKS_READ: &str = "dfs.blocks.read";
+    /// Payload bytes read.
+    pub const BYTES_READ: &str = "dfs.bytes.read";
+    /// Nodes declared dead via `fail_node`.
+    pub const NODE_FAILURES: &str = "dfs.node.failures";
+    /// Replicas created by `re_replicate` sweeps.
+    pub const REPLICAS_RESTORED: &str = "dfs.replicas.restored";
 }
 
 impl Dfs {
@@ -147,12 +166,19 @@ impl Dfs {
                 datanodes,
                 next_block: AtomicU64::new(1),
                 dead: RwLock::new(HashSet::new()),
+                metrics: MetricsRegistry::new(),
             }),
         }
     }
 
     pub fn config(&self) -> &DfsConfig {
         &self.inner.config
+    }
+
+    /// The registry holding this filesystem's I/O counters
+    /// ([`metrics_keys`]). Clones share state.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Write a file with the default (spreading) placement.
@@ -202,6 +228,10 @@ impl Dfs {
                     .write()
                     .insert(id, payload.clone());
             }
+            let m = &self.inner.metrics;
+            m.counter(metrics_keys::BLOCKS_WRITTEN).add(nodes.len() as u64);
+            m.counter(metrics_keys::BYTES_WRITTEN)
+                .add((chunk.len() * nodes.len()) as u64);
             blocks.push(BlockInfo {
                 id,
                 len: chunk.len(),
@@ -241,6 +271,9 @@ impl Dfs {
     pub fn read_block(&self, block: &BlockInfo) -> Result<Bytes, DfsError> {
         for &n in &block.nodes {
             if let Some(b) = self.inner.datanodes[n].blocks.read().get(&block.id) {
+                let m = &self.inner.metrics;
+                m.counter(metrics_keys::BLOCKS_READ).add(1);
+                m.counter(metrics_keys::BYTES_READ).add(b.len() as u64);
                 return Ok(b.clone());
             }
         }
@@ -321,6 +354,9 @@ impl Dfs {
     /// for the same node is a no-op reporting no further damage.
     pub fn fail_node(&self, node: usize) -> FailureReport {
         assert!(node < self.inner.config.n_nodes, "no such node: {node}");
+        if !self.inner.dead.read().contains(&node) {
+            self.inner.metrics.counter(metrics_keys::NODE_FAILURES).add(1);
+        }
         self.inner.dead.write().insert(node);
         self.inner.datanodes[node].blocks.write().clear();
         let target = self.inner.config.replication;
@@ -392,6 +428,12 @@ impl Dfs {
                     created += 1;
                 }
             }
+        }
+        if created > 0 {
+            self.inner
+                .metrics
+                .counter(metrics_keys::REPLICAS_RESTORED)
+                .add(created as u64);
         }
         created
     }
@@ -660,6 +702,30 @@ mod tests {
             vec!["/job/part-0".to_string(), "/job/part-1".to_string()]
         );
         assert_eq!(dfs.list("").len(), 3);
+    }
+
+    #[test]
+    fn metrics_track_block_io_and_recovery() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+        });
+        let data = payload(1500); // 3 blocks × 2 replicas
+        dfs.write_file_with_policy("/m", &data, &PinnedPlacement(0))
+            .unwrap();
+        let get = |k: &str| dfs.metrics().counter(k).get();
+        assert_eq!(get(metrics_keys::BLOCKS_WRITTEN), 6);
+        assert_eq!(get(metrics_keys::BYTES_WRITTEN), 3000);
+        dfs.read_file("/m").unwrap();
+        assert_eq!(get(metrics_keys::BLOCKS_READ), 3);
+        assert_eq!(get(metrics_keys::BYTES_READ), 1500);
+        dfs.fail_node(0);
+        dfs.fail_node(0); // second declaration is not a new failure
+        assert_eq!(get(metrics_keys::NODE_FAILURES), 1);
+        let created = dfs.re_replicate();
+        assert!(created > 0);
+        assert_eq!(get(metrics_keys::REPLICAS_RESTORED), created as u64);
     }
 
     #[test]

@@ -43,3 +43,6 @@ pub use runtime::{
     AttemptOutcome, InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind,
 };
 pub use task::{HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer};
+
+// Tracing types engine users need (`MapReduceEngine::with_recorder`).
+pub use gesall_telemetry::{OpenSpan, Phase, Recorder, Span, SpanId, SpanKind};

@@ -16,6 +16,7 @@ use crate::error::{panic_message, GesallError};
 use crate::fault::{FaultPlan, NodeDeath};
 use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer};
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
+use gesall_telemetry::{Phase, Recorder, Span, SpanId, SpanKind};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +62,10 @@ pub struct JobConfig {
     /// ... but never before it has run at least this long (keeps
     /// micro-tasks from being pointlessly backed up).
     pub speculative_min_runtime_ms: f64,
+    /// Telemetry span to parent this job's trace under ([`SpanId::NONE`]
+    /// = a root span). Set by drivers that trace a larger unit — e.g. a
+    /// pipeline round — so the job nests inside it.
+    pub parent_span: SpanId,
 }
 
 impl Default for JobConfig {
@@ -81,6 +86,7 @@ impl Default for JobConfig {
             speculative: true,
             speculative_multiplier: 1.5,
             speculative_min_runtime_ms: 25.0,
+            parent_span: SpanId::NONE,
         }
     }
 }
@@ -198,6 +204,8 @@ pub struct MapReduceEngine {
     /// Called (outside scheduler locks) when a node dies — the DFS layer
     /// hooks re-replication in here.
     node_death_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+    /// Span recorder; inert by default ([`Recorder::disabled`]).
+    recorder: Recorder,
 }
 
 impl MapReduceEngine {
@@ -208,6 +216,7 @@ impl MapReduceEngine {
             pending_deaths: Mutex::new(Vec::new()),
             dead_nodes: Mutex::new(HashSet::new()),
             node_death_hook: None,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -231,6 +240,21 @@ impl MapReduceEngine {
     ) -> MapReduceEngine {
         self.node_death_hook = Some(Arc::new(hook));
         self
+    }
+
+    /// Trace jobs run on this engine through `recorder` (builder form).
+    pub fn with_recorder(mut self, recorder: Recorder) -> MapReduceEngine {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Swap the span recorder on an existing engine.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     pub fn cluster(&self) -> &ClusterResources {
@@ -264,6 +288,9 @@ impl MapReduceEngine {
         let counters = Counters::new();
         let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
         let t0 = Instant::now();
+        let job_span = self
+            .recorder
+            .start(SpanKind::Job, &config.name, config.parent_span);
         let n_maps = splits.len();
         let n_reducers = config.n_reducers.max(1);
 
@@ -278,9 +305,11 @@ impl MapReduceEngine {
             &counters,
             &events,
             t0,
+            job_span.id,
             &prefs,
             &map_outputs,
             |task_id, bag| {
+                let t_task = Instant::now();
                 let split = &splits[task_id];
                 bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
                 let mut buf = SortSpillBuffer::new(
@@ -298,15 +327,35 @@ impl MapReduceEngine {
                     }
                     mapper.finish(&mut ctx);
                 }
-                buf.finish()
+                let segments = buf.finish();
+                // Map phase = task body minus the timed sub-phases.
+                let accounted = bag.get(Phase::SortSpill.counter_key())
+                    + bag.get(Phase::MapMerge.counter_key());
+                let total = t_task.elapsed().as_nanos() as u64;
+                bag.add(Phase::Map.counter_key(), total.saturating_sub(accounted));
+                segments
             },
         )?;
 
         // ---- Shuffle + reduce wave ------------------------------------
         let map_outputs: Vec<Vec<Segment>> = map_outputs
             .into_iter()
-            .map(|m| m.into_inner().expect("map output present"))
-            .collect();
+            .map(|m| {
+                m.into_inner().ok_or_else(|| {
+                    GesallError::Runtime("map wave ended without committed output".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        // The shuffle matrix: bytes each reducer pulls from each map
+        // output. Recorded once, between the waves, so retried or
+        // speculative reduce attempts cannot double-count a cell.
+        if self.recorder.is_enabled() {
+            for (m, per_map) in map_outputs.iter().enumerate() {
+                for (r, seg) in per_map.iter().enumerate() {
+                    self.recorder.shuffle_cell(m, r, seg.wire_len() as u64);
+                }
+            }
+        }
         let reduce_outputs: TaskOutputs<R::OutKey, R::OutValue> =
             (0..n_reducers).map(|_| Mutex::new(None)).collect();
         let reduce_prefs: Vec<Option<usize>> = vec![None; n_reducers];
@@ -317,9 +366,11 @@ impl MapReduceEngine {
             &counters,
             &events,
             t0,
+            job_span.id,
             &reduce_prefs,
             &reduce_outputs,
             |partition, bag| {
+                let t_task = Instant::now();
                 let segments: Vec<Segment> = map_outputs
                     .iter()
                     .map(|per_map| per_map[partition].clone())
@@ -339,21 +390,40 @@ impl MapReduceEngine {
                     reducer.finish(&mut ctx);
                 }
                 bag.add(keys::REDUCE_OUTPUT_RECORDS, out.len() as u64);
+                // Reduce phase = task body minus shuffle + merge time.
+                let accounted = bag.get(Phase::Shuffle.counter_key())
+                    + bag.get(Phase::ReduceMerge.counter_key());
+                let total = t_task.elapsed().as_nanos() as u64;
+                bag.add(Phase::Reduce.counter_key(), total.saturating_sub(accounted));
                 out
             },
         )?;
 
         let outputs = reduce_outputs
             .into_iter()
-            .map(|m| m.into_inner().expect("reduce output present"))
-            .collect();
+            .map(|m| {
+                m.into_inner().ok_or_else(|| {
+                    GesallError::Runtime("reduce wave ended without committed output".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut events = events.into_inner();
         sort_events(&mut events);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.recorder.end_with(
+            job_span,
+            &config.name,
+            vec![
+                ("n_maps".into(), n_maps.to_string()),
+                ("n_reducers".into(), n_reducers.to_string()),
+            ],
+            counters.snapshot(),
+        );
         Ok(JobResult {
             outputs,
             counters,
             events,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
             config,
         })
     }
@@ -372,6 +442,9 @@ impl MapReduceEngine {
         let counters = Counters::new();
         let events: Mutex<Vec<TaskEvent>> = Mutex::new(Vec::new());
         let t0 = Instant::now();
+        let job_span = self
+            .recorder
+            .start(SpanKind::Job, &config.name, config.parent_span);
         let n_maps = splits.len();
         let outputs: TaskOutputs<M::OutKey, M::OutValue> =
             (0..n_maps).map(|_| Mutex::new(None)).collect();
@@ -383,9 +456,11 @@ impl MapReduceEngine {
             &counters,
             &events,
             t0,
+            job_span.id,
             &prefs,
             &outputs,
             |task_id, bag| {
+                let t_task = Instant::now();
                 let split = &splits[task_id];
                 bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
                 let mut out = Vec::new();
@@ -398,6 +473,8 @@ impl MapReduceEngine {
                     mapper.finish(&mut ctx);
                 }
                 bag.add(keys::MAP_OUTPUT_RECORDS, out.len() as u64);
+                // No sort/spill in a map-only job: the whole body is map.
+                bag.add(Phase::Map.counter_key(), t_task.elapsed().as_nanos() as u64);
                 out
             },
         )?;
@@ -405,15 +482,26 @@ impl MapReduceEngine {
         let outputs = outputs
             .into_inner_vec()
             .into_iter()
-            .map(|o| o.expect("map output present"))
-            .collect();
+            .map(|o| {
+                o.ok_or_else(|| {
+                    GesallError::Runtime("map wave ended without committed output".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let mut events = events.into_inner();
         sort_events(&mut events);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.recorder.end_with(
+            job_span,
+            &config.name,
+            vec![("n_maps".into(), n_maps.to_string())],
+            counters.snapshot(),
+        );
         Ok(JobResult {
             outputs,
             counters,
             events,
-            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            wall_ms,
             config,
         })
     }
@@ -428,6 +516,7 @@ impl MapReduceEngine {
         counters: &Counters,
         events: &Mutex<Vec<TaskEvent>>,
         t0: Instant,
+        job_span: SpanId,
         prefs: &[Option<usize>],
         outputs: &[Mutex<Option<T>>],
         body: F,
@@ -437,6 +526,11 @@ impl MapReduceEngine {
         F: Fn(usize, &Counters) -> T + Send + Sync,
     {
         let n_tasks = prefs.len();
+        let wave_name = match kind {
+            TaskKind::Map => "map-wave",
+            TaskKind::Reduce => "reduce-wave",
+        };
+        let wave_span = self.recorder.start(SpanKind::Wave, wave_name, job_span);
         let done: Vec<AtomicBool> = (0..n_tasks).map(|_| AtomicBool::new(false)).collect();
         let state = Mutex::new(WaveState {
             pending: (0..n_tasks)
@@ -467,6 +561,7 @@ impl MapReduceEngine {
             counters,
             events,
             t0,
+            wave_span: wave_span.id,
             state: &state,
             done: &done,
             outputs,
@@ -507,6 +602,15 @@ impl MapReduceEngine {
         scope_result.map_err(|_| GesallError::Runtime("task wave worker panicked".into()))?;
 
         let st = state.into_inner();
+        self.recorder.end_with(
+            wave_span,
+            wave_name,
+            Vec::new(),
+            vec![
+                ("tasks".to_string(), n_tasks as u64),
+                ("commits".to_string(), st.total_commits as u64),
+            ],
+        );
         if let Some(fatal) = st.fatal {
             return Err(fatal);
         }
@@ -596,6 +700,7 @@ struct WaveCtx<'a, T> {
     counters: &'a Counters,
     events: &'a Mutex<Vec<TaskEvent>>,
     t0: Instant,
+    wave_span: SpanId,
     state: &'a Mutex<WaveState>,
     done: &'a [AtomicBool],
     outputs: &'a [Mutex<Option<T>>],
@@ -671,7 +776,7 @@ impl<T> WaveCtx<'_, T> {
 
         if allow_steal && self.config.speculative && !st.completed_ms.is_empty() {
             let mut sorted = st.completed_ms.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f64::total_cmp);
             let median = sorted[sorted.len() / 2];
             let threshold = (self.config.speculative_multiplier * median)
                 .max(self.config.speculative_min_runtime_ms);
@@ -760,6 +865,13 @@ impl<T> WaveCtx<'_, T> {
             end_ms,
             data_local: a.data_local,
         };
+        // Every attempt leaves both a TaskEvent (the determinism
+        // contract) and, when tracing is on, a TaskAttempt span.
+        let log_event = |outcome: AttemptOutcome, error: Option<String>| {
+            let e = event(outcome, error);
+            self.record_attempt_span(&e, &bag);
+            self.events.lock().push(e);
+        };
 
         match result {
             Ok(value) => {
@@ -768,13 +880,13 @@ impl<T> WaveCtx<'_, T> {
                     if st.tasks[a.task].backup_launched {
                         self.counters.add(keys::SPECULATIVE_WASTED, 1);
                     }
-                    self.events.lock().push(event(AttemptOutcome::Killed, None));
+                    log_event(AttemptOutcome::Killed, None);
                     return;
                 }
                 if self.engine.is_dead(node) {
                     // The node died while this attempt ran; its local
                     // output is gone. Re-queue the task.
-                    self.events.lock().push(event(AttemptOutcome::Killed, None));
+                    log_event(AttemptOutcome::Killed, None);
                     st.pending.push(PendingTask {
                         task: a.task,
                         not_before: None,
@@ -791,9 +903,7 @@ impl<T> WaveCtx<'_, T> {
                 }
                 st.total_commits += 1;
                 self.counters.merge(&bag);
-                self.events
-                    .lock()
-                    .push(event(AttemptOutcome::Succeeded, None));
+                log_event(AttemptOutcome::Succeeded, None);
                 let fired = if self.kind == TaskKind::Map {
                     self.fire_due_deaths(&mut st)
                 } else {
@@ -807,17 +917,13 @@ impl<T> WaveCtx<'_, T> {
                 if self.done[a.task].load(Ordering::SeqCst) {
                     // The task already succeeded elsewhere; this failure
                     // is moot and must not count against the task.
-                    self.events
-                        .lock()
-                        .push(event(AttemptOutcome::Failed, Some(msg)));
+                    log_event(AttemptOutcome::Failed, Some(msg));
                     return;
                 }
                 self.counters.add(keys::FAILED_ATTEMPTS, 1);
                 st.tasks[a.task].failures += 1;
                 let failures = st.tasks[a.task].failures;
-                self.events
-                    .lock()
-                    .push(event(AttemptOutcome::Failed, Some(msg.clone())));
+                log_event(AttemptOutcome::Failed, Some(msg.clone()));
                 if failures >= self.config.max_attempts {
                     st.fatal = Some(GesallError::TaskFailed {
                         kind: self.kind,
@@ -835,6 +941,45 @@ impl<T> WaveCtx<'_, T> {
                 }
             }
         }
+    }
+
+    /// Emit one TaskAttempt span mirroring `e`, parented under this
+    /// wave's span, with the attempt's counter bag attached as metrics.
+    /// One branch on a disabled recorder, nothing else.
+    fn record_attempt_span(&self, e: &TaskEvent, bag: &Counters) {
+        let rec = &self.engine.recorder;
+        if !rec.is_enabled() {
+            return;
+        }
+        // Event times are relative to the job's t0; shift them into the
+        // recorder's epoch so spans from many jobs share one timeline.
+        let offset = rec.now_ms() - self.now_ms();
+        let kind = match e.kind {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        };
+        rec.registry()
+            .histogram(&format!("attempt.{kind}.ms"))
+            .record((e.end_ms - e.start_ms).max(0.0).round() as u64);
+        let mut meta = vec![
+            ("node".to_string(), e.node.to_string()),
+            ("outcome".to_string(), format!("{:?}", e.outcome)),
+            ("speculative".to_string(), e.speculative.to_string()),
+            ("data_local".to_string(), e.data_local.to_string()),
+        ];
+        if let Some(err) = &e.error {
+            meta.push(("error".to_string(), err.clone()));
+        }
+        rec.record(Span {
+            id: rec.fresh_id(),
+            parent: self.wave_span,
+            kind: SpanKind::TaskAttempt,
+            name: format!("{kind}-{}.{}", e.task_id, e.attempt),
+            start_ms: e.start_ms + offset,
+            end_ms: e.end_ms + offset,
+            meta,
+            metrics: bag.snapshot(),
+        });
     }
 
     /// Fire scheduled deaths whose map-commit threshold has been reached.

@@ -15,8 +15,10 @@ use crate::counters::{keys, Counters};
 use crate::task::Partitioner;
 use gesall_formats::compress::{compress, decompress};
 use gesall_formats::wire::{Cursor, Wire};
+use gesall_telemetry::Phase;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// One sorted run of encoded (key, value) records.
 #[derive(Debug, Clone)]
@@ -177,6 +179,7 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
         if self.current.is_empty() {
             return;
         }
+        let t0 = Instant::now();
         let mut batch = std::mem::take(&mut self.current);
         self.current_bytes = 0;
         batch.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
@@ -186,12 +189,15 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
         }
         self.spills.push(runs);
         self.counters.add(keys::MAP_SPILLS, 1);
+        self.counters
+            .add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
     }
 
     /// Finish the map task: merge all spills into one sorted segment per
     /// partition.
     pub fn finish(mut self) -> Vec<Segment> {
         self.spill();
+        let t0 = Instant::now();
         let n_spills = self.spills.len();
         if n_spills > 1 {
             self.counters
@@ -206,7 +212,7 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
                 }
             }
         }
-        per_partition
+        let segments: Vec<Segment> = per_partition
             .into_iter()
             .map(|runs| {
                 let merged = if runs.len() == 1 {
@@ -216,7 +222,10 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
                 };
                 Segment::from_pairs(&merged, self.use_compression)
             })
-            .collect()
+            .collect();
+        self.counters
+            .add(Phase::MapMerge.counter_key(), t0.elapsed().as_nanos() as u64);
+        segments
     }
 }
 
@@ -229,6 +238,8 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
     counters: &Counters,
 ) -> Vec<(K, Vec<V>)> {
     let merge_factor = merge_factor.max(2);
+    // Fetch + decode of every map-output segment is the shuffle phase.
+    let t0 = Instant::now();
     for s in &segments {
         counters.add(keys::SHUFFLE_RECORDS, s.records);
         counters.add(keys::SHUFFLE_BYTES, s.wire_len() as u64);
@@ -239,6 +250,8 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         .filter(|s| s.records > 0)
         .map(|s| s.to_pairs())
         .collect();
+    counters.add(Phase::Shuffle.counter_key(), t0.elapsed().as_nanos() as u64);
+    let t0 = Instant::now();
     // Intermediate passes: merge `merge_factor` runs at a time, rewriting
     // the merged run to "disk" (accounted via REDUCE_MERGE_BYTES).
     while runs.len() > merge_factor {
@@ -261,6 +274,10 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         }
     }
     counters.add(keys::REDUCE_INPUT_GROUPS, out.len() as u64);
+    counters.add(
+        Phase::ReduceMerge.counter_key(),
+        t0.elapsed().as_nanos() as u64,
+    );
     out
 }
 

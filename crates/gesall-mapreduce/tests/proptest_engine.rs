@@ -111,6 +111,45 @@ proptest! {
     }
 
     #[test]
+    fn merge_runs_sorted_with_stable_tie_break(
+        runs in proptest::collection::vec(
+            proptest::collection::vec(0u64..20, 0..40),
+            0..8,
+        )
+    ) {
+        // Tag every record with its provenance (run index, position in
+        // run) so stability is directly observable in the output.
+        let tagged: Vec<Vec<(u64, (u64, u64))>> = runs
+            .into_iter()
+            .enumerate()
+            .map(|(ri, mut keys)| {
+                keys.sort_unstable();
+                keys.into_iter()
+                    .enumerate()
+                    .map(|(pos, k)| (k, (ri as u64, pos as u64)))
+                    .collect()
+            })
+            .collect();
+        let total: usize = tagged.iter().map(Vec::len).sum();
+        let merged = merge_runs(tagged);
+        prop_assert_eq!(merged.len(), total);
+        for w in merged.windows(2) {
+            let (k0, (r0, p0)) = w[0];
+            let (k1, (r1, p1)) = w[1];
+            prop_assert!(k0 <= k1, "output must be key-sorted");
+            if k0 == k1 {
+                // Equal keys: earlier run wins; within one run,
+                // intra-run order is preserved.
+                prop_assert!(
+                    r0 < r1 || (r0 == r1 && p0 < p1),
+                    "tie on key {} broke stability: ({}, {}) before ({}, {})",
+                    k0, r0, p0, r1, p1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn segment_roundtrip_any_pairs(
         pairs in proptest::collection::vec(("[a-z]{0,12}", any::<u64>()), 0..200),
         compress in any::<bool>(),

@@ -1,0 +1,230 @@
+//! The `BENCH_*.json` emitter: machine-readable experiment records.
+//!
+//! Each run of an experiment appends one [`BenchRecord`] to a
+//! `BENCH_<name>.json` file (a JSON array of records), establishing the
+//! performance trajectory future PRs are measured against. Records
+//! carry the workload, the configuration, per-phase wall-clock, and the
+//! full counter set, so a regression can be localized to a phase
+//! without rerunning anything.
+
+use crate::json::Json;
+use crate::phase::Phase;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One experiment run's machine-readable result.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    /// Experiment name, e.g. `smoke` — determines the file name.
+    pub name: String,
+    /// Workload description (`pairs`, `genome_bp`, …).
+    pub workload: Vec<(String, String)>,
+    /// Configuration knobs (`n_reducers`, `io_sort_bytes`, …).
+    pub config: Vec<(String, String)>,
+    /// End-to-end wall-clock.
+    pub wall_ms: f64,
+    /// Milliseconds per phase, indexed like [`Phase::ALL`].
+    pub phase_ms: [f64; 6],
+    /// Full counter snapshot.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchRecord {
+    pub fn new(name: &str) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            ..BenchRecord::default()
+        }
+    }
+
+    /// Fill phase timings from a counter snapshot and keep the full
+    /// snapshot as the record's counters.
+    pub fn with_counters(mut self, snapshot: Vec<(String, u64)>) -> BenchRecord {
+        self.phase_ms = crate::phase::phase_ms_from_snapshot(&snapshot);
+        self.counters = snapshot;
+        self
+    }
+
+    /// Are all six phase timings present (nonzero)?
+    pub fn covers_all_phases(&self) -> bool {
+        self.phase_ms.iter().all(|&ms| ms > 0.0)
+    }
+
+    /// Phases with no recorded time, by name.
+    pub fn missing_phases(&self) -> Vec<&'static str> {
+        Phase::ALL
+            .iter()
+            .zip(self.phase_ms.iter())
+            .filter(|(_, &ms)| ms <= 0.0)
+            .map(|(p, _)| p.name())
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Json {
+        let kv = |pairs: &[(String, String)]| {
+            let mut o = Json::obj();
+            for (k, v) in pairs {
+                o = o.field(k, v.as_str());
+            }
+            o
+        };
+        let mut phases = Json::obj();
+        for (p, &ms) in Phase::ALL.iter().zip(self.phase_ms.iter()) {
+            phases = phases.field(p.name(), ms);
+        }
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters = counters.field(k, *v);
+        }
+        Json::obj()
+            .field("schema", "gesall-bench-v1")
+            .field("name", self.name.as_str())
+            .field("workload", kv(&self.workload))
+            .field("config", kv(&self.config))
+            .field("wall_ms", self.wall_ms)
+            .field("phases_ms", phases)
+            .field("counters", counters)
+    }
+
+    /// Rebuild a record from its JSON form (used by appends and tests).
+    pub fn from_json(v: &Json) -> Result<BenchRecord, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("record missing name")?
+            .to_string();
+        let kv = |key: &str| -> Vec<(String, String)> {
+            match v.get(key) {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        let mut phase_ms = [0.0; 6];
+        if let Some(Json::Obj(fields)) = v.get("phases_ms") {
+            for (i, p) in Phase::ALL.iter().enumerate() {
+                if let Some((_, Json::Num(ms))) = fields.iter().find(|(k, _)| k == p.name()) {
+                    phase_ms[i] = *ms;
+                }
+            }
+        }
+        let counters = match v.get("counters") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n as u64)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(BenchRecord {
+            name,
+            workload: kv("workload"),
+            config: kv("config"),
+            wall_ms: v.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
+            phase_ms,
+            counters,
+        })
+    }
+
+    /// The file this record belongs to, inside `dir`.
+    pub fn file_path(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Append this record to `BENCH_<name>.json` under `dir`. The file
+    /// is a JSON array; a missing or corrupt file is started fresh.
+    /// Returns the path written.
+    pub fn append_to_dir(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = self.file_path(dir);
+        let mut records: Vec<Json> = match std::fs::read_to_string(&path) {
+            Ok(text) => Json::parse(&text)
+                .ok()
+                .and_then(|v| match v {
+                    Json::Arr(items) => Some(items),
+                    _ => None,
+                })
+                .unwrap_or_default(),
+            Err(_) => Vec::new(),
+        };
+        records.push(self.to_json());
+        let rendered = render_record_array(&records);
+        std::fs::write(&path, rendered)?;
+        Ok(path)
+    }
+}
+
+/// Pretty-ish rendering: one record per line inside the array, so git
+/// diffs of a trajectory file stay readable.
+fn render_record_array(records: &[Json]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.render());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Read every record out of a `BENCH_*.json` file.
+pub fn read_bench_file(path: &Path) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v = Json::parse(&text)?;
+    let items = v.as_arr().ok_or("bench file is not a JSON array")?;
+    items.iter().map(BenchRecord::from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, wall: f64) -> BenchRecord {
+        let mut r = BenchRecord::new(name);
+        r.workload = vec![("pairs".into(), "2500".into())];
+        r.config = vec![("n_reducers".into(), "3".into())];
+        r.wall_ms = wall;
+        r.phase_ms = [10.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        r.counters = vec![("map.input.records".into(), 2500)];
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record("smoke", 123.5);
+        let back = BenchRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.name, "smoke");
+        assert_eq!(back.wall_ms, 123.5);
+        assert_eq!(back.phase_ms, r.phase_ms);
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.workload, r.workload);
+    }
+
+    #[test]
+    fn append_accumulates_records() {
+        let dir = std::env::temp_dir().join(format!("gesall-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = record("trajectory", 1.0).append_to_dir(&dir).unwrap();
+        record("trajectory", 2.0).append_to_dir(&dir).unwrap();
+        let records = read_bench_file(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].wall_ms, 1.0);
+        assert_eq!(records[1].wall_ms, 2.0);
+        // The file itself is valid JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_phase_detection() {
+        let mut r = record("x", 1.0);
+        assert!(r.covers_all_phases());
+        r.phase_ms[3] = 0.0;
+        assert!(!r.covers_all_phases());
+        assert_eq!(r.missing_phases(), vec!["shuffle"]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gesall-telemetry
+//!
+//! The observability subsystem: everything the paper's in-depth
+//! performance study measures, as reusable machinery.
+//!
+//! * [`metrics`] — a low-overhead **metrics registry**: named counters,
+//!   gauges, and log-scale histograms behind atomics, addressable
+//!   through labeled scopes (`job/wave/task`). The engine's venerable
+//!   [`metrics::Counters`] bag is a thin veneer over this registry.
+//! * [`phase`] — the six execution phases of a MapReduce round the
+//!   paper's Tables 4–7 break wall-clock time into: map, sort-spill,
+//!   map-merge, shuffle, reduce-merge, reduce.
+//! * [`span`] — **span-based structured tracing** of job → wave →
+//!   task-attempt → phase lifecycles: parent ids, start/end timestamps,
+//!   attached metrics, an in-memory event log, and an optional JSONL
+//!   sink for offline analysis.
+//! * [`report`] — derived reports: per-phase wall-clock breakdown
+//!   tables (the Table 4–7 shape), per-wave task timelines (text
+//!   Gantt), shuffle-matrix bytes moved, and straggler/skew statistics
+//!   (p50/p95/max task duration per phase).
+//! * [`json`] — a dependency-free JSON value type, writer, and parser
+//!   (the vendored serde is an API stub, so machine-readable output is
+//!   hand-assembled).
+//! * [`bench`] — the `BENCH_*.json` emitter: every experiment run
+//!   appends a record (workload, config, phase timings, counters) so
+//!   the perf trajectory of the repo is machine-checkable.
+//!
+//! The crate is deliberately leaf-level: it depends on nothing else in
+//! the workspace, so every layer (`gesall-dfs`, `gesall-mapreduce`,
+//! `gesall-core`, the binaries) can instrument itself against it.
+
+pub mod bench;
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod report;
+pub mod span;
+
+pub use bench::BenchRecord;
+pub use json::Json;
+pub use metrics::{Counters, Histogram, MetricsRegistry};
+pub use phase::Phase;
+pub use report::{DurationStats, GanttRow, PhaseRow};
+pub use span::{OpenSpan, Recorder, Span, SpanId, SpanKind};

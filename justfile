@@ -7,6 +7,13 @@ smoke:
     cargo test -q --offline --workspace
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Tiny traced end-to-end experiment: prints the per-phase breakdown,
+# task Gantt, straggler stats, and shuffle matrix; appends a record to
+# BENCH_smoke.json (plus smoke_trace.jsonl). Fails if any of the six
+# phase timings is missing.
+bench-smoke:
+    cargo run --release --offline -p gesall-bench --bin experiments -- smoke .
+
 # Fast inner-loop check.
 check:
     cargo check --offline --workspace --all-targets

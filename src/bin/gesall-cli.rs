@@ -5,6 +5,7 @@
 //! gesall-cli align     --reference REF.fa --r1 R1.fastq --r2 R2.fastq --out OUT.bam
 //! gesall-cli pipeline  --reference REF.fa --r1 R1.fastq --r2 R2.fastq --out-dir DIR
 //!                      [--partitions N] [--nodes N] [--caller hc|ug] [--recalibrate]
+//!                      [--trace] [--bench-json DIR]
 //! gesall-cli call      --reference REF.fa --bam IN.bam --out OUT.vcf [--caller hc|ug]
 //! gesall-cli diff      --serial A.bam --parallel B.bam
 //! gesall-cli sv        --bam IN.bam [--insert-mean N] [--insert-sd N]
@@ -69,7 +70,7 @@ fn parse_opts(args: &[String]) -> Opts {
             usage(&format!("expected --flag, found {a:?}"));
         };
         // Boolean flags take no value.
-        if key == "recalibrate" {
+        if key == "recalibrate" || key == "trace" {
             opts.insert(key.to_string(), "true".into());
             continue;
         }
@@ -231,13 +232,23 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
 
     eprintln!("building index...");
     let aligner = Aligner::new(ReferenceIndex::build(&chroms), AlignerConfig::default());
+    // --trace streams the full span log (pipeline → round → job → wave →
+    // task-attempt) to out_dir/trace.jsonl for offline analysis.
+    let recorder = if opts.contains_key("trace") {
+        let path = out_dir.join("trace.jsonl");
+        eprintln!("tracing spans to {}", path.display());
+        gesall::telemetry::Recorder::with_jsonl_sink(&path)?
+    } else {
+        gesall::telemetry::Recorder::disabled()
+    };
     let platform = GesallPlatform::new(
         Dfs::new(DfsConfig {
             n_nodes: nodes,
             block_size: 4 * 1024 * 1024,
             replication: 1,
         }),
-        MapReduceEngine::new(ClusterResources::uniform(nodes, 2, 16 * 1024)),
+        MapReduceEngine::new(ClusterResources::uniform(nodes, 2, 16 * 1024))
+            .with_recorder(recorder),
         PlatformConfig {
             n_round1_partitions: partitions,
             n_reducers: partitions,
@@ -247,7 +258,10 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
         },
     );
     eprintln!("running the five-round pipeline on {} pairs...", pairs.len());
+    let t0 = std::time::Instant::now();
+    let n_pairs = pairs.len();
     let out = platform.run_pipeline(&aligner, pairs)?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let bam_path = out_dir.join("aligned.sorted.bam");
     std::fs::write(
         &bam_path,
@@ -262,8 +276,39 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
         vcf_path.display(),
         out.variants.len()
     );
-    for r in &out.rounds {
-        println!("  {:<26} {:>9.0} ms", r.name, r.wall_ms);
+    println!("\nPer-phase breakdown (ms, summed across tasks):");
+    print!("{}", out.phase_table());
+    // --bench-json DIR appends a machine-readable record of this run to
+    // DIR/BENCH_pipeline.json (phase timings + counters).
+    if let Some(dir) = opts.get("bench-json") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)?;
+        let mut agg: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for r in &out.rounds {
+            for (k, v) in &r.counters {
+                let slot = agg.entry(k.clone()).or_insert(0);
+                // wrapper.* counters are pipeline-cumulative; the rest
+                // are per-round.
+                if k.starts_with("wrapper.") {
+                    *slot = (*slot).max(*v);
+                } else {
+                    *slot += *v;
+                }
+            }
+        }
+        let mut record = gesall::telemetry::BenchRecord::new("pipeline")
+            .with_counters(agg.into_iter().collect());
+        record.wall_ms = wall_ms;
+        record.workload = vec![
+            ("n_pairs".into(), n_pairs.to_string()),
+            ("n_rounds".into(), out.rounds.len().to_string()),
+        ];
+        record.config = vec![
+            ("nodes".into(), nodes.to_string()),
+            ("partitions".into(), partitions.to_string()),
+        ];
+        let path = record.append_to_dir(&dir)?;
+        println!("bench record appended to {}", path.display());
     }
     Ok(())
 }

@@ -10,4 +10,5 @@ pub use gesall_dfs as dfs;
 pub use gesall_formats as formats;
 pub use gesall_mapreduce as mapreduce;
 pub use gesall_sim as sim;
+pub use gesall_telemetry as telemetry;
 pub use gesall_tools as tools;
