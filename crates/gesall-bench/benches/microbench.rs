@@ -159,7 +159,7 @@ fn bench_shuffle(c: &mut Criterion) {
     g.bench_function("reduce_multipass_merge_24x2k", |b| {
         b.iter(|| {
             let counters = Counters::new();
-            reduce_merge::<u64, u64>(segments.clone(), 6, true, &counters)
+            reduce_merge::<u64, u64>(segments.clone(), 6, &counters)
         });
     });
     g.finish();

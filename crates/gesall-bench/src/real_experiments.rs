@@ -530,11 +530,12 @@ pub fn substrate(world: &ExperimentWorld) -> String {
     {
         let engine = gesall_mapreduce::MapReduceEngine::local(4);
         let counters = Counters::new();
-        let splits: Vec<InputSplit<String, Vec<u8>>> = parts
+        let splits: Vec<InputSplit<String, gesall_formats::SharedBytes>> = parts
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                let bytes = gesall_formats::bam::write_bam(&header, p);
+                let bytes =
+                    gesall_formats::SharedBytes::from_vec(gesall_formats::bam::write_bam(&header, p));
                 InputSplit::new(format!("p{i}"), vec![(format!("p{i}"), bytes)])
             })
             .collect();

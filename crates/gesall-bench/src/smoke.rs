@@ -16,9 +16,24 @@ use gesall_datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
 use gesall_dfs::{Dfs, DfsConfig};
 use gesall_mapreduce::{ClusterResources, MapReduceEngine, Recorder, SpanKind};
 use gesall_telemetry::report::{gantt, shuffle_matrix, straggler_report, GanttRow};
-use gesall_telemetry::BenchRecord;
+use gesall_telemetry::{mem_keys, BenchRecord, MemStats};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// Bytes copied per shuffled record the tiny pipeline measured **before**
+/// the zero-copy record path landed (owned-Vec segments, per-record map
+/// clones, copying pipes and DFS reads). The gate requires at least a 2×
+/// reduction against this — see DESIGN.md §3⅞.
+pub const OLD_PATH_BYTES_PER_RECORD: f64 = 4012.50;
+
+/// The same metric measured on the zero-copy path (the recorded
+/// baseline). The byte accounting is deterministic at this scale; the
+/// gate allows [`REGRESSION_HEADROOM`] above it before failing.
+pub const BASELINE_BYTES_PER_RECORD: f64 = 1969.55;
+
+/// Slack multiplier over [`BASELINE_BYTES_PER_RECORD`] before the smoke
+/// run is declared a memory-path regression.
+pub const REGRESSION_HEADROOM: f64 = 1.15;
 
 /// Everything a smoke run produces.
 pub struct SmokeOutcome {
@@ -81,6 +96,7 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         merge_factor,
         ..PlatformConfig::default()
     };
+    let dfs_handle = dfs.clone();
     let platform = GesallPlatform::new(dfs, engine, config);
     let t0 = std::time::Instant::now();
     let out = platform
@@ -102,6 +118,24 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             }
         }
     }
+    // Whole-pipeline "bytes actually copied" gauge: engine-side copies
+    // (summed per job) + streaming-pipe copies (pipeline-cumulative, so
+    // max) + DFS/storage copies (on the DFS's own registry).
+    let engine_copied = agg.get(mem_keys::BYTES_COPIED).copied().unwrap_or(0);
+    let pipe_copied = agg.get("wrapper.bytes.copied").copied().unwrap_or(0);
+    let dfs_copied = dfs_handle
+        .metrics()
+        .counter(gesall_dfs::metrics_keys::BYTES_COPIED)
+        .get();
+    let total_copied = engine_copied + pipe_copied + dfs_copied;
+    agg.insert("mem.bytes.copied.total".into(), total_copied);
+    let shuffled = agg.get("shuffle.records").copied().unwrap_or(0);
+    let per_record = MemStats {
+        bytes_copied: total_copied,
+        ..MemStats::default()
+    }
+    .bytes_copied_per_record(shuffled);
+
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
     record.workload = vec![
@@ -109,6 +143,7 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ("genome_bp".into(), genome.total_len().to_string()),
         ("n_rounds".into(), out.rounds.len().to_string()),
         ("n_variants".into(), out.variants.len().to_string()),
+        ("bytes_copied_per_record".into(), format!("{per_record:.2}")),
     ];
     record.config = vec![
         ("n_partitions".into(), scale.n_partitions.to_string()),
@@ -121,6 +156,24 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             record.missing_phases()
         ));
     }
+    // Memory-path gate: the zero-copy refactor's ≥2× reduction must
+    // hold, and the per-record cost must stay near the recorded
+    // baseline. Both thresholds are on a deterministic byte count, so a
+    // failure is a real code change, not noise.
+    if per_record > OLD_PATH_BYTES_PER_RECORD / 2.0 {
+        return Err(format!(
+            "memory-path gate: {per_record:.2} bytes copied/record loses the 2x \
+             reduction over the pre-zero-copy path ({OLD_PATH_BYTES_PER_RECORD} B/rec)"
+        ));
+    }
+    if per_record > BASELINE_BYTES_PER_RECORD * REGRESSION_HEADROOM {
+        return Err(format!(
+            "memory-path gate: {per_record:.2} bytes copied/record exceeds the \
+             recorded baseline {BASELINE_BYTES_PER_RECORD} B/rec by more than \
+             {:.0}%",
+            (REGRESSION_HEADROOM - 1.0) * 100.0
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -131,6 +184,11 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     ));
     text.push_str("Per-phase breakdown (ms, summed across tasks):\n");
     text.push_str(&out.phase_table());
+    text.push_str(&format!(
+        "\nMemory path: {total_copied} payload bytes copied \
+         (engine {engine_copied} + pipes {pipe_copied} + dfs {dfs_copied}), \
+         {shuffled} shuffled records -> {per_record:.2} bytes copied/record\n"
+    ));
 
     // Task timeline across the whole run, from the attempt spans.
     let mut attempts = recorder.spans_of_kind(SpanKind::TaskAttempt);

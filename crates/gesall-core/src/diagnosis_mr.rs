@@ -8,6 +8,7 @@
 
 use crate::diagnosis::AlignmentSignature;
 use gesall_formats::bam;
+use gesall_formats::SharedBytes;
 use gesall_formats::error::Result as FmtResult;
 use gesall_formats::quality::LogisticWeight;
 use gesall_formats::wire::{Cursor, Wire};
@@ -85,14 +86,14 @@ pub struct DiffMapper;
 
 impl Mapper for DiffMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = TaggedSignature;
 
     fn map(
         &self,
-        label: String,
-        bam_bytes: Vec<u8>,
+        label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, String, TaggedSignature>,
     ) {
         let tag = if label.starts_with("serial") {
@@ -100,7 +101,7 @@ impl Mapper for DiffMapper {
         } else {
             TAG_PARALLEL
         };
-        let (_, records) = bam::read_bam(&bam_bytes).expect("diff input bam");
+        let (_, records) = bam::read_bam(bam_bytes).expect("diff input bam");
         for r in &records {
             if !r.flags.is_primary() {
                 continue;
@@ -181,7 +182,7 @@ pub fn mr_diff_alignments(
         let per = records.len().div_ceil(n_partitions.max(1)).max(1);
         for (i, chunk) in records.chunks(per).enumerate() {
             let label = format!("{tag}/part-{i:05}");
-            let bytes = bam::write_bam(&header, chunk);
+            let bytes = SharedBytes::from_vec(bam::write_bam(&header, chunk));
             splits.push(InputSplit::new(label.clone(), vec![(label, bytes)]));
         }
     }

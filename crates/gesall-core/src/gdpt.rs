@@ -153,59 +153,67 @@ impl Wire for MarkDupValue {
 /// task set ensuring only one complete-pair read is emitted per 5′
 /// position. `bloom`, when present (`MarkDup_opt`), suppresses witnesses
 /// for 5′ positions that no partial matching can touch.
+///
+/// Takes the pair **by value**: keys are computed up front and the
+/// records then move into their shuffle values; the only payload copy
+/// left on this path is the (filter-deduplicated) witness record.
 pub fn markdup_map_pair(
-    a: &SamRecord,
-    b: &SamRecord,
+    a: SamRecord,
+    b: SamRecord,
     witness_filter: &mut std::collections::HashSet<EndKey>,
     bloom: Option<&BloomFilter>,
     out: &mut Vec<(MarkDupKey, MarkDupValue)>,
 ) {
     match (a.is_mapped(), b.is_mapped()) {
         (true, true) => {
-            let pk = pair_key(a, b);
-            out.push((
-                MarkDupKey::Pair(pk.0, pk.1),
-                MarkDupValue {
-                    role: MarkDupRole::PairMember,
-                    record: a.clone(),
-                },
-            ));
-            out.push((
-                MarkDupKey::Pair(pk.0, pk.1),
-                MarkDupValue {
-                    role: MarkDupRole::PairMember,
-                    record: b.clone(),
-                },
-            ));
-            // Criterion-2 witnesses.
-            for (read, key) in [(a, end_key(a)), (b, end_key(b))] {
+            let pk = pair_key(&a, &b);
+            // Criterion-2 witnesses, decided before the moves below.
+            let mut witness_of = |read: &SamRecord, key: EndKey| {
                 let needed = bloom.map(|bl| bl.maybe_contains(&key)).unwrap_or(true);
-                if needed && witness_filter.insert(key) {
-                    out.push((
+                (needed && witness_filter.insert(key)).then(|| {
+                    (
                         MarkDupKey::Single(key),
                         MarkDupValue {
                             role: MarkDupRole::Witness,
                             record: read.clone(),
                         },
-                    ));
-                }
-            }
+                    )
+                })
+            };
+            let wa = witness_of(&a, end_key(&a));
+            let wb = witness_of(&b, end_key(&b));
+            out.push((
+                MarkDupKey::Pair(pk.0, pk.1),
+                MarkDupValue {
+                    role: MarkDupRole::PairMember,
+                    record: a,
+                },
+            ));
+            out.push((
+                MarkDupKey::Pair(pk.0, pk.1),
+                MarkDupValue {
+                    role: MarkDupRole::PairMember,
+                    record: b,
+                },
+            ));
+            out.extend(wa);
+            out.extend(wb);
         }
         (true, false) | (false, true) => {
             let (mapped, mate) = if a.is_mapped() { (a, b) } else { (b, a) };
-            let key = end_key(mapped);
+            let key = end_key(&mapped);
             out.push((
                 MarkDupKey::Single(key),
                 MarkDupValue {
                     role: MarkDupRole::PartialMapped,
-                    record: mapped.clone(),
+                    record: mapped,
                 },
             ));
             out.push((
                 MarkDupKey::Single(key),
                 MarkDupValue {
                     role: MarkDupRole::PartialMate,
-                    record: mate.clone(),
+                    record: mate,
                 },
             ));
         }
@@ -216,7 +224,7 @@ pub fn markdup_map_pair(
                     MarkDupKey::Unplaced(h),
                     MarkDupValue {
                         role: MarkDupRole::Unplaced,
-                        record: r.clone(),
+                        record: r,
                     },
                 ));
             }
@@ -448,7 +456,7 @@ mod tests {
         let b = mapped("p", 1300, true);
         let mut filter = std::collections::HashSet::new();
         let mut out = Vec::new();
-        markdup_map_pair(&a, &b, &mut filter, None, &mut out);
+        markdup_map_pair(a, b, &mut filter, None, &mut out);
         let members = out
             .iter()
             .filter(|(_, v)| v.role == MarkDupRole::PairMember)
@@ -464,7 +472,7 @@ mod tests {
         let a2 = mapped("q", 1000, false);
         let b2 = mapped("q", 1300, true);
         let before = out.len();
-        markdup_map_pair(&a2, &b2, &mut filter, None, &mut out);
+        markdup_map_pair(a2, b2, &mut filter, None, &mut out);
         let new_witnesses = out[before..]
             .iter()
             .filter(|(_, v)| v.role == MarkDupRole::Witness)
@@ -480,14 +488,14 @@ mod tests {
         let bloom = BloomFilter::with_capacity(100);
         let mut filter = std::collections::HashSet::new();
         let mut out = Vec::new();
-        markdup_map_pair(&a, &b, &mut filter, Some(&bloom), &mut out);
+        markdup_map_pair(a.clone(), b.clone(), &mut filter, Some(&bloom), &mut out);
         assert_eq!(out.len(), 2, "only the two pair members: {out:?}");
         // Bloom containing a's end: one witness comes back.
         let mut bloom = BloomFilter::with_capacity(100);
         bloom.insert(&end_key(&a));
         let mut filter = std::collections::HashSet::new();
         let mut out = Vec::new();
-        markdup_map_pair(&a, &b, &mut filter, Some(&bloom), &mut out);
+        markdup_map_pair(a, b, &mut filter, Some(&bloom), &mut out);
         let witnesses = out
             .iter()
             .filter(|(_, v)| v.role == MarkDupRole::Witness)
@@ -501,7 +509,7 @@ mod tests {
         let mut u = SamRecord::unmapped("p", vec![b'C'; 100], vec![20; 100]);
         u.flags.set(Flags::PAIRED, true);
         let mut out = Vec::new();
-        markdup_map_pair(&a, &u, &mut std::collections::HashSet::new(), None, &mut out);
+        markdup_map_pair(a, u.clone(), &mut std::collections::HashSet::new(), None, &mut out);
         assert_eq!(out.len(), 2);
         assert!(matches!(out[0].0, MarkDupKey::Single(_)));
         assert_eq!(out[0].1.role, MarkDupRole::PartialMapped);
@@ -509,7 +517,7 @@ mod tests {
 
         let u2 = u.clone();
         let mut out2 = Vec::new();
-        markdup_map_pair(&u, &u2, &mut std::collections::HashSet::new(), None, &mut out2);
+        markdup_map_pair(u, u2, &mut std::collections::HashSet::new(), None, &mut out2);
         assert_eq!(out2.len(), 2);
         assert!(matches!(out2[0].0, MarkDupKey::Unplaced(_)));
     }

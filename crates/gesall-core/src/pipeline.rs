@@ -25,6 +25,7 @@ use gesall_formats::fastq::{pairs_to_interleaved_bytes, split_pairs_into_partiti
 use gesall_formats::sam::header::ReadGroup;
 use gesall_formats::sam::{SamHeader, SamRecord, SortOrder};
 use gesall_formats::vcf::VariantRecord;
+use gesall_formats::SharedBytes;
 use gesall_mapreduce::counters::Counters;
 use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
 use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
@@ -312,7 +313,7 @@ impl GesallPlatform {
         base: &str,
         header: &SamHeader,
         partitions: &[Vec<SamRecord>],
-    ) -> Result<Vec<InputSplit<String, Vec<u8>>>> {
+    ) -> Result<Vec<InputSplit<String, SharedBytes>>> {
         let placed = storage::upload_partitions(&self.dfs, base, header, partitions)?;
         let mut splits = Vec::with_capacity(placed.len());
         for (path, home) in placed {
@@ -326,10 +327,21 @@ impl GesallPlatform {
         Ok(splits)
     }
 
-    fn read_partition_bytes(&self, path: &str) -> Result<Vec<u8>> {
-        // Reassemble through the block-aware frame reader (the §3.1 path).
-        let frames = storage::read_frames_from_dfs(&self.dfs, path)?;
-        Ok(frames.concat())
+    fn read_partition_bytes(&self, path: &str) -> Result<SharedBytes> {
+        // Reassemble through the block-aware frame reader (the §3.1
+        // path). The frames are zero-copy block slices; the one copy
+        // left on this path is gluing them into the mapper's contiguous
+        // input buffer (skipped when the file is a single frame).
+        let mut frames = storage::read_frames_from_dfs(&self.dfs, path)?;
+        if frames.len() == 1 {
+            return Ok(frames.pop().unwrap());
+        }
+        let bytes = frames.concat();
+        self.dfs
+            .metrics()
+            .counter(gesall_dfs::metrics_keys::BYTES_COPIED)
+            .add(bytes.len() as u64);
+        Ok(SharedBytes::from_vec(bytes))
     }
 
     /// Run the full five-round pipeline on interleaved read pairs.
@@ -375,10 +387,12 @@ impl GesallPlatform {
         let mut splits = Vec::new();
         for (i, part) in parts.iter().enumerate() {
             let path = format!("{base}/fastq/part-{i:05}");
-            let bytes = pairs_to_interleaved_bytes(part);
-            let info = self
-                .dfs
-                .write_file_with_policy(&path, &bytes, &LogicalPartitionPlacement)?;
+            // One backing serves both the DFS blocks and the mapper's
+            // input split — staging copies nothing.
+            let bytes = SharedBytes::from_vec(pairs_to_interleaved_bytes(part));
+            let info =
+                self.dfs
+                    .write_shared_with_policy(&path, bytes.clone(), &LogicalPartitionPlacement)?;
             let mut split = InputSplit::new(path.clone(), vec![(path, bytes)]);
             if let Some(node) = info.single_home() {
                 split = split.at_node(node % self.engine.cluster().n_nodes());
@@ -635,12 +649,13 @@ impl GesallPlatform {
                             (core_s, core_e),
                             (span_s, span_e),
                         );
-                        let bytes =
-                            gesall_formats::bam::write_bam(&sorted_header, &seg_records);
+                        let bytes = SharedBytes::from_vec(
+                            gesall_formats::bam::write_bam(&sorted_header, &seg_records),
+                        );
                         let path = format!("{base}/round5fine/{label}");
-                        let info = self.dfs.write_file_with_policy(
+                        let info = self.dfs.write_shared_with_policy(
                             &path,
-                            &bytes,
+                            bytes.clone(),
                             &LogicalPartitionPlacement,
                         )?;
                         let mut split = InputSplit::new(label.clone(), vec![(label, bytes)]);

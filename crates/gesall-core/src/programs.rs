@@ -62,7 +62,9 @@ impl ExternalProgram for SamToBamProgram {
         let (header, records) = sam_text::from_text(&input)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let bytes = gesall_formats::bam::write_bam(&header, &records);
-        stdout.write_all(&bytes)?;
+        // The serialized BAM is handed to the pipe by ownership — it
+        // becomes the chunks' shared backing, no re-copy.
+        stdout.write_owned(bytes)?;
         stdout.close()
     }
 }
@@ -111,7 +113,7 @@ mod tests {
             threads: 2,
         };
         let out = harness
-            .run_pipeline(&[&bwa, &SamToBamProgram], input)
+            .run_pipeline(&[&bwa, &SamToBamProgram], &input)
             .unwrap();
         let (header, records) = bam::read_bam(&out).unwrap();
         assert_eq!(records.len(), 240, "two records per pair");
@@ -132,14 +134,14 @@ mod tests {
             aligner: &aligner,
             threads: 1,
         };
-        let res = harness.run_pipeline(&[&bwa], b"not fastq at all".to_vec());
+        let res = harness.run_pipeline(&[&bwa], b"not fastq at all");
         assert!(res.is_err());
     }
 
     #[test]
     fn samtobam_rejects_garbage() {
         let harness = StreamingHarness::new(Counters::new());
-        let res = harness.run_pipeline(&[&SamToBamProgram], b"bogus\tsam".to_vec());
+        let res = harness.run_pipeline(&[&SamToBamProgram], b"bogus\tsam");
         assert!(res.is_err());
     }
 }

@@ -21,6 +21,7 @@ use crate::gdpt::{
 };
 use gesall_aligner::Aligner;
 use gesall_formats::bam;
+use gesall_formats::SharedBytes;
 use gesall_formats::sam::header::ReadGroup;
 use gesall_formats::sam::{SamHeader, SamRecord};
 use gesall_formats::vcf::VariantRecord;
@@ -66,11 +67,11 @@ pub struct Round1Align<'a> {
 
 impl Mapper for Round1Align<'_> {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = Vec<u8>;
 
-    fn map(&self, label: String, fastq_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, Vec<u8>>) {
+    fn map(&self, label: &String, fastq_bytes: &SharedBytes, ctx: &mut MapContext<'_, String, Vec<u8>>) {
         let harness = StreamingHarness::new(self.counters.clone());
         let bwa = crate::programs::BwaMemProgram {
             aligner: self.aligner,
@@ -79,7 +80,7 @@ impl Mapper for Round1Align<'_> {
         let bam_bytes = harness
             .run_pipeline(&[&bwa, &crate::programs::SamToBamProgram], fastq_bytes)
             .expect("alignment streaming pipeline failed");
-        ctx.emit(label, bam_bytes);
+        ctx.emit(label.clone(), bam_bytes);
     }
 }
 
@@ -97,12 +98,17 @@ pub struct Round2CleanMapper {
 
 impl Mapper for Round2CleanMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = SamRecord;
 
-    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, SamRecord>) {
-        let (mut header, mut records) = decode_bam(&self.counters, &bam_bytes);
+    fn map(
+        &self,
+        _label: &String,
+        bam_bytes: &SharedBytes,
+        ctx: &mut MapContext<'_, String, SamRecord>,
+    ) {
+        let (mut header, mut records) = decode_bam(&self.counters, bam_bytes);
         let t0 = Instant::now();
         gesall_tools::add_read_groups::add_or_replace_read_groups(
             &mut header,
@@ -173,12 +179,12 @@ pub struct BloomBuildMapper {
 
 impl Mapper for BloomBuildMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = u64;
     type OutValue = Vec<u8>;
 
-    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+    fn map(&self, _label: &String, bam_bytes: &SharedBytes, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         let mut by_name: HashMap<&str, Vec<&SamRecord>> = HashMap::new();
         for r in &records {
             if r.flags.is_paired() && r.flags.is_primary() {
@@ -237,29 +243,31 @@ pub struct Round3MarkDupMapper {
 
 impl Mapper for Round3MarkDupMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = MarkDupKey;
     type OutValue = MarkDupValue;
 
     fn map(
         &self,
-        _label: String,
-        bam_bytes: Vec<u8>,
+        _label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, MarkDupKey, MarkDupValue>,
     ) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         // Pair by name in input order (map-task-local state is fine: the
-        // whole partition is one map invocation).
-        let mut first_seen: HashMap<&str, &SamRecord> = HashMap::new();
+        // whole partition is one map invocation). Records move from the
+        // decode straight into the shuffle values — only the pairing
+        // key (the name) is cloned while a read waits for its mate.
+        let mut first_seen: HashMap<String, SamRecord> = HashMap::new();
         let mut witness_filter = std::collections::HashSet::new();
         let mut kvs = Vec::new();
-        for r in &records {
+        for r in records {
             if !r.flags.is_paired() || !r.flags.is_primary() {
                 continue;
             }
             match first_seen.remove(r.name.as_str()) {
                 None => {
-                    first_seen.insert(r.name.as_str(), r);
+                    first_seen.insert(r.name.clone(), r);
                 }
                 Some(mate) => {
                     markdup_map_pair(
@@ -416,17 +424,17 @@ pub struct Round4SortMapper {
 
 impl Mapper for Round4SortMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = RangeKey;
     type OutValue = SamRecord;
 
     fn map(
         &self,
-        _label: String,
-        bam_bytes: Vec<u8>,
+        _label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, RangeKey, SamRecord>,
     ) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         for r in records {
             ctx.emit(RangeKey::of(&r), r);
         }
@@ -475,12 +483,12 @@ pub struct RecalTableMapper {
 
 impl Mapper for RecalTableMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = u64;
     type OutValue = Vec<u8>;
 
-    fn map(&self, _label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+    fn map(&self, _label: &String, bam_bytes: &SharedBytes, ctx: &mut MapContext<'_, u64, Vec<u8>>) {
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         let t0 = Instant::now();
         let table = gesall_tools::recalibration::base_recalibrator(
             &records,
@@ -521,12 +529,17 @@ pub struct PrintReadsMapper {
 
 impl Mapper for PrintReadsMapper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = SamRecord;
 
-    fn map(&self, label: String, bam_bytes: Vec<u8>, ctx: &mut MapContext<'_, String, SamRecord>) {
-        let (_, mut records) = decode_bam(&self.counters, &bam_bytes);
+    fn map(
+        &self,
+        label: &String,
+        bam_bytes: &SharedBytes,
+        ctx: &mut MapContext<'_, String, SamRecord>,
+    ) {
+        let (_, mut records) = decode_bam(&self.counters, bam_bytes);
         let t0 = Instant::now();
         gesall_tools::recalibration::print_reads(&mut records, &self.table, &self.config);
         self.counters
@@ -553,17 +566,17 @@ pub struct Round5UnifiedGenotyper {
 
 impl Mapper for Round5UnifiedGenotyper {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = VariantRecord;
 
     fn map(
         &self,
-        _label: String,
-        bam_bytes: Vec<u8>,
+        _label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, String, VariantRecord>,
     ) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         let Some(ref_id) = records.iter().find(|r| r.is_mapped()).map(|r| r.ref_id) else {
             return;
         };
@@ -622,18 +635,18 @@ fn parse_fine_label(label: &str) -> (i32, i64, i64, i64, i64) {
 
 impl Mapper for Round5HaplotypeCallerFine {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = VariantRecord;
 
     fn map(
         &self,
-        label: String,
-        bam_bytes: Vec<u8>,
+        label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, String, VariantRecord>,
     ) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
-        let (ref_id, core_start, core_end, span_start, span_end) = parse_fine_label(&label);
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
+        let (ref_id, core_start, core_end, span_start, span_end) = parse_fine_label(label);
         let chrom = self.chrom_names[ref_id as usize].clone();
         let t0 = Instant::now();
         let result = gesall_tools::haplotype_caller::call_range(
@@ -667,17 +680,17 @@ pub struct Round5HaplotypeCaller {
 
 impl Mapper for Round5HaplotypeCaller {
     type InKey = String;
-    type InValue = Vec<u8>;
+    type InValue = SharedBytes;
     type OutKey = String;
     type OutValue = VariantRecord;
 
     fn map(
         &self,
-        _label: String,
-        bam_bytes: Vec<u8>,
+        _label: &String,
+        bam_bytes: &SharedBytes,
         ctx: &mut MapContext<'_, String, VariantRecord>,
     ) {
-        let (_, records) = decode_bam(&self.counters, &bam_bytes);
+        let (_, records) = decode_bam(&self.counters, bam_bytes);
         let Some(ref_id) = records.iter().find(|r| r.is_mapped()).map(|r| r.ref_id) else {
             return; // empty or all-unmapped partition
         };

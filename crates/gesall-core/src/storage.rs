@@ -16,14 +16,24 @@ use crate::error::{PlatformError, Result};
 use gesall_dfs::{Dfs, FileInfo, LogicalPartitionPlacement};
 use gesall_formats::bam::{self, ChunkSetReader, FrameHeader, FRAME_HEADER_LEN};
 use gesall_formats::sam::{SamHeader, SamRecord};
+use gesall_formats::SharedBytes;
 
 /// Reassembles chunk frames from a sequence of DFS blocks, tolerating
 /// frames that straddle block boundaries.
+///
+/// Frames wholly inside one block are returned as zero-copy slices of
+/// that block's shared backing; only frames that straddle a boundary
+/// are stitched through the carry buffer (and charged to
+/// [`BlockFrameReader::bytes_copied`]).
 pub struct BlockFrameReader {
     carry: Vec<u8>,
-    frames: Vec<Vec<u8>>,
+    frames: Vec<SharedBytes>,
     /// Number of frames that straddled a block boundary.
     pub straddled: usize,
+    /// Payload bytes memcpy'd while reassembling (carry buffering of
+    /// straddling frames only). Callers surface this into the DFS's
+    /// `mem.bytes.copied` gauge.
+    pub bytes_copied: u64,
 }
 
 impl BlockFrameReader {
@@ -32,37 +42,70 @@ impl BlockFrameReader {
             carry: Vec::new(),
             frames: Vec::new(),
             straddled: 0,
+            bytes_copied: 0,
         }
     }
 
-    /// Feed the next block's bytes.
-    pub fn push_block(&mut self, block: &[u8]) {
-        let started_with_carry = !self.carry.is_empty();
-        self.carry.extend_from_slice(block);
-        let mut first_frame_in_block = true;
-        loop {
-            if self.carry.len() < FRAME_HEADER_LEN {
+    /// Feed the next block.
+    pub fn push_block(&mut self, block: SharedBytes) {
+        let mut pos = 0usize;
+        if !self.carry.is_empty() {
+            // A frame left straddling by the previous block: top the
+            // carry up until the frame (or the block) runs out. An
+            // unparseable carry swallows the rest so `finish` reports it.
+            loop {
+                let need = if self.carry.len() < FRAME_HEADER_LEN {
+                    FRAME_HEADER_LEN
+                } else {
+                    match FrameHeader::parse(&self.carry) {
+                        Ok(fh) => fh.frame_len(),
+                        Err(_) => usize::MAX,
+                    }
+                };
+                if self.carry.len() >= need {
+                    let frame: Vec<u8> = self.carry.drain(..need).collect();
+                    self.bytes_copied += need as u64;
+                    self.straddled += 1;
+                    self.frames.push(SharedBytes::from_vec(frame));
+                    break;
+                }
+                let take = need
+                    .saturating_sub(self.carry.len())
+                    .min(block.len() - pos);
+                if take == 0 {
+                    return; // block exhausted, frame still incomplete
+                }
+                self.carry.extend_from_slice(&block[pos..pos + take]);
+                self.bytes_copied += take as u64;
+                pos += take;
+            }
+        }
+        // Complete frames inside this block: zero-copy slices of its
+        // shared backing.
+        while pos < block.len() {
+            let rest = &block[pos..];
+            if rest.len() < FRAME_HEADER_LEN {
                 break;
             }
-            let Ok(fh) = FrameHeader::parse(&self.carry) else {
+            let Ok(fh) = FrameHeader::parse(rest) else {
                 break;
             };
             let total = fh.frame_len();
-            if self.carry.len() < total {
+            if rest.len() < total {
                 break; // frame continues in the next block
             }
-            let frame: Vec<u8> = self.carry.drain(..total).collect();
-            if first_frame_in_block && started_with_carry {
-                self.straddled += 1;
-            }
-            first_frame_in_block = false;
-            self.frames.push(frame);
+            self.frames.push(block.slice(pos..pos + total));
+            pos += total;
+        }
+        if pos < block.len() {
+            self.carry.extend_from_slice(&block[pos..]);
+            self.bytes_copied += (block.len() - pos) as u64;
         }
     }
 
     /// Finish, returning the complete frames. Errors if bytes remain
     /// (truncated trailing frame).
-    pub fn finish(self) -> Result<Vec<Vec<u8>>> {
+    pub fn finish(self) -> Result<Vec<SharedBytes>> {
         if !self.carry.is_empty() {
             return Err(PlatformError::Invariant(format!(
                 "{} dangling bytes after the last block",
@@ -86,8 +129,10 @@ pub fn upload_bam(
     header: &SamHeader,
     records: &[SamRecord],
 ) -> Result<FileInfo> {
+    // The serialized BAM is handed to the DFS by ownership — blocks
+    // become zero-copy windows into it.
     let bytes = bam::write_bam(header, records);
-    Ok(dfs.write_file(path, &bytes)?)
+    Ok(dfs.write_file_shared(path, SharedBytes::from_vec(bytes))?)
 }
 
 /// Upload a BAM dataset as a **logical partition**: all blocks pinned to
@@ -99,7 +144,11 @@ pub fn upload_bam_partition(
     records: &[SamRecord],
 ) -> Result<FileInfo> {
     let bytes = bam::write_bam(header, records);
-    Ok(dfs.write_file_with_policy(path, &bytes, &LogicalPartitionPlacement)?)
+    Ok(dfs.write_shared_with_policy(
+        path,
+        SharedBytes::from_vec(bytes),
+        &LogicalPartitionPlacement,
+    )?)
 }
 
 /// Read a BAM file back from the DFS through the block-aware frame
@@ -112,20 +161,27 @@ pub fn read_bam_from_dfs(dfs: &Dfs, path: &str) -> Result<(SamHeader, Vec<SamRec
     Ok((header, records))
 }
 
-/// Read the chunk frames of a DFS BAM file block by block.
-pub fn read_frames_from_dfs(dfs: &Dfs, path: &str) -> Result<Vec<Vec<u8>>> {
+/// Read the chunk frames of a DFS BAM file block by block. In-block
+/// frames come back as zero-copy slices of the stored blocks; only
+/// boundary-straddling frames are stitched (and counted) through the
+/// reader's carry buffer.
+pub fn read_frames_from_dfs(dfs: &Dfs, path: &str) -> Result<Vec<SharedBytes>> {
     let info = dfs.stat(path)?;
     let mut reader = BlockFrameReader::new();
     for b in &info.blocks {
-        let bytes = dfs.read_block(b)?;
-        reader.push_block(&bytes);
+        reader.push_block(dfs.read_block(b)?);
     }
+    dfs.metrics()
+        .counter(gesall_dfs::metrics_keys::BYTES_COPIED)
+        .add(reader.bytes_copied);
     reader.finish()
 }
 
 /// Read an arbitrary byte range of a DFS file, touching only the blocks
-/// that cover it — the primitive an indexed region query needs.
-pub fn read_byte_range(dfs: &Dfs, path: &str, start: u64, len: u64) -> Result<Vec<u8>> {
+/// that cover it — the primitive an indexed region query needs. A range
+/// inside a single block is served zero-copy as a slice of that block;
+/// ranges spanning blocks pay one counted concatenation.
+pub fn read_byte_range(dfs: &Dfs, path: &str, start: u64, len: u64) -> Result<SharedBytes> {
     let info = dfs.stat(path)?;
     if start + len > info.len as u64 {
         return Err(PlatformError::Invariant(format!(
@@ -133,7 +189,7 @@ pub fn read_byte_range(dfs: &Dfs, path: &str, start: u64, len: u64) -> Result<Ve
             info.len
         )));
     }
-    let mut out = Vec::with_capacity(len as usize);
+    let mut pieces: Vec<(SharedBytes, usize, usize)> = Vec::new();
     let mut block_start = 0u64;
     for b in &info.blocks {
         let block_end = block_start + b.len as u64;
@@ -141,14 +197,30 @@ pub fn read_byte_range(dfs: &Dfs, path: &str, start: u64, len: u64) -> Result<Ve
             let bytes = dfs.read_block(b)?;
             let lo = start.saturating_sub(block_start) as usize;
             let hi = ((start + len - block_start) as usize).min(b.len);
-            out.extend_from_slice(&bytes[lo..hi]);
+            pieces.push((bytes, lo, hi));
         }
         block_start = block_end;
         if block_start >= start + len {
             break;
         }
     }
-    Ok(out)
+    match pieces.len() {
+        0 => Ok(SharedBytes::new()),
+        1 => {
+            let (bytes, lo, hi) = pieces.pop().unwrap();
+            Ok(bytes.slice(lo..hi))
+        }
+        _ => {
+            let mut out = Vec::with_capacity(len as usize);
+            for (bytes, lo, hi) in &pieces {
+                out.extend_from_slice(&bytes[*lo..*hi]);
+            }
+            dfs.metrics()
+                .counter(gesall_dfs::metrics_keys::BYTES_COPIED)
+                .add(out.len() as u64);
+            Ok(SharedBytes::from_vec(out))
+        }
+    }
 }
 
 /// Upload a *sorted, indexed* BAM partition (the Round-4 output format):
@@ -161,10 +233,14 @@ pub fn upload_indexed_bam_partition(
     records: &[SamRecord],
 ) -> Result<gesall_formats::bam::BamIndex> {
     let (bytes, index) = gesall_formats::bam::write_bam_indexed(header, records);
-    dfs.write_file_with_policy(path, &bytes, &gesall_dfs::LogicalPartitionPlacement)?;
-    dfs.write_file_with_policy(
+    dfs.write_shared_with_policy(
+        path,
+        SharedBytes::from_vec(bytes),
+        &gesall_dfs::LogicalPartitionPlacement,
+    )?;
+    dfs.write_shared_with_policy(
         &format!("{path}.idx"),
-        &index.to_bytes(),
+        SharedBytes::from_vec(index.to_bytes()),
         &gesall_dfs::LogicalPartitionPlacement,
     )?;
     Ok(index)
@@ -180,7 +256,7 @@ pub fn read_region_from_dfs(
     start: i64,
     end: i64,
 ) -> Result<Vec<SamRecord>> {
-    let index_bytes = dfs.read_file(&format!("{path}.idx"))?;
+    let index_bytes = dfs.read_file_shared(&format!("{path}.idx"))?;
     let index = gesall_formats::bam::BamIndex::from_bytes(&index_bytes)?;
     let mut out = Vec::new();
     for (offset, len) in index.chunks_for_region(ref_id, start, end) {
@@ -265,7 +341,7 @@ mod tests {
         assert!(info.blocks.len() > 5);
         let mut reader = BlockFrameReader::new();
         for b in &info.blocks {
-            reader.push_block(&dfs.read_block(b).unwrap());
+            reader.push_block(dfs.read_block(b).unwrap());
         }
         assert!(
             reader.straddled > 0,
@@ -379,13 +455,16 @@ mod tests {
 
     #[test]
     fn frame_reader_single_push() {
-        // Whole file in one "block" still works.
+        // Whole file in one "block" still works — and every frame is a
+        // zero-copy window onto that block, with nothing memcpy'd.
         let h = header();
-        let bytes = bam::write_bam(&h, &records(50));
+        let block = SharedBytes::from_vec(bam::write_bam(&h, &records(50)));
         let mut reader = BlockFrameReader::new();
-        reader.push_block(&bytes);
+        reader.push_block(block.clone());
+        assert_eq!(reader.bytes_copied, 0);
         let frames = reader.finish().unwrap();
         assert!(frames.len() >= 2);
+        assert!(frames.iter().all(|f| f.same_backing(&block)));
         let reader = ChunkSetReader::new(&frames).unwrap();
         assert_eq!(reader.header(), &h);
     }
@@ -398,7 +477,7 @@ mod tests {
         let bytes = bam::write_bam(&h, &recs);
         let mut reader = BlockFrameReader::new();
         for b in &bytes {
-            reader.push_block(std::slice::from_ref(b));
+            reader.push_block(SharedBytes::copy_from_slice(std::slice::from_ref(b)));
         }
         let frames = reader.finish().unwrap();
         let cr = ChunkSetReader::new(&frames).unwrap();

@@ -1,7 +1,7 @@
 //! The distributed file system: name node + data nodes + client API.
 
 use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
-use bytes::Bytes;
+use gesall_formats::SharedBytes;
 use gesall_telemetry::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
@@ -106,7 +106,7 @@ impl Default for DfsConfig {
 }
 
 struct DataNode {
-    blocks: RwLock<HashMap<u64, Bytes>>,
+    blocks: RwLock<HashMap<u64, SharedBytes>>,
 }
 
 struct NameNode {
@@ -134,6 +134,10 @@ struct DfsInner {
 
 /// Counter names the DFS maintains on its [`MetricsRegistry`].
 pub mod metrics_keys {
+    /// Payload bytes memcpy'd inside the DFS (block materialization on
+    /// write, multi-block concatenation on read). Same key as the
+    /// engine-side gauge so a whole-pipeline total can be assembled.
+    pub const BYTES_COPIED: &str = "mem.bytes.copied";
     /// Replicas written (block writes × replication).
     pub const BLOCKS_WRITTEN: &str = "dfs.blocks.written";
     /// Payload bytes written across all replicas.
@@ -188,10 +192,39 @@ impl Dfs {
 
     /// Write a file, choosing replica homes with `policy`. This is the
     /// entry point the logical-partition uploader uses.
+    ///
+    /// The borrowed payload is materialized **once** into a shared
+    /// backing (the only copy this path charges to `mem.bytes.copied`);
+    /// the stored blocks are zero-copy windows into it. Callers that
+    /// already own their bytes skip even that copy with
+    /// [`Dfs::write_file_shared`].
     pub fn write_file_with_policy(
         &self,
         path: &str,
         data: &[u8],
+        policy: &dyn BlockPlacementPolicy,
+    ) -> Result<FileInfo, DfsError> {
+        let shared = SharedBytes::copy_from_slice(data);
+        self.inner
+            .metrics
+            .counter(metrics_keys::BYTES_COPIED)
+            .add(shared.len() as u64);
+        self.write_shared_with_policy(path, shared, policy)
+    }
+
+    /// Write an owned payload with the default placement, copying
+    /// nothing: every stored block is a slice of the payload's backing.
+    pub fn write_file_shared(&self, path: &str, data: SharedBytes) -> Result<FileInfo, DfsError> {
+        self.write_shared_with_policy(path, data, &DefaultPlacement)
+    }
+
+    /// Zero-copy write: slice `data` into block-sized windows and hand
+    /// each window to its replica homes. No payload byte is copied —
+    /// all replicas of a block share one backing with the caller.
+    pub fn write_shared_with_policy(
+        &self,
+        path: &str,
+        data: SharedBytes,
         policy: &dyn BlockPlacementPolicy,
     ) -> Result<FileInfo, DfsError> {
         {
@@ -206,13 +239,10 @@ impl Dfs {
         if dead.len() >= n_nodes {
             return Err(DfsError::NoLiveNodes);
         }
+        let block_size = self.inner.config.block_size;
         let mut blocks = Vec::new();
-        let chunks: Vec<&[u8]> = if data.is_empty() {
-            Vec::new()
-        } else {
-            data.chunks(self.inner.config.block_size).collect()
-        };
-        for (bi, chunk) in chunks.into_iter().enumerate() {
+        for bi in 0..data.len().div_ceil(block_size) {
+            let chunk = data.slice(bi * block_size..((bi + 1) * block_size).min(data.len()));
             let nodes = policy.place(path, bi, n_nodes, replication);
             if nodes.is_empty() || nodes.iter().any(|&n| n >= n_nodes) {
                 return Err(DfsError::BadPolicy(format!(
@@ -221,12 +251,11 @@ impl Dfs {
             }
             let nodes = remap_around_dead(nodes, &dead, n_nodes)?;
             let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
-            let payload = Bytes::copy_from_slice(chunk);
             for &n in &nodes {
                 self.inner.datanodes[n]
                     .blocks
                     .write()
-                    .insert(id, payload.clone());
+                    .insert(id, chunk.clone());
             }
             let m = &self.inner.metrics;
             m.counter(metrics_keys::BLOCKS_WRITTEN).add(nodes.len() as u64);
@@ -267,8 +296,9 @@ impl Dfs {
         self.inner.namenode.files.read().contains_key(path)
     }
 
-    /// Read one block from any live replica.
-    pub fn read_block(&self, block: &BlockInfo) -> Result<Bytes, DfsError> {
+    /// Read one block from any live replica. Zero-copy: the returned
+    /// handle is a window onto the stored block itself.
+    pub fn read_block(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
         for &n in &block.nodes {
             if let Some(b) = self.inner.datanodes[n].blocks.read().get(&block.id) {
                 let m = &self.inner.metrics;
@@ -280,14 +310,42 @@ impl Dfs {
         Err(DfsError::BlockMissing(block.id))
     }
 
-    /// Read an entire file back.
+    /// Read an entire file back into a fresh owned buffer (one counted
+    /// copy). Prefer [`Dfs::read_file_shared`] where a borrowless view
+    /// suffices.
     pub fn read_file(&self, path: &str) -> Result<Vec<u8>, DfsError> {
         let info = self.stat(path)?;
         let mut out = Vec::with_capacity(info.len);
         for b in &info.blocks {
             out.extend_from_slice(&self.read_block(b)?);
         }
+        self.inner
+            .metrics
+            .counter(metrics_keys::BYTES_COPIED)
+            .add(out.len() as u64);
         Ok(out)
+    }
+
+    /// Read a whole file as shared bytes. A file that fits in one block
+    /// is served zero-copy (the result shares the stored block's
+    /// backing); multi-block files pay one counted concatenation.
+    pub fn read_file_shared(&self, path: &str) -> Result<SharedBytes, DfsError> {
+        let info = self.stat(path)?;
+        match info.blocks.len() {
+            0 => Ok(SharedBytes::new()),
+            1 => self.read_block(&info.blocks[0]),
+            _ => {
+                let mut out = Vec::with_capacity(info.len);
+                for b in &info.blocks {
+                    out.extend_from_slice(&self.read_block(b)?);
+                }
+                self.inner
+                    .metrics
+                    .counter(metrics_keys::BYTES_COPIED)
+                    .add(out.len() as u64);
+                Ok(SharedBytes::from_vec(out))
+            }
+        }
     }
 
     /// Delete a file and free its replicas.
@@ -726,6 +784,38 @@ mod tests {
         let created = dfs.re_replicate();
         assert!(created > 0);
         assert_eq!(get(metrics_keys::REPLICAS_RESTORED), created as u64);
+    }
+
+    #[test]
+    fn shared_write_is_zero_copy() {
+        let dfs = small_dfs();
+        let data = SharedBytes::from_vec(payload(3000));
+        let info = dfs.write_file_shared("/z", data.clone()).unwrap();
+        assert_eq!(info.blocks.len(), 3);
+        // Stored blocks are windows into the caller's backing, not copies.
+        for b in &info.blocks {
+            assert!(dfs.read_block(b).unwrap().same_backing(&data));
+        }
+        assert_eq!(dfs.metrics().counter(metrics_keys::BYTES_COPIED).get(), 0);
+        assert_eq!(dfs.read_file("/z").unwrap(), data.to_vec());
+    }
+
+    #[test]
+    fn single_block_shared_read_is_zero_copy() {
+        let dfs = small_dfs();
+        dfs.write_file("/one", &payload(800)).unwrap();
+        let after_write = dfs.metrics().counter(metrics_keys::BYTES_COPIED).get();
+        let block0 = dfs.read_block(&dfs.stat("/one").unwrap().blocks[0]).unwrap();
+        let got = dfs.read_file_shared("/one").unwrap();
+        assert_eq!(got, payload(800));
+        assert!(got.same_backing(&block0), "single-block read must not copy");
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::BYTES_COPIED).get(),
+            after_write
+        );
+        // Multi-block files still concatenate (and count the copy).
+        dfs.write_file("/many", &payload(3000)).unwrap();
+        assert_eq!(dfs.read_file_shared("/many").unwrap(), payload(3000));
     }
 
     #[test]

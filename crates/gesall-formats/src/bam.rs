@@ -405,17 +405,18 @@ pub struct ChunkSetReader {
 }
 
 impl ChunkSetReader {
-    /// `frames` are raw frame byte strings; the first must be the header
-    /// chunk of the file (fetched from the file's first block).
-    pub fn new(frames: &[Vec<u8>]) -> Result<ChunkSetReader> {
+    /// `frames` are raw frame byte strings (`Vec<u8>`, `SharedBytes`, or
+    /// any other byte container); the first must be the header chunk of
+    /// the file (fetched from the file's first block).
+    pub fn new<T: AsRef<[u8]>>(frames: &[T]) -> Result<ChunkSetReader> {
         let first = frames
             .first()
             .ok_or_else(|| FormatError::Bam("no chunks supplied".into()))?;
-        let (hc, _) = decode_frame(first)?;
+        let (hc, _) = decode_frame(first.as_ref())?;
         let header = hc.header()?;
         let mut records = Vec::new();
         for frame in &frames[1..] {
-            let (chunk, _) = decode_frame(frame)?;
+            let (chunk, _) = decode_frame(frame.as_ref())?;
             records.extend(chunk.records()?);
         }
         Ok(ChunkSetReader {

@@ -1,0 +1,261 @@
+//! Shared, sliceable byte buffers — the zero-copy currency of the
+//! record path (DESIGN.md §3⅞).
+//!
+//! A [`SharedBytes`] is a `[start, end)` window into an `Arc<[u8]>`
+//! backing allocation. `clone` and [`SharedBytes::slice`] are O(1) and
+//! never touch the payload, so a DFS block handed to a frame reader, a
+//! map-output partition handed to a reducer, and a pipe chunk handed
+//! across threads all reference the same allocation instead of
+//! memcpy'ing it. [`SharedBytes::same_backing`] makes that property
+//! testable: a fetch that claims to be zero-copy can assert pointer
+//! identity with the buffer it was sliced from.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// Immutable, reference-counted byte range. `clone` and `slice` are
+/// O(1); the payload is copied only at construction from a borrowed
+/// slice ([`SharedBytes::copy_from_slice`]) — [`SharedBytes::from_vec`]
+/// takes ownership without copying.
+#[derive(Clone)]
+pub struct SharedBytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl SharedBytes {
+    /// An empty buffer (no allocation shared with anything).
+    pub fn new() -> SharedBytes {
+        SharedBytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Take ownership of `v` without copying the payload.
+    pub fn from_vec(v: Vec<u8>) -> SharedBytes {
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        let end = data.len();
+        SharedBytes { data, start: 0, end }
+    }
+
+    /// Copy `data` into a fresh backing allocation.
+    pub fn copy_from_slice(data: &[u8]) -> SharedBytes {
+        SharedBytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// O(1) sub-range sharing the same backing allocation.
+    ///
+    /// Panics if the range is out of bounds, like slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> SharedBytes {
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            lo <= hi && hi <= len,
+            "slice {lo}..{hi} out of range for {len} bytes"
+        );
+        SharedBytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Do `self` and `other` reference the same backing allocation?
+    /// This is the zero-copy witness: a slice of a buffer, or a clone of
+    /// it, shares its backing; any path that memcpy'd does not.
+    pub fn same_backing(&self, other: &SharedBytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Copy this range out into an owned vector (an explicit copy).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> SharedBytes {
+        SharedBytes::new()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for SharedBytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> SharedBytes {
+        SharedBytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(v: &[u8]) -> SharedBytes {
+        SharedBytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for SharedBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SharedBytes> for Vec<u8> {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SharedBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for SharedBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedBytes(b\"")?;
+        for &b in self.as_slice().iter().take(64) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.len() > 64 {
+            write!(f, "… {} bytes", self.len())?;
+        }
+        write!(f, "\")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_and_slice_share_backing() {
+        let b = SharedBytes::from_vec((0u8..100).collect());
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(&s[..], &(10u8..20).collect::<Vec<u8>>()[..]);
+        assert!(s.same_backing(&b), "slice must not copy");
+        assert!(b.clone().same_backing(&b), "clone must not copy");
+        // A nested slice still shares the original backing.
+        let s2 = s.slice(2..5);
+        assert!(s2.same_backing(&b));
+        assert_eq!(s2, vec![12u8, 13, 14]);
+    }
+
+    #[test]
+    fn copies_do_not_share_backing() {
+        let b = SharedBytes::from_vec(vec![1, 2, 3]);
+        let c = SharedBytes::copy_from_slice(&b);
+        assert_eq!(b, c);
+        assert!(!b.same_backing(&c));
+    }
+
+    #[test]
+    fn equality_against_vec_and_slices() {
+        let b = SharedBytes::copy_from_slice(b"acgt");
+        assert_eq!(b, b"acgt".to_vec());
+        assert_eq!(b, *b"acgt");
+        assert_eq!(b, &b"acgt"[..]);
+        assert_eq!(b"acgt".to_vec(), b);
+        assert!(b != SharedBytes::copy_from_slice(b"acga"));
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        let e = SharedBytes::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let b = SharedBytes::from_vec(vec![9; 5]);
+        assert_eq!(b.slice(..).len(), 5);
+        assert!(b.slice(5..5).is_empty());
+        assert_eq!(b.slice(..=2).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_slice_panics() {
+        SharedBytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn concat_via_borrow() {
+        let parts = [
+            SharedBytes::copy_from_slice(b"ab"),
+            SharedBytes::copy_from_slice(b"cd"),
+        ];
+        assert_eq!(parts.concat(), b"abcd");
+    }
+}

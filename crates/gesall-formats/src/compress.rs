@@ -68,19 +68,27 @@ fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
 /// Compress `input`. The output always begins with a method byte followed
 /// by a varint of the uncompressed length.
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 10);
+    compress_append(input, &mut out);
+    out
+}
+
+/// Compress `input`, appending the container (method byte, varint raw
+/// length, payload) to `out`. This is the single-backing spill path:
+/// every partition of a map output compresses into one shared output
+/// vector instead of a fresh allocation per segment.
+pub fn compress_append(input: &[u8], out: &mut Vec<u8>) {
     let lz = compress_lz(input);
     if lz.len() < input.len() {
-        let mut out = Vec::with_capacity(lz.len() + 10);
+        out.reserve(lz.len() + 10);
         out.push(METHOD_LZ);
-        put_varint(&mut out, input.len() as u64);
+        put_varint(out, input.len() as u64);
         out.extend_from_slice(&lz);
-        out
     } else {
-        let mut out = Vec::with_capacity(input.len() + 10);
+        out.reserve(input.len() + 10);
         out.push(METHOD_STORE);
-        put_varint(&mut out, input.len() as u64);
+        put_varint(out, input.len() as u64);
         out.extend_from_slice(input);
-        out
     }
 }
 
@@ -316,6 +324,20 @@ mod tests {
             assert!(decompress(&c[..cut]).is_err() || decompress(&c[..cut]).unwrap() != data);
         }
         assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn compress_append_matches_compress_and_stacks() {
+        let a = b"ACGTACGT".repeat(200);
+        let b = b"the quick brown fox".repeat(50);
+        let mut out = Vec::new();
+        compress_append(&a, &mut out);
+        let first_len = out.len();
+        assert_eq!(out, compress(&a));
+        compress_append(&b, &mut out);
+        // Both containers decode from their slices of the shared buffer.
+        assert_eq!(decompress(&out[..first_len]).unwrap(), a);
+        assert_eq!(decompress(&out[first_len..]).unwrap(), b);
     }
 
     #[test]

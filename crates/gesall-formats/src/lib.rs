@@ -16,6 +16,9 @@
 //!   can straddle DFS block boundaries exactly as §3.1 of the paper requires.
 //! * [`compress`] — the from-scratch LZ block codec that plays the role of
 //!   BGZF/Snappy compression (map-output compression in the shuffle).
+//! * [`bytes`] — [`SharedBytes`], the `Arc`-backed sliceable byte range
+//!   the zero-copy record path is built on (DFS blocks, map-output
+//!   segments, streaming pipe chunks all share backing allocations).
 //! * [`vcf`] — variant-call records plus the quality annotations
 //!   (MQ, DP, FS, AB) used by the error-diagnosis study (Tables 8–10).
 //!
@@ -24,6 +27,7 @@
 //! byte-compatible with htslib; see `DESIGN.md` §6.
 
 pub mod bam;
+pub mod bytes;
 pub mod compress;
 pub mod dna;
 pub mod error;
@@ -34,4 +38,5 @@ pub mod sam;
 pub mod vcf;
 pub mod wire;
 
+pub use bytes::SharedBytes;
 pub use error::{FormatError, Result};

@@ -134,6 +134,19 @@ impl Cigar {
         Ok(Cigar(ops))
     }
 
+    /// Length of the text form (`Display`) without rendering it — the
+    /// wire encoding stores CIGARs as text, so record-size accounting
+    /// (`Wire::encoded_len`) needs this cheaply.
+    pub fn text_len(&self) -> usize {
+        if self.is_unmapped() {
+            return 1; // "*"
+        }
+        self.0
+            .iter()
+            .map(|op| op.len().checked_ilog10().unwrap_or(0) as usize + 2)
+            .sum()
+    }
+
     /// Number of query bases the alignment covers (length of SEQ for
     /// records without hard clips).
     pub fn query_len(&self) -> u32 {
@@ -280,6 +293,14 @@ mod tests {
         assert_eq!(c.unclipped_end(100), 100 + 110 - 1);
         let c = Cigar::parse("50M10I40M").unwrap();
         assert_eq!(c.unclipped_end(100), 100 + 90 - 1);
+    }
+
+    #[test]
+    fn text_len_matches_display() {
+        for s in ["*", "100M", "3S50M2I10D45M2S", "1M", "9M10M99M100M"] {
+            let c = if s == "*" { Cigar::unmapped() } else { Cigar::parse(s).unwrap() };
+            assert_eq!(c.text_len(), c.to_string().len(), "{s}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::error::{FormatError, Result};
 use crate::sam::cigar::Cigar;
 use crate::sam::flags::Flags;
-use crate::wire::{Cursor, Wire};
+use crate::wire::{self, Cursor, Wire};
 
 /// Sentinel reference id for unmapped reads (`RNAME *`).
 pub const NO_REF: i32 = -1;
@@ -184,6 +184,25 @@ impl Wire for SamRecord {
         self.edit_distance.encode(buf);
     }
 
+    fn encoded_len(&self) -> usize {
+        let cigar_text = self.cigar.text_len();
+        self.name.encoded_len()
+            + (self.flags.0 as u32).encoded_len()
+            + ((self.ref_id as i64 + 1) as u64).encoded_len()
+            + self.pos.encoded_len()
+            + (self.mapq as u32).encoded_len()
+            + wire::varint_len(cigar_text as u64)
+            + cigar_text
+            + ((self.mate_ref_id as i64 + 1) as u64).encoded_len()
+            + self.mate_pos.encoded_len()
+            + self.tlen.encoded_len()
+            + self.seq.encoded_len()
+            + self.qual.encoded_len()
+            + self.read_group.encoded_len()
+            + (self.alignment_score as i64).encoded_len()
+            + self.edit_distance.encoded_len()
+    }
+
     fn decode(cur: &mut Cursor<'_>) -> Result<SamRecord> {
         let name = String::decode(cur)?;
         let flags = Flags(u32::decode(cur)? as u16);
@@ -248,6 +267,7 @@ mod tests {
         r.edit_distance = 3;
         let bytes = r.to_wire_bytes();
         assert_eq!(SamRecord::from_wire_bytes(&bytes).unwrap(), r);
+        assert_eq!(r.encoded_len(), bytes.len(), "closed-form length must be exact");
     }
 
     #[test]
@@ -257,6 +277,7 @@ mod tests {
         let back = SamRecord::from_wire_bytes(&bytes).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.ref_id, NO_REF);
+        assert_eq!(r.encoded_len(), bytes.len());
     }
 
     #[test]

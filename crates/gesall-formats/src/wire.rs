@@ -24,6 +24,13 @@ pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Encoded length of a varint, without encoding it.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(bits/7), with 0 taking one byte.
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
 /// Append a varint (LEB128, unsigned).
 pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -131,9 +138,21 @@ pub trait Wire: Sized {
     /// Decode one value from the cursor.
     fn decode(cur: &mut Cursor<'_>) -> Result<Self>;
 
+    /// Exact length `encode` would append, without touching a buffer.
+    ///
+    /// The default measures by encoding into a scratch vector; hot types
+    /// (integers, strings, records on the shuffle path) override it with
+    /// a closed form so the sort buffer can account record sizes without
+    /// serializing anything (the zero-copy `emit` path).
+    fn encoded_len(&self) -> usize {
+        let mut scratch = Vec::new();
+        self.encode(&mut scratch);
+        scratch.len()
+    }
+
     /// Convenience: encode to a fresh vector.
     fn to_wire_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(self.encoded_len());
         self.encode(&mut buf);
         buf
     }
@@ -159,6 +178,9 @@ impl Wire for u64 {
     fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
         cur.get_varint()
     }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self)
+    }
 }
 
 impl Wire for i64 {
@@ -170,6 +192,9 @@ impl Wire for i64 {
         let z = cur.get_varint()?;
         Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
+    fn encoded_len(&self) -> usize {
+        varint_len(((*self << 1) ^ (*self >> 63)) as u64)
+    }
 }
 
 impl Wire for u32 {
@@ -180,6 +205,9 @@ impl Wire for u32 {
         let v = cur.get_varint()?;
         u32::try_from(v).map_err(|_| FormatError::Bam("u32 overflow".into()))
     }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
 }
 
 impl Wire for String {
@@ -189,6 +217,9 @@ impl Wire for String {
     fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
         cur.get_str()
     }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl Wire for Vec<u8> {
@@ -197,6 +228,21 @@ impl Wire for Vec<u8> {
     }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
         Ok(cur.get_bytes()?.to_vec())
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Wire for crate::bytes::SharedBytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_bytes(buf, self);
+    }
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
+        Ok(crate::bytes::SharedBytes::copy_from_slice(cur.get_bytes()?))
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -208,6 +254,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
         Ok((A::decode(cur)?, B::decode(cur)?))
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -216,6 +265,9 @@ impl<T: Wire> Wire for Vec<T> {
         for item in self {
             item.encode(buf);
         }
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
     fn decode(cur: &mut Cursor<'_>) -> Result<Self> {
         let n = cur.get_varint()? as usize;
@@ -282,6 +334,33 @@ mod tests {
         let mut padded = s.clone();
         padded.push(0);
         assert!(String::from_wire_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "varint_len({v})");
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_impl() {
+        fn check<T: Wire>(v: T) {
+            let bytes = v.to_wire_bytes();
+            assert_eq!(v.encoded_len(), bytes.len());
+        }
+        check(0u64);
+        check(u64::MAX);
+        check(-123456789i64);
+        check(i64::MIN);
+        check(u32::MAX);
+        check("read/1 αβγ".to_string());
+        check(String::new());
+        check(vec![0u8, 255, 3]);
+        check(("key".to_string(), 42u64));
+        check(vec![("a".to_string(), 1u64), ("bb".to_string(), 300)]);
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub mod keys {
     pub const DATA_TRANSFORM_NANOS: &str = "wrapper.transform.nanos";
     /// Nanoseconds spent inside wrapped external programs.
     pub const EXTERNAL_PROGRAM_NANOS: &str = "wrapper.external.nanos";
+    /// Payload bytes memcpy'd inside the streaming pipes (writer buffer
+    /// fills, chunk churn, reader copy-outs). Kept under the `wrapper.`
+    /// prefix because, like the wrapper timers, the bag it accumulates on
+    /// is pipeline-cumulative rather than per-job.
+    pub const WRAPPER_BYTES_COPIED: &str = "wrapper.bytes.copied";
     /// Task attempts that panicked and were retried (or aborted the job).
     pub const FAILED_ATTEMPTS: &str = "fault.failed.attempts";
     /// Speculative (backup) attempts launched for stragglers.
@@ -39,6 +44,15 @@ pub mod keys {
     /// Completed map tasks re-executed because the node holding their
     /// shuffle output died.
     pub const MAPS_RERUN_ON_NODE_LOSS: &str = "fault.maps.rerun.on.node.loss";
+    /// Payload bytes memcpy'd on the record path (spill encode, compress,
+    /// decompress, decode, segment fetch). The honest "bytes moved"
+    /// gauge the zero-copy refactor is measured by.
+    pub const BYTES_COPIED: &str = gesall_telemetry::mem_keys::BYTES_COPIED;
+    /// Spill-scratch buffers handed out by the arena, total.
+    pub const SPILL_ALLOCS: &str = gesall_telemetry::mem_keys::SPILL_ALLOCS;
+    /// Spill-scratch buffers that were recycled rather than freshly
+    /// allocated.
+    pub const SPILL_REUSED: &str = gesall_telemetry::mem_keys::SPILL_REUSED;
 }
 
 #[cfg(test)]

@@ -323,7 +323,7 @@ impl MapReduceEngine {
                     let mut sink = |k: M::OutKey, v: M::OutValue| buf.emit(k, v);
                     let mut ctx = MapContext { sink: &mut sink };
                     for (k, v) in &split.records {
-                        mapper.map(k.clone(), v.clone(), &mut ctx);
+                        mapper.map(k, v, &mut ctx);
                     }
                     mapper.finish(&mut ctx);
                 }
@@ -371,16 +371,15 @@ impl MapReduceEngine {
             &reduce_outputs,
             |partition, bag| {
                 let t_task = Instant::now();
+                // Zero-copy fetch: each segment is a SharedBytes slice
+                // of the map task's single output backing, so cloning it
+                // moves a reference, not the payload.
                 let segments: Vec<Segment> = map_outputs
                     .iter()
                     .map(|per_map| per_map[partition].clone())
                     .collect();
-                let grouped = reduce_merge::<M::OutKey, M::OutValue>(
-                    segments,
-                    config.merge_factor,
-                    config.compress_map_output,
-                    bag,
-                );
+                let grouped =
+                    reduce_merge::<M::OutKey, M::OutValue>(segments, config.merge_factor, bag);
                 let mut out = Vec::new();
                 {
                     let mut ctx = ReduceContext { out: &mut out };
@@ -468,7 +467,7 @@ impl MapReduceEngine {
                     let mut sink = |k, v| out.push((k, v));
                     let mut ctx = MapContext { sink: &mut sink };
                     for (k, v) in &split.records {
-                        mapper.map(k.clone(), v.clone(), &mut ctx);
+                        mapper.map(k, v, &mut ctx);
                     }
                     mapper.finish(&mut ctx);
                 }
@@ -1042,7 +1041,7 @@ mod tests {
         type InValue = String;
         type OutKey = String;
         type OutValue = u64;
-        fn map(&self, _k: u64, line: String, ctx: &mut MapContext<'_, String, u64>) {
+        fn map(&self, _k: &u64, line: &String, ctx: &mut MapContext<'_, String, u64>) {
             for w in line.split_whitespace() {
                 ctx.emit(w.to_string(), 1);
             }
@@ -1154,8 +1153,8 @@ mod tests {
             type InValue = String;
             type OutKey = u64;
             type OutValue = String;
-            fn map(&self, k: u64, v: String, ctx: &mut MapContext<'_, u64, String>) {
-                ctx.emit(k, v);
+            fn map(&self, k: &u64, v: &String, ctx: &mut MapContext<'_, u64, String>) {
+                ctx.emit(*k, v.clone());
             }
         }
         let engine = MapReduceEngine::local(4);
@@ -1180,8 +1179,8 @@ mod tests {
             type InValue = u64;
             type OutKey = u64;
             type OutValue = u64;
-            fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
-                ctx.emit(k, v);
+            fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+                ctx.emit(*k, *v);
             }
         }
         let splits: Vec<InputSplit<u64, u64>> = (0..4)
@@ -1206,8 +1205,8 @@ mod tests {
             type InValue = u64;
             type OutKey = u64;
             type OutValue = u64;
-            fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
-                ctx.emit(k, v);
+            fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+                ctx.emit(*k, *v);
             }
         }
         struct CollectOrdered;

@@ -13,18 +13,31 @@
 
 use crate::counters::{keys, Counters};
 use crate::task::Partitioner;
-use gesall_formats::compress::{compress, decompress};
+use gesall_formats::compress::{compress_append, decompress};
 use gesall_formats::wire::{Cursor, Wire};
+use gesall_formats::SharedBytes;
 use gesall_telemetry::Phase;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+/// Payloads smaller than this stay uncompressed even when the job asks
+/// for compression: the codec container + dictionary warm-up costs more
+/// than it saves on tiny segments, and skipping it keeps the map-side
+/// merge a single pass over the output backing.
+pub const COMPRESS_MIN_BYTES: usize = 1024;
+
 /// One sorted run of encoded (key, value) records.
+///
+/// The payload is a [`SharedBytes`] window, so a reduce-side fetch of a
+/// map output clones a reference into the map task's single output
+/// backing instead of memcpy'ing the bytes (assert with
+/// [`SharedBytes::same_backing`]).
 #[derive(Debug, Clone)]
 pub struct Segment {
-    /// Possibly-compressed payload.
-    pub data: Vec<u8>,
+    /// Possibly-compressed payload, shared with its siblings from the
+    /// same map task.
+    pub data: SharedBytes,
     /// Uncompressed payload length.
     pub raw_len: usize,
     /// Record count.
@@ -36,32 +49,39 @@ pub struct Segment {
 impl Segment {
     pub fn empty() -> Segment {
         Segment {
-            data: Vec::new(),
+            data: SharedBytes::new(),
             raw_len: 0,
             records: 0,
             compressed: false,
         }
     }
 
-    /// Serialize a sorted run of typed pairs.
+    /// Serialize a sorted run of typed pairs. The encode buffer is
+    /// pre-sized from [`Wire::encoded_len`], and payloads under
+    /// [`COMPRESS_MIN_BYTES`] skip compression regardless of the flag.
     pub fn from_pairs<K: Wire, V: Wire>(pairs: &[(K, V)], use_compression: bool) -> Segment {
-        let mut raw = Vec::new();
+        let raw_len: usize = pairs
+            .iter()
+            .map(|(k, v)| k.encoded_len() + v.encoded_len())
+            .sum();
+        let mut raw = Vec::with_capacity(raw_len);
         for (k, v) in pairs {
             k.encode(&mut raw);
             v.encode(&mut raw);
         }
-        let raw_len = raw.len();
-        if use_compression {
-            let data = compress(&raw);
+        debug_assert_eq!(raw.len(), raw_len, "encoded_len must be exact");
+        if use_compression && raw_len >= COMPRESS_MIN_BYTES {
+            let mut data = Vec::new();
+            compress_append(&raw, &mut data);
             Segment {
-                data,
+                data: SharedBytes::from_vec(data),
                 raw_len,
                 records: pairs.len() as u64,
                 compressed: true,
             }
         } else {
             Segment {
-                data: raw,
+                data: SharedBytes::from_vec(raw),
                 raw_len,
                 records: pairs.len() as u64,
                 compressed: false,
@@ -125,6 +145,47 @@ pub fn merge_runs<K: Wire + Ord + Clone, V: Wire>(runs: Vec<Vec<(K, V)>>) -> Vec
     out
 }
 
+/// Recycled spill-scratch memory: a free-list of encode buffers so a
+/// map task's merge serializes every partition through the same
+/// allocation instead of growing a fresh `Vec` per partition (or, in
+/// the old path, per record). [`SpillArena::acquire`] counts every
+/// hand-out under [`keys::SPILL_ALLOCS`] and recycled ones under
+/// [`keys::SPILL_REUSED`], so the bench report can show the reuse
+/// ratio.
+pub struct SpillArena {
+    free: Vec<Vec<u8>>,
+    counters: Counters,
+}
+
+impl SpillArena {
+    pub fn new(counters: Counters) -> SpillArena {
+        SpillArena {
+            free: Vec::new(),
+            counters,
+        }
+    }
+
+    /// Check out a cleared buffer with at least `cap` capacity,
+    /// recycling a released one when available.
+    pub fn acquire(&mut self, cap: usize) -> Vec<u8> {
+        self.counters.add(keys::SPILL_ALLOCS, 1);
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.counters.add(keys::SPILL_REUSED, 1);
+                buf.clear();
+                buf.reserve(cap);
+                buf
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a buffer to the free-list for the next `acquire`.
+    pub fn release(&mut self, buf: Vec<u8>) {
+        self.free.push(buf);
+    }
+}
+
 /// The map-side sort buffer.
 pub struct SortSpillBuffer<'a, K: Wire + Ord + Clone, V: Wire> {
     io_sort_bytes: usize,
@@ -158,15 +219,13 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
         }
     }
 
-    /// Serialize-account and buffer one record; spill when full.
+    /// Buffer one record by move; spill when full. Sizing comes from
+    /// [`Wire::encoded_len`], so nothing is serialized (or copied) until
+    /// [`SortSpillBuffer::finish`] writes the single output backing.
     pub fn emit(&mut self, key: K, value: V) {
-        // Hadoop serializes into the sort buffer; we account the same
-        // bytes without keeping the encoding.
-        let mut scratch = Vec::new();
-        key.encode(&mut scratch);
-        value.encode(&mut scratch);
-        self.current_bytes += scratch.len();
-        self.counters.add(keys::MAP_OUTPUT_BYTES, scratch.len() as u64);
+        let sz = key.encoded_len() + value.encoded_len();
+        self.current_bytes += sz;
+        self.counters.add(keys::MAP_OUTPUT_BYTES, sz as u64);
         self.counters.add(keys::MAP_OUTPUT_RECORDS, 1);
         let p = self.partitioner.partition(&key, self.n_partitions);
         self.current.push((p, key, value));
@@ -212,15 +271,56 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
                 }
             }
         }
-        let segments: Vec<Segment> = per_partition
+        // Serialize every partition into ONE backing buffer; the
+        // returned segments are O(1) slices of it, so reduce-side
+        // fetches share the allocation instead of copying. Compressed
+        // partitions encode raw into an arena-recycled scratch first
+        // (one real allocation per task, reused across partitions),
+        // then the codec appends to the backing.
+        let mut arena = SpillArena::new(self.counters.clone());
+        let mut backing: Vec<u8> = Vec::new();
+        let mut metas: Vec<(usize, usize, usize, u64, bool)> = Vec::new();
+        for runs in per_partition {
+            let merged = if runs.len() == 1 {
+                runs.into_iter().next().unwrap()
+            } else {
+                merge_runs(runs)
+            };
+            let raw_len: usize = merged
+                .iter()
+                .map(|(k, v)| k.encoded_len() + v.encoded_len())
+                .sum();
+            let start = backing.len();
+            let compressed = self.use_compression && raw_len >= COMPRESS_MIN_BYTES;
+            if compressed {
+                let mut scratch = arena.acquire(raw_len);
+                for (k, v) in &merged {
+                    k.encode(&mut scratch);
+                    v.encode(&mut scratch);
+                }
+                compress_append(&scratch, &mut backing);
+                arena.release(scratch);
+                // Raw encode into scratch + the compressor's write.
+                let copied = raw_len + (backing.len() - start);
+                self.counters.add(keys::BYTES_COPIED, copied as u64);
+            } else {
+                backing.reserve(raw_len);
+                for (k, v) in &merged {
+                    k.encode(&mut backing);
+                    v.encode(&mut backing);
+                }
+                self.counters.add(keys::BYTES_COPIED, raw_len as u64);
+            }
+            metas.push((start, backing.len(), raw_len, merged.len() as u64, compressed));
+        }
+        let backing = SharedBytes::from_vec(backing);
+        let segments: Vec<Segment> = metas
             .into_iter()
-            .map(|runs| {
-                let merged = if runs.len() == 1 {
-                    runs.into_iter().next().unwrap()
-                } else {
-                    merge_runs(runs)
-                };
-                Segment::from_pairs(&merged, self.use_compression)
+            .map(|(start, end, raw_len, records, compressed)| Segment {
+                data: backing.slice(start..end),
+                raw_len,
+                records,
+                compressed,
             })
             .collect();
         self.counters
@@ -234,7 +334,6 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
 pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
     segments: Vec<Segment>,
     merge_factor: usize,
-    use_compression: bool,
     counters: &Counters,
 ) -> Vec<(K, Vec<V>)> {
     let merge_factor = merge_factor.max(2);
@@ -244,6 +343,9 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         counters.add(keys::SHUFFLE_RECORDS, s.records);
         counters.add(keys::SHUFFLE_BYTES, s.wire_len() as u64);
         counters.add(keys::SHUFFLE_BYTES_RAW, s.raw_len as u64);
+        // Decode into owned pairs, plus the decompressor's write.
+        let copied = s.raw_len + if s.compressed { s.raw_len } else { 0 };
+        counters.add(keys::BYTES_COPIED, copied as u64);
     }
     let mut runs: std::collections::VecDeque<Vec<(K, V)>> = segments
         .iter()
@@ -258,10 +360,17 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         let take = merge_factor.min(runs.len());
         let batch: Vec<Vec<(K, V)>> = (0..take).map(|_| runs.pop_front().unwrap()).collect();
         let merged = merge_runs(batch);
-        // Model the disk rewrite of the intermediate pass.
-        let seg = Segment::from_pairs(&merged, use_compression);
+        // The intermediate pass moves typed records by ownership;
+        // account the run it would rewrite to disk via encoded_len
+        // instead of actually re-serializing it (the old path encoded —
+        // and when compressing, compressed — the whole run here just to
+        // measure it).
+        let rewritten: usize = merged
+            .iter()
+            .map(|(k, v)| k.encoded_len() + v.encoded_len())
+            .sum();
         counters.add(keys::REDUCE_MERGE_PASSES, 1);
-        counters.add(keys::REDUCE_MERGE_BYTES, seg.wire_len() as u64);
+        counters.add(keys::REDUCE_MERGE_BYTES, rewritten as u64);
         runs.push_back(merged);
     }
     let merged = merge_runs(runs.into_iter().collect());
@@ -368,7 +477,7 @@ mod tests {
         let counters = Counters::new();
         let seg1 = Segment::from_pairs(&[(1u64, 10u64), (2, 20)], false);
         let seg2 = Segment::from_pairs(&[(1u64, 11u64), (3, 30)], false);
-        let grouped = reduce_merge::<u64, u64>(vec![seg1, seg2], 10, false, &counters);
+        let grouped = reduce_merge::<u64, u64>(vec![seg1, seg2], 10, &counters);
         assert_eq!(
             grouped,
             vec![(1, vec![10, 11]), (2, vec![20]), (3, vec![30])]
@@ -384,7 +493,7 @@ mod tests {
         let segments: Vec<Segment> = (0..20u64)
             .map(|s| Segment::from_pairs(&[(s, s * 100), (s + 100, s)], false))
             .collect();
-        let grouped = reduce_merge::<u64, u64>(segments, 4, false, &counters);
+        let grouped = reduce_merge::<u64, u64>(segments, 4, &counters);
         assert_eq!(grouped.len(), 40);
         assert!(
             counters.get(keys::REDUCE_MERGE_PASSES) >= 4,
@@ -405,7 +514,81 @@ mod tests {
         let segments: Vec<Segment> = (0..5u64)
             .map(|s| Segment::from_pairs(&[(s, s)], false))
             .collect();
-        let _ = reduce_merge::<u64, u64>(segments, 10, false, &counters);
+        let _ = reduce_merge::<u64, u64>(segments, 10, &counters);
         assert_eq!(counters.get(keys::REDUCE_MERGE_PASSES), 0);
+    }
+
+    #[test]
+    fn finish_partitions_share_one_backing() {
+        // The zero-copy contract of the shuffle: a map task's segments
+        // are windows of ONE backing, and the reduce-side fetch (a
+        // segment clone) shares it — pointer identity, no payload copy.
+        let counters = Counters::new();
+        let p = crate::task::FnPartitioner::new(|k: &u64, n| (*k as usize) % n);
+        let mut buf: SortSpillBuffer<'_, u64, u64> =
+            SortSpillBuffer::new(256, 4, &p, false, counters);
+        for i in 0..300u64 {
+            buf.emit(i, i * 7);
+        }
+        let segs = buf.finish();
+        assert_eq!(segs.len(), 4);
+        for pair in segs.windows(2) {
+            assert!(
+                pair[0].data.same_backing(&pair[1].data),
+                "partition segments must slice one backing"
+            );
+        }
+        let fetched = segs[0].clone();
+        assert!(
+            fetched.data.same_backing(&segs[0].data),
+            "reduce-side fetch must not copy the payload"
+        );
+    }
+
+    #[test]
+    fn spill_arena_recycles_buffers() {
+        let counters = Counters::new();
+        let mut arena = SpillArena::new(counters.clone());
+        let a = arena.acquire(1024);
+        arena.release(a);
+        let b = arena.acquire(512);
+        arena.release(b);
+        let _c = arena.acquire(2048);
+        assert_eq!(counters.get(keys::SPILL_ALLOCS), 3);
+        assert_eq!(counters.get(keys::SPILL_REUSED), 2);
+    }
+
+    #[test]
+    fn shuffle_roundtrip_compression_on_off() {
+        // End-to-end sort-spill-merge → reduce fetch, with the codec on
+        // and off: grouped output must be identical either way.
+        let p = HashPartitioner;
+        let mut outputs = Vec::new();
+        for comp in [false, true] {
+            let counters = Counters::new();
+            let mut buf: SortSpillBuffer<'_, String, u64> =
+                SortSpillBuffer::new(512, 3, &p, comp, counters.clone());
+            for i in 0..400u64 {
+                buf.emit(format!("key{:03}", i % 40), i);
+            }
+            let segs = buf.finish();
+            if comp {
+                assert!(
+                    segs.iter().any(|s| s.compressed),
+                    "repetitive keys above the threshold must compress"
+                );
+            } else {
+                assert!(segs.iter().all(|s| !s.compressed));
+            }
+            let mut grouped = Vec::new();
+            for seg in segs {
+                grouped.extend(reduce_merge::<String, u64>(vec![seg], 4, &counters));
+            }
+            grouped.sort();
+            assert_eq!(counters.get(keys::SHUFFLE_RECORDS), 400);
+            outputs.push(grouped);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0].len(), 40);
     }
 }

@@ -11,38 +11,54 @@
 use crate::counters::{keys, Counters};
 use crate::error::{panic_message, GesallError};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use gesall_formats::SharedBytes;
 use std::io::{Read, Write};
 use std::time::Instant;
 
 /// Pipe chunk size: the 64 KiB pipe buffer from Fig. 8.
 pub const PIPE_BUF: usize = 64 * 1024;
 
-/// Writing end of a byte pipe.
+/// Writing end of a byte pipe. Chunks travel the channel as
+/// [`SharedBytes`]: a large write is packaged into one backing
+/// allocation and shipped as O(1) slices, instead of the old
+/// `split_off`-per-chunk scheme that re-copied the unsent tail on every
+/// iteration (quadratic in the write size).
 pub struct PipeWriter {
-    tx: Option<Sender<Vec<u8>>>,
+    tx: Option<Sender<SharedBytes>>,
     buf: Vec<u8>,
+    counters: Counters,
 }
 
 /// Reading end of a byte pipe.
 pub struct PipeReader {
-    rx: Receiver<Vec<u8>>,
-    cur: Vec<u8>,
+    rx: Receiver<SharedBytes>,
+    cur: SharedBytes,
     pos: usize,
+    counters: Counters,
 }
 
 /// Create a connected pipe with a bounded in-flight window (backpressure,
-/// like a real OS pipe).
+/// like a real OS pipe). Copy accounting goes to a private bag; use
+/// [`pipe_with_counters`] to surface it.
 pub fn pipe() -> (PipeWriter, PipeReader) {
+    pipe_with_counters(Counters::new())
+}
+
+/// [`pipe`], with payload-copy accounting
+/// ([`keys::WRAPPER_BYTES_COPIED`]) on the given bag.
+pub fn pipe_with_counters(counters: Counters) -> (PipeWriter, PipeReader) {
     let (tx, rx) = bounded(4);
     (
         PipeWriter {
             tx: Some(tx),
             buf: Vec::with_capacity(PIPE_BUF),
+            counters: counters.clone(),
         },
         PipeReader {
             rx,
-            cur: Vec::new(),
+            cur: SharedBytes::new(),
             pos: 0,
+            counters,
         },
     )
 }
@@ -50,17 +66,31 @@ pub fn pipe() -> (PipeWriter, PipeReader) {
 impl Write for PipeWriter {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
         self.buf.extend_from_slice(data);
-        while self.buf.len() >= PIPE_BUF {
-            let rest = self.buf.split_off(PIPE_BUF);
-            let chunk = std::mem::replace(&mut self.buf, rest);
-            self.send(chunk)?;
+        self.counters
+            .add(keys::WRAPPER_BYTES_COPIED, data.len() as u64);
+        if self.buf.len() >= PIPE_BUF {
+            // Package the accumulated bytes into one backing and ship
+            // full chunks as O(1) slices. Only the sub-PIPE_BUF tail is
+            // copied back into the accumulation buffer.
+            let full = self.buf.len() - self.buf.len() % PIPE_BUF;
+            let backing = SharedBytes::from_vec(std::mem::take(&mut self.buf));
+            let mut off = 0;
+            while off < full {
+                self.send(backing.slice(off..off + PIPE_BUF))?;
+                off += PIPE_BUF;
+            }
+            if full < backing.len() {
+                self.buf.extend_from_slice(&backing[full..]);
+                self.counters
+                    .add(keys::WRAPPER_BYTES_COPIED, (backing.len() - full) as u64);
+            }
         }
         Ok(data.len())
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
         if !self.buf.is_empty() {
-            let chunk = std::mem::take(&mut self.buf);
+            let chunk = SharedBytes::from_vec(std::mem::take(&mut self.buf));
             self.send(chunk)?;
         }
         Ok(())
@@ -68,7 +98,7 @@ impl Write for PipeWriter {
 }
 
 impl PipeWriter {
-    fn send(&mut self, chunk: Vec<u8>) -> std::io::Result<()> {
+    fn send(&mut self, chunk: SharedBytes) -> std::io::Result<()> {
         match &self.tx {
             Some(tx) => tx.send(chunk).map_err(|_| {
                 std::io::Error::new(std::io::ErrorKind::BrokenPipe, "reader dropped")
@@ -78,6 +108,22 @@ impl PipeWriter {
                 "pipe closed",
             )),
         }
+    }
+
+    /// Ship an already-owned buffer without copying it: the buffer
+    /// becomes the chunks' shared backing. For programs that build their
+    /// whole output in memory (e.g. a BAM serializer) this replaces a
+    /// `write_all` that would re-copy every byte through the pipe buffer.
+    pub fn write_owned(&mut self, data: Vec<u8>) -> std::io::Result<()> {
+        self.flush()?;
+        let backing = SharedBytes::from_vec(data);
+        let mut off = 0;
+        while off < backing.len() {
+            let end = (off + PIPE_BUF).min(backing.len());
+            self.send(backing.slice(off..end))?;
+            off = end;
+        }
+        Ok(())
     }
 
     /// Flush and close the pipe (EOF for the reader).
@@ -108,16 +154,35 @@ impl Read for PipeReader {
         }
         let n = (self.cur.len() - self.pos).min(out.len());
         out[..n].copy_from_slice(&self.cur[self.pos..self.pos + n]);
+        self.counters.add(keys::WRAPPER_BYTES_COPIED, n as u64);
         self.pos += n;
         Ok(n)
     }
 }
 
 impl PipeReader {
-    /// Drain everything until EOF.
+    /// Next chunk by ownership transfer — no copy. Returns what remains
+    /// of the current chunk (an O(1) slice) or receives the next one;
+    /// `None` at EOF. Streaming consumers that can work chunk-at-a-time
+    /// should prefer this over [`Read::read`], which copies out.
+    pub fn next_chunk(&mut self) -> Option<SharedBytes> {
+        if self.pos < self.cur.len() {
+            let rest = self.cur.slice(self.pos..);
+            self.pos = self.cur.len();
+            return Some(rest);
+        }
+        self.rx.recv().ok() // Err means sender dropped: EOF
+    }
+
+    /// Drain everything until EOF into one owned vector (one copy per
+    /// chunk, at the gather).
     pub fn read_to_end_vec(mut self) -> std::io::Result<Vec<u8>> {
         let mut v = Vec::new();
-        self.read_to_end(&mut v)?;
+        while let Some(chunk) = self.next_chunk() {
+            v.extend_from_slice(&chunk);
+            self.counters
+                .add(keys::WRAPPER_BYTES_COPIED, chunk.len() as u64);
+        }
         Ok(v)
     }
 }
@@ -176,25 +241,25 @@ impl StreamingHarness {
     pub fn run_pipeline(
         &self,
         programs: &[&dyn ExternalProgram],
-        input: Vec<u8>,
+        input: &[u8],
     ) -> std::io::Result<Vec<u8>> {
         assert!(!programs.is_empty(), "need at least one program");
         let counters = self.counters.clone();
         crossbeam::thread::scope(|s| {
             // Build the chain of pipes: input -> p0 -> p1 -> ... -> out.
-            let (first_w, mut prev_r) = pipe();
+            let (first_w, mut prev_r) = pipe_with_counters(counters.clone());
 
             // Feeder thread.
             s.spawn(move |_| {
                 let mut w = first_w;
-                let _ = w.write_all(&input);
+                let _ = w.write_all(input);
                 let _ = w.close();
             });
 
             let mut handles = Vec::new();
             let mut final_reader = None;
             for (i, prog) in programs.iter().enumerate() {
-                let (w, r) = pipe();
+                let (w, r) = pipe_with_counters(counters.clone());
                 let stdin = std::mem::replace(&mut prev_r, r);
                 let counters = counters.clone();
                 let prog = *prog;
@@ -324,9 +389,32 @@ mod tests {
     }
 
     #[test]
+    fn write_owned_ships_chunks_zero_copy() {
+        let data: Vec<u8> = (0..2 * PIPE_BUF + 100).map(|i| (i % 251) as u8).collect();
+        let expect = data.clone();
+        let (mut w, mut r) = pipe();
+        let t = std::thread::spawn(move || {
+            let mut chunks = Vec::new();
+            while let Some(c) = r.next_chunk() {
+                chunks.push(c);
+            }
+            chunks
+        });
+        w.write_owned(data).unwrap();
+        w.close().unwrap();
+        let chunks = t.join().unwrap();
+        assert!(chunks.len() >= 3);
+        // Ownership transfer end to end: every chunk is a window onto
+        // the one buffer the writer handed over — no copy in between.
+        assert!(chunks.windows(2).all(|p| p[0].same_backing(&p[1])));
+        let glued: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(glued, expect);
+    }
+
+    #[test]
     fn single_program_pipeline() {
         let h = StreamingHarness::new(Counters::new());
-        let out = h.run_pipeline(&[&Upper], b"acgt\n".to_vec()).unwrap();
+        let out = h.run_pipeline(&[&Upper], b"acgt\n").unwrap();
         assert_eq!(out, b"ACGT\n");
         assert!(h.timings().external_nanos > 0);
     }
@@ -335,7 +423,7 @@ mod tests {
     fn two_stage_pipeline_like_bwa_samtobam() {
         let h = StreamingHarness::new(Counters::new());
         let out = h
-            .run_pipeline(&[&Upper, &RevLines], b"abc\ndef\n".to_vec())
+            .run_pipeline(&[&Upper, &RevLines], b"abc\ndef\n")
             .unwrap();
         assert_eq!(out, b"CBA\nFED\n");
     }
@@ -344,7 +432,7 @@ mod tests {
     fn streaming_stage_processes_incrementally() {
         let h = StreamingHarness::new(Counters::new());
         let input: Vec<u8> = vec![7; 300_000];
-        let out = h.run_pipeline(&[&DoubleBytes], input).unwrap();
+        let out = h.run_pipeline(&[&DoubleBytes], &input).unwrap();
         assert_eq!(out.len(), 600_000);
         assert!(out.iter().all(|&b| b == 7));
     }
@@ -372,7 +460,7 @@ mod tests {
     #[test]
     fn panicking_program_is_an_error_not_an_abort() {
         let h = StreamingHarness::new(Counters::new());
-        let err = h.run_pipeline(&[&Crasher], b"x".to_vec()).unwrap_err();
+        let err = h.run_pipeline(&[&Crasher], b"x").unwrap_err();
         let msg = err.to_string();
         assert!(
             msg.contains("crasher") && msg.contains("wrapped binary crashed"),
@@ -384,7 +472,7 @@ mod tests {
     fn panicking_middle_stage_fails_whole_pipeline() {
         let h = StreamingHarness::new(Counters::new());
         let err = h
-            .run_pipeline(&[&Upper, &Crasher, &RevLines], b"abc\n".to_vec())
+            .run_pipeline(&[&Upper, &Crasher, &RevLines], b"abc\n")
             .unwrap_err();
         assert!(err.to_string().contains("panicked"));
     }

@@ -5,10 +5,12 @@ use gesall_formats::wire::Wire;
 /// A map function over typed records. `map` is called once per input
 /// record; emitted pairs flow into the sort-spill-merge pipeline.
 ///
-/// Input records must be `Clone + Sync`: the fault-tolerant runtime keeps
-/// splits alive for the whole wave and hands each (re-)attempt its own
-/// copy of the records, so a retried or speculative attempt starts from
-/// pristine input.
+/// `map` takes its record **by reference**: the fault-tolerant runtime
+/// keeps splits alive for the whole wave so that retried or speculative
+/// attempts start from pristine input, and handing out references lets
+/// every attempt share that one copy instead of cloning each record per
+/// call. Mappers that need owned data clone exactly the fields they
+/// keep. The `Clone + Sync` bounds remain for split staging.
 pub trait Mapper: Send + Sync {
     type InKey: Wire + Clone + Send + Sync;
     type InValue: Wire + Clone + Send + Sync;
@@ -17,8 +19,8 @@ pub trait Mapper: Send + Sync {
 
     fn map(
         &self,
-        key: Self::InKey,
-        value: Self::InValue,
+        key: &Self::InKey,
+        value: &Self::InValue,
         ctx: &mut MapContext<'_, Self::OutKey, Self::OutValue>,
     );
 

@@ -3,6 +3,7 @@
 //! buffer size, and compression — only then can the platform claim
 //! "same program, parallel execution".
 
+use gesall_formats::SharedBytes;
 use gesall_mapreduce::shuffle::{merge_runs, Segment};
 use gesall_mapreduce::{
     ClusterResources, HashPartitioner, InputSplit, JobConfig, MapContext, MapReduceEngine, Mapper,
@@ -16,8 +17,8 @@ impl Mapper for KeyMod {
     type InValue = u64;
     type OutKey = u64;
     type OutValue = u64;
-    fn map(&self, k: u64, v: u64, ctx: &mut MapContext<'_, u64, u64>) {
-        ctx.emit(k % self.0, v.wrapping_add(k));
+    fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+        ctx.emit(k % self.0, v.wrapping_add(*k));
     }
 }
 
@@ -159,5 +160,39 @@ proptest! {
         prop_assert_eq!(seg.records, pairs.len() as u64);
         let back: Vec<(String, u64)> = seg.to_pairs();
         prop_assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn zero_copy_decode_equals_owned_decode(
+        pairs in proptest::collection::vec(("[a-z]{0,12}", any::<u64>()), 0..200),
+        compress in any::<bool>(),
+        window in 0usize..64,
+    ) {
+        // Decoding through a SharedBytes window (the zero-copy fetch
+        // path) must yield records byte-identical to decoding from a
+        // detached owned buffer (the old path) — even when the segment
+        // sits mid-backing rather than at offset zero.
+        let pairs: Vec<(String, u64)> = pairs;
+        let seg = Segment::from_pairs(&pairs, compress);
+        // Re-home the segment inside a larger backing, offset by
+        // `window` junk bytes, as `SortSpillBuffer::finish` does.
+        let mut backing = vec![0xAAu8; window];
+        backing.extend_from_slice(&seg.data);
+        backing.extend_from_slice(&[0x55u8; 16]);
+        let shared = SharedBytes::from_vec(backing);
+        let windowed = Segment {
+            data: shared.slice(window..window + seg.data.len()),
+            ..seg.clone()
+        };
+        let owned = Segment {
+            data: SharedBytes::from_vec(seg.data.to_vec()),
+            ..seg.clone()
+        };
+        prop_assert_eq!(&windowed.data, &owned.data, "segment bytes must match");
+        prop_assert!(!windowed.data.same_backing(&owned.data));
+        let via_window: Vec<(String, u64)> = windowed.to_pairs();
+        let via_owned: Vec<(String, u64)> = owned.to_pairs();
+        prop_assert_eq!(&via_window, &via_owned);
+        prop_assert_eq!(via_window, pairs);
     }
 }

@@ -13,7 +13,7 @@ impl Mapper for Tokenize {
     type InValue = String;
     type OutKey = String;
     type OutValue = u64;
-    fn map(&self, _k: u64, line: String, ctx: &mut MapContext<'_, String, u64>) {
+    fn map(&self, _k: &u64, line: &String, ctx: &mut MapContext<'_, String, u64>) {
         for w in line.split_whitespace() {
             ctx.emit(w.to_string(), 1);
         }

@@ -10,6 +10,9 @@
 //! * [`phase`] — the six execution phases of a MapReduce round the
 //!   paper's Tables 4–7 break wall-clock time into: map, sort-spill,
 //!   map-merge, shuffle, reduce-merge, reduce.
+//! * [`mem`] — memory-path metrics: payload **bytes actually copied**
+//!   on the record path and spill-arena allocator behaviour, the gauge
+//!   the zero-copy refactor (DESIGN.md §3⅞) is measured by.
 //! * [`span`] — **span-based structured tracing** of job → wave →
 //!   task-attempt → phase lifecycles: parent ids, start/end timestamps,
 //!   attached metrics, an in-memory event log, and an optional JSONL
@@ -31,6 +34,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod phase;
 pub mod report;
@@ -38,6 +42,7 @@ pub mod span;
 
 pub use bench::BenchRecord;
 pub use json::Json;
+pub use mem::{keys as mem_keys, MemStats};
 pub use metrics::{Counters, Histogram, MetricsRegistry};
 pub use phase::Phase;
 pub use report::{DurationStats, GanttRow, PhaseRow};

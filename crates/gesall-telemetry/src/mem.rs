@@ -1,0 +1,101 @@
+//! Memory-path metrics: the well-known counter names every layer uses
+//! to account payload bytes that are actually memcpy'd and spill-buffer
+//! allocator behaviour.
+//!
+//! The paper's shuffle/merge findings (Tables 4–7, Fig. 5b) are about
+//! where bytes move. These keys give the platform an honest
+//! "bytes moved" gauge: each layer adds to [`keys::BYTES_COPIED`] at
+//! every point where record payload is copied (spill encode, compress,
+//! decompress, decode, block concatenation), and the zero-copy paths —
+//! shared-slice segment fetch, ownership-transfer pipe chunks,
+//! single-block DFS reads — add nothing. A refactor that silently
+//! reintroduces a copy shows up as a per-record regression in the
+//! bench-smoke gate instead of as an unexplained phase slowdown.
+
+/// Well-known memory-path counter names.
+pub mod keys {
+    /// Payload bytes memcpy'd on the record path.
+    pub const BYTES_COPIED: &str = "mem.bytes.copied";
+    /// Spill-scratch buffers handed out (arena hits + misses).
+    pub const SPILL_ALLOCS: &str = "mem.spill.allocs";
+    /// Spill-scratch buffers served by recycling a previously released
+    /// buffer instead of allocating a fresh one.
+    pub const SPILL_REUSED: &str = "mem.spill.reused";
+}
+
+/// Derived memory-path statistics from a counter snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// Total payload bytes copied.
+    pub bytes_copied: u64,
+    /// Spill-scratch buffers handed out.
+    pub spill_allocs: u64,
+    /// ... of which were recycled.
+    pub spill_reused: u64,
+}
+
+impl MemStats {
+    /// Pull the memory-path counters out of a snapshot.
+    pub fn from_snapshot(snapshot: &[(String, u64)]) -> MemStats {
+        let get = |name: &str| {
+            snapshot
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        MemStats {
+            bytes_copied: get(keys::BYTES_COPIED),
+            spill_allocs: get(keys::SPILL_ALLOCS),
+            spill_reused: get(keys::SPILL_REUSED),
+        }
+    }
+
+    /// Bytes copied per `records` (e.g. shuffled records) — the gate
+    /// metric. Zero when no records moved.
+    pub fn bytes_copied_per_record(&self, records: u64) -> f64 {
+        if records == 0 {
+            0.0
+        } else {
+            self.bytes_copied as f64 / records as f64
+        }
+    }
+
+    /// Fraction of spill-scratch acquisitions served by recycling.
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.spill_allocs == 0 {
+            0.0
+        } else {
+            self.spill_reused as f64 / self.spill_allocs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_snapshot() {
+        let snap = vec![
+            ("mem.bytes.copied".to_string(), 1000u64),
+            ("mem.spill.allocs".to_string(), 10),
+            ("mem.spill.reused".to_string(), 8),
+            ("unrelated".to_string(), 7),
+        ];
+        let m = MemStats::from_snapshot(&snap);
+        assert_eq!(m.bytes_copied, 1000);
+        assert_eq!(m.spill_allocs, 10);
+        assert_eq!(m.spill_reused, 8);
+        assert_eq!(m.bytes_copied_per_record(500), 2.0);
+        assert_eq!(m.reuse_ratio(), 0.8);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let m = MemStats::from_snapshot(&[]);
+        assert_eq!(m, MemStats::default());
+        assert_eq!(m.bytes_copied_per_record(0), 0.0);
+        assert_eq!(m.reuse_ratio(), 0.0);
+    }
+}
