@@ -133,6 +133,7 @@ impl ExperimentWorld {
             n_nodes: 4,
             block_size: 256 * 1024,
             replication: 1,
+            ..DfsConfig::default()
         });
         let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 16 * 1024));
         let platform = GesallPlatform::new(dfs, engine, config.clone());

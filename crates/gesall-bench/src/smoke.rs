@@ -82,6 +82,7 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         n_nodes: 4,
         block_size: 64 * 1024,
         replication: 1,
+        ..DfsConfig::default()
     });
     let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192))
         .with_recorder(recorder.clone());
@@ -136,6 +137,35 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     }
     .bytes_copied_per_record(shuffled);
 
+    // Spill-overlap metric: time the background encoder pool spent
+    // sorting spills, over the wall-clock of the map waves it overlapped
+    // with. Any positive value proves spills ran off the map thread; at
+    // real scales it approaches the fraction of map time the sync path
+    // would have serialized.
+    let pool_busy_nanos = agg
+        .get(gesall_mapreduce::counters::keys::SPILL_POOL_BUSY_NANOS)
+        .copied()
+        .unwrap_or(0);
+    let seg_raw = agg
+        .get(gesall_mapreduce::counters::keys::SHUFFLE_SEGMENTS_RAW)
+        .copied()
+        .unwrap_or(0);
+    let seg_compressed = agg
+        .get(gesall_mapreduce::counters::keys::SHUFFLE_SEGMENTS_COMPRESSED)
+        .copied()
+        .unwrap_or(0);
+    let map_wave_ms: f64 = recorder
+        .spans_of_kind(SpanKind::Wave)
+        .iter()
+        .filter(|s| s.name == "map-wave")
+        .map(|s| s.end_ms - s.start_ms)
+        .sum();
+    let spill_overlap = if map_wave_ms > 0.0 {
+        (pool_busy_nanos as f64 / 1e6) / map_wave_ms
+    } else {
+        0.0
+    };
+
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
     record.workload = vec![
@@ -144,6 +174,12 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ("n_rounds".into(), out.rounds.len().to_string()),
         ("n_variants".into(), out.variants.len().to_string()),
         ("bytes_copied_per_record".into(), format!("{per_record:.2}")),
+        ("spill_overlap".into(), format!("{spill_overlap:.4}")),
+        ("shuffle_segments_raw".into(), seg_raw.to_string()),
+        (
+            "shuffle_segments_compressed".into(),
+            seg_compressed.to_string(),
+        ),
     ];
     record.config = vec![
         ("n_partitions".into(), scale.n_partitions.to_string()),
@@ -174,6 +210,17 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             (REGRESSION_HEADROOM - 1.0) * 100.0
         ));
     }
+    // Overlap gate: async spill is on by default, and the starved sort
+    // buffer guarantees spills, so the encoder pool must have done real
+    // background work. Zero busy time means spills fell back to the
+    // synchronous path — the overlap is broken, not just slow.
+    if spill_overlap <= 0.0 {
+        return Err(format!(
+            "spill-overlap gate: encoder pool recorded no busy time \
+             ({pool_busy_nanos} ns over {map_wave_ms:.1} ms of map waves) — \
+             spills are running synchronously on the map thread"
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -188,6 +235,12 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         "\nMemory path: {total_copied} payload bytes copied \
          (engine {engine_copied} + pipes {pipe_copied} + dfs {dfs_copied}), \
          {shuffled} shuffled records -> {per_record:.2} bytes copied/record\n"
+    ));
+    text.push_str(&format!(
+        "Spill overlap: encoder pool busy {:.2} ms across {map_wave_ms:.2} ms \
+         of map waves -> {spill_overlap:.4}x overlap; segments shipped: \
+         {seg_compressed} compressed, {seg_raw} raw\n",
+        pool_busy_nanos as f64 / 1e6
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -259,6 +312,15 @@ mod tests {
         }
         assert!(outcome.report.contains("Shuffle matrix"));
         assert!(outcome.report.contains("skew"));
+        assert!(outcome.report.contains("Spill overlap"));
+        let overlap: f64 = outcome
+            .record
+            .workload
+            .iter()
+            .find(|(k, _)| k == "spill_overlap")
+            .map(|(_, v)| v.parse().unwrap())
+            .expect("spill_overlap field in bench record");
+        assert!(overlap > 0.0, "async spill must overlap map work");
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

@@ -188,6 +188,11 @@ pub struct PlatformConfig {
     pub io_sort_bytes: usize,
     pub merge_factor: usize,
     pub compress_map_output: bool,
+    /// Smallest raw partition payload worth compressing.
+    pub compress_min_bytes: usize,
+    /// Overlap spill sorting with the map loop via the engine's
+    /// background encoder pool (byte-identical output either way).
+    pub async_spill: bool,
     pub seed: u64,
     pub read_group: ReadGroup,
     pub hc: HaplotypeCallerConfig,
@@ -209,6 +214,8 @@ impl Default for PlatformConfig {
             io_sort_bytes: 8 * 1024 * 1024,
             merge_factor: 10,
             compress_map_output: true,
+            compress_min_bytes: gesall_mapreduce::shuffle::COMPRESS_MIN_BYTES,
+            async_spill: true,
             seed: 0x6765_7361_6c6c_0001,
             read_group: ReadGroup::new("rg1", "sample1"),
             hc: HaplotypeCallerConfig::default(),
@@ -301,6 +308,8 @@ impl GesallPlatform {
             io_sort_bytes: self.config.io_sort_bytes,
             merge_factor: self.config.merge_factor,
             compress_map_output: self.config.compress_map_output,
+            compress_min_bytes: self.config.compress_min_bytes,
+            async_spill: self.config.async_spill,
             parent_span: parent,
             ..JobConfig::default()
         }

@@ -327,6 +327,7 @@ mod tests {
             n_nodes: 4,
             block_size: 4096,
             replication: 1,
+            ..DfsConfig::default()
         })
     }
 
@@ -438,6 +439,7 @@ mod tests {
             n_nodes: 4,
             block_size: 4096,
             replication: 2,
+            ..DfsConfig::default()
         });
         let h = header();
         let recs = records(1500);

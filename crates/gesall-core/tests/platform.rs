@@ -58,6 +58,7 @@ fn platform(config: PlatformConfig) -> GesallPlatform {
         n_nodes: 4,
         block_size: 64 * 1024,
         replication: 1,
+        ..DfsConfig::default()
     });
     let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192));
     GesallPlatform::new(dfs, engine, config)
@@ -403,6 +404,7 @@ fn traced_pipeline_emits_round_spans_and_phase_table() {
         n_nodes: 4,
         block_size: 64 * 1024,
         replication: 1,
+        ..DfsConfig::default()
     });
     let recorder = Recorder::new();
     let engine =
@@ -475,6 +477,7 @@ fn faulty_pipeline_matches_fault_free_output() {
         n_nodes: 4,
         block_size: 64 * 1024,
         replication: 2, // so fail_node leaves survivors to re-replicate
+        ..DfsConfig::default()
     });
     let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192)).with_fault_plan(
         FaultPlan::seeded(0xBAD5EED)

@@ -6,6 +6,7 @@ use gesall_telemetry::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -17,6 +18,8 @@ pub enum DfsError {
     BlockMissing(u64),
     BadPolicy(String),
     NoLiveNodes,
+    /// Block-store I/O failed (persisting or mapping a block file).
+    Io(String),
 }
 
 impl fmt::Display for DfsError {
@@ -27,6 +30,7 @@ impl fmt::Display for DfsError {
             DfsError::BlockMissing(b) => write!(f, "block {b} missing from all replicas"),
             DfsError::BadPolicy(m) => write!(f, "bad placement: {m}"),
             DfsError::NoLiveNodes => write!(f, "no live data nodes remain"),
+            DfsError::Io(m) => write!(f, "block store i/o: {m}"),
         }
     }
 }
@@ -93,6 +97,13 @@ pub struct DfsConfig {
     /// Block size in bytes (HDFS default 128 MiB; tests use KiBs).
     pub block_size: usize,
     pub replication: usize,
+    /// When set, every replica is persisted to
+    /// `<dir>/node-<n>/block-<id>.blk` and served from a file mapping
+    /// ([`SharedBytes::map_file`]): a block read is a refcount bump on
+    /// the mapping and the kernel pages bytes in on demand. `None`
+    /// (the default) keeps blocks heap-resident, sharing the writer's
+    /// backing allocation.
+    pub block_store_dir: Option<PathBuf>,
 }
 
 impl Default for DfsConfig {
@@ -101,12 +112,46 @@ impl Default for DfsConfig {
             n_nodes: 4,
             block_size: 128 * 1024 * 1024,
             replication: 1,
+            block_store_dir: None,
+        }
+    }
+}
+
+/// How a stored replica holds its payload. Either way,
+/// [`Dfs::read_block`] serves a zero-copy window — the variants differ
+/// only in *whose* allocation is shared: the writer's heap backing, or
+/// a read-only mapping of the persisted block file.
+pub enum BlockBacking {
+    /// Heap-resident: shares the writer's backing allocation.
+    Resident(SharedBytes),
+    /// Persisted to the node's block store and served via `mmap`
+    /// (heap-read fallback off-unix); dropping the last reader unmaps.
+    Mapped { bytes: SharedBytes, path: PathBuf },
+}
+
+impl BlockBacking {
+    fn bytes(&self) -> &SharedBytes {
+        match self {
+            BlockBacking::Resident(b) => b,
+            BlockBacking::Mapped { bytes, .. } => bytes,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Remove the on-disk file behind a mapped replica (the mapping
+    /// itself stays valid for existing readers until they drop).
+    fn unlink(&self) {
+        if let BlockBacking::Mapped { path, .. } = self {
+            std::fs::remove_file(path).ok();
         }
     }
 }
 
 struct DataNode {
-    blocks: RwLock<HashMap<u64, SharedBytes>>,
+    blocks: RwLock<HashMap<u64, BlockBacking>>,
 }
 
 struct NameNode {
@@ -150,6 +195,9 @@ pub mod metrics_keys {
     pub const NODE_FAILURES: &str = "dfs.node.failures";
     /// Replicas created by `re_replicate` sweeps.
     pub const REPLICAS_RESTORED: &str = "dfs.replicas.restored";
+    /// Replicas persisted to the block store and served from a file
+    /// mapping (only moves when `DfsConfig::block_store_dir` is set).
+    pub const BLOCKS_MAPPED: &str = "dfs.blocks.mapped";
 }
 
 impl Dfs {
@@ -252,10 +300,7 @@ impl Dfs {
             let nodes = remap_around_dead(nodes, &dead, n_nodes)?;
             let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
             for &n in &nodes {
-                self.inner.datanodes[n]
-                    .blocks
-                    .write()
-                    .insert(id, chunk.clone());
+                self.store_replica(n, id, &chunk)?;
             }
             let m = &self.inner.metrics;
             m.counter(metrics_keys::BLOCKS_WRITTEN).add(nodes.len() as u64);
@@ -296,15 +341,37 @@ impl Dfs {
         self.inner.namenode.files.read().contains_key(path)
     }
 
+    /// Store one replica on `node`: heap-resident sharing the writer's
+    /// backing, or — with a block store configured — persisted to the
+    /// node's directory and re-served through a file mapping.
+    fn store_replica(&self, node: usize, id: u64, chunk: &SharedBytes) -> Result<(), DfsError> {
+        let io = |e: std::io::Error| DfsError::Io(format!("block {id} on node {node}: {e}"));
+        let backing = match &self.inner.config.block_store_dir {
+            Some(dir) => {
+                let node_dir = dir.join(format!("node-{node}"));
+                std::fs::create_dir_all(&node_dir).map_err(io)?;
+                let path = node_dir.join(format!("block-{id}.blk"));
+                std::fs::write(&path, chunk.as_slice()).map_err(io)?;
+                let bytes = SharedBytes::map_file(&path).map_err(io)?;
+                self.inner.metrics.counter(metrics_keys::BLOCKS_MAPPED).add(1);
+                BlockBacking::Mapped { bytes, path }
+            }
+            None => BlockBacking::Resident(chunk.clone()),
+        };
+        self.inner.datanodes[node].blocks.write().insert(id, backing);
+        Ok(())
+    }
+
     /// Read one block from any live replica. Zero-copy: the returned
-    /// handle is a window onto the stored block itself.
+    /// handle is a window onto the stored block itself (the writer's
+    /// backing, or the block file's mapping when persisted).
     pub fn read_block(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
         for &n in &block.nodes {
             if let Some(b) = self.inner.datanodes[n].blocks.read().get(&block.id) {
                 let m = &self.inner.metrics;
                 m.counter(metrics_keys::BLOCKS_READ).add(1);
                 m.counter(metrics_keys::BYTES_READ).add(b.len() as u64);
-                return Ok(b.clone());
+                return Ok(b.bytes().clone());
             }
         }
         Err(DfsError::BlockMissing(block.id))
@@ -358,7 +425,9 @@ impl Dfs {
         };
         for b in &info.blocks {
             for &n in &b.nodes {
-                self.inner.datanodes[n].blocks.write().remove(&b.id);
+                if let Some(backing) = self.inner.datanodes[n].blocks.write().remove(&b.id) {
+                    backing.unlink();
+                }
             }
         }
         Ok(())
@@ -401,7 +470,16 @@ impl Dfs {
     /// missing replicas, writes still target it. For a *detected* failure
     /// with metadata scrubbing and a damage report, use [`Dfs::fail_node`].
     pub fn kill_node(&self, node: usize) {
-        self.inner.datanodes[node].blocks.write().clear();
+        self.wipe_node_storage(node);
+    }
+
+    /// Drop a node's replica map, unlinking any persisted block files.
+    fn wipe_node_storage(&self, node: usize) {
+        let mut blocks = self.inner.datanodes[node].blocks.write();
+        for backing in blocks.values() {
+            backing.unlink();
+        }
+        blocks.clear();
     }
 
     /// Declare a node dead: drop its replicas, scrub it from every file's
@@ -416,7 +494,7 @@ impl Dfs {
             self.inner.metrics.counter(metrics_keys::NODE_FAILURES).add(1);
         }
         self.inner.dead.write().insert(node);
-        self.inner.datanodes[node].blocks.write().clear();
+        self.wipe_node_storage(node);
         let target = self.inner.config.replication;
         let mut report = FailureReport {
             node,
@@ -470,7 +548,11 @@ impl Dfs {
                     // A surviving replica to copy from (kill_node may have
                     // silently wiped some listed homes, so probe them all).
                     let Some(payload) = b.nodes.iter().find_map(|&n| {
-                        self.inner.datanodes[n].blocks.read().get(&b.id).cloned()
+                        self.inner.datanodes[n]
+                            .blocks
+                            .read()
+                            .get(&b.id)
+                            .map(|bb| bb.bytes().clone())
                     }) else {
                         break;
                     };
@@ -481,7 +563,9 @@ impl Dfs {
                     else {
                         break;
                     };
-                    self.inner.datanodes[dst].blocks.write().insert(b.id, payload);
+                    if self.store_replica(dst, b.id, &payload).is_err() {
+                        break;
+                    }
                     b.nodes.push(dst);
                     created += 1;
                 }
@@ -539,6 +623,7 @@ mod tests {
             n_nodes: 4,
             block_size: 1024,
             replication: 1,
+            ..DfsConfig::default()
         })
     }
 
@@ -634,6 +719,7 @@ mod tests {
             n_nodes: 3,
             block_size: 512,
             replication: 2,
+            ..DfsConfig::default()
         });
         let data = payload(4000);
         let info = dfs
@@ -655,6 +741,7 @@ mod tests {
             n_nodes: 3,
             block_size: 512,
             replication: 2,
+            ..DfsConfig::default()
         });
         let data = payload(2000); // 4 blocks, replicas on nodes {0, 1}
         let info = dfs
@@ -681,6 +768,7 @@ mod tests {
             n_nodes: 3,
             block_size: 512,
             replication: 1,
+            ..DfsConfig::default()
         });
         let info = dfs
             .write_file_with_policy("/r", &payload(1500), &PinnedPlacement(2))
@@ -697,6 +785,7 @@ mod tests {
             n_nodes: 3,
             block_size: 512,
             replication: 2,
+            ..DfsConfig::default()
         });
         let data = payload(4000);
         dfs.write_file_with_policy("/r", &data, &PinnedPlacement(0))
@@ -740,6 +829,7 @@ mod tests {
             n_nodes: 2,
             block_size: 512,
             replication: 1,
+            ..DfsConfig::default()
         });
         dfs.fail_node(0);
         dfs.fail_node(1);
@@ -768,6 +858,7 @@ mod tests {
             n_nodes: 3,
             block_size: 512,
             replication: 2,
+            ..DfsConfig::default()
         });
         let data = payload(1500); // 3 blocks × 2 replicas
         dfs.write_file_with_policy("/m", &data, &PinnedPlacement(0))
@@ -834,5 +925,80 @@ mod tests {
         assert_eq!(dfs.list("/t").len(), 160);
         let total: usize = dfs.node_stats().iter().map(|s| s.bytes).sum();
         assert_eq!(total, 160 * 700);
+    }
+
+    fn store_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gesall-blockstore-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn persisted_dfs(name: &str, replication: usize) -> (Dfs, PathBuf) {
+        let dir = store_dir(name);
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1024,
+            replication,
+            block_store_dir: Some(dir.clone()),
+        });
+        (dfs, dir)
+    }
+
+    fn blk_files(dir: &PathBuf) -> usize {
+        let mut n = 0;
+        for node in std::fs::read_dir(dir).unwrap().flatten() {
+            if node.path().is_dir() {
+                n += std::fs::read_dir(node.path()).unwrap().count();
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn persisted_blocks_roundtrip_via_mapping() {
+        let (dfs, dir) = persisted_dfs("roundtrip", 1);
+        let data = payload(3000);
+        let info = dfs.write_file("/p", &data).unwrap();
+        assert_eq!(info.blocks.len(), 3);
+        assert_eq!(blk_files(&dir), 3, "one file per replica");
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::BLOCKS_MAPPED).get(),
+            3
+        );
+        assert_eq!(dfs.read_file("/p").unwrap(), data);
+        // Two reads of the same block share the block file's mapping —
+        // a refcount bump, not a re-read.
+        let b0 = &dfs.stat("/p").unwrap().blocks[0];
+        let r1 = dfs.read_block(b0).unwrap();
+        let r2 = dfs.read_block(b0).unwrap();
+        assert!(r1.is_mapped());
+        assert!(r1.same_backing(&r2), "reads must share the mapping");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_unlinks_persisted_blocks() {
+        let (dfs, dir) = persisted_dfs("delete", 2);
+        dfs.write_file("/p", &payload(2048)).unwrap();
+        assert_eq!(blk_files(&dir), 4); // 2 blocks × 2 replicas
+        dfs.delete("/p").unwrap();
+        assert_eq!(blk_files(&dir), 0, "delete must unlink block files");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_recovery_with_persisted_store() {
+        let (dfs, dir) = persisted_dfs("recover", 2);
+        let data = payload(2500);
+        dfs.write_file_with_policy("/p", &data, &PinnedPlacement(0))
+            .unwrap();
+        let report = dfs.fail_node(0);
+        assert!(report.blocks_lost.is_empty());
+        let created = dfs.re_replicate();
+        assert_eq!(created, report.under_replicated.len());
+        assert_eq!(dfs.read_file("/p").unwrap(), data);
+        // Every surviving replica is persisted somewhere on disk.
+        assert_eq!(blk_files(&dir), 3 * 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

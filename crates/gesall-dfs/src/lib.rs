@@ -19,5 +19,7 @@
 pub mod fs;
 pub mod placement;
 
-pub use fs::{metrics_keys, Dfs, DfsConfig, DfsError, FailureReport, FileInfo, NodeStats};
+pub use fs::{
+    metrics_keys, BlockBacking, Dfs, DfsConfig, DfsError, FailureReport, FileInfo, NodeStats,
+};
 pub use placement::{BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement};

@@ -14,7 +14,7 @@ proptest! {
         n_nodes in 1usize..8,
         replication in 1usize..4,
     ) {
-        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication });
+        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication, ..DfsConfig::default() });
         let info = dfs.write_file("/f", &data).unwrap();
         prop_assert_eq!(info.len, data.len());
         let expected_blocks = data.len().div_ceil(block_size.max(1));
@@ -33,7 +33,7 @@ proptest! {
         n_nodes in 1usize..10,
         path_salt in 0u32..1000,
     ) {
-        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication: 1 });
+        let dfs = Dfs::new(DfsConfig { n_nodes, block_size, replication: 1, ..DfsConfig::default() });
         let path = format!("/part-{path_salt}");
         let info = dfs
             .write_file_with_policy(&path, &data, &LogicalPartitionPlacement)
@@ -47,7 +47,7 @@ proptest! {
         sizes in proptest::collection::vec(1usize..3000, 1..10),
         replication in 1usize..3,
     ) {
-        let dfs = Dfs::new(DfsConfig { n_nodes: 4, block_size: 256, replication });
+        let dfs = Dfs::new(DfsConfig { n_nodes: 4, block_size: 256, replication, ..DfsConfig::default() });
         let mut total = 0usize;
         for (i, size) in sizes.iter().enumerate() {
             let data = vec![i as u8; *size];

@@ -10,16 +10,47 @@
 //! testable: a fetch that claims to be zero-copy can assert pointer
 //! identity with the buffer it was sliced from.
 
+use crate::mapped::MappedRegion;
+use std::io;
 use std::ops::{Bound, Deref, RangeBounds};
+use std::path::Path;
 use std::sync::Arc;
+
+/// What a [`SharedBytes`] window references: a heap allocation or a
+/// file-mapped region (see [`crate::mapped`]). Both clone by refcount;
+/// `same_backing` is pointer identity within a variant and never true
+/// across variants.
+#[derive(Clone)]
+enum Backing {
+    Heap(Arc<[u8]>),
+    Mapped(Arc<MappedRegion>),
+}
+
+impl Backing {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Heap(a) => a,
+            Backing::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    fn ptr_eq(&self, other: &Backing) -> bool {
+        match (self, other) {
+            (Backing::Heap(a), Backing::Heap(b)) => Arc::ptr_eq(a, b),
+            (Backing::Mapped(a), Backing::Mapped(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
 
 /// Immutable, reference-counted byte range. `clone` and `slice` are
 /// O(1); the payload is copied only at construction from a borrowed
 /// slice ([`SharedBytes::copy_from_slice`]) — [`SharedBytes::from_vec`]
-/// takes ownership without copying.
+/// takes ownership without copying, and [`SharedBytes::map_file`]
+/// doesn't even allocate: it windows a file mapping.
 #[derive(Clone)]
 pub struct SharedBytes {
-    data: Arc<[u8]>,
+    data: Backing,
     start: usize,
     end: usize,
 }
@@ -28,7 +59,7 @@ impl SharedBytes {
     /// An empty buffer (no allocation shared with anything).
     pub fn new() -> SharedBytes {
         SharedBytes {
-            data: Arc::from(&[][..]),
+            data: Backing::Heap(Arc::from(&[][..])),
             start: 0,
             end: 0,
         }
@@ -38,16 +69,45 @@ impl SharedBytes {
     pub fn from_vec(v: Vec<u8>) -> SharedBytes {
         let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
         let end = data.len();
-        SharedBytes { data, start: 0, end }
+        SharedBytes {
+            data: Backing::Heap(data),
+            start: 0,
+            end,
+        }
     }
 
     /// Copy `data` into a fresh backing allocation.
     pub fn copy_from_slice(data: &[u8]) -> SharedBytes {
         SharedBytes {
-            data: Arc::from(data),
+            data: Backing::Heap(Arc::from(data)),
             start: 0,
             end: data.len(),
         }
+    }
+
+    /// Map a file read-only and window the whole mapping: with the
+    /// `mmap` feature on unix, the "read" is a page-table op and the
+    /// kernel pages bytes in on demand; elsewhere this transparently
+    /// falls back to a single heap read. Slices and clones share the
+    /// mapping like any other backing.
+    pub fn map_file(path: &Path) -> io::Result<SharedBytes> {
+        Ok(SharedBytes::from_region(Arc::new(MappedRegion::map(path)?)))
+    }
+
+    /// Window an existing mapped region (shared, not re-mapped).
+    pub fn from_region(region: Arc<MappedRegion>) -> SharedBytes {
+        let end = region.len();
+        SharedBytes {
+            data: Backing::Mapped(region),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Is this window backed by a file mapping (including the heap
+    /// fallback of a [`MappedRegion`]) rather than an owned allocation?
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Backing::Mapped(_))
     }
 
     pub fn len(&self) -> usize {
@@ -59,7 +119,7 @@ impl SharedBytes {
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 
     /// O(1) sub-range sharing the same backing allocation.
@@ -88,11 +148,12 @@ impl SharedBytes {
         }
     }
 
-    /// Do `self` and `other` reference the same backing allocation?
-    /// This is the zero-copy witness: a slice of a buffer, or a clone of
-    /// it, shares its backing; any path that memcpy'd does not.
+    /// Do `self` and `other` reference the same backing allocation (or
+    /// the same file mapping)? This is the zero-copy witness: a slice
+    /// of a buffer, or a clone of it, shares its backing; any path that
+    /// memcpy'd does not.
     pub fn same_backing(&self, other: &SharedBytes) -> bool {
-        Arc::ptr_eq(&self.data, &other.data)
+        self.data.ptr_eq(&other.data)
     }
 
     /// Copy this range out into an owned vector (an explicit copy).
@@ -248,6 +309,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_slice_panics() {
         SharedBytes::from_vec(vec![0; 4]).slice(2..6);
+    }
+
+    #[test]
+    fn mapped_backing_slices_and_witnesses() {
+        let data: Vec<u8> = (0u8..200).collect();
+        let p = std::env::temp_dir().join(format!("gesall-bytes-map-{}", std::process::id()));
+        std::fs::write(&p, &data).unwrap();
+        let m = SharedBytes::map_file(&p).unwrap();
+        assert!(m.is_mapped());
+        assert_eq!(m, data);
+        // Slices and clones share the mapping — refcount bumps only.
+        let s = m.slice(50..100);
+        assert!(s.same_backing(&m));
+        assert_eq!(s, &data[50..100]);
+        assert!(m.clone().same_backing(&m));
+        // A heap copy of the same bytes is equal but not the same backing.
+        let h = SharedBytes::copy_from_slice(&data);
+        assert!(!h.is_mapped());
+        assert_eq!(h, m);
+        assert!(!h.same_backing(&m));
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]

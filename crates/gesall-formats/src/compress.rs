@@ -15,6 +15,50 @@
 
 use crate::error::{FormatError, Result};
 
+/// The codec a byte payload is encoded with — the tag that lets a
+/// compressed window travel DFS → shuffle → reduce fetch *by reference*
+/// (a refcount bump) when producer and consumer speak the same codec,
+/// instead of paying a decode/re-encode hop at every boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Codec {
+    /// Uncompressed record bytes.
+    Raw,
+    /// This module's LZ77 container ([`compress`]/[`decompress`]).
+    Lz,
+}
+
+impl Codec {
+    /// All codecs, in tag order.
+    pub const ALL: [Codec; 2] = [Codec::Raw, Codec::Lz];
+
+    /// Stable one-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Codec::Raw => 0,
+            Codec::Lz => 1,
+        }
+    }
+
+    pub fn from_tag(tag: u8) -> Result<Codec> {
+        match tag {
+            0 => Ok(Codec::Raw),
+            1 => Ok(Codec::Lz),
+            other => Err(FormatError::Compress(format!("unknown codec tag {other}"))),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::Lz => "lz",
+        }
+    }
+
+    pub fn is_compressed(self) -> bool {
+        self != Codec::Raw
+    }
+}
+
 const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 1 << 16;
 const HASH_BITS: u32 = 15;

@@ -33,10 +33,13 @@ pub mod dna;
 pub mod error;
 pub mod fasta;
 pub mod fastq;
+pub mod mapped;
 pub mod quality;
 pub mod sam;
 pub mod vcf;
 pub mod wire;
 
 pub use bytes::SharedBytes;
+pub use compress::Codec;
 pub use error::{FormatError, Result};
+pub use mapped::MappedRegion;

@@ -53,6 +53,31 @@ pub mod keys {
     /// Spill-scratch buffers that were recycled rather than freshly
     /// allocated.
     pub const SPILL_REUSED: &str = gesall_telemetry::mem_keys::SPILL_REUSED;
+    /// Released spill-scratch buffers dropped because the arena's
+    /// free-list was already at its cap.
+    pub const SPILL_EVICTED: &str = gesall_telemetry::mem_keys::SPILL_EVICTED;
+    /// Spill batches handed to the background encoder pool.
+    pub const SPILL_POOL_JOBS: &str = "spill.pool.jobs";
+    /// Nanoseconds the spill-encoder pool spent executing jobs — divided
+    /// by map wall-clock this is the bench-smoke overlap metric.
+    pub const SPILL_POOL_BUSY_NANOS: &str = "spill.pool.busy.nanos";
+    /// Spill submissions that blocked on the pool's bounded queue
+    /// (backpressure events).
+    pub const SPILL_POOL_SUBMIT_WAITS: &str = "spill.pool.submit.waits";
+    /// Nanoseconds map tasks spent in the finish() drain barrier waiting
+    /// for their outstanding async spills.
+    pub const SPILL_POOL_DRAIN_WAIT_NANOS: &str = "spill.pool.drain.wait.nanos";
+    /// Map-output segments that travelled the shuffle uncompressed.
+    pub const SHUFFLE_SEGMENTS_RAW: &str = "shuffle.segments.raw";
+    /// Map-output segments that travelled the shuffle compressed (shipped
+    /// by reference, decoded once at the reduce-side merge).
+    pub const SHUFFLE_SEGMENTS_COMPRESSED: &str = "shuffle.segments.compressed";
+    /// Scheduler worker-loop iterations triggered by a condvar
+    /// notification (work actually arrived or state changed).
+    pub const SCHED_WAKEUPS: &str = "sched.wakeups";
+    /// Scheduler worker-loop iterations triggered by the wait timing out
+    /// with nothing to do (the old busy-poll, now counted).
+    pub const SCHED_IDLE_TIMEOUTS: &str = "sched.idle.timeouts";
 }
 
 #[cfg(test)]

@@ -31,7 +31,9 @@ pub mod counters;
 pub mod error;
 pub mod fault;
 pub mod runtime;
+pub mod shipping;
 pub mod shuffle;
+pub mod spillpool;
 pub mod streaming;
 pub mod task;
 
@@ -42,6 +44,9 @@ pub use fault::{FaultPlan, NodeDeath};
 pub use runtime::{
     AttemptOutcome, InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind,
 };
+pub use shipping::ShipError;
+pub use shuffle::{CodecPolicy, Segment};
+pub use spillpool::SpillPool;
 pub use task::{HashPartitioner, MapContext, Mapper, Partitioner, ReduceContext, Reducer};
 
 // Tracing types engine users need (`MapReduceEngine::with_recorder`).

@@ -14,10 +14,11 @@ use crate::cluster::ClusterResources;
 use crate::counters::{keys, Counters};
 use crate::error::{panic_message, GesallError};
 use crate::fault::{FaultPlan, NodeDeath};
-use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer};
+use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer, COMPRESS_MIN_BYTES};
+use crate::spillpool::SpillPool;
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
 use gesall_telemetry::{Phase, Recorder, Span, SpanId, SpanKind};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,6 +39,15 @@ pub struct JobConfig {
     pub merge_factor: usize,
     /// Compress map output (the paper's Snappy setting).
     pub compress_map_output: bool,
+    /// Smallest raw partition payload worth compressing; below it the
+    /// segment travels raw even with compression on (default
+    /// [`COMPRESS_MIN_BYTES`]).
+    pub compress_min_bytes: usize,
+    /// Sort spills on the engine's background encoder pool so the mapper
+    /// keeps buffering while previous spills process; the map task's
+    /// finish becomes a drain-and-merge barrier. Output is byte-identical
+    /// to the synchronous path.
+    pub async_spill: bool,
     /// `mapreduce.job.reduce.slowstart.completedmaps` — fraction of maps
     /// that must finish before reducers are scheduled. The in-process
     /// engine always barriers maps before reduces; the value is recorded
@@ -76,6 +86,8 @@ impl Default for JobConfig {
             io_sort_bytes: 64 * 1024 * 1024,
             merge_factor: 10,
             compress_map_output: true,
+            compress_min_bytes: COMPRESS_MIN_BYTES,
+            async_spill: true,
             slowstart_completed_maps: 0.05,
             map_vcores: 1,
             map_memory_mb: 1024,
@@ -206,6 +218,8 @@ pub struct MapReduceEngine {
     node_death_hook: Option<Arc<dyn Fn(usize) + Send + Sync>>,
     /// Span recorder; inert by default ([`Recorder::disabled`]).
     recorder: Recorder,
+    /// Engine-wide spill-encoder pool, spawned on first async-spill job.
+    spill_pool: Mutex<Option<Arc<SpillPool>>>,
 }
 
 impl MapReduceEngine {
@@ -217,7 +231,24 @@ impl MapReduceEngine {
             dead_nodes: Mutex::new(HashSet::new()),
             node_death_hook: None,
             recorder: Recorder::disabled(),
+            spill_pool: Mutex::new(None),
         }
+    }
+
+    /// The engine-wide spill-encoder pool, created lazily: one thread
+    /// per core (capped at 8) behind a 4-deep bounded queue, shared by
+    /// every map task of every job on this engine.
+    pub fn spill_pool(&self) -> Arc<SpillPool> {
+        self.spill_pool
+            .lock()
+            .get_or_insert_with(|| {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
+                    .min(8);
+                Arc::new(SpillPool::new(workers, 4))
+            })
+            .clone()
     }
 
     /// A single-node engine with `slots` concurrent tasks.
@@ -298,6 +329,13 @@ impl MapReduceEngine {
         let map_outputs: Vec<Mutex<Option<Vec<Segment>>>> =
             (0..n_maps).map(|_| Mutex::new(None)).collect();
         let prefs: Vec<Option<usize>> = splits.iter().map(|s| s.preferred_node).collect();
+        // Pool busy time and backpressure are engine-wide gauges; the
+        // before/after delta around the map wave is this job's share.
+        // (Per-attempt bags can't carry it: a discarded speculative
+        // attempt's bag is dropped, but its encoder time was real.)
+        let pool = config.async_spill.then(|| self.spill_pool());
+        let pool_busy0 = pool.as_ref().map_or(0, |p| p.busy_nanos());
+        let pool_waits0 = pool.as_ref().map_or(0, |p| p.submit_waits());
 
         self.run_wave(
             TaskKind::Map,
@@ -318,7 +356,11 @@ impl MapReduceEngine {
                     partitioner,
                     config.compress_map_output,
                     bag.clone(),
-                );
+                )
+                .with_min_compress_bytes(config.compress_min_bytes);
+                if let Some(pool) = &pool {
+                    buf = buf.with_pool(pool.clone());
+                }
                 {
                     let mut sink = |k: M::OutKey, v: M::OutValue| buf.emit(k, v);
                     let mut ctx = MapContext { sink: &mut sink };
@@ -328,14 +370,33 @@ impl MapReduceEngine {
                     mapper.finish(&mut ctx);
                 }
                 let segments = buf.finish();
-                // Map phase = task body minus the timed sub-phases.
-                let accounted = bag.get(Phase::SortSpill.counter_key())
-                    + bag.get(Phase::MapMerge.counter_key());
+                // Map phase = task body minus the timed sub-phases. With
+                // async spill the sort overlaps the map loop, so only the
+                // merge and the drain wait are subtracted — SortSpill
+                // nanos (recorded by the encoders) no longer come out of
+                // this task's wall-clock.
+                let accounted = if config.async_spill {
+                    bag.get(Phase::MapMerge.counter_key())
+                        + bag.get(keys::SPILL_POOL_DRAIN_WAIT_NANOS)
+                } else {
+                    bag.get(Phase::SortSpill.counter_key())
+                        + bag.get(Phase::MapMerge.counter_key())
+                };
                 let total = t_task.elapsed().as_nanos() as u64;
                 bag.add(Phase::Map.counter_key(), total.saturating_sub(accounted));
                 segments
             },
         )?;
+        if let Some(p) = &pool {
+            counters.add(
+                keys::SPILL_POOL_BUSY_NANOS,
+                p.busy_nanos().saturating_sub(pool_busy0),
+            );
+            counters.add(
+                keys::SPILL_POOL_SUBMIT_WAITS,
+                p.submit_waits().saturating_sub(pool_waits0),
+            );
+        }
 
         // ---- Shuffle + reduce wave ------------------------------------
         let map_outputs: Vec<Vec<Segment>> = map_outputs
@@ -352,7 +413,8 @@ impl MapReduceEngine {
         if self.recorder.is_enabled() {
             for (m, per_map) in map_outputs.iter().enumerate() {
                 for (r, seg) in per_map.iter().enumerate() {
-                    self.recorder.shuffle_cell(m, r, seg.wire_len() as u64);
+                    self.recorder
+                        .shuffle_cell(m, r, seg.wire_len() as u64, seg.is_compressed());
                 }
             }
         }
@@ -553,6 +615,9 @@ impl MapReduceEngine {
             total_commits: 0,
             fatal: None,
         });
+        // Wakes idle workers when the schedule changes (commit, requeue,
+        // fatal) instead of letting them busy-poll the state mutex.
+        let idle = Condvar::new();
         let wave = WaveCtx {
             engine: self,
             kind,
@@ -562,6 +627,7 @@ impl MapReduceEngine {
             t0,
             wave_span: wave_span.id,
             state: &state,
+            idle: &idle,
             done: &done,
             outputs,
         };
@@ -701,6 +767,8 @@ struct WaveCtx<'a, T> {
     t0: Instant,
     wave_span: SpanId,
     state: &'a Mutex<WaveState>,
+    /// Notified whenever the schedule changes; see [`WaveCtx::idle_wait`].
+    idle: &'a Condvar,
     done: &'a [AtomicBool],
     outputs: &'a [Mutex<Option<T>>],
 }
@@ -716,7 +784,11 @@ impl<T> WaveCtx<'_, T> {
     {
         loop {
             // Delay scheduling: prefer local tasks; wait one beat before
-            // stealing a remote one (or launching a backup attempt).
+            // stealing a remote one (or launching a backup attempt). The
+            // beats are condvar waits, not sleeps: a commit or requeue
+            // wakes idle workers immediately, while the timeouts remain
+            // as the backstop that drives the time-based machinery
+            // (retry backoff expiry, straggler detection).
             match self.acquire(node, false) {
                 Acquired::Exit => break,
                 Acquired::Got(a) => {
@@ -725,12 +797,31 @@ impl<T> WaveCtx<'_, T> {
                 }
                 Acquired::Idle => {}
             }
-            std::thread::sleep(Duration::from_micros(500));
+            self.idle_wait(Duration::from_micros(500));
             match self.acquire(node, true) {
                 Acquired::Exit => break,
                 Acquired::Got(a) => self.run_attempt(node, a, body),
-                Acquired::Idle => std::thread::sleep(Duration::from_micros(200)),
+                Acquired::Idle => self.idle_wait(Duration::from_micros(200)),
             }
+        }
+    }
+
+    /// Park on the schedule-change condvar for at most `timeout`,
+    /// counting how the worker came back: a notification
+    /// ([`keys::SCHED_WAKEUPS`]) means the schedule changed while we
+    /// slept; a timeout ([`keys::SCHED_IDLE_TIMEOUTS`]) is the old
+    /// busy-poll beat, now visible in the counters.
+    fn idle_wait(&self, timeout: Duration) {
+        let mut st = self.state.lock();
+        // Re-check under the lock — a notify between the failed acquire
+        // and this wait must not be lost.
+        if st.fatal.is_some() || st.remaining == 0 {
+            return;
+        }
+        if self.idle.wait_for(&mut st, timeout).timed_out() {
+            self.counters.add(keys::SCHED_IDLE_TIMEOUTS, 1);
+        } else {
+            self.counters.add(keys::SCHED_WAKEUPS, 1);
         }
     }
 
@@ -890,6 +981,8 @@ impl<T> WaveCtx<'_, T> {
                         task: a.task,
                         not_before: None,
                     });
+                    drop(st);
+                    self.idle.notify_all();
                     return;
                 }
                 *self.outputs[a.task].lock() = Some(value);
@@ -909,6 +1002,10 @@ impl<T> WaveCtx<'_, T> {
                     Vec::new()
                 };
                 drop(st);
+                // Wake idlers: remaining may have hit zero, a death may
+                // have re-queued tasks, and a fresh completion time may
+                // arm the straggler detector.
+                self.idle.notify_all();
                 self.notify_deaths(&fired);
             }
             Err(payload) => {
@@ -938,6 +1035,11 @@ impl<T> WaveCtx<'_, T> {
                         not_before: Some(Instant::now() + Duration::from_secs_f64(backoff / 1e3)),
                     });
                 }
+                drop(st);
+                // Wake idlers: either everyone must exit on the fatal, or
+                // a retry just became schedulable (its backoff expiry is
+                // covered by the wait timeout).
+                self.idle.notify_all();
             }
         }
     }
@@ -1242,6 +1344,67 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(keys, sorted, "reduce input must arrive key-sorted");
         assert_eq!(keys.len(), 300);
+    }
+
+    #[test]
+    fn async_spill_outputs_match_sync() {
+        // Flipping async_spill must not change job output — the drain
+        // barrier keeps the merged segments byte-identical — but the
+        // async run must actually route spills through the encoder pool.
+        let run = |async_spill: bool| {
+            let engine = MapReduceEngine::new(ClusterResources::uniform(2, 2, 4096));
+            let cfg = JobConfig {
+                n_reducers: 3,
+                io_sort_bytes: 512, // force many spills per task
+                async_spill,
+                ..JobConfig::default()
+            };
+            let res = engine
+                .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(5, 40))
+                .unwrap();
+            if async_spill {
+                assert!(
+                    res.counters.get(keys::SPILL_POOL_JOBS) > 0,
+                    "async run must submit spills to the pool"
+                );
+                assert_eq!(
+                    res.counters.get(keys::SPILL_POOL_JOBS),
+                    res.counters.get(keys::MAP_SPILLS)
+                );
+                assert!(res.counters.get(keys::SPILL_POOL_BUSY_NANOS) > 0);
+            } else {
+                assert_eq!(res.counters.get(keys::SPILL_POOL_JOBS), 0);
+            }
+            let mut outs = res.outputs;
+            for o in &mut outs {
+                o.sort();
+            }
+            outs
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn idle_workers_park_on_condvar_not_busy_poll() {
+        // One deliberately slow map task on a cluster with spare slots:
+        // the idle workers must ride the condvar (counted wakeups or
+        // timed-out beats), and the straggler machinery still works on
+        // top of the timeouts.
+        let engine = MapReduceEngine::new(ClusterResources::uniform(1, 4, 8192))
+            .with_fault_plan(FaultPlan::seeded(7).slow_down(TaskKind::Map, 0, 0, 30));
+        let cfg = JobConfig {
+            n_reducers: 1,
+            ..JobConfig::default()
+        };
+        let res = engine
+            .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(3, 10))
+            .unwrap();
+        let beats = res.counters.get(keys::SCHED_IDLE_TIMEOUTS)
+            + res.counters.get(keys::SCHED_WAKEUPS);
+        assert!(
+            beats > 0,
+            "idle workers should have parked at least once while the slow task ran"
+        );
     }
 
     #[test]

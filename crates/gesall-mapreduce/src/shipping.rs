@@ -1,0 +1,277 @@
+//! Map-output shipping: persisting merged map outputs into DFS and
+//! fetching them back by reference for the shuffle.
+//!
+//! A map task's segments serialize into ONE DFS file of codec-tagged
+//! frames ([`write_frame`](crate::shuffle::write_frame)). The reduce-side
+//! fetch reads the file as a [`SharedBytes`] and slices each frame's
+//! payload out of it zero-copy — when the DFS persists blocks
+//! (`DfsConfig::block_store_dir`), the window is a view into the mmap'd
+//! block file, so a compressed segment travels disk → shuffle → reduce
+//! merge as a refcount bump and is decoded exactly once. The only
+//! memcpy on this path is the store-side frame write, which is counted
+//! under `mem.bytes.copied`.
+
+use crate::counters::{keys, Counters};
+use crate::shuffle::{read_frame, write_frame, Segment, FRAME_HEADER_BYTES};
+use gesall_dfs::{Dfs, DfsError};
+use gesall_formats::compress::{compress_append, decompress};
+use gesall_formats::wire::{put_u64, Cursor};
+use gesall_formats::{Codec, FormatError, SharedBytes};
+use std::fmt;
+
+/// Errors on the map-output shipping path.
+#[derive(Debug)]
+pub enum ShipError {
+    /// The DFS refused the read or write.
+    Dfs(DfsError),
+    /// A stored frame was corrupt or truncated.
+    Format(FormatError),
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::Dfs(e) => write!(f, "shipping: {e}"),
+            ShipError::Format(e) => write!(f, "shipping: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShipError::Dfs(e) => Some(e),
+            ShipError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<DfsError> for ShipError {
+    fn from(e: DfsError) -> ShipError {
+        ShipError::Dfs(e)
+    }
+}
+
+impl From<FormatError> for ShipError {
+    fn from(e: FormatError) -> ShipError {
+        ShipError::Format(e)
+    }
+}
+
+/// Canonical DFS path of a map task's shuffle output.
+pub fn map_output_path(job: &str, map_task: usize) -> String {
+    format!("{job}/shuffle/map-{map_task:05}.segs")
+}
+
+/// Persist a map task's merged segments (one per reduce partition) as a
+/// single DFS file: `[n u64]` then `n` frames. The frame write is the
+/// one payload memcpy of the shipping path and is counted under
+/// `mem.bytes.copied`; compressed payloads are written as-is, never
+/// re-encoded.
+pub fn store_map_output(
+    dfs: &Dfs,
+    path: &str,
+    segments: &[Segment],
+    counters: &Counters,
+) -> Result<(), ShipError> {
+    let total: usize = segments
+        .iter()
+        .map(|s| FRAME_HEADER_BYTES + s.data.len())
+        .sum();
+    let mut out = Vec::with_capacity(8 + total);
+    put_u64(&mut out, segments.len() as u64);
+    for s in segments {
+        write_frame(s, &mut out);
+        counters.add(keys::BYTES_COPIED, s.data.len() as u64);
+    }
+    dfs.write_file_shared(path, SharedBytes::from_vec(out))?;
+    Ok(())
+}
+
+/// Fetch every segment of a stored map output. Payloads are zero-copy
+/// windows of the DFS block — mmap-backed when the store persists
+/// blocks — and keep their codec tags, so compressed segments stay
+/// compressed until the reduce-side merge decodes them.
+pub fn fetch_map_output(dfs: &Dfs, path: &str) -> Result<Vec<Segment>, ShipError> {
+    let bytes = dfs.read_file_shared(path)?;
+    let buf: &[u8] = &bytes;
+    let n = Cursor::new(buf).get_u64()? as usize;
+    let mut offset = 8;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (seg, next) = read_frame(&bytes, offset)?;
+        segments.push(seg);
+        offset = next;
+    }
+    if offset != buf.len() {
+        return Err(FormatError::Bam(format!(
+            "{} trailing bytes after {n} segment frames",
+            buf.len() - offset
+        ))
+        .into());
+    }
+    Ok(segments)
+}
+
+/// Fetch just partition `r` of a stored map output — what one reducer
+/// pulls from one map task. Frames are skipped by their header lengths,
+/// so unfetched partitions are never touched beyond 25 header bytes.
+pub fn fetch_partition(dfs: &Dfs, path: &str, r: usize) -> Result<Segment, ShipError> {
+    let bytes = dfs.read_file_shared(path)?;
+    let buf: &[u8] = &bytes;
+    let n = Cursor::new(buf).get_u64()? as usize;
+    if r >= n {
+        return Err(FormatError::Bam(format!(
+            "partition {r} out of range: map output has {n} frames"
+        ))
+        .into());
+    }
+    let mut offset = 8;
+    for _ in 0..r {
+        let (_, next) = read_frame(&bytes, offset)?;
+        offset = next;
+    }
+    let (seg, _) = read_frame(&bytes, offset)?;
+    Ok(seg)
+}
+
+/// Bring a fetched segment to the codec the consumer speaks. When the
+/// codecs already match this is a pure refcount bump (`same_backing`
+/// holds); a mismatch transcodes the payload, counting the copies under
+/// `mem.bytes.copied`.
+pub fn adapt_codec(seg: &Segment, want: Codec, counters: &Counters) -> Result<Segment, ShipError> {
+    if seg.codec == want {
+        return Ok(seg.clone());
+    }
+    match want {
+        Codec::Raw => {
+            let raw = decompress(&seg.data)?;
+            counters.add(keys::BYTES_COPIED, raw.len() as u64);
+            Ok(Segment {
+                data: SharedBytes::from_vec(raw),
+                raw_len: seg.raw_len,
+                records: seg.records,
+                codec: Codec::Raw,
+            })
+        }
+        Codec::Lz => {
+            let mut data = Vec::new();
+            compress_append(&seg.data, &mut data);
+            counters.add(keys::BYTES_COPIED, (seg.raw_len + data.len()) as u64);
+            Ok(Segment {
+                data: SharedBytes::from_vec(data),
+                raw_len: seg.raw_len,
+                records: seg.records,
+                codec: Codec::Lz,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shuffle::CodecPolicy;
+    use gesall_dfs::DfsConfig;
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment::from_pairs(&[(1u64, 10u64), (2, 20)], false),
+            Segment::from_pairs_with(
+                &(0..400u64).map(|i| (i % 13, i)).collect::<Vec<_>>(),
+                CodecPolicy::new(true, 16),
+            ),
+            Segment::empty(),
+        ]
+    }
+
+    fn dfs(block_store: Option<std::path::PathBuf>) -> Dfs {
+        Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1 << 20,
+            replication: 2,
+            block_store_dir: block_store,
+        })
+    }
+
+    #[test]
+    fn store_and_fetch_roundtrip_by_reference() {
+        let dfs = dfs(None);
+        let counters = Counters::new();
+        let segs = segments();
+        assert!(segs[1].is_compressed());
+        store_map_output(&dfs, "job/shuffle/map-00000.segs", &segs, &counters).unwrap();
+        let fetched = fetch_map_output(&dfs, "job/shuffle/map-00000.segs").unwrap();
+        assert_eq!(fetched.len(), 3);
+        for (orig, got) in segs.iter().zip(&fetched) {
+            assert_eq!(orig.codec, got.codec);
+            assert_eq!(orig.records, got.records);
+            assert_eq!(orig.raw_len, got.raw_len);
+            assert_eq!(&orig.data[..], &got.data[..]);
+        }
+        // Every fetched payload windows the SAME block: the compressed
+        // segment travelled by reference, not by copy.
+        assert!(fetched[0].data.same_backing(&fetched[1].data));
+        let p1 = fetch_partition(&dfs, "job/shuffle/map-00000.segs", 1).unwrap();
+        assert!(p1.data.same_backing(&fetched[1].data));
+        assert_eq!(p1.to_pairs::<u64, u64>(), segs[1].to_pairs::<u64, u64>());
+    }
+
+    #[test]
+    fn persisted_store_serves_mapped_windows() {
+        let dir = std::env::temp_dir().join(format!(
+            "gesall-ship-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dfs = dfs(Some(dir.clone()));
+        let counters = Counters::new();
+        let segs = segments();
+        store_map_output(&dfs, "j/shuffle/map-00000.segs", &segs, &counters).unwrap();
+        let a = fetch_partition(&dfs, "j/shuffle/map-00000.segs", 1).unwrap();
+        let b = fetch_partition(&dfs, "j/shuffle/map-00000.segs", 1).unwrap();
+        // Two fetches share the one file mapping — refcount bumps on the
+        // mmap'd block, no payload copies.
+        assert!(a.data.same_backing(&b.data));
+        if gesall_formats::mapped::MMAP_COMPILED {
+            assert!(a.data.is_mapped(), "persisted block must be served mmap'd");
+        }
+        assert_eq!(a.to_pairs::<u64, u64>(), segs[1].to_pairs::<u64, u64>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adapt_codec_matches_by_reference_and_transcode_mismatches() {
+        let counters = Counters::new();
+        let segs = segments();
+        let compressed = &segs[1];
+        // Same codec: refcount bump, zero copies counted.
+        let same = adapt_codec(compressed, Codec::Lz, &counters).unwrap();
+        assert!(same.data.same_backing(&compressed.data));
+        assert_eq!(counters.get(keys::BYTES_COPIED), 0);
+        // Mismatch: transcoded, copies counted, contents preserved.
+        let raw = adapt_codec(compressed, Codec::Raw, &counters).unwrap();
+        assert_eq!(raw.codec, Codec::Raw);
+        assert!(!raw.data.same_backing(&compressed.data));
+        assert!(counters.get(keys::BYTES_COPIED) > 0);
+        assert_eq!(
+            raw.to_pairs::<u64, u64>(),
+            compressed.to_pairs::<u64, u64>()
+        );
+        let back = adapt_codec(&raw, Codec::Lz, &counters).unwrap();
+        assert_eq!(back.codec, Codec::Lz);
+        assert_eq!(back.to_pairs::<u64, u64>(), raw.to_pairs::<u64, u64>());
+    }
+
+    #[test]
+    fn fetch_errors_on_bad_partition_and_corrupt_file() {
+        let dfs = dfs(None);
+        let counters = Counters::new();
+        store_map_output(&dfs, "j/m0", &segments(), &counters).unwrap();
+        assert!(fetch_partition(&dfs, "j/m0", 3).is_err());
+        dfs.write_file("j/corrupt", &[9u8; 4]).unwrap();
+        assert!(fetch_map_output(&dfs, "j/corrupt").is_err());
+        assert!(fetch_map_output(&dfs, "j/missing").is_err());
+    }
+}

@@ -4,7 +4,13 @@
 //! (`io.sort.mb`). A full buffer is sorted by (partition, key) and
 //! spilled; when the map function finishes, all spills are merged into a
 //! single sorted, partitioned output (the *map-side merge* whose disk
-//! contention dominates Fig. 5(b) at large partition sizes).
+//! contention dominates Fig. 5(b) at large partition sizes). With a
+//! [`SpillPool`] attached, the sort-and-bucket work of each spill runs on
+//! a background encoder while the mapper keeps buffering, and
+//! [`SortSpillBuffer::finish`] becomes a drain-and-merge barrier — the
+//! merged output is byte-identical to the synchronous path because spills
+//! land in submission order and the final encode still happens in one
+//! place.
 //!
 //! Reduce side: each reducer fetches its partition's segment from every
 //! map output and runs a **multipass merge** bounded by `merge_factor`
@@ -12,27 +18,74 @@
 //! explains the paper's disk findings (Appendix B.1).
 
 use crate::counters::{keys, Counters};
+use crate::spillpool::SpillPool;
 use crate::task::Partitioner;
 use gesall_formats::compress::{compress_append, decompress};
-use gesall_formats::wire::{Cursor, Wire};
-use gesall_formats::SharedBytes;
+use gesall_formats::wire::{put_u64, Cursor, Wire};
+use gesall_formats::{Codec, FormatError, SharedBytes};
 use gesall_telemetry::Phase;
+use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Payloads smaller than this stay uncompressed even when the job asks
-/// for compression: the codec container + dictionary warm-up costs more
-/// than it saves on tiny segments, and skipping it keeps the map-side
-/// merge a single pass over the output backing.
+/// Default compression threshold: payloads smaller than this stay
+/// uncompressed even when the job asks for compression — the codec
+/// container + dictionary warm-up costs more than it saves on tiny
+/// segments. Jobs can override it via
+/// [`JobConfig::compress_min_bytes`](crate::runtime::JobConfig).
 pub const COMPRESS_MIN_BYTES: usize = 1024;
+
+/// Free-list cap for [`SpillArena`]: holding more released scratch
+/// buffers than this drops them (counted under [`keys::SPILL_EVICTED`])
+/// instead of growing the list without bound.
+pub const SPILL_ARENA_MAX_FREE: usize = 8;
+
+/// How a job picks the codec for each map-output partition: compression
+/// on/off plus the minimum payload size worth compressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecPolicy {
+    /// Compress at all?
+    pub compress: bool,
+    /// Smallest raw payload the codec is applied to.
+    pub min_bytes: usize,
+}
+
+impl CodecPolicy {
+    pub fn new(compress: bool, min_bytes: usize) -> CodecPolicy {
+        CodecPolicy {
+            compress,
+            // A floor of 1 keeps empty partitions raw, so zero-length
+            // segments never carry a codec container.
+            min_bytes: min_bytes.max(1),
+        }
+    }
+
+    /// The codec a payload of `raw_len` bytes travels under.
+    pub fn choose(&self, raw_len: usize) -> Codec {
+        if self.compress && raw_len >= self.min_bytes {
+            Codec::Lz
+        } else {
+            Codec::Raw
+        }
+    }
+}
+
+impl Default for CodecPolicy {
+    fn default() -> CodecPolicy {
+        CodecPolicy::new(false, COMPRESS_MIN_BYTES)
+    }
+}
 
 /// One sorted run of encoded (key, value) records.
 ///
 /// The payload is a [`SharedBytes`] window, so a reduce-side fetch of a
 /// map output clones a reference into the map task's single output
 /// backing instead of memcpy'ing the bytes (assert with
-/// [`SharedBytes::same_backing`]).
+/// [`SharedBytes::same_backing`]). The codec tag travels with the
+/// window: a compressed segment ships by reference end-to-end and is
+/// decoded exactly once, at the reduce-side merge.
 #[derive(Debug, Clone)]
 pub struct Segment {
     /// Possibly-compressed payload, shared with its siblings from the
@@ -42,8 +95,8 @@ pub struct Segment {
     pub raw_len: usize,
     /// Record count.
     pub records: u64,
-    /// Was [`Segment::data`] compressed?
-    pub compressed: bool,
+    /// Codec [`Segment::data`] is encoded under.
+    pub codec: Codec,
 }
 
 impl Segment {
@@ -52,14 +105,20 @@ impl Segment {
             data: SharedBytes::new(),
             raw_len: 0,
             records: 0,
-            compressed: false,
+            codec: Codec::Raw,
         }
     }
 
-    /// Serialize a sorted run of typed pairs. The encode buffer is
-    /// pre-sized from [`Wire::encoded_len`], and payloads under
-    /// [`COMPRESS_MIN_BYTES`] skip compression regardless of the flag.
+    /// Serialize a sorted run of typed pairs under the default
+    /// [`COMPRESS_MIN_BYTES`] threshold.
     pub fn from_pairs<K: Wire, V: Wire>(pairs: &[(K, V)], use_compression: bool) -> Segment {
+        Segment::from_pairs_with(pairs, CodecPolicy::new(use_compression, COMPRESS_MIN_BYTES))
+    }
+
+    /// Serialize a sorted run of typed pairs. The encode buffer is
+    /// pre-sized from [`Wire::encoded_len`]; the policy picks the codec
+    /// from the raw payload size.
+    pub fn from_pairs_with<K: Wire, V: Wire>(pairs: &[(K, V)], policy: CodecPolicy) -> Segment {
         let raw_len: usize = pairs
             .iter()
             .map(|(k, v)| k.encoded_len() + v.encoded_len())
@@ -70,29 +129,27 @@ impl Segment {
             v.encode(&mut raw);
         }
         debug_assert_eq!(raw.len(), raw_len, "encoded_len must be exact");
-        if use_compression && raw_len >= COMPRESS_MIN_BYTES {
-            let mut data = Vec::new();
-            compress_append(&raw, &mut data);
-            Segment {
-                data: SharedBytes::from_vec(data),
-                raw_len,
-                records: pairs.len() as u64,
-                compressed: true,
+        let codec = policy.choose(raw_len);
+        let data = match codec {
+            Codec::Raw => raw,
+            Codec::Lz => {
+                let mut data = Vec::new();
+                compress_append(&raw, &mut data);
+                data
             }
-        } else {
-            Segment {
-                data: SharedBytes::from_vec(raw),
-                raw_len,
-                records: pairs.len() as u64,
-                compressed: false,
-            }
+        };
+        Segment {
+            data: SharedBytes::from_vec(data),
+            raw_len,
+            records: pairs.len() as u64,
+            codec,
         }
     }
 
     /// Decode back into typed pairs.
     pub fn to_pairs<K: Wire, V: Wire>(&self) -> Vec<(K, V)> {
         let raw_storage;
-        let raw: &[u8] = if self.compressed {
+        let raw: &[u8] = if self.codec.is_compressed() {
             raw_storage = decompress(&self.data).expect("segment payload corrupt");
             &raw_storage
         } else {
@@ -113,6 +170,61 @@ impl Segment {
     pub fn wire_len(&self) -> usize {
         self.data.len()
     }
+
+    /// Does [`Segment::data`] need decoding before use?
+    pub fn is_compressed(&self) -> bool {
+        self.codec.is_compressed()
+    }
+}
+
+/// Bytes a segment frame's header occupies on the wire:
+/// `[codec tag u8][records u64][raw_len u64][data_len u64]`.
+pub const FRAME_HEADER_BYTES: usize = 1 + 8 + 8 + 8;
+
+/// Append a segment's wire frame — header plus payload — to `out`.
+/// This is the one place a map output's payload is memcpy'd on its way
+/// into DFS; the caller accounts the copy.
+pub fn write_frame(seg: &Segment, out: &mut Vec<u8>) {
+    out.push(seg.codec.tag());
+    put_u64(out, seg.records);
+    put_u64(out, seg.raw_len as u64);
+    put_u64(out, seg.data.len() as u64);
+    out.extend_from_slice(&seg.data);
+}
+
+/// Parse the segment frame starting at `offset` in `bytes`, returning
+/// the segment and the offset just past it. The payload is a zero-copy
+/// window of `bytes` — `same_backing` holds between the returned
+/// segment and the enclosing buffer, so a compressed frame read out of
+/// a (possibly mmap-backed) DFS block travels onward as a refcount
+/// bump.
+pub fn read_frame(bytes: &SharedBytes, offset: usize) -> gesall_formats::Result<(Segment, usize)> {
+    let buf: &[u8] = bytes;
+    if buf.len() < offset + FRAME_HEADER_BYTES {
+        return Err(FormatError::Bam(format!(
+            "truncated segment frame header at offset {offset} (buffer {} bytes)",
+            buf.len()
+        )));
+    }
+    let codec = Codec::from_tag(buf[offset])?;
+    let mut cur = Cursor::new(&buf[offset + 1..offset + FRAME_HEADER_BYTES]);
+    let records = cur.get_u64()?;
+    let raw_len = cur.get_u64()? as usize;
+    let data_len = cur.get_u64()? as usize;
+    let data_start = offset + FRAME_HEADER_BYTES;
+    if buf.len() < data_start + data_len {
+        return Err(FormatError::Bam(format!(
+            "truncated segment frame payload: wanted {data_len} bytes at {data_start}, buffer {}",
+            buf.len()
+        )));
+    }
+    let seg = Segment {
+        data: bytes.slice(data_start..data_start + data_len),
+        raw_len,
+        records,
+        codec,
+    };
+    Ok((seg, data_start + data_len))
 }
 
 /// Stable k-way merge of sorted runs by key (ties broken by run order,
@@ -150,17 +262,26 @@ pub fn merge_runs<K: Wire + Ord + Clone, V: Wire>(runs: Vec<Vec<(K, V)>>) -> Vec
 /// allocation instead of growing a fresh `Vec` per partition (or, in
 /// the old path, per record). [`SpillArena::acquire`] counts every
 /// hand-out under [`keys::SPILL_ALLOCS`] and recycled ones under
-/// [`keys::SPILL_REUSED`], so the bench report can show the reuse
-/// ratio.
+/// [`keys::SPILL_REUSED`]. The free-list is capped: releases past
+/// [`SPILL_ARENA_MAX_FREE`] drop the buffer and count under
+/// [`keys::SPILL_EVICTED`], so arena memory stays bounded no matter how
+/// many buffers cycle through.
 pub struct SpillArena {
     free: Vec<Vec<u8>>,
+    max_free: usize,
     counters: Counters,
 }
 
 impl SpillArena {
     pub fn new(counters: Counters) -> SpillArena {
+        SpillArena::with_cap(counters, SPILL_ARENA_MAX_FREE)
+    }
+
+    /// An arena whose free-list holds at most `max_free` buffers.
+    pub fn with_cap(counters: Counters, max_free: usize) -> SpillArena {
         SpillArena {
             free: Vec::new(),
+            max_free,
             counters,
         }
     }
@@ -180,10 +301,40 @@ impl SpillArena {
         }
     }
 
-    /// Return a buffer to the free-list for the next `acquire`.
+    /// Return a buffer for the next `acquire`; dropped (and counted)
+    /// when the free-list is already at capacity.
     pub fn release(&mut self, buf: Vec<u8>) {
+        if self.free.len() >= self.max_free {
+            self.counters.add(keys::SPILL_EVICTED, 1);
+            return;
+        }
         self.free.push(buf);
     }
+}
+
+/// Sort a spill batch by (partition, key) and bucket it into one sorted
+/// run per partition — the unit of work a spill encoder executes.
+fn sort_and_bucket<K: Wire + Ord, V: Wire>(
+    mut batch: Vec<(usize, K, V)>,
+    n_partitions: usize,
+) -> Vec<Vec<(K, V)>> {
+    batch.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+    let mut runs: Vec<Vec<(K, V)>> = (0..n_partitions).map(|_| Vec::new()).collect();
+    for (p, k, v) in batch {
+        runs[p].push((k, v));
+    }
+    runs
+}
+
+/// One spill's output: a sorted run per reduce partition.
+type SpillRuns<K, V> = Vec<Vec<(K, V)>>;
+
+/// Sequence-ordered slots the spill encoders fill: slot `i` holds the
+/// runs of the `i`-th submitted spill, so the drain barrier hands the
+/// merge the same spill order the synchronous path would have produced.
+struct SpillSlots<K, V> {
+    filled: Mutex<Vec<Option<SpillRuns<K, V>>>>,
+    done: Condvar,
 }
 
 /// The map-side sort buffer.
@@ -191,15 +342,22 @@ pub struct SortSpillBuffer<'a, K: Wire + Ord + Clone, V: Wire> {
     io_sort_bytes: usize,
     n_partitions: usize,
     partitioner: &'a dyn Partitioner<K>,
-    use_compression: bool,
+    policy: CodecPolicy,
     current: Vec<(usize, K, V)>,
     current_bytes: usize,
-    /// Each spill holds one sorted run per partition.
+    /// Each spill holds one sorted run per partition (synchronous path).
     spills: Vec<Vec<Vec<(K, V)>>>,
+    /// When set, spills sort on these background encoders instead.
+    pool: Option<Arc<SpillPool>>,
+    slots: Arc<SpillSlots<K, V>>,
     counters: Counters,
 }
 
-impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
+impl<'a, K, V> SortSpillBuffer<'a, K, V>
+where
+    K: Wire + Ord + Clone + Send + 'static,
+    V: Wire + Send + 'static,
+{
     pub fn new(
         io_sort_bytes: usize,
         n_partitions: usize,
@@ -211,12 +369,31 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
             io_sort_bytes: io_sort_bytes.max(1),
             n_partitions: n_partitions.max(1),
             partitioner,
-            use_compression,
+            policy: CodecPolicy::new(use_compression, COMPRESS_MIN_BYTES),
             current: Vec::new(),
             current_bytes: 0,
             spills: Vec::new(),
+            pool: None,
+            slots: Arc::new(SpillSlots {
+                filled: Mutex::new(Vec::new()),
+                done: Condvar::new(),
+            }),
             counters,
         }
+    }
+
+    /// Run spills on `pool`'s background encoders; the mapper keeps
+    /// buffering while previous spills sort, and
+    /// [`SortSpillBuffer::finish`] drains before merging.
+    pub fn with_pool(mut self, pool: Arc<SpillPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Override the compression threshold (the `JobConfig` knob).
+    pub fn with_min_compress_bytes(mut self, min_bytes: usize) -> Self {
+        self.policy = CodecPolicy::new(self.policy.compress, min_bytes);
+        self
     }
 
     /// Buffer one record by move; spill when full. Sizing comes from
@@ -238,33 +415,78 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
         if self.current.is_empty() {
             return;
         }
-        let t0 = Instant::now();
-        let mut batch = std::mem::take(&mut self.current);
+        let batch = std::mem::take(&mut self.current);
         self.current_bytes = 0;
-        batch.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-        let mut runs: Vec<Vec<(K, V)>> = (0..self.n_partitions).map(|_| Vec::new()).collect();
-        for (p, k, v) in batch {
-            runs[p].push((k, v));
-        }
-        self.spills.push(runs);
         self.counters.add(keys::MAP_SPILLS, 1);
-        self.counters
-            .add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
+        match &self.pool {
+            Some(pool) => {
+                // Reserve the next sequence slot, then hand the sort to
+                // an encoder. The partition index was computed at emit
+                // time, so the job captures only owned data.
+                let idx = {
+                    let mut slots = self.slots.filled.lock();
+                    slots.push(None);
+                    slots.len() - 1
+                };
+                self.counters.add(keys::SPILL_POOL_JOBS, 1);
+                let n = self.n_partitions;
+                let slots = self.slots.clone();
+                let counters = self.counters.clone();
+                pool.submit(Box::new(move || {
+                    let t0 = Instant::now();
+                    let runs = sort_and_bucket(batch, n);
+                    counters.add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
+                    let mut filled = slots.filled.lock();
+                    filled[idx] = Some(runs);
+                    slots.done.notify_all();
+                }));
+            }
+            None => {
+                let t0 = Instant::now();
+                let runs = sort_and_bucket(batch, self.n_partitions);
+                self.spills.push(runs);
+                self.counters
+                    .add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
+            }
+        }
     }
 
     /// Finish the map task: merge all spills into one sorted segment per
-    /// partition.
+    /// partition. With a pool attached this is the drain-and-merge
+    /// barrier — it waits for outstanding background spills (the wait is
+    /// counted under [`keys::SPILL_POOL_DRAIN_WAIT_NANOS`]) and then
+    /// merges them in submission order, producing output byte-identical
+    /// to the synchronous path.
     pub fn finish(mut self) -> Vec<Segment> {
         self.spill();
+        let spills: Vec<Vec<Vec<(K, V)>>> = if self.pool.is_some() {
+            let t0 = Instant::now();
+            let mut filled = self.slots.filled.lock();
+            while filled.iter().any(|s| s.is_none()) {
+                self.slots.done.wait(&mut filled);
+            }
+            let drained: Vec<_> = filled
+                .drain(..)
+                .map(|s| s.expect("drain barrier saw all slots filled"))
+                .collect();
+            drop(filled);
+            self.counters.add(
+                keys::SPILL_POOL_DRAIN_WAIT_NANOS,
+                t0.elapsed().as_nanos() as u64,
+            );
+            drained
+        } else {
+            std::mem::take(&mut self.spills)
+        };
         let t0 = Instant::now();
-        let n_spills = self.spills.len();
+        let n_spills = spills.len();
         if n_spills > 1 {
             self.counters
                 .add(keys::MAP_MERGE_SEGMENTS, n_spills as u64);
         }
         let mut per_partition: Vec<Vec<Vec<(K, V)>>> =
             (0..self.n_partitions).map(|_| Vec::new()).collect();
-        for spill in self.spills {
+        for spill in spills {
             for (p, run) in spill.into_iter().enumerate() {
                 if !run.is_empty() {
                     per_partition[p].push(run);
@@ -279,7 +501,7 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
         // then the codec appends to the backing.
         let mut arena = SpillArena::new(self.counters.clone());
         let mut backing: Vec<u8> = Vec::new();
-        let mut metas: Vec<(usize, usize, usize, u64, bool)> = Vec::new();
+        let mut metas: Vec<(usize, usize, usize, u64, Codec)> = Vec::new();
         for runs in per_partition {
             let merged = if runs.len() == 1 {
                 runs.into_iter().next().unwrap()
@@ -291,8 +513,8 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
                 .map(|(k, v)| k.encoded_len() + v.encoded_len())
                 .sum();
             let start = backing.len();
-            let compressed = self.use_compression && raw_len >= COMPRESS_MIN_BYTES;
-            if compressed {
+            let codec = self.policy.choose(raw_len);
+            if codec.is_compressed() {
                 let mut scratch = arena.acquire(raw_len);
                 for (k, v) in &merged {
                     k.encode(&mut scratch);
@@ -311,16 +533,16 @@ impl<'a, K: Wire + Ord + Clone, V: Wire> SortSpillBuffer<'a, K, V> {
                 }
                 self.counters.add(keys::BYTES_COPIED, raw_len as u64);
             }
-            metas.push((start, backing.len(), raw_len, merged.len() as u64, compressed));
+            metas.push((start, backing.len(), raw_len, merged.len() as u64, codec));
         }
         let backing = SharedBytes::from_vec(backing);
         let segments: Vec<Segment> = metas
             .into_iter()
-            .map(|(start, end, raw_len, records, compressed)| Segment {
+            .map(|(start, end, raw_len, records, codec)| Segment {
                 data: backing.slice(start..end),
                 raw_len,
                 records,
-                compressed,
+                codec,
             })
             .collect();
         self.counters
@@ -343,8 +565,13 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         counters.add(keys::SHUFFLE_RECORDS, s.records);
         counters.add(keys::SHUFFLE_BYTES, s.wire_len() as u64);
         counters.add(keys::SHUFFLE_BYTES_RAW, s.raw_len as u64);
+        if s.is_compressed() {
+            counters.add(keys::SHUFFLE_SEGMENTS_COMPRESSED, 1);
+        } else {
+            counters.add(keys::SHUFFLE_SEGMENTS_RAW, 1);
+        }
         // Decode into owned pairs, plus the decompressor's write.
-        let copied = s.raw_len + if s.compressed { s.raw_len } else { 0 };
+        let copied = s.raw_len + if s.is_compressed() { s.raw_len } else { 0 };
         counters.add(keys::BYTES_COPIED, copied as u64);
     }
     let mut runs: std::collections::VecDeque<Vec<(K, V)>> = segments
@@ -403,13 +630,75 @@ mod tests {
         for comp in [false, true] {
             let seg = Segment::from_pairs(&pairs, comp);
             assert_eq!(seg.records, 500);
-            assert_eq!(seg.compressed, comp);
+            assert_eq!(seg.is_compressed(), comp);
             let back: Vec<(String, u64)> = seg.to_pairs();
             assert_eq!(back, pairs);
             if comp {
                 assert!(seg.wire_len() < seg.raw_len, "repetitive keys compress");
             }
         }
+    }
+
+    #[test]
+    fn codec_policy_threshold_is_a_knob() {
+        let pairs: Vec<(String, u64)> = (0..20).map(|i| (format!("k{i:02}"), i)).collect();
+        // Under the default 1 KiB threshold this payload stays raw …
+        let seg = Segment::from_pairs(&pairs, true);
+        assert_eq!(seg.codec, Codec::Raw);
+        // … but a per-job threshold of 1 byte compresses it.
+        let seg = Segment::from_pairs_with(&pairs, CodecPolicy::new(true, 1));
+        assert_eq!(seg.codec, Codec::Lz);
+        assert_eq!(seg.to_pairs::<String, u64>(), pairs);
+        // Empty payloads never carry a codec container, even at min 0.
+        let seg = Segment::from_pairs_with::<String, u64>(&[], CodecPolicy::new(true, 0));
+        assert_eq!(seg.codec, Codec::Raw);
+        assert_eq!(seg.wire_len(), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_is_zero_copy() {
+        let a = Segment::from_pairs(&[(1u64, 10u64), (2, 20)], false);
+        let b = Segment::from_pairs_with(
+            &(0..300u64).map(|i| (i % 9, i)).collect::<Vec<_>>(),
+            CodecPolicy::new(true, 16),
+        );
+        assert!(b.is_compressed());
+        let mut wire = Vec::new();
+        write_frame(&a, &mut wire);
+        write_frame(&b, &mut wire);
+        let wire = SharedBytes::from_vec(wire);
+        let (ra, next) = read_frame(&wire, 0).unwrap();
+        let (rb, end) = read_frame(&wire, next).unwrap();
+        assert_eq!(end, wire.len());
+        assert_eq!(ra.records, a.records);
+        assert_eq!(ra.codec, Codec::Raw);
+        assert_eq!(rb.codec, Codec::Lz);
+        assert_eq!(rb.raw_len, b.raw_len);
+        // The decoded payloads are windows of the enclosing buffer — a
+        // compressed frame travels onward as a refcount bump.
+        assert!(ra.data.same_backing(&wire));
+        assert!(rb.data.same_backing(&wire));
+        assert_eq!(ra.to_pairs::<u64, u64>(), a.to_pairs::<u64, u64>());
+        assert_eq!(rb.to_pairs::<u64, u64>(), b.to_pairs::<u64, u64>());
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_bad_tags() {
+        let seg = Segment::from_pairs(&[(7u64, 8u64)], false);
+        let mut wire = Vec::new();
+        write_frame(&seg, &mut wire);
+        // Bad codec tag.
+        let mut bad = wire.clone();
+        bad[0] = 0x7f;
+        assert!(read_frame(&SharedBytes::from_vec(bad), 0).is_err());
+        // Truncated header and truncated payload.
+        let hdr = SharedBytes::from_vec(wire[..FRAME_HEADER_BYTES - 1].to_vec());
+        assert!(read_frame(&hdr, 0).is_err());
+        let cut = SharedBytes::from_vec(wire[..wire.len() - 1].to_vec());
+        assert!(read_frame(&cut, 0).is_err());
+        // Offset past the end.
+        let whole = SharedBytes::from_vec(wire);
+        assert!(read_frame(&whole, whole.len() + 1).is_err());
     }
 
     #[test]
@@ -485,6 +774,8 @@ mod tests {
         assert_eq!(counters.get(keys::SHUFFLE_RECORDS), 4);
         assert_eq!(counters.get(keys::REDUCE_INPUT_GROUPS), 3);
         assert_eq!(counters.get(keys::REDUCE_MERGE_PASSES), 0);
+        assert_eq!(counters.get(keys::SHUFFLE_SEGMENTS_RAW), 2);
+        assert_eq!(counters.get(keys::SHUFFLE_SEGMENTS_COMPRESSED), 0);
     }
 
     #[test]
@@ -556,6 +847,22 @@ mod tests {
         let _c = arena.acquire(2048);
         assert_eq!(counters.get(keys::SPILL_ALLOCS), 3);
         assert_eq!(counters.get(keys::SPILL_REUSED), 2);
+        assert_eq!(counters.get(keys::SPILL_EVICTED), 0);
+    }
+
+    #[test]
+    fn spill_arena_free_list_is_capped() {
+        let counters = Counters::new();
+        let mut arena = SpillArena::with_cap(counters.clone(), 2);
+        let bufs: Vec<Vec<u8>> = (0..5).map(|_| arena.acquire(64)).collect();
+        for b in bufs {
+            arena.release(b);
+        }
+        // 2 held, 3 dropped at the cap.
+        assert_eq!(counters.get(keys::SPILL_EVICTED), 3);
+        let _ = arena.acquire(64);
+        let _ = arena.acquire(64);
+        assert_eq!(counters.get(keys::SPILL_REUSED), 2);
     }
 
     #[test]
@@ -574,11 +881,11 @@ mod tests {
             let segs = buf.finish();
             if comp {
                 assert!(
-                    segs.iter().any(|s| s.compressed),
+                    segs.iter().any(|s| s.is_compressed()),
                     "repetitive keys above the threshold must compress"
                 );
             } else {
-                assert!(segs.iter().all(|s| !s.compressed));
+                assert!(segs.iter().all(|s| !s.is_compressed()));
             }
             let mut grouped = Vec::new();
             for seg in segs {
@@ -590,5 +897,52 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0].len(), 40);
+    }
+
+    #[test]
+    fn async_spill_is_byte_identical_to_sync() {
+        // The determinism contract of the overlapped pipeline: with the
+        // same emit stream, the async path's merged segments must be
+        // byte-for-byte the sync path's, codec on or off.
+        let p = HashPartitioner;
+        for comp in [false, true] {
+            let sync_segs = {
+                let counters = Counters::new();
+                let mut buf: SortSpillBuffer<'_, String, u64> =
+                    SortSpillBuffer::new(512, 3, &p, comp, counters);
+                for i in 0..600u64 {
+                    buf.emit(format!("key{:03}", i % 53), i);
+                }
+                buf.finish()
+            };
+            let async_segs = {
+                let pool = Arc::new(SpillPool::new(3, 2));
+                let counters = Counters::new();
+                let mut buf: SortSpillBuffer<'_, String, u64> =
+                    SortSpillBuffer::new(512, 3, &p, comp, counters.clone())
+                        .with_pool(pool.clone());
+                for i in 0..600u64 {
+                    buf.emit(format!("key{:03}", i % 53), i);
+                }
+                let segs = buf.finish();
+                assert!(
+                    counters.get(keys::SPILL_POOL_JOBS) > 1,
+                    "tiny buffer must spill through the pool"
+                );
+                assert_eq!(
+                    counters.get(keys::SPILL_POOL_JOBS),
+                    counters.get(keys::MAP_SPILLS)
+                );
+                assert_eq!(pool.jobs_run(), counters.get(keys::SPILL_POOL_JOBS));
+                segs
+            };
+            assert_eq!(sync_segs.len(), async_segs.len());
+            for (s, a) in sync_segs.iter().zip(&async_segs) {
+                assert_eq!(s.codec, a.codec);
+                assert_eq!(s.records, a.records);
+                assert_eq!(s.raw_len, a.raw_len);
+                assert_eq!(&s.data[..], &a.data[..], "merged payloads must match");
+            }
+        }
     }
 }

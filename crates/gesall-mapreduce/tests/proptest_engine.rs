@@ -3,8 +3,8 @@
 //! buffer size, and compression — only then can the platform claim
 //! "same program, parallel execution".
 
-use gesall_formats::SharedBytes;
-use gesall_mapreduce::shuffle::{merge_runs, Segment};
+use gesall_formats::{Codec, SharedBytes};
+use gesall_mapreduce::shuffle::{merge_runs, read_frame, write_frame, CodecPolicy, Segment};
 use gesall_mapreduce::{
     ClusterResources, HashPartitioner, InputSplit, JobConfig, MapContext, MapReduceEngine, Mapper,
     ReduceContext, Reducer,
@@ -194,5 +194,65 @@ proptest! {
         let via_owned: Vec<(String, u64)> = owned.to_pairs();
         prop_assert_eq!(&via_window, &via_owned);
         prop_assert_eq!(via_window, pairs);
+    }
+
+    #[test]
+    fn frame_roundtrip_any_offset_and_codec(
+        pairs in proptest::collection::vec(("[a-z]{0,12}", any::<u64>()), 0..200),
+        compress in any::<bool>(),
+        min_shift in 0u32..12,
+        prefix in 0usize..64,
+    ) {
+        // A segment framed mid-buffer (arbitrary junk prefix, arbitrary
+        // codec threshold) must read back as a zero-copy window of the
+        // enclosing buffer with codec, counts, and payload intact.
+        let pairs: Vec<(String, u64)> = pairs;
+        let seg = Segment::from_pairs_with(&pairs, CodecPolicy::new(compress, 1usize << min_shift));
+        let mut buf = vec![0xAAu8; prefix];
+        write_frame(&seg, &mut buf);
+        write_frame(&Segment::empty(), &mut buf); // trailing neighbour
+        let shared = SharedBytes::from_vec(buf);
+        let (back, next) = read_frame(&shared, prefix).expect("frame must parse");
+        prop_assert_eq!(back.codec, seg.codec);
+        prop_assert_eq!(back.records, seg.records);
+        prop_assert_eq!(back.raw_len, seg.raw_len);
+        prop_assert!(back.data.same_backing(&shared), "payload must window the buffer");
+        let (tail, end) = read_frame(&shared, next).expect("neighbour frame must parse");
+        prop_assert_eq!(tail.records, 0);
+        prop_assert_eq!(end, shared.len());
+        let decoded: Vec<(String, u64)> = back.to_pairs();
+        prop_assert_eq!(decoded, pairs);
+    }
+
+    #[test]
+    fn compressed_by_reference_fetch_decodes_like_owned(
+        pairs in proptest::collection::vec((0u64..50, any::<u64>()), 0..200),
+        codec_is_lz in any::<bool>(),
+        prefix in 0usize..48,
+    ) {
+        // The by-reference shuffle contract: a segment fetched as a
+        // window of a larger backing (what a reducer gets from a stored
+        // map output, raw or compressed) must reduce-merge to exactly
+        // what an owned, detached copy of the same segment produces.
+        let mut pairs: Vec<(u64, u64)> = pairs;
+        pairs.sort_unstable();
+        let codec = if codec_is_lz { Codec::Lz } else { Codec::Raw };
+        let seg = Segment::from_pairs_with(&pairs, CodecPolicy::new(codec_is_lz, 1));
+        prop_assert_eq!(seg.codec == Codec::Lz, codec == Codec::Lz && !pairs.is_empty());
+        let mut buf = vec![0x11u8; prefix];
+        write_frame(&seg, &mut buf);
+        let shared = SharedBytes::from_vec(buf);
+        let (fetched, _) = read_frame(&shared, prefix).expect("frame must parse");
+        prop_assert!(fetched.data.same_backing(&shared));
+        let owned = Segment {
+            data: SharedBytes::from_vec(fetched.data.to_vec()),
+            ..fetched.clone()
+        };
+        let c1 = gesall_mapreduce::Counters::new();
+        let c2 = gesall_mapreduce::Counters::new();
+        let by_ref = gesall_mapreduce::shuffle::reduce_merge::<u64, u64>(vec![fetched], 4, &c1);
+        let by_copy = gesall_mapreduce::shuffle::reduce_merge::<u64, u64>(vec![owned], 4, &c2);
+        prop_assert_eq!(by_ref, by_copy);
+        prop_assert_eq!(c1.get("shuffle.records"), pairs.len() as u64);
     }
 }

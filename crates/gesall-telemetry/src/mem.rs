@@ -21,6 +21,9 @@ pub mod keys {
     /// Spill-scratch buffers served by recycling a previously released
     /// buffer instead of allocating a fresh one.
     pub const SPILL_REUSED: &str = "mem.spill.reused";
+    /// Released spill-scratch buffers dropped because the arena's
+    /// free-list was already at capacity (bounded memory, not a leak).
+    pub const SPILL_EVICTED: &str = "mem.spill.evicted";
 }
 
 /// Derived memory-path statistics from a counter snapshot.
@@ -32,6 +35,8 @@ pub struct MemStats {
     pub spill_allocs: u64,
     /// ... of which were recycled.
     pub spill_reused: u64,
+    /// Released buffers dropped at a full free-list.
+    pub spill_evicted: u64,
 }
 
 impl MemStats {
@@ -48,6 +53,7 @@ impl MemStats {
             bytes_copied: get(keys::BYTES_COPIED),
             spill_allocs: get(keys::SPILL_ALLOCS),
             spill_reused: get(keys::SPILL_REUSED),
+            spill_evicted: get(keys::SPILL_EVICTED),
         }
     }
 
@@ -81,12 +87,14 @@ mod tests {
             ("mem.bytes.copied".to_string(), 1000u64),
             ("mem.spill.allocs".to_string(), 10),
             ("mem.spill.reused".to_string(), 8),
+            ("mem.spill.evicted".to_string(), 2),
             ("unrelated".to_string(), 7),
         ];
         let m = MemStats::from_snapshot(&snap);
         assert_eq!(m.bytes_copied, 1000);
         assert_eq!(m.spill_allocs, 10);
         assert_eq!(m.spill_reused, 8);
+        assert_eq!(m.spill_evicted, 2);
         assert_eq!(m.bytes_copied_per_record(500), 2.0);
         assert_eq!(m.reuse_ratio(), 0.8);
     }

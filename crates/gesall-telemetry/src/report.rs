@@ -206,17 +206,33 @@ pub fn straggler_report(groups: &[(String, Vec<f64>)]) -> String {
 // ---------------------------------------------------------------------
 
 /// Render the bytes-moved matrix (map tasks × reduce partitions) with
-/// row/column totals, from recorded [`ShuffleCell`]s.
+/// row/column totals, from recorded [`ShuffleCell`]s. Cells whose bytes
+/// travelled compressed are marked `c` (mixed raw/compressed cells `~`)
+/// so raw and by-reference compressed traffic can be told apart.
 pub fn shuffle_matrix(cells: &[ShuffleCell]) -> String {
     if cells.is_empty() {
         return "(no shuffle traffic recorded)\n".to_string();
     }
     let n_maps = cells.iter().map(|c| c.map_task).max().unwrap_or(0) + 1;
     let n_reds = cells.iter().map(|c| c.reduce_task).max().unwrap_or(0) + 1;
-    let mut matrix = vec![vec![0u64; n_reds]; n_maps];
+    // (total bytes, of which travelled compressed)
+    let mut matrix = vec![vec![(0u64, 0u64); n_reds]; n_maps];
     for c in cells {
-        matrix[c.map_task][c.reduce_task] += c.bytes;
+        let cell = &mut matrix[c.map_task][c.reduce_task];
+        cell.0 += c.bytes;
+        if c.compressed {
+            cell.1 += c.bytes;
+        }
     }
+    let fmt_cell = |(total, comp): (u64, u64)| -> String {
+        if total == 0 || comp == 0 {
+            total.to_string()
+        } else if comp == total {
+            format!("{total}c")
+        } else {
+            format!("{total}~")
+        }
+    };
     let mut headers = vec!["map\\reduce".to_string()];
     headers.extend((0..n_reds).map(|r| format!("r{r}")));
     headers.push("Σ".to_string());
@@ -224,11 +240,11 @@ pub fn shuffle_matrix(cells: &[ShuffleCell]) -> String {
     let mut col_totals = vec![0u64; n_reds];
     for (m, row) in matrix.iter().enumerate() {
         let mut line = vec![format!("m{m}")];
-        for (r, &b) in row.iter().enumerate() {
-            col_totals[r] += b;
-            line.push(b.to_string());
+        for (r, &cell) in row.iter().enumerate() {
+            col_totals[r] += cell.0;
+            line.push(fmt_cell(cell));
         }
-        line.push(row.iter().sum::<u64>().to_string());
+        line.push(row.iter().map(|c| c.0).sum::<u64>().to_string());
         rows.push(line);
     }
     let mut line = vec!["Σ".to_string()];
@@ -237,7 +253,11 @@ pub fn shuffle_matrix(cells: &[ShuffleCell]) -> String {
     }
     line.push(col_totals.iter().sum::<u64>().to_string());
     rows.push(line);
-    render_aligned(&headers, &rows)
+    let mut out = render_aligned(&headers, &rows);
+    if cells.iter().any(|c| c.compressed) {
+        out.push_str("c = travelled compressed (shipped by reference, decoded once at merge)\n");
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -365,14 +385,31 @@ mod tests {
     #[test]
     fn shuffle_matrix_totals() {
         let cells = vec![
-            ShuffleCell { map_task: 0, reduce_task: 0, bytes: 10 },
-            ShuffleCell { map_task: 0, reduce_task: 1, bytes: 20 },
-            ShuffleCell { map_task: 1, reduce_task: 1, bytes: 5 },
+            ShuffleCell { map_task: 0, reduce_task: 0, bytes: 10, compressed: false },
+            ShuffleCell { map_task: 0, reduce_task: 1, bytes: 20, compressed: false },
+            ShuffleCell { map_task: 1, reduce_task: 1, bytes: 5, compressed: false },
         ];
         let m = shuffle_matrix(&cells);
         assert!(m.contains("m0"));
         assert!(m.contains("r1"));
         assert!(m.contains("35"), "grand total present: {m}");
+        assert!(!m.contains("travelled compressed"), "all-raw matrix needs no legend");
         assert_eq!(shuffle_matrix(&[]), "(no shuffle traffic recorded)\n");
+    }
+
+    #[test]
+    fn shuffle_matrix_marks_compressed_cells() {
+        let cells = vec![
+            ShuffleCell { map_task: 0, reduce_task: 0, bytes: 10, compressed: true },
+            ShuffleCell { map_task: 0, reduce_task: 1, bytes: 20, compressed: false },
+            // Mixed cell: raw + compressed contributions.
+            ShuffleCell { map_task: 1, reduce_task: 0, bytes: 4, compressed: true },
+            ShuffleCell { map_task: 1, reduce_task: 0, bytes: 6, compressed: false },
+        ];
+        let m = shuffle_matrix(&cells);
+        assert!(m.contains("10c"), "fully compressed cell marked: {m}");
+        assert!(m.contains("20 "), "raw cell unmarked: {m}");
+        assert!(m.contains("10~"), "mixed cell marked: {m}");
+        assert!(m.contains("travelled compressed"), "legend present: {m}");
     }
 }

@@ -123,6 +123,9 @@ pub struct ShuffleCell {
     pub map_task: usize,
     pub reduce_task: usize,
     pub bytes: u64,
+    /// Did the bytes travel compressed (shipped by reference, decoded
+    /// once at the reduce-side merge) or as raw record bytes?
+    pub compressed: bool,
 }
 
 struct RecorderInner {
@@ -279,13 +282,15 @@ impl Recorder {
         i.spans.lock().push(span);
     }
 
-    /// Record one shuffle-matrix cell (map task → reduce partition).
-    pub fn shuffle_cell(&self, map_task: usize, reduce_task: usize, bytes: u64) {
+    /// Record one shuffle-matrix cell (map task → reduce partition),
+    /// tagging whether the bytes travelled compressed.
+    pub fn shuffle_cell(&self, map_task: usize, reduce_task: usize, bytes: u64, compressed: bool) {
         if let Some(i) = &self.inner {
             i.shuffle_cells.lock().push(ShuffleCell {
                 map_task,
                 reduce_task,
                 bytes,
+                compressed,
             });
         }
     }
@@ -355,7 +360,7 @@ mod tests {
         let rec = Recorder::disabled();
         let s = rec.start(SpanKind::Job, "j", SpanId::NONE);
         rec.end(s, "j");
-        rec.shuffle_cell(0, 0, 100);
+        rec.shuffle_cell(0, 0, 100, false);
         assert!(rec.spans().is_empty());
         assert!(rec.shuffle_cells().is_empty());
         assert!(!rec.is_enabled());
@@ -395,13 +400,13 @@ mod tests {
     #[test]
     fn shuffle_cells_accumulate() {
         let rec = Recorder::new();
-        rec.shuffle_cell(0, 1, 100);
-        rec.shuffle_cell(2, 1, 50);
+        rec.shuffle_cell(0, 1, 100, true);
+        rec.shuffle_cell(2, 1, 50, false);
         assert_eq!(
             rec.shuffle_cells(),
             vec![
-                ShuffleCell { map_task: 0, reduce_task: 1, bytes: 100 },
-                ShuffleCell { map_task: 2, reduce_task: 1, bytes: 50 },
+                ShuffleCell { map_task: 0, reduce_task: 1, bytes: 100, compressed: true },
+                ShuffleCell { map_task: 2, reduce_task: 1, bytes: 50, compressed: false },
             ]
         );
     }

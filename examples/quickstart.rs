@@ -53,6 +53,7 @@ fn main() {
         n_nodes: 4,
         block_size: 256 * 1024,
         replication: 1,
+        ..DfsConfig::default()
     });
     let engine = MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192));
     let platform = GesallPlatform::new(dfs, engine, PlatformConfig::default());

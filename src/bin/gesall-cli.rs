@@ -246,6 +246,7 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
             n_nodes: nodes,
             block_size: 4 * 1024 * 1024,
             replication: 1,
+            ..DfsConfig::default()
         }),
         MapReduceEngine::new(ClusterResources::uniform(nodes, 2, 16 * 1024))
             .with_recorder(recorder),

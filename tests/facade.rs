@@ -40,6 +40,7 @@ fn facade_quickstart_flow() {
         n_nodes: 3,
         block_size: 128 * 1024,
         replication: 1,
+        ..DfsConfig::default()
     });
     let engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 8192));
     let platform = GesallPlatform::new(dfs, engine, PlatformConfig::default());

@@ -71,6 +71,76 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable compatible with [`Mutex`], mirroring the real
+/// parking_lot API: `wait`/`wait_for` re-acquire through the guard
+/// in place instead of consuming it.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until notified. Like parking_lot (and unlike std), a given
+    /// `Condvar` must only ever be used with one `Mutex`.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.replace_guard(guard, |g| ignore_poison(self.0.wait(g)));
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        self.replace_guard(guard, |g| {
+            let (g, res) = ignore_poison_pair(self.0.wait_timeout(g, timeout));
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
+    }
+
+    /// std's wait API consumes the guard and returns a new one; swap it
+    /// through the caller's `&mut` slot. The closure (a std condvar
+    /// wait) does not unwind under this crate's single-mutex contract.
+    fn replace_guard<'a, T>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    ) {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let fresh = f(owned);
+            std::ptr::write(guard, fresh);
+        }
+    }
+}
+
+fn ignore_poison_pair<G, R>(r: LockResult<(G, R)>) -> (G, R) {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +155,32 @@ mod tests {
         });
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_notify_and_timeout() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        assert!(*done);
+        drop(done);
+        t.join().unwrap();
+        // Timed wait with nobody notifying must report a timeout.
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(5));
+        assert!(res.timed_out());
+        assert!(*g, "guard still valid after the timed wait");
     }
 
     #[test]
