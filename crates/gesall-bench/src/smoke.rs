@@ -35,6 +35,31 @@ pub const BASELINE_BYTES_PER_RECORD: f64 = 1969.55;
 /// run is declared a memory-path regression.
 pub const REGRESSION_HEADROOM: f64 = 1.15;
 
+/// Allowed growth of the streaming reduce-merge's peak resident bytes
+/// when the number of input runs doubles at a fixed `merge_factor`. The
+/// bound is `merge_factor` × run size, independent of run count, so the
+/// ratio should be ~1.0; the slack absorbs head-record jitter.
+pub const PEAK_RESIDENT_FLATNESS: f64 = 1.25;
+
+/// Peak decoded-side resident bytes of one streaming merge over
+/// `n_runs` equal-sized sorted runs at the given fan-in — the
+/// flatness-gate probe. Deterministic: same runs, same peak.
+fn streaming_merge_peak(n_runs: usize, merge_factor: usize) -> u64 {
+    use gesall_mapreduce::counters::{keys, Counters};
+    use gesall_mapreduce::shuffle::{reduce_merge, Segment};
+    let segments: Vec<Segment> = (0..n_runs as u64)
+        .map(|r| {
+            let mut pairs: Vec<(u64, u64)> =
+                (0..512u64).map(|i| ((i * 131 + r * 17) % 1024, i)).collect();
+            pairs.sort_unstable();
+            Segment::from_pairs(&pairs, true)
+        })
+        .collect();
+    let bag = Counters::new();
+    let _ = reduce_merge::<u64, u64>(segments, merge_factor, &bag);
+    bag.get(keys::REDUCE_PEAK_RESIDENT)
+}
+
 /// Everything a smoke run produces.
 pub struct SmokeOutcome {
     /// Human-readable report (phase table, Gantt, stragglers, shuffle).
@@ -166,6 +191,26 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         0.0
     };
 
+    // DFS-transit shuffle accounting: with `shuffle_via_dfs` on (the
+    // default) every shuffled byte must travel through the DFS and none
+    // as an in-memory segment handoff.
+    let shuffle_dfs_bytes = agg
+        .get(gesall_mapreduce::counters::keys::SHUFFLE_BYTES_DFS)
+        .copied()
+        .unwrap_or(0);
+    let shuffle_memory_bytes = agg
+        .get(gesall_mapreduce::counters::keys::SHUFFLE_BYTES_MEMORY)
+        .copied()
+        .unwrap_or(0);
+    let reduce_peak_resident = agg
+        .get(mem_keys::REDUCE_PEAK_RESIDENT)
+        .copied()
+        .unwrap_or(0);
+    // Flatness probe: doubling the run count at fixed fan-in must not
+    // move the streaming merge's peak resident bytes.
+    let peak_n = streaming_merge_peak(8, 4);
+    let peak_2n = streaming_merge_peak(16, 4);
+
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
     record.workload = vec![
@@ -180,6 +225,13 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             "shuffle_segments_compressed".into(),
             seg_compressed.to_string(),
         ),
+        ("shuffle_dfs_bytes".into(), shuffle_dfs_bytes.to_string()),
+        (
+            "reduce_peak_resident_bytes".into(),
+            reduce_peak_resident.to_string(),
+        ),
+        ("reduce_peak_resident_8_runs".into(), peak_n.to_string()),
+        ("reduce_peak_resident_16_runs".into(), peak_2n.to_string()),
     ];
     record.config = vec![
         ("n_partitions".into(), scale.n_partitions.to_string()),
@@ -221,6 +273,32 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
              spills are running synchronously on the map thread"
         ));
     }
+    // DFS-transit gate: shuffle_via_dfs defaults on and the platform
+    // attaches its DFS, so every shuffled byte must have traveled
+    // through the DFS with zero in-memory segment handoffs.
+    if shuffle_dfs_bytes == 0 {
+        return Err(
+            "dfs-transit gate: no shuffle bytes traveled through the DFS — \
+             the transit path is not wired"
+                .into(),
+        );
+    }
+    if shuffle_memory_bytes > 0 {
+        return Err(format!(
+            "dfs-transit gate: {shuffle_memory_bytes} shuffle bytes were handed \
+             over in memory despite shuffle_via_dfs being on"
+        ));
+    }
+    // Peak-resident flatness gate: the streaming reduce merge's memory
+    // bound is merge_factor × run size, so doubling the run count at a
+    // fixed fan-in must leave the peak (nearly) unchanged.
+    if peak_n == 0 || (peak_2n as f64) > (peak_n as f64) * PEAK_RESIDENT_FLATNESS {
+        return Err(format!(
+            "peak-resident gate: doubling input runs moved the streaming \
+             merge's peak from {peak_n} to {peak_2n} bytes (> {PEAK_RESIDENT_FLATNESS}x) \
+             — the merge is no longer memory-bounded"
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -241,6 +319,12 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
          of map waves -> {spill_overlap:.4}x overlap; segments shipped: \
          {seg_compressed} compressed, {seg_raw} raw\n",
         pool_busy_nanos as f64 / 1e6
+    ));
+    text.push_str(&format!(
+        "Shuffle transit: {shuffle_dfs_bytes} wire bytes through the DFS, \
+         {shuffle_memory_bytes} in-memory handoffs; reduce merge peaked at \
+         {reduce_peak_resident} resident bytes (flatness probe: {peak_n} B @ 8 \
+         runs vs {peak_2n} B @ 16 runs, fan-in 4)\n"
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -321,6 +405,21 @@ mod tests {
             .map(|(_, v)| v.parse().unwrap())
             .expect("spill_overlap field in bench record");
         assert!(overlap > 0.0, "async spill must overlap map work");
+        let field = |k: &str| -> u64 {
+            outcome
+                .record
+                .workload
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap_or_else(|| panic!("{k} field in bench record"))
+        };
+        assert!(
+            field("shuffle_dfs_bytes") > 0,
+            "shuffle must travel through the DFS by default"
+        );
+        assert!(field("reduce_peak_resident_bytes") > 0);
+        assert!(outcome.report.contains("Shuffle transit"));
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

@@ -193,6 +193,12 @@ pub struct PlatformConfig {
     /// Overlap spill sorting with the map loop via the engine's
     /// background encoder pool (byte-identical output either way).
     pub async_spill: bool,
+    /// Ship map outputs through the DFS (one indexed file per map task,
+    /// pinned to the mapper's node) and let reducers range-read their
+    /// partitions, instead of handing in-memory segment references.
+    /// With replication > 1 this also turns node-loss map re-runs into
+    /// replica re-fetches.
+    pub shuffle_via_dfs: bool,
     pub seed: u64,
     pub read_group: ReadGroup,
     pub hc: HaplotypeCallerConfig,
@@ -216,6 +222,7 @@ impl Default for PlatformConfig {
             compress_map_output: true,
             compress_min_bytes: gesall_mapreduce::shuffle::COMPRESS_MIN_BYTES,
             async_spill: true,
+            shuffle_via_dfs: true,
             seed: 0x6765_7361_6c6c_0001,
             read_group: ReadGroup::new("rg1", "sample1"),
             hc: HaplotypeCallerConfig::default(),
@@ -271,6 +278,10 @@ pub struct GesallPlatform {
 
 impl GesallPlatform {
     pub fn new(dfs: Dfs, engine: MapReduceEngine, config: PlatformConfig) -> GesallPlatform {
+        // The platform's DFS doubles as the shuffle transit store for
+        // jobs with `shuffle_via_dfs` on (the per-job flag comes from
+        // `PlatformConfig` in `job_config`).
+        engine.set_shuffle_dfs(dfs.clone());
         GesallPlatform {
             dfs,
             engine,
@@ -310,6 +321,7 @@ impl GesallPlatform {
             compress_map_output: self.config.compress_map_output,
             compress_min_bytes: self.config.compress_min_bytes,
             async_spill: self.config.async_spill,
+            shuffle_via_dfs: self.config.shuffle_via_dfs,
             parent_span: parent,
             ..JobConfig::default()
         }

@@ -104,6 +104,15 @@ pub struct DfsConfig {
     /// (the default) keeps blocks heap-resident, sharing the writer's
     /// backing allocation.
     pub block_store_dir: Option<PathBuf>,
+    /// Replicas smaller than this are appended to a shared per-node
+    /// **extent file** (`<dir>/node-<n>/extent-<seq>.ext`) instead of
+    /// getting a `.blk` inode of their own, and are served as mapped
+    /// windows into the extent. Workloads that scatter many tiny files
+    /// (a shuffle directory of per-map partition files) stop costing
+    /// one inode per block. `0` (the default) disables packing; only
+    /// meaningful with `block_store_dir` set. Counted under
+    /// [`metrics_keys::BLOCKS_PACKED`].
+    pub pack_threshold: usize,
 }
 
 impl Default for DfsConfig {
@@ -113,9 +122,41 @@ impl Default for DfsConfig {
             block_size: 128 * 1024 * 1024,
             replication: 1,
             block_store_dir: None,
+            pack_threshold: 0,
         }
     }
 }
+
+/// An extent file keeps itself on disk for as long as any packed block
+/// (or the node's open-extent slot) references it; the last reference
+/// unlinks it. Existing mappings of an unlinked extent stay readable
+/// until they drop.
+pub struct ExtentFile {
+    path: PathBuf,
+}
+
+impl Drop for ExtentFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Per-node packing state: the extent currently accepting appends.
+#[derive(Default)]
+struct ExtentState {
+    open: Option<OpenExtent>,
+    next_seq: u64,
+}
+
+struct OpenExtent {
+    file: Arc<ExtentFile>,
+    len: usize,
+}
+
+/// Roll to a fresh extent file once the open one reaches this size, so
+/// a single extent never grows without bound and fully-deleted extents
+/// can actually be reclaimed.
+const EXTENT_ROLL_BYTES: usize = 1 << 20;
 
 /// How a stored replica holds its payload. Either way,
 /// [`Dfs::read_block`] serves a zero-copy window — the variants differ
@@ -127,6 +168,14 @@ pub enum BlockBacking {
     /// Persisted to the node's block store and served via `mmap`
     /// (heap-read fallback off-unix); dropping the last reader unmaps.
     Mapped { bytes: SharedBytes, path: PathBuf },
+    /// A small replica packed into a shared extent file: `bytes` is a
+    /// mapped window onto the replica's range of the extent, and the
+    /// `Arc` keeps the extent file alive until its last packed block is
+    /// dropped.
+    Packed {
+        bytes: SharedBytes,
+        extent: Arc<ExtentFile>,
+    },
 }
 
 impl BlockBacking {
@@ -134,6 +183,7 @@ impl BlockBacking {
         match self {
             BlockBacking::Resident(b) => b,
             BlockBacking::Mapped { bytes, .. } => bytes,
+            BlockBacking::Packed { bytes, .. } => bytes,
         }
     }
 
@@ -142,7 +192,10 @@ impl BlockBacking {
     }
 
     /// Remove the on-disk file behind a mapped replica (the mapping
-    /// itself stays valid for existing readers until they drop).
+    /// itself stays valid for existing readers until they drop). Packed
+    /// replicas share their extent file with siblings; dropping the
+    /// backing releases its `Arc` and the extent unlinks itself with
+    /// the last reference.
     fn unlink(&self) {
         if let BlockBacking::Mapped { path, .. } = self {
             std::fs::remove_file(path).ok();
@@ -152,6 +205,9 @@ impl BlockBacking {
 
 struct DataNode {
     blocks: RwLock<HashMap<u64, BlockBacking>>,
+    /// The extent file currently accepting small-block appends
+    /// (see [`DfsConfig::pack_threshold`]).
+    extent: parking_lot::Mutex<ExtentState>,
 }
 
 struct NameNode {
@@ -183,6 +239,12 @@ pub mod metrics_keys {
     /// write, multi-block concatenation on read). Same key as the
     /// engine-side gauge so a whole-pipeline total can be assembled.
     pub const BYTES_COPIED: &str = "mem.bytes.copied";
+    /// Bytes stitched together by [`Dfs::read_file_range_shared`] when a
+    /// requested range spans blocks. Kept apart from [`BYTES_COPIED`]:
+    /// range reads serve the shuffle-transit fetch path, whose copy
+    /// volume is accounted with the transit layer (`shuffle.bytes.dfs`
+    /// et al.), not with the record path's zero-copy gauge.
+    pub const BYTES_COPIED_RANGE: &str = "dfs.bytes.copied.range";
     /// Replicas written (block writes × replication).
     pub const BLOCKS_WRITTEN: &str = "dfs.blocks.written";
     /// Payload bytes written across all replicas.
@@ -198,6 +260,10 @@ pub mod metrics_keys {
     /// Replicas persisted to the block store and served from a file
     /// mapping (only moves when `DfsConfig::block_store_dir` is set).
     pub const BLOCKS_MAPPED: &str = "dfs.blocks.mapped";
+    /// Replicas below [`DfsConfig::pack_threshold`] appended to a
+    /// shared per-node extent file instead of receiving their own
+    /// `.blk` inode (a subset of [`BLOCKS_MAPPED`]).
+    pub const BLOCKS_PACKED: &str = "dfs.blocks.packed";
 }
 
 impl Dfs {
@@ -207,6 +273,7 @@ impl Dfs {
         let datanodes = (0..config.n_nodes)
             .map(|_| DataNode {
                 blocks: RwLock::new(HashMap::new()),
+                extent: parking_lot::Mutex::new(ExtentState::default()),
             })
             .collect();
         Dfs {
@@ -343,23 +410,75 @@ impl Dfs {
 
     /// Store one replica on `node`: heap-resident sharing the writer's
     /// backing, or — with a block store configured — persisted to the
-    /// node's directory and re-served through a file mapping.
+    /// node's directory and re-served through a file mapping. Replicas
+    /// under the pack threshold append to the node's shared extent file
+    /// rather than taking an inode each.
     fn store_replica(&self, node: usize, id: u64, chunk: &SharedBytes) -> Result<(), DfsError> {
         let io = |e: std::io::Error| DfsError::Io(format!("block {id} on node {node}: {e}"));
         let backing = match &self.inner.config.block_store_dir {
             Some(dir) => {
                 let node_dir = dir.join(format!("node-{node}"));
                 std::fs::create_dir_all(&node_dir).map_err(io)?;
-                let path = node_dir.join(format!("block-{id}.blk"));
-                std::fs::write(&path, chunk.as_slice()).map_err(io)?;
-                let bytes = SharedBytes::map_file(&path).map_err(io)?;
-                self.inner.metrics.counter(metrics_keys::BLOCKS_MAPPED).add(1);
-                BlockBacking::Mapped { bytes, path }
+                if !chunk.is_empty() && chunk.len() < self.inner.config.pack_threshold {
+                    self.pack_replica(node, &node_dir, chunk).map_err(io)?
+                } else {
+                    let path = node_dir.join(format!("block-{id}.blk"));
+                    std::fs::write(&path, chunk.as_slice()).map_err(io)?;
+                    let bytes = SharedBytes::map_file(&path).map_err(io)?;
+                    self.inner.metrics.counter(metrics_keys::BLOCKS_MAPPED).add(1);
+                    BlockBacking::Mapped { bytes, path }
+                }
             }
             None => BlockBacking::Resident(chunk.clone()),
         };
         self.inner.datanodes[node].blocks.write().insert(id, backing);
         Ok(())
+    }
+
+    /// Append a small replica to `node`'s open extent file (rolling to
+    /// a fresh extent at [`EXTENT_ROLL_BYTES`]) and serve it as a
+    /// mapped window onto its range.
+    fn pack_replica(
+        &self,
+        node: usize,
+        node_dir: &std::path::Path,
+        chunk: &SharedBytes,
+    ) -> std::io::Result<BlockBacking> {
+        use std::io::Write;
+        let mut state = self.inner.datanodes[node].extent.lock();
+        let roll = match &state.open {
+            Some(e) => e.len >= EXTENT_ROLL_BYTES,
+            None => true,
+        };
+        if roll {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let path = node_dir.join(format!("extent-{seq}.ext"));
+            std::fs::File::create(&path)?;
+            state.open = Some(OpenExtent {
+                file: Arc::new(ExtentFile { path }),
+                len: 0,
+            });
+        }
+        let open = state.open.as_mut().expect("open extent after roll");
+        let offset = open.len;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&open.file.path)?;
+        f.write_all(chunk.as_slice())?;
+        drop(f);
+        open.len += chunk.len();
+        // Map the extent at its current length; the window only covers
+        // bytes already flushed, so later appends don't disturb it.
+        let mapping = SharedBytes::map_file(&open.file.path)?;
+        let bytes = mapping.slice(offset..offset + chunk.len());
+        let m = &self.inner.metrics;
+        m.counter(metrics_keys::BLOCKS_MAPPED).add(1);
+        m.counter(metrics_keys::BLOCKS_PACKED).add(1);
+        Ok(BlockBacking::Packed {
+            bytes,
+            extent: open.file.clone(),
+        })
     }
 
     /// Read one block from any live replica. Zero-copy: the returned
@@ -413,6 +532,85 @@ impl Dfs {
                 Ok(SharedBytes::from_vec(out))
             }
         }
+    }
+
+    /// Read `len` bytes of a file starting at `offset`, as shared
+    /// bytes. A range that stays inside one block is served zero-copy —
+    /// a window onto the stored block (for DFS-transit shuffle fetches
+    /// this is the common case: one partition's frames out of a map
+    /// output file). Ranges spanning blocks pay one counted
+    /// concatenation of just the overlapped slices.
+    pub fn read_file_range_shared(
+        &self,
+        path: &str,
+        offset: usize,
+        len: usize,
+    ) -> Result<SharedBytes, DfsError> {
+        let info = self.stat(path)?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= info.len)
+            .ok_or_else(|| {
+                DfsError::Io(format!(
+                    "range {offset}+{len} beyond {path} (len {})",
+                    info.len
+                ))
+            })?;
+        if len == 0 {
+            return Ok(SharedBytes::new());
+        }
+        // Which slice of each block does the range overlap?
+        let mut parts: Vec<(&BlockInfo, usize, usize)> = Vec::new();
+        let mut block_start = 0usize;
+        for b in &info.blocks {
+            let block_end = block_start + b.len;
+            if block_end > offset && block_start < end {
+                let lo = offset.max(block_start) - block_start;
+                let hi = end.min(block_end) - block_start;
+                parts.push((b, lo, hi));
+            }
+            block_start = block_end;
+            if block_start >= end {
+                break;
+            }
+        }
+        if let [(b, lo, hi)] = parts[..] {
+            let block = self.read_block(b)?;
+            return Ok(if lo == 0 && hi == block.len() {
+                block
+            } else {
+                block.slice(lo..hi)
+            });
+        }
+        let mut v = Vec::with_capacity(len);
+        for (b, lo, hi) in parts {
+            v.extend_from_slice(&self.read_block(b)?.slice(lo..hi));
+        }
+        debug_assert_eq!(v.len(), len);
+        self.inner
+            .metrics
+            .counter(metrics_keys::BYTES_COPIED_RANGE)
+            .add(v.len() as u64);
+        Ok(SharedBytes::from_vec(v))
+    }
+
+    /// Would every block of `path` still be readable if the nodes in
+    /// `excluded` disappeared? Probes actual data-node storage (not just
+    /// metadata), so silently wiped replicas ([`Dfs::kill_node`]) don't
+    /// count. This is the engine's reship-vs-rerun question: a map
+    /// output that survives its home's death on some replica can be
+    /// re-fetched instead of re-computed.
+    pub fn file_available_excluding(&self, path: &str, excluded: &[usize]) -> bool {
+        let Ok(info) = self.stat(path) else {
+            return false;
+        };
+        info.blocks.iter().all(|b| {
+            b.nodes.iter().any(|&n| {
+                !excluded.contains(&n)
+                    && !self.inner.dead.read().contains(&n)
+                    && self.inner.datanodes[n].blocks.read().contains_key(&b.id)
+            })
+        })
     }
 
     /// Delete a file and free its replicas.
@@ -474,12 +672,15 @@ impl Dfs {
     }
 
     /// Drop a node's replica map, unlinking any persisted block files.
+    /// The node's open extent is released too, so extent files with no
+    /// surviving packed blocks unlink themselves.
     fn wipe_node_storage(&self, node: usize) {
         let mut blocks = self.inner.datanodes[node].blocks.write();
         for backing in blocks.values() {
             backing.unlink();
         }
         blocks.clear();
+        self.inner.datanodes[node].extent.lock().open = None;
     }
 
     /// Declare a node dead: drop its replicas, scrub it from every file's
@@ -940,6 +1141,7 @@ mod tests {
             block_size: 1024,
             replication,
             block_store_dir: Some(dir.clone()),
+            ..DfsConfig::default()
         });
         (dfs, dir)
     }
@@ -983,6 +1185,138 @@ mod tests {
         assert_eq!(blk_files(&dir), 4); // 2 blocks × 2 replicas
         dfs.delete("/p").unwrap();
         assert_eq!(blk_files(&dir), 0, "delete must unlink block files");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn range_read_single_block_is_zero_copy() {
+        let dfs = small_dfs();
+        let data = payload(3000); // 3 × 1 KiB blocks
+        dfs.write_file("/r", &data).unwrap();
+        // Entirely inside block 1.
+        let got = dfs.read_file_range_shared("/r", 1024 + 100, 300).unwrap();
+        assert_eq!(got.as_slice(), &data[1124..1424]);
+        let block1 = dfs.read_block(&dfs.stat("/r").unwrap().blocks[1]).unwrap();
+        assert!(got.same_backing(&block1), "in-block range must not copy");
+        // Exactly one whole block.
+        let whole = dfs.read_file_range_shared("/r", 1024, 1024).unwrap();
+        assert!(whole.same_backing(&block1));
+        assert_eq!(whole.len(), 1024);
+        // Empty range.
+        assert!(dfs.read_file_range_shared("/r", 500, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_read_spanning_blocks_concatenates() {
+        let dfs = small_dfs();
+        let data = payload(3000);
+        dfs.write_file("/r", &data).unwrap();
+        let before = dfs
+            .metrics()
+            .counter(metrics_keys::BYTES_COPIED_RANGE)
+            .get();
+        let got = dfs.read_file_range_shared("/r", 900, 1500).unwrap();
+        assert_eq!(got.as_slice(), &data[900..2400]);
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BYTES_COPIED_RANGE)
+                .get(),
+            before + 1500
+        );
+        // Out-of-bounds ranges error instead of truncating.
+        assert!(dfs.read_file_range_shared("/r", 2999, 2).is_err());
+        assert!(dfs.read_file_range_shared("/r", usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn file_availability_tracks_replicas_and_wipes() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        dfs.write_file_with_policy("/f", &payload(1500), &PinnedPlacement(0))
+            .unwrap();
+        assert!(dfs.file_available_excluding("/f", &[]));
+        // Replicas live on nodes 0 and 1: losing either alone is fine,
+        // losing both is not.
+        assert!(dfs.file_available_excluding("/f", &[0]));
+        assert!(dfs.file_available_excluding("/f", &[1]));
+        assert!(!dfs.file_available_excluding("/f", &[0, 1]));
+        // A silent wipe (metadata still lists the node) is detected by
+        // probing storage.
+        dfs.kill_node(1);
+        assert!(!dfs.file_available_excluding("/f", &[0]));
+        assert!(dfs.file_available_excluding("/f", &[1]));
+        // Unknown files are unavailable.
+        assert!(!dfs.file_available_excluding("/nope", &[]));
+    }
+
+    #[test]
+    fn small_blocks_pack_into_extents() {
+        let dir = store_dir("pack");
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1024,
+            replication: 1,
+            block_store_dir: Some(dir.clone()),
+            pack_threshold: 512,
+        });
+        // 12 files of 300 B each: all under the threshold.
+        let mut datas = Vec::new();
+        for i in 0..12 {
+            let d: Vec<u8> = (0..300).map(|j| ((i * 7 + j) % 251) as u8).collect();
+            dfs.write_file(&format!("/small-{i}"), &d).unwrap();
+            datas.push(d);
+        }
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::BLOCKS_PACKED).get(),
+            12
+        );
+        // Far fewer inodes than blocks: one open extent per node.
+        let files = blk_files(&dir);
+        assert!(files <= 2, "12 packed blocks should share ≤2 extents, got {files}");
+        // Packed blocks read back correctly, as mapped windows.
+        for (i, d) in datas.iter().enumerate() {
+            let path = format!("/small-{i}");
+            assert_eq!(&dfs.read_file(&path).unwrap(), d);
+            let shared = dfs.read_file_shared(&path).unwrap();
+            assert!(shared.is_mapped(), "packed block must serve from the extent mapping");
+        }
+        // Blocks at or above the threshold still get their own inode.
+        dfs.write_file("/big", &payload(600)).unwrap();
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::BLOCKS_PACKED).get(),
+            12
+        );
+        assert_eq!(blk_files(&dir), files + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn packed_extents_roll_and_survive_failover() {
+        let dir = store_dir("pack-roll");
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 400 * 1024,
+            replication: 2,
+            block_store_dir: Some(dir.clone()),
+            pack_threshold: 512 * 1024,
+        });
+        // Four ~400 KiB packed blocks per node: the fourth append finds
+        // the open extent past the 1 MiB roll point, forcing a second
+        // extent per node.
+        let data = payload(4 * 400 * 1024 - 17);
+        dfs.write_file_with_policy("/p", &data, &PinnedPlacement(0))
+            .unwrap();
+        assert_eq!(dfs.metrics().counter(metrics_keys::BLOCKS_PACKED).get(), 8);
+        assert!(blk_files(&dir) >= 4, "each node rolls to a second extent");
+        assert_eq!(dfs.read_file("/p").unwrap(), data);
+        // A failed node's packed replicas recover from the surviving
+        // node's extents.
+        dfs.fail_node(0);
+        assert_eq!(dfs.read_file("/p").unwrap(), data);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,4 +22,6 @@ pub mod placement;
 pub use fs::{
     metrics_keys, BlockBacking, Dfs, DfsConfig, DfsError, FailureReport, FileInfo, NodeStats,
 };
-pub use placement::{BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement};
+pub use placement::{
+    BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement, PinnedPlacement,
+};

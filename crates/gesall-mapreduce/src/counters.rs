@@ -67,6 +67,34 @@ pub mod keys {
     /// Nanoseconds map tasks spent in the finish() drain barrier waiting
     /// for their outstanding async spills.
     pub const SPILL_POOL_DRAIN_WAIT_NANOS: &str = "spill.pool.drain.wait.nanos";
+    /// Encoder workers the pool grew in response to sustained
+    /// submit-wait pressure (autoscaling events).
+    pub const SPILL_POOL_WORKERS_GROWN: &str = "spill.pool.workers.grown";
+    /// Shuffle wire bytes a reducer fetched out of a DFS-transit map
+    /// output (frames sliced from stored blocks). Disjoint from
+    /// [`SHUFFLE_BYTES_MEMORY`]: with `shuffle_via_dfs` on, every
+    /// shuffled byte should land here and the memory key should stay 0.
+    pub const SHUFFLE_BYTES_DFS: &str = "shuffle.bytes.dfs";
+    /// Shuffle wire bytes handed to a reducer as an in-memory refcount
+    /// bump (the pre-DFS path, kept for `shuffle_via_dfs = false`).
+    pub const SHUFFLE_BYTES_MEMORY: &str = "shuffle.bytes.memory";
+    /// Payload bytes memcpy'd while assembling a map output's transit
+    /// file for the DFS (the one deliberate durability copy of the
+    /// DFS-transit shuffle). Tracked apart from [`BYTES_COPIED`] so the
+    /// zero-copy record-path gauge keeps measuring the record path, not
+    /// the transit layer's by-design write.
+    pub const SHUFFLE_SHIP_BYTES_COPIED: &str = "shuffle.ship.bytes.copied";
+    /// Peak decoded-side resident bytes of the streaming reduce merge:
+    /// decompression scratch charged on cursor activation plus the head
+    /// records under the merge heap, released as runs exhaust. Bounded
+    /// by `merge_factor` × source-run size, not input size — the memory
+    /// contract the streaming merge exists to provide. Summed across
+    /// reducers on merge.
+    pub const REDUCE_PEAK_RESIDENT: &str = gesall_telemetry::mem_keys::REDUCE_PEAK_RESIDENT;
+    /// Completed map tasks whose shuffle-output home died but whose
+    /// DFS-shipped output survived on a replica: the reducers re-fetch
+    /// instead of the engine re-running the map.
+    pub const MAPS_RESHIPPED_FROM_DFS: &str = "fault.maps.reshipped.from.dfs";
     /// Map-output segments that travelled the shuffle uncompressed.
     pub const SHUFFLE_SEGMENTS_RAW: &str = "shuffle.segments.raw";
     /// Map-output segments that travelled the shuffle compressed (shipped

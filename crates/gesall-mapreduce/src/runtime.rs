@@ -14,19 +14,45 @@ use crate::cluster::ClusterResources;
 use crate::counters::{keys, Counters};
 use crate::error::{panic_message, GesallError};
 use crate::fault::{FaultPlan, NodeDeath};
+use crate::shipping;
 use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer, COMPRESS_MIN_BYTES};
 use crate::spillpool::SpillPool;
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
+use gesall_dfs::{Dfs, PinnedPlacement};
 use gesall_telemetry::{Phase, Recorder, Span, SpanId, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-task output slots: `None` until the task's winning attempt commits.
 type TaskOutputs<K, V> = Vec<Mutex<Option<Vec<(K, V)>>>>;
+
+/// A committed map task's decision on whether its outputs survive a
+/// node death — wired by the DFS-transit shuffle so reducers re-fetch
+/// from replicas instead of the engine re-running the map.
+type SurvivalCheck<'a> = Option<&'a (dyn Fn(usize) -> bool + Sync)>;
+
+/// Where a committed map task's shuffle output lives.
+enum MapOutput {
+    /// In-memory segments handed to reducers as refcount bumps — the
+    /// pre-DFS path, kept for `shuffle_via_dfs = false` and engines
+    /// without an attached DFS.
+    Memory(Vec<Segment>),
+    /// Persisted to the DFS as one indexed file pinned to the mapper's
+    /// node; each reducer range-reads its partition's frame. `metas`
+    /// keeps the per-partition shape for shuffle-matrix recording
+    /// without touching the file again.
+    Dfs { path: String, metas: Vec<SegMeta> },
+}
+
+/// Per-partition shape of a shipped map output.
+struct SegMeta {
+    wire_len: usize,
+    compressed: bool,
+}
 
 /// Per-job configuration (the Hadoop parameters the paper tunes).
 #[derive(Debug, Clone)]
@@ -66,6 +92,14 @@ pub struct JobConfig {
     /// Launch backup attempts for stragglers
     /// (`mapreduce.map.speculative` analogue).
     pub speculative: bool,
+    /// Ship committed map outputs through the DFS (one indexed file per
+    /// map task, pinned to the mapper's node) instead of handing
+    /// reducers in-memory segment references. Needs a DFS attached via
+    /// [`MapReduceEngine::with_shuffle_dfs`]; without one the engine
+    /// silently stays on the in-memory path. With replication > 1 a
+    /// node death no longer forces re-running committed maps — reducers
+    /// re-fetch the shipped output from a surviving replica.
+    pub shuffle_via_dfs: bool,
     /// An attempt is a straggler once it has run this multiple of the
     /// median completed-attempt runtime.
     pub speculative_multiplier: f64,
@@ -95,6 +129,7 @@ impl Default for JobConfig {
             reduce_memory_mb: 1024,
             max_attempts: 4,
             retry_backoff_ms: 10.0,
+            shuffle_via_dfs: true,
             speculative: true,
             speculative_multiplier: 1.5,
             speculative_min_runtime_ms: 25.0,
@@ -220,6 +255,13 @@ pub struct MapReduceEngine {
     recorder: Recorder,
     /// Engine-wide spill-encoder pool, spawned on first async-spill job.
     spill_pool: Mutex<Option<Arc<SpillPool>>>,
+    /// DFS used as shuffle transit when [`JobConfig::shuffle_via_dfs`]
+    /// is on; `None` keeps the in-memory handoff path.
+    shuffle_dfs: Mutex<Option<Dfs>>,
+    /// Monotone id source for shuffle directories and attempt files, so
+    /// retried/speculative attempts and repeated jobs never collide on
+    /// a DFS path.
+    shuffle_seq: AtomicU64,
 }
 
 impl MapReduceEngine {
@@ -232,23 +274,39 @@ impl MapReduceEngine {
             node_death_hook: None,
             recorder: Recorder::disabled(),
             spill_pool: Mutex::new(None),
+            shuffle_dfs: Mutex::new(None),
+            shuffle_seq: AtomicU64::new(0),
         }
     }
 
-    /// The engine-wide spill-encoder pool, created lazily: one thread
-    /// per core (capped at 8) behind a 4-deep bounded queue, shared by
-    /// every map task of every job on this engine.
+    /// The engine-wide spill-encoder pool, created lazily and shared by
+    /// every map task of every job on this engine. Starts small (a
+    /// quarter of the cores) and grows itself toward one thread per
+    /// core (capped at 16) from observed submit-wait backpressure —
+    /// map-light jobs keep a couple of threads, all-spill workloads
+    /// earn more.
     pub fn spill_pool(&self) -> Arc<SpillPool> {
         self.spill_pool
             .lock()
             .get_or_insert_with(|| {
-                let workers = std::thread::available_parallelism()
+                let cores = std::thread::available_parallelism()
                     .map(|n| n.get())
-                    .unwrap_or(2)
-                    .min(8);
-                Arc::new(SpillPool::new(workers, 4))
+                    .unwrap_or(2);
+                Arc::new(SpillPool::adaptive((cores / 4).max(2), cores.min(16), 4))
             })
             .clone()
+    }
+
+    /// Route shuffle through `dfs` for jobs with
+    /// [`JobConfig::shuffle_via_dfs`] set (builder form).
+    pub fn with_shuffle_dfs(self, dfs: Dfs) -> MapReduceEngine {
+        self.set_shuffle_dfs(dfs);
+        self
+    }
+
+    /// Attach (or replace) the shuffle-transit DFS on an existing engine.
+    pub fn set_shuffle_dfs(&self, dfs: Dfs) {
+        *self.shuffle_dfs.lock() = Some(dfs);
     }
 
     /// A single-node engine with `slots` concurrent tasks.
@@ -326,7 +384,29 @@ impl MapReduceEngine {
         let n_reducers = config.n_reducers.max(1);
 
         // ---- Map wave -------------------------------------------------
-        let map_outputs: Vec<Mutex<Option<Vec<Segment>>>> =
+        let shuffle_dfs = if config.shuffle_via_dfs {
+            self.shuffle_dfs.lock().clone()
+        } else {
+            None
+        };
+        // Per-run shuffle directory: the id makes repeated jobs on one
+        // engine (and their retried attempts' files, below) disjoint.
+        let shuffle_base = format!(
+            "/{}/shuffle-{}",
+            config.name,
+            self.shuffle_seq.fetch_add(1, Ordering::Relaxed)
+        );
+        // Drop every shipped map output for this run — losing attempts
+        // leave orphans at unique paths, so a prefix sweep is the only
+        // correct cleanup.
+        let cleanup_shuffle = |dfs: &Option<Dfs>| {
+            if let Some(dfs) = dfs {
+                for p in dfs.list(&shuffle_base) {
+                    let _ = dfs.delete(&p);
+                }
+            }
+        };
+        let map_outputs: Vec<Mutex<Option<MapOutput>>> =
             (0..n_maps).map(|_| Mutex::new(None)).collect();
         let prefs: Vec<Option<usize>> = splits.iter().map(|s| s.preferred_node).collect();
         // Pool busy time and backpressure are engine-wide gauges; the
@@ -336,8 +416,36 @@ impl MapReduceEngine {
         let pool = config.async_spill.then(|| self.spill_pool());
         let pool_busy0 = pool.as_ref().map_or(0, |p| p.busy_nanos());
         let pool_waits0 = pool.as_ref().map_or(0, |p| p.submit_waits());
+        let pool_grown0 = pool.as_ref().map_or(0, |p| p.workers_grown());
 
-        self.run_wave(
+        // With DFS transit, a committed map whose home node dies may
+        // still be readable from a replica: probe actual datanode
+        // storage, excluding every engine-dead node's co-located
+        // datanode (the DFS may not have been told about the death yet
+        // — the failure hook runs after eviction decisions).
+        let survival;
+        let survives: SurvivalCheck = match &shuffle_dfs {
+            Some(dfs) => {
+                let dfs = dfs.clone();
+                let slots = &map_outputs;
+                survival = move |task: usize| -> bool {
+                    let slot = slots[task].lock();
+                    let Some(MapOutput::Dfs { path, .. }) = &*slot else {
+                        return false;
+                    };
+                    let n = dfs.config().n_nodes;
+                    let mut excluded: Vec<usize> =
+                        self.dead_nodes.lock().iter().map(|d| d % n).collect();
+                    excluded.sort_unstable();
+                    excluded.dedup();
+                    dfs.file_available_excluding(path, &excluded)
+                };
+                Some(&survival)
+            }
+            None => None,
+        };
+
+        let map_wave = self.run_wave(
             TaskKind::Map,
             &config,
             &counters,
@@ -346,7 +454,8 @@ impl MapReduceEngine {
             job_span.id,
             &prefs,
             &map_outputs,
-            |task_id, bag| {
+            survives,
+            |task_id, exec_node, bag| {
                 let t_task = Instant::now();
                 let split = &splits[task_id];
                 bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
@@ -384,9 +493,40 @@ impl MapReduceEngine {
                 };
                 let total = t_task.elapsed().as_nanos() as u64;
                 bag.add(Phase::Map.counter_key(), total.saturating_sub(accounted));
-                segments
+                match &shuffle_dfs {
+                    Some(dfs) => {
+                        let metas = segments
+                            .iter()
+                            .map(|s| SegMeta {
+                                wire_len: s.wire_len(),
+                                compressed: s.is_compressed(),
+                            })
+                            .collect();
+                        // Attempt-unique path: a speculative or retried
+                        // attempt of the same task must never collide
+                        // with (or clobber) another attempt's file.
+                        let uid = self.shuffle_seq.fetch_add(1, Ordering::Relaxed);
+                        let path = format!("{shuffle_base}/map-{task_id:05}-a{uid}.segs");
+                        let t_ship = Instant::now();
+                        let pin = PinnedPlacement(exec_node % dfs.config().n_nodes);
+                        if let Err(e) =
+                            shipping::store_map_output_with_policy(dfs, &path, &segments, &pin, bag)
+                        {
+                            // A panic here is an attempt failure → retry.
+                            panic!("shipping map output {path} to DFS: {e}");
+                        }
+                        // Persisting the output is the map-side half of
+                        // the shuffle, not map compute.
+                        bag.add(
+                            Phase::Shuffle.counter_key(),
+                            t_ship.elapsed().as_nanos() as u64,
+                        );
+                        MapOutput::Dfs { path, metas }
+                    }
+                    None => MapOutput::Memory(segments),
+                }
             },
-        )?;
+        );
         if let Some(p) = &pool {
             counters.add(
                 keys::SPILL_POOL_BUSY_NANOS,
@@ -396,25 +536,50 @@ impl MapReduceEngine {
                 keys::SPILL_POOL_SUBMIT_WAITS,
                 p.submit_waits().saturating_sub(pool_waits0),
             );
+            counters.add(
+                keys::SPILL_POOL_WORKERS_GROWN,
+                p.workers_grown().saturating_sub(pool_grown0),
+            );
+        }
+        if let Err(e) = map_wave {
+            cleanup_shuffle(&shuffle_dfs);
+            return Err(e);
         }
 
         // ---- Shuffle + reduce wave ------------------------------------
-        let map_outputs: Vec<Vec<Segment>> = map_outputs
+        let collected: Result<Vec<MapOutput>, GesallError> = map_outputs
             .into_iter()
             .map(|m| {
                 m.into_inner().ok_or_else(|| {
                     GesallError::Runtime("map wave ended without committed output".into())
                 })
             })
-            .collect::<Result<_, _>>()?;
+            .collect();
+        let map_outputs = match collected {
+            Ok(v) => v,
+            Err(e) => {
+                cleanup_shuffle(&shuffle_dfs);
+                return Err(e);
+            }
+        };
         // The shuffle matrix: bytes each reducer pulls from each map
         // output. Recorded once, between the waves, so retried or
         // speculative reduce attempts cannot double-count a cell.
         if self.recorder.is_enabled() {
-            for (m, per_map) in map_outputs.iter().enumerate() {
-                for (r, seg) in per_map.iter().enumerate() {
-                    self.recorder
-                        .shuffle_cell(m, r, seg.wire_len() as u64, seg.is_compressed());
+            for (m, out) in map_outputs.iter().enumerate() {
+                match out {
+                    MapOutput::Memory(per_map) => {
+                        for (r, seg) in per_map.iter().enumerate() {
+                            self.recorder
+                                .shuffle_cell(m, r, seg.wire_len() as u64, seg.is_compressed());
+                        }
+                    }
+                    MapOutput::Dfs { metas, .. } => {
+                        for (r, meta) in metas.iter().enumerate() {
+                            self.recorder
+                                .shuffle_cell(m, r, meta.wire_len as u64, meta.compressed);
+                        }
+                    }
                 }
             }
         }
@@ -422,7 +587,7 @@ impl MapReduceEngine {
             (0..n_reducers).map(|_| Mutex::new(None)).collect();
         let reduce_prefs: Vec<Option<usize>> = vec![None; n_reducers];
 
-        self.run_wave(
+        let reduce_wave = self.run_wave(
             TaskKind::Reduce,
             &config,
             &counters,
@@ -431,15 +596,38 @@ impl MapReduceEngine {
             job_span.id,
             &reduce_prefs,
             &reduce_outputs,
-            |partition, bag| {
+            None,
+            |partition, _exec_node, bag| {
                 let t_task = Instant::now();
-                // Zero-copy fetch: each segment is a SharedBytes slice
-                // of the map task's single output backing, so cloning it
-                // moves a reference, not the payload.
+                // Pull this partition from every map output: a DFS range
+                // read per shipped file (only this reducer's frame
+                // travels), or — on the in-memory path — a zero-copy
+                // refcount bump on the map task's output backing. Either
+                // way the time is shuffle, not reduce.
+                let t_fetch = Instant::now();
                 let segments: Vec<Segment> = map_outputs
                     .iter()
-                    .map(|per_map| per_map[partition].clone())
+                    .map(|out| match out {
+                        MapOutput::Memory(per_map) => {
+                            let seg = per_map[partition].clone();
+                            bag.add(keys::SHUFFLE_BYTES_MEMORY, seg.wire_len() as u64);
+                            seg
+                        }
+                        MapOutput::Dfs { path, .. } => {
+                            let dfs = shuffle_dfs.as_ref().expect("Dfs output implies a DFS");
+                            let seg = shipping::fetch_partition(dfs, path, partition)
+                                .unwrap_or_else(|e| {
+                                    panic!("fetching partition {partition} of {path}: {e}")
+                                });
+                            bag.add(keys::SHUFFLE_BYTES_DFS, seg.wire_len() as u64);
+                            seg
+                        }
+                    })
                     .collect();
+                bag.add(
+                    Phase::Shuffle.counter_key(),
+                    t_fetch.elapsed().as_nanos() as u64,
+                );
                 let grouped =
                     reduce_merge::<M::OutKey, M::OutValue>(segments, config.merge_factor, bag);
                 let mut out = Vec::new();
@@ -458,16 +646,24 @@ impl MapReduceEngine {
                 bag.add(Phase::Reduce.counter_key(), total.saturating_sub(accounted));
                 out
             },
-        )?;
+        );
+        if let Err(e) = reduce_wave {
+            cleanup_shuffle(&shuffle_dfs);
+            return Err(e);
+        }
 
-        let outputs = reduce_outputs
+        let collected: Result<Vec<_>, GesallError> = reduce_outputs
             .into_iter()
             .map(|m| {
                 m.into_inner().ok_or_else(|| {
                     GesallError::Runtime("reduce wave ended without committed output".into())
                 })
             })
-            .collect::<Result<_, _>>()?;
+            .collect();
+        // Shuffle transit is consumed; free the run's DFS files whether
+        // the job succeeded or not.
+        cleanup_shuffle(&shuffle_dfs);
+        let outputs = collected?;
         let mut events = events.into_inner();
         sort_events(&mut events);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -520,7 +716,8 @@ impl MapReduceEngine {
             job_span.id,
             &prefs,
             &outputs,
-            |task_id, bag| {
+            None,
+            |task_id, _exec_node, bag| {
                 let t_task = Instant::now();
                 let split = &splits[task_id];
                 bag.add(keys::MAP_INPUT_RECORDS, split.records.len() as u64);
@@ -580,11 +777,12 @@ impl MapReduceEngine {
         job_span: SpanId,
         prefs: &[Option<usize>],
         outputs: &[Mutex<Option<T>>],
+        survives: SurvivalCheck<'_>,
         body: F,
     ) -> Result<(), GesallError>
     where
         T: Send,
-        F: Fn(usize, &Counters) -> T + Send + Sync,
+        F: Fn(usize, usize, &Counters) -> T + Send + Sync,
     {
         let n_tasks = prefs.len();
         let wave_name = match kind {
@@ -630,6 +828,7 @@ impl MapReduceEngine {
             idle: &idle,
             done: &done,
             outputs,
+            survives,
         };
 
         // Deaths already due (threshold 0) fire before any work starts.
@@ -771,6 +970,10 @@ struct WaveCtx<'a, T> {
     idle: &'a Condvar,
     done: &'a [AtomicBool],
     outputs: &'a [Mutex<Option<T>>],
+    /// Probe whether a committed task's output survives a node death
+    /// (DFS-transit shuffle); `None` means outputs live only on their
+    /// home node.
+    survives: SurvivalCheck<'a>,
 }
 
 impl<T> WaveCtx<'_, T> {
@@ -780,7 +983,7 @@ impl<T> WaveCtx<'_, T> {
 
     fn worker_loop<F>(&self, node: usize, body: &F)
     where
-        F: Fn(usize, &Counters) -> T + Send + Sync,
+        F: Fn(usize, usize, &Counters) -> T + Send + Sync,
     {
         loop {
             // Delay scheduling: prefer local tasks; wait one beat before
@@ -903,7 +1106,7 @@ impl<T> WaveCtx<'_, T> {
 
     fn run_attempt<F>(&self, node: usize, a: Assignment, body: &F)
     where
-        F: Fn(usize, &Counters) -> T + Send + Sync,
+        F: Fn(usize, usize, &Counters) -> T + Send + Sync,
     {
         let start_ms = self.now_ms();
 
@@ -930,7 +1133,7 @@ impl<T> WaveCtx<'_, T> {
             if plan.should_panic(self.kind, a.task, a.attempt) {
                 panic!("{}", FaultPlan::panic_message(self.kind, a.task, a.attempt));
             }
-            body(a.task, &bag)
+            body(a.task, node, &bag)
         }));
 
         let end_ms = self.now_ms();
@@ -1098,22 +1301,37 @@ impl<T> WaveCtx<'_, T> {
                 fired.push(death.node);
                 // Completed map outputs on the dead node's disk are gone:
                 // evict and re-run, as Hadoop re-runs map tasks whose
-                // shuffle output was on a lost slave.
+                // shuffle output was on a lost slave. With DFS-transit
+                // shuffle the output may survive on a replica — probe
+                // every committed task (a later death can take the last
+                // replica of a task whose home died earlier), keep the
+                // survivors, and only re-run the rest.
                 for task in 0..st.tasks.len() {
-                    if st.tasks[task].home == Some(death.node)
-                        && self.done[task].load(Ordering::SeqCst)
-                    {
-                        *self.outputs[task].lock() = None;
-                        self.done[task].store(false, Ordering::SeqCst);
-                        st.tasks[task].home = None;
-                        st.tasks[task].backup_launched = false;
-                        st.remaining += 1;
-                        st.pending.push(PendingTask {
-                            task,
-                            not_before: None,
-                        });
-                        self.counters.add(keys::MAPS_RERUN_ON_NODE_LOSS, 1);
+                    if !self.done[task].load(Ordering::SeqCst) {
+                        continue;
                     }
+                    let homed_here = st.tasks[task].home == Some(death.node);
+                    let survives_death = match self.survives {
+                        Some(check) => check(task),
+                        // In-memory shuffle: output lives only on its home.
+                        None => !homed_here,
+                    };
+                    if survives_death {
+                        if homed_here {
+                            self.counters.add(keys::MAPS_RESHIPPED_FROM_DFS, 1);
+                        }
+                        continue;
+                    }
+                    *self.outputs[task].lock() = None;
+                    self.done[task].store(false, Ordering::SeqCst);
+                    st.tasks[task].home = None;
+                    st.tasks[task].backup_launched = false;
+                    st.remaining += 1;
+                    st.pending.push(PendingTask {
+                        task,
+                        not_before: None,
+                    });
+                    self.counters.add(keys::MAPS_RERUN_ON_NODE_LOSS, 1);
                 }
             } else {
                 i += 1;
@@ -1405,6 +1623,80 @@ mod tests {
             beats > 0,
             "idle workers should have parked at least once while the slow task ran"
         );
+    }
+
+    #[test]
+    fn dfs_transit_shuffle_matches_memory_path_and_cleans_up() {
+        use gesall_dfs::DfsConfig;
+        let run = |dfs: Option<Dfs>, via_dfs: bool| {
+            let engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096));
+            if let Some(dfs) = dfs {
+                engine.set_shuffle_dfs(dfs);
+            }
+            let cfg = JobConfig {
+                n_reducers: 4,
+                io_sort_bytes: 512,
+                shuffle_via_dfs: via_dfs,
+                ..JobConfig::default()
+            };
+            let res = engine
+                .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(6, 50))
+                .unwrap();
+            let mut outs = res.outputs;
+            for o in &mut outs {
+                o.sort();
+            }
+            (outs, res.counters)
+        };
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1 << 20,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let (dfs_outs, dfs_counters) = run(Some(dfs.clone()), true);
+        let (mem_outs, mem_counters) = run(None, false);
+        assert_eq!(dfs_outs, mem_outs, "transit layer must not change results");
+        // DFS transit carries every shuffled byte; nothing is handed
+        // over as an in-memory segment reference, and vice versa.
+        assert!(dfs_counters.get(keys::SHUFFLE_BYTES_DFS) > 0);
+        assert_eq!(dfs_counters.get(keys::SHUFFLE_BYTES_MEMORY), 0);
+        assert!(mem_counters.get(keys::SHUFFLE_BYTES_MEMORY) > 0);
+        assert_eq!(mem_counters.get(keys::SHUFFLE_BYTES_DFS), 0);
+        assert_eq!(
+            dfs_counters.get(keys::SHUFFLE_BYTES_DFS),
+            mem_counters.get(keys::SHUFFLE_BYTES_MEMORY),
+            "both paths move the same wire bytes"
+        );
+        // The run's shuffle files are swept once reducers consumed them.
+        assert!(
+            dfs.list("/job/").is_empty(),
+            "shuffle transit files must be cleaned up: {:?}",
+            dfs.list("/job/")
+        );
+    }
+
+    #[test]
+    fn shuffle_via_dfs_flag_off_keeps_memory_path_despite_attached_dfs() {
+        use gesall_dfs::DfsConfig;
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1 << 20,
+            replication: 1,
+            ..DfsConfig::default()
+        });
+        let engine =
+            MapReduceEngine::new(ClusterResources::uniform(2, 2, 4096)).with_shuffle_dfs(dfs);
+        let cfg = JobConfig {
+            n_reducers: 2,
+            shuffle_via_dfs: false,
+            ..JobConfig::default()
+        };
+        let res = engine
+            .run_job(cfg, &Tokenize, &Sum, &HashPartitioner, word_splits(3, 20))
+            .unwrap();
+        assert_eq!(res.counters.get(keys::SHUFFLE_BYTES_DFS), 0);
+        assert!(res.counters.get(keys::SHUFFLE_BYTES_MEMORY) > 0);
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Map-output shipping: persisting merged map outputs into DFS and
 //! fetching them back by reference for the shuffle.
 //!
-//! A map task's segments serialize into ONE DFS file of codec-tagged
-//! frames ([`write_frame`](crate::shuffle::write_frame)). The reduce-side
-//! fetch reads the file as a [`SharedBytes`] and slices each frame's
-//! payload out of it zero-copy — when the DFS persists blocks
-//! (`DfsConfig::block_store_dir`), the window is a view into the mmap'd
-//! block file, so a compressed segment travels disk → shuffle → reduce
-//! merge as a refcount bump and is decoded exactly once. The only
-//! memcpy on this path is the store-side frame write, which is counted
-//! under `mem.bytes.copied`.
+//! A map task's segments serialize into ONE DFS file: an index header
+//! (`[n u64]` then `n` end offsets, relative to the frame area) followed
+//! by `n` codec-tagged frames ([`write_frame`](crate::shuffle::write_frame)).
+//! The reduce-side fetch resolves its partition through the index and
+//! reads ONLY that frame's byte range
+//! ([`Dfs::read_file_range_shared`]): for a range inside one block the
+//! payload is a zero-copy window of the stored block — mmap'd when the
+//! DFS persists blocks (`DfsConfig::block_store_dir`) — so a compressed
+//! segment travels disk → shuffle → reduce merge as a refcount bump and
+//! is decoded exactly once, and a reducer never materializes the other
+//! R−1 partitions of a multi-block map output. The only memcpy on this
+//! path is the store-side frame write, counted under `mem.bytes.copied`.
 
 use crate::counters::{keys, Counters};
 use crate::shuffle::{read_frame, write_frame, Segment, FRAME_HEADER_BYTES};
@@ -64,28 +67,67 @@ pub fn map_output_path(job: &str, map_task: usize) -> String {
 }
 
 /// Persist a map task's merged segments (one per reduce partition) as a
-/// single DFS file: `[n u64]` then `n` frames. The frame write is the
-/// one payload memcpy of the shipping path and is counted under
-/// `mem.bytes.copied`; compressed payloads are written as-is, never
-/// re-encoded.
-pub fn store_map_output(
+/// single DFS file: `[n u64]` and `n` frame-end offsets (relative to
+/// the frame area), then the `n` frames. The frame write is the one
+/// payload memcpy of the shipping path — the deliberate durability copy
+/// of DFS transit, counted under `shuffle.ship.bytes.copied` (not the
+/// zero-copy gauge `mem.bytes.copied`); compressed payloads are written
+/// as-is, never re-encoded. Blocks are placed by `policy` — the engine pins a map
+/// output to its mapper's node so locality (and node-loss semantics)
+/// match the in-memory shuffle it replaces.
+pub fn store_map_output_with_policy(
     dfs: &Dfs,
     path: &str,
     segments: &[Segment],
+    policy: &dyn gesall_dfs::BlockPlacementPolicy,
     counters: &Counters,
 ) -> Result<(), ShipError> {
     let total: usize = segments
         .iter()
         .map(|s| FRAME_HEADER_BYTES + s.data.len())
         .sum();
-    let mut out = Vec::with_capacity(8 + total);
+    let header = 8 * (1 + segments.len());
+    let mut out = Vec::with_capacity(header + total);
     put_u64(&mut out, segments.len() as u64);
+    let mut end = 0u64;
+    for s in segments {
+        end += (FRAME_HEADER_BYTES + s.data.len()) as u64;
+        put_u64(&mut out, end);
+    }
     for s in segments {
         write_frame(s, &mut out);
-        counters.add(keys::BYTES_COPIED, s.data.len() as u64);
+        counters.add(keys::SHUFFLE_SHIP_BYTES_COPIED, s.data.len() as u64);
     }
-    dfs.write_file_shared(path, SharedBytes::from_vec(out))?;
+    dfs.write_shared_with_policy(path, SharedBytes::from_vec(out), policy)?;
     Ok(())
+}
+
+/// [`store_map_output_with_policy`] with the DFS's default placement.
+pub fn store_map_output(
+    dfs: &Dfs,
+    path: &str,
+    segments: &[Segment],
+    counters: &Counters,
+) -> Result<(), ShipError> {
+    store_map_output_with_policy(dfs, path, segments, &gesall_dfs::DefaultPlacement, counters)
+}
+
+/// Decode the index header of a stored map output: frame count and the
+/// absolute byte range `[start, end)` of each frame within the file.
+fn read_index(dfs: &Dfs, path: &str) -> Result<Vec<(usize, usize)>, ShipError> {
+    let head = dfs.read_file_range_shared(path, 0, 8)?;
+    let n = Cursor::new(&head[..]).get_u64()? as usize;
+    let idx = dfs.read_file_range_shared(path, 8, 8 * n)?;
+    let mut cur = Cursor::new(&idx[..]);
+    let base = 8 * (1 + n);
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = base;
+    for _ in 0..n {
+        let end = base + cur.get_u64()? as usize;
+        ranges.push((start, end));
+        start = end;
+    }
+    Ok(ranges)
 }
 
 /// Fetch every segment of a stored map output. Payloads are zero-copy
@@ -96,10 +138,19 @@ pub fn fetch_map_output(dfs: &Dfs, path: &str) -> Result<Vec<Segment>, ShipError
     let bytes = dfs.read_file_shared(path)?;
     let buf: &[u8] = &bytes;
     let n = Cursor::new(buf).get_u64()? as usize;
-    let mut offset = 8;
+    let mut cur = Cursor::new(&buf[8..]);
+    let base = 8 * (1 + n);
+    let mut offset = base;
     let mut segments = Vec::with_capacity(n);
     for _ in 0..n {
+        let indexed_end = base + cur.get_u64()? as usize;
         let (seg, next) = read_frame(&bytes, offset)?;
+        if next != indexed_end {
+            return Err(FormatError::Bam(format!(
+                "frame ends at {next} but index says {indexed_end}"
+            ))
+            .into());
+        }
         segments.push(seg);
         offset = next;
     }
@@ -114,24 +165,28 @@ pub fn fetch_map_output(dfs: &Dfs, path: &str) -> Result<Vec<Segment>, ShipError
 }
 
 /// Fetch just partition `r` of a stored map output — what one reducer
-/// pulls from one map task. Frames are skipped by their header lengths,
-/// so unfetched partitions are never touched beyond 25 header bytes.
+/// pulls from one map task. The index header resolves the frame's byte
+/// range and only that range is read: inside one block this is a
+/// zero-copy mapped window, and the other R−1 partitions are never
+/// touched.
 pub fn fetch_partition(dfs: &Dfs, path: &str, r: usize) -> Result<Segment, ShipError> {
-    let bytes = dfs.read_file_shared(path)?;
-    let buf: &[u8] = &bytes;
-    let n = Cursor::new(buf).get_u64()? as usize;
-    if r >= n {
+    let ranges = read_index(dfs, path)?;
+    let Some(&(start, end)) = ranges.get(r) else {
         return Err(FormatError::Bam(format!(
-            "partition {r} out of range: map output has {n} frames"
+            "partition {r} out of range: map output has {} frames",
+            ranges.len()
+        ))
+        .into());
+    };
+    let window = dfs.read_file_range_shared(path, start, end - start)?;
+    let (seg, consumed) = read_frame(&window, 0)?;
+    if consumed != window.len() {
+        return Err(FormatError::Bam(format!(
+            "partition {r}: frame consumed {consumed} of {} indexed bytes",
+            window.len()
         ))
         .into());
     }
-    let mut offset = 8;
-    for _ in 0..r {
-        let (_, next) = read_frame(&bytes, offset)?;
-        offset = next;
-    }
-    let (seg, _) = read_frame(&bytes, offset)?;
     Ok(seg)
 }
 
@@ -191,6 +246,7 @@ mod tests {
             block_size: 1 << 20,
             replication: 2,
             block_store_dir: block_store,
+            ..DfsConfig::default()
         })
     }
 
@@ -262,6 +318,49 @@ mod tests {
         let back = adapt_codec(&raw, Codec::Lz, &counters).unwrap();
         assert_eq!(back.codec, Codec::Lz);
         assert_eq!(back.to_pairs::<u64, u64>(), raw.to_pairs::<u64, u64>());
+    }
+
+    #[test]
+    fn partition_fetch_from_multi_block_file_reads_only_its_range() {
+        // Tiny blocks force the stored output across many blocks; each
+        // partition still comes back intact via its indexed range, and
+        // an in-block partition is served zero-copy.
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 256,
+            replication: 1,
+            ..DfsConfig::default()
+        });
+        let counters = Counters::new();
+        let segs: Vec<Segment> = (0..5)
+            .map(|p| {
+                Segment::from_pairs(
+                    &(0..60u64).map(|i| (i, i * 10 + p)).collect::<Vec<_>>(),
+                    false,
+                )
+            })
+            .collect();
+        store_map_output(&dfs, "j/shuffle/map-00000.segs", &segs, &counters).unwrap();
+        assert!(
+            dfs.stat("j/shuffle/map-00000.segs").unwrap().blocks.len() > 1,
+            "test needs a multi-block file"
+        );
+        for (p, s) in segs.iter().enumerate() {
+            let got = fetch_partition(&dfs, "j/shuffle/map-00000.segs", p).unwrap();
+            assert_eq!(got.records, s.records);
+            assert_eq!(got.to_pairs::<u64, u64>(), s.to_pairs::<u64, u64>());
+        }
+        // And pinned placement keeps the whole output on one node.
+        store_map_output_with_policy(
+            &dfs,
+            "j/shuffle/map-00001.segs",
+            &segs,
+            &gesall_dfs::PinnedPlacement(2),
+            &counters,
+        )
+        .unwrap();
+        let info = dfs.stat("j/shuffle/map-00001.segs").unwrap();
+        assert_eq!(info.single_home(), Some(2));
     }
 
     #[test]

@@ -551,15 +551,205 @@ where
     }
 }
 
-/// Reduce-side shuffle + multipass merge: fetch one segment per map task,
-/// merge them down to a single grouped stream.
+/// Tracks the decoded-side resident bytes of a streaming merge: what is
+/// charged here is materialized working memory (Lz decompress scratch,
+/// the ≤ `merge_factor` head records under the heap) — the encoded run
+/// storage (source segment windows, arena-recycled rewrite buffers) is
+/// the engine's "disk" layer and is accounted under
+/// [`keys::REDUCE_MERGE_BYTES`] instead. The peak lands on
+/// [`keys::REDUCE_PEAK_RESIDENT`] and is bounded by `merge_factor` ×
+/// source-run size, independent of how many runs feed the merge.
+#[derive(Debug, Default)]
+struct ResidentGauge {
+    current: u64,
+    peak: u64,
+}
+
+impl ResidentGauge {
+    fn charge(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    fn release(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+}
+
+/// One sorted run awaiting its turn in the multipass merge: either a
+/// still-encoded shuffle segment or a run an earlier pass re-encoded
+/// into an arena buffer (raw wire encoding, the in-process stand-in for
+/// Hadoop's on-disk intermediate run files).
+enum StreamRun {
+    Pending(Segment),
+    Rewritten { buf: Vec<u8>, records: u64 },
+}
+
+/// Where an active run cursor decodes from.
+enum RunBuf {
+    /// Zero-copy window of the source segment (raw codec) — shares the
+    /// map output's backing or the DFS block mapping; nothing new is
+    /// resident.
+    Shared(SharedBytes),
+    /// Owned decode buffer: an Lz segment's decompressed payload
+    /// (charged on the gauge) or a rewritten run's arena buffer
+    /// (storage-layer, returned to the arena on exhaustion).
+    Owned { buf: Vec<u8>, charged: u64 },
+}
+
+/// A lazily-decoding cursor over one sorted run: records decode one at
+/// a time from the run's byte window, so an active run holds at most
+/// its head record in typed form.
+struct RunCursor<K, V> {
+    buf: RunBuf,
+    pos: usize,
+    remaining: u64,
+    _pd: std::marker::PhantomData<(K, V)>,
+}
+
+impl<K: Wire + Ord + Clone, V: Wire> RunCursor<K, V> {
+    /// Activate a run for merging. An Lz source decompresses once into
+    /// an owned scratch (the one materialization, charged on `gauge`
+    /// and timed as shuffle work — it is the deferred half of the
+    /// fetch-and-decode the old path did eagerly); raw sources and
+    /// rewritten runs decode in place.
+    fn activate(
+        run: StreamRun,
+        gauge: &mut ResidentGauge,
+        shuffle_nanos: &mut u64,
+    ) -> RunCursor<K, V> {
+        match run {
+            StreamRun::Pending(seg) => {
+                let remaining = seg.records;
+                let buf = if seg.is_compressed() {
+                    let t0 = Instant::now();
+                    let raw = decompress(&seg.data).expect("segment payload corrupt");
+                    *shuffle_nanos += t0.elapsed().as_nanos() as u64;
+                    let charged = raw.len() as u64;
+                    gauge.charge(charged);
+                    RunBuf::Owned { buf: raw, charged }
+                } else {
+                    RunBuf::Shared(seg.data)
+                };
+                RunCursor {
+                    buf,
+                    pos: 0,
+                    remaining,
+                    _pd: std::marker::PhantomData,
+                }
+            }
+            StreamRun::Rewritten { buf, records } => RunCursor {
+                buf: RunBuf::Owned {
+                    buf,
+                    charged: 0, // storage-layer bytes, not decode scratch
+                },
+                pos: 0,
+                remaining: records,
+                _pd: std::marker::PhantomData,
+            },
+        }
+    }
+
+    /// Decode the next record; returns the pair and its encoded size
+    /// (charged on `gauge` until the caller sinks it).
+    fn next(&mut self, gauge: &mut ResidentGauge) -> Option<(K, V, u64)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let slice: &[u8] = match &self.buf {
+            RunBuf::Shared(b) => b,
+            RunBuf::Owned { buf, .. } => buf,
+        };
+        let tail = &slice[self.pos..];
+        let mut cur = Cursor::new(tail);
+        let k = K::decode(&mut cur).expect("run key corrupt");
+        let v = V::decode(&mut cur).expect("run value corrupt");
+        let consumed = (tail.len() - cur.remaining()) as u64;
+        self.pos += consumed as usize;
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            assert_eq!(self.pos, slice.len(), "trailing bytes in run");
+        }
+        gauge.charge(consumed);
+        Some((k, v, consumed))
+    }
+
+    /// Release an exhausted cursor: uncharge its scratch and return the
+    /// owned buffer to the arena for the next rewrite pass.
+    fn retire(&mut self, arena: &mut SpillArena, gauge: &mut ResidentGauge) {
+        if let RunBuf::Owned { buf, charged } =
+            std::mem::replace(&mut self.buf, RunBuf::Shared(SharedBytes::new()))
+        {
+            gauge.release(charged);
+            arena.release(buf);
+        }
+    }
+}
+
+/// Stable streaming k-way merge over run cursors, identical in order to
+/// [`merge_runs`] (ties break by cursor index, then intra-run order).
+/// At most one head record per cursor is typed-resident at any moment.
+fn merge_streams<K: Wire + Ord + Clone, V: Wire>(
+    mut cursors: Vec<RunCursor<K, V>>,
+    arena: &mut SpillArena,
+    gauge: &mut ResidentGauge,
+    mut sink: impl FnMut(K, V),
+) {
+    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
+    let mut heads: Vec<Option<V>> = Vec::with_capacity(cursors.len());
+    let mut head_bytes: Vec<u64> = vec![0; cursors.len()];
+    for i in 0..cursors.len() {
+        match cursors[i].next(gauge) {
+            Some((k, v, sz)) => {
+                heap.push(Reverse((k, i)));
+                heads.push(Some(v));
+                head_bytes[i] = sz;
+            }
+            None => {
+                cursors[i].retire(arena, gauge);
+                heads.push(None);
+            }
+        }
+    }
+    while let Some(Reverse((k, i))) = heap.pop() {
+        let v = heads[i].take().expect("head value present for popped run");
+        gauge.release(head_bytes[i]);
+        sink(k, v);
+        match cursors[i].next(gauge) {
+            Some((nk, nv, sz)) => {
+                heap.push(Reverse((nk, i)));
+                heads[i] = Some(nv);
+                head_bytes[i] = sz;
+            }
+            None => cursors[i].retire(arena, gauge),
+        }
+    }
+}
+
+/// Reduce-side shuffle + streaming multipass merge: fetch one segment
+/// per map task, merge them down to a single grouped stream.
+///
+/// Runs are consumed through lazy [`RunCursor`]s that decode one record
+/// at a time from the segment's (possibly mmap-backed) byte window, so
+/// at most `merge_factor` run heads — plus the output run an
+/// intermediate pass is writing — are in flight at once; the old path
+/// materialized every run as typed pairs up front, making reducer peak
+/// memory linear in input size. Intermediate passes re-encode their
+/// merged run through the [`SpillArena`] (raw wire encoding, counted
+/// under [`keys::REDUCE_MERGE_BYTES`] exactly as before) and queue it as
+/// storage-layer bytes. The decoded-side peak lands on
+/// [`keys::REDUCE_PEAK_RESIDENT`]; see [`ResidentGauge`] for what
+/// counts. Output is byte-identical to [`reduce_merge_materialized`],
+/// which the equivalence proptest pins down.
 pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
     segments: Vec<Segment>,
     merge_factor: usize,
     counters: &Counters,
 ) -> Vec<(K, Vec<V>)> {
     let merge_factor = merge_factor.max(2);
-    // Fetch + decode of every map-output segment is the shuffle phase.
+    // Per-segment shuffle accounting is unchanged from the
+    // materializing path: the decode copies still happen (lazily, in
+    // the merge), so the same bytes are charged.
     let t0 = Instant::now();
     for s in &segments {
         counters.add(keys::SHUFFLE_RECORDS, s.records);
@@ -570,38 +760,96 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         } else {
             counters.add(keys::SHUFFLE_SEGMENTS_RAW, 1);
         }
-        // Decode into owned pairs, plus the decompressor's write.
+        // Decode into typed records, plus the decompressor's write.
         let copied = s.raw_len + if s.is_compressed() { s.raw_len } else { 0 };
         counters.add(keys::BYTES_COPIED, copied as u64);
     }
+    let mut runs: std::collections::VecDeque<StreamRun> = segments
+        .into_iter()
+        .filter(|s| s.records > 0)
+        .map(StreamRun::Pending)
+        .collect();
+    counters.add(Phase::Shuffle.counter_key(), t0.elapsed().as_nanos() as u64);
+    let t0 = Instant::now();
+    // Lazy decode work (Lz decompression at cursor activation) is still
+    // shuffle-phase time; it accumulates here and is attributed at the
+    // end so the merge phase doesn't double-count it.
+    let mut shuffle_nanos = 0u64;
+    let mut arena = SpillArena::new(counters.clone());
+    let mut gauge = ResidentGauge::default();
+    // Intermediate passes: merge `merge_factor` runs at a time,
+    // re-encoding the merged run into an arena buffer (the rewrite the
+    // old path only *accounted*; REDUCE_MERGE_BYTES counts the same
+    // encoded length either way).
+    while runs.len() > merge_factor {
+        let take = merge_factor.min(runs.len());
+        let cursors: Vec<RunCursor<K, V>> = (0..take)
+            .map(|_| {
+                RunCursor::activate(
+                    runs.pop_front().unwrap(),
+                    &mut gauge,
+                    &mut shuffle_nanos,
+                )
+            })
+            .collect();
+        let mut out = arena.acquire(0);
+        let mut records = 0u64;
+        merge_streams(cursors, &mut arena, &mut gauge, |k: K, v: V| {
+            k.encode(&mut out);
+            v.encode(&mut out);
+            records += 1;
+        });
+        counters.add(keys::REDUCE_MERGE_PASSES, 1);
+        counters.add(keys::REDUCE_MERGE_BYTES, out.len() as u64);
+        runs.push_back(StreamRun::Rewritten { buf: out, records });
+    }
+    // Final pass: merge the remaining ≤ merge_factor runs, grouping
+    // consecutive equal keys straight off the stream.
+    let cursors: Vec<RunCursor<K, V>> = runs
+        .into_iter()
+        .map(|r| RunCursor::activate(r, &mut gauge, &mut shuffle_nanos))
+        .collect();
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    merge_streams(cursors, &mut arena, &mut gauge, |k: K, v: V| {
+        match out.last_mut() {
+            Some((lk, vs)) if *lk == k => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    });
+    counters.add(keys::REDUCE_INPUT_GROUPS, out.len() as u64);
+    counters.add(keys::REDUCE_PEAK_RESIDENT, gauge.peak);
+    counters.add(Phase::Shuffle.counter_key(), shuffle_nanos);
+    counters.add(
+        Phase::ReduceMerge.counter_key(),
+        (t0.elapsed().as_nanos() as u64).saturating_sub(shuffle_nanos),
+    );
+    out
+}
+
+/// The pre-streaming reduce merge: decode every segment into typed
+/// pairs up front, then multipass-merge the materialized runs. Retained
+/// as the equivalence oracle for [`reduce_merge`] — the streaming path
+/// must produce byte-identical grouped output (same keys, same value
+/// order) for any segment set, codec mix, and `merge_factor`.
+pub fn reduce_merge_materialized<K: Wire + Ord + Clone, V: Wire>(
+    segments: Vec<Segment>,
+    merge_factor: usize,
+    counters: &Counters,
+) -> Vec<(K, Vec<V>)> {
+    let merge_factor = merge_factor.max(2);
     let mut runs: std::collections::VecDeque<Vec<(K, V)>> = segments
         .iter()
         .filter(|s| s.records > 0)
         .map(|s| s.to_pairs())
         .collect();
-    counters.add(Phase::Shuffle.counter_key(), t0.elapsed().as_nanos() as u64);
-    let t0 = Instant::now();
-    // Intermediate passes: merge `merge_factor` runs at a time, rewriting
-    // the merged run to "disk" (accounted via REDUCE_MERGE_BYTES).
     while runs.len() > merge_factor {
         let take = merge_factor.min(runs.len());
         let batch: Vec<Vec<(K, V)>> = (0..take).map(|_| runs.pop_front().unwrap()).collect();
         let merged = merge_runs(batch);
-        // The intermediate pass moves typed records by ownership;
-        // account the run it would rewrite to disk via encoded_len
-        // instead of actually re-serializing it (the old path encoded —
-        // and when compressing, compressed — the whole run here just to
-        // measure it).
-        let rewritten: usize = merged
-            .iter()
-            .map(|(k, v)| k.encoded_len() + v.encoded_len())
-            .sum();
         counters.add(keys::REDUCE_MERGE_PASSES, 1);
-        counters.add(keys::REDUCE_MERGE_BYTES, rewritten as u64);
         runs.push_back(merged);
     }
     let merged = merge_runs(runs.into_iter().collect());
-    // Group consecutive equal keys.
     let mut out: Vec<(K, Vec<V>)> = Vec::new();
     for (k, v) in merged {
         match out.last_mut() {
@@ -610,10 +858,6 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         }
     }
     counters.add(keys::REDUCE_INPUT_GROUPS, out.len() as u64);
-    counters.add(
-        Phase::ReduceMerge.counter_key(),
-        t0.elapsed().as_nanos() as u64,
-    );
     out
 }
 

@@ -42,17 +42,39 @@ struct PoolShared {
     jobs_run: AtomicU64,
 }
 
-/// A fixed pool of spill-encoder worker threads with a bounded job
-/// queue. Dropping the pool drains remaining jobs and joins the workers.
+/// Blocked submissions tolerated before the pool adds a worker: one
+/// wait can be a scheduling blip, but sustained backpressure means the
+/// encoders are the bottleneck, not the mappers.
+const GROW_WAITS_PER_WORKER: u64 = 4;
+
+/// A pool of spill-encoder worker threads with a bounded job queue.
+/// The pool starts small and **grows itself** from observed submit-wait
+/// pressure: every [`GROW_WAITS_PER_WORKER`] blocked submissions since
+/// the last growth add one worker, up to `max_workers` — so an
+/// all-spill workload gets encoder parallelism without idle threads on
+/// map-light jobs. Dropping the pool drains remaining jobs and joins
+/// the workers.
 pub struct SpillPool {
     shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    max_workers: usize,
+    /// `submit_waits` value when the pool last grew (or started).
+    grow_mark: AtomicU64,
+    /// Workers added by pressure-driven growth.
+    workers_grown: AtomicU64,
 }
 
 impl SpillPool {
-    /// `n_workers` threads behind a queue of at most `queue_cap` waiting
-    /// jobs (both floored at 1).
+    /// A fixed-size pool: `n_workers` threads behind a queue of at most
+    /// `queue_cap` waiting jobs (both floored at 1). Never grows.
     pub fn new(n_workers: usize, queue_cap: usize) -> SpillPool {
+        SpillPool::adaptive(n_workers, n_workers, queue_cap)
+    }
+
+    /// A pressure-scaled pool: starts with `initial_workers` threads and
+    /// grows toward `max_workers` as submissions block on the full
+    /// queue (all sizes floored at 1).
+    pub fn adaptive(initial_workers: usize, max_workers: usize, queue_cap: usize) -> SpillPool {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
@@ -65,21 +87,23 @@ impl SpillPool {
             submit_waits: AtomicU64::new(0),
             jobs_run: AtomicU64::new(0),
         });
-        let workers = (0..n_workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("spill-encoder-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn spill-encoder worker")
-            })
+        let initial = initial_workers.max(1);
+        let workers = (0..initial)
+            .map(|i| spawn_worker(&shared, i))
             .collect();
-        SpillPool { shared, workers }
+        SpillPool {
+            shared,
+            workers: Mutex::new(workers),
+            max_workers: max_workers.max(initial),
+            grow_mark: AtomicU64::new(0),
+            workers_grown: AtomicU64::new(0),
+        }
     }
 
     /// Enqueue a job, blocking while the queue is at capacity. The wait
     /// is the designed backpressure: a mapper that emits faster than the
-    /// encoders drain stalls here instead of growing memory.
+    /// encoders drain stalls here instead of growing memory — and
+    /// repeated waits are the growth signal.
     pub fn submit(&self, job: Job) {
         let mut st = self.shared.state.lock();
         let mut waited = false;
@@ -87,12 +111,29 @@ impl SpillPool {
             waited = true;
             self.shared.not_full.wait(&mut st);
         }
-        if waited {
-            self.shared.submit_waits.fetch_add(1, Ordering::Relaxed);
-        }
         st.queue.push_back(job);
         drop(st);
         self.shared.not_empty.notify_one();
+        if waited {
+            let waits = self.shared.submit_waits.fetch_add(1, Ordering::Relaxed) + 1;
+            self.maybe_grow(waits);
+        }
+    }
+
+    /// Add a worker if wait pressure since the last growth crossed the
+    /// threshold and the cap allows it.
+    fn maybe_grow(&self, waits: u64) {
+        let mut workers = self.workers.lock();
+        if workers.len() >= self.max_workers {
+            return;
+        }
+        if waits < self.grow_mark.load(Ordering::Relaxed) + GROW_WAITS_PER_WORKER {
+            return;
+        }
+        self.grow_mark.store(waits, Ordering::Relaxed);
+        let handle = spawn_worker(&self.shared, workers.len());
+        workers.push(handle);
+        self.workers_grown.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total nanoseconds workers have spent executing jobs.
@@ -110,9 +151,22 @@ impl SpillPool {
         self.shared.jobs_run.load(Ordering::Relaxed)
     }
 
-    pub fn n_workers(&self) -> usize {
-        self.workers.len()
+    /// Workers added by pressure-driven growth since construction.
+    pub fn workers_grown(&self) -> u64 {
+        self.workers_grown.load(Ordering::Relaxed)
     }
+
+    pub fn n_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, index: usize) -> JoinHandle<()> {
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("spill-encoder-{index}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn spill-encoder worker")
 }
 
 impl Drop for SpillPool {
@@ -123,7 +177,7 @@ impl Drop for SpillPool {
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
-        for w in self.workers.drain(..) {
+        for w in self.workers.get_mut().drain(..) {
             let _ = w.join();
         }
     }
@@ -226,5 +280,45 @@ mod tests {
     fn drop_with_empty_queue_exits_cleanly() {
         let pool = SpillPool::new(3, 2);
         drop(pool);
+    }
+
+    #[test]
+    fn adaptive_pool_grows_under_sustained_backpressure() {
+        // One slow worker behind a queue of 1: most of the 48
+        // submissions block, and every GROW_WAITS_PER_WORKER blocked
+        // submissions add a worker up to the cap of 4.
+        let pool = SpillPool::adaptive(1, 4, 1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..48 {
+            let hits = hits.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert!(
+            pool.submit_waits() >= GROW_WAITS_PER_WORKER,
+            "the slow single worker must have caused backpressure"
+        );
+        assert!(
+            pool.workers_grown() >= 1,
+            "sustained waits must grow the pool (waits={})",
+            pool.submit_waits()
+        );
+        assert!(pool.n_workers() > 1 && pool.n_workers() <= 4);
+        drop(pool);
+        assert_eq!(hits.load(Ordering::SeqCst), 48);
+    }
+
+    #[test]
+    fn fixed_pool_never_grows() {
+        let pool = SpillPool::new(1, 1);
+        for _ in 0..24 {
+            pool.submit(Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }));
+        }
+        assert_eq!(pool.workers_grown(), 0);
+        assert_eq!(pool.n_workers(), 1);
     }
 }

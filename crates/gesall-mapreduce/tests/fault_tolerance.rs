@@ -217,6 +217,58 @@ fn node_death_mid_map_wave_recovers_and_completes() {
     // the shuffle never read lost data.
 }
 
+#[test]
+fn node_death_after_map_commit_reships_from_dfs_replica() {
+    use gesall_dfs::{Dfs, DfsConfig};
+    // Same death scenario as above, but with the DFS-transit shuffle on
+    // and replication 2: the committed map outputs homed on the dying
+    // node survive on a replica, so the engine re-ships instead of
+    // re-running — zero map re-executions.
+    let dfs = Dfs::new(DfsConfig {
+        n_nodes: 3,
+        block_size: 1 << 20,
+        replication: 2,
+        ..DfsConfig::default()
+    });
+    let plan = {
+        let mut p = FaultPlan::seeded(9).kill_node_after_maps(1, 6);
+        // Slow every first attempt so the death reliably lands while
+        // committed output is homed on node 1 (see the test above).
+        for t in 0..12 {
+            p = p.slow_down(TaskKind::Map, t, 0, 40);
+        }
+        p
+    };
+    let hook_dfs = dfs.clone();
+    let engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096))
+        .with_shuffle_dfs(dfs.clone())
+        .with_fault_plan(plan)
+        .on_node_death(move |node| {
+            // Mirror the death onto the DFS — its copies on that node are
+            // gone — then restore replication from the survivors, as the
+            // namenode would.
+            hook_dfs.fail_node(node);
+            hook_dfs.re_replicate();
+        });
+    let res = engine
+        .run_job(quick_cfg(), &Tokenize, &Sum, &HashPartitioner, word_splits(12, 30))
+        .expect("replicated shuffle output must survive one node death");
+
+    assert_eq!(sorted_output(&res), fault_free_output_12());
+    assert_eq!(engine.dead_nodes(), vec![1]);
+    assert!(
+        res.counters.get(keys::MAPS_RESHIPPED_FROM_DFS) >= 1,
+        "committed maps homed on the dead node must be served from a replica"
+    );
+    assert_eq!(
+        res.counters.get(keys::MAPS_RERUN_ON_NODE_LOSS),
+        0,
+        "with replication 2 and a single death no map output is lost"
+    );
+    assert!(res.counters.get(keys::SHUFFLE_BYTES_DFS) > 0);
+    assert_eq!(res.counters.get(keys::SHUFFLE_BYTES_MEMORY), 0);
+}
+
 /// Reference output for the 12-split job used in the node-death test.
 fn fault_free_output_12() -> Vec<(String, u64)> {
     let engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096));

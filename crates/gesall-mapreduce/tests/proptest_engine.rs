@@ -4,7 +4,10 @@
 //! "same program, parallel execution".
 
 use gesall_formats::{Codec, SharedBytes};
-use gesall_mapreduce::shuffle::{merge_runs, read_frame, write_frame, CodecPolicy, Segment};
+use gesall_mapreduce::shuffle::{
+    merge_runs, read_frame, reduce_merge, reduce_merge_materialized, write_frame, CodecPolicy,
+    Segment,
+};
 use gesall_mapreduce::{
     ClusterResources, HashPartitioner, InputSplit, JobConfig, MapContext, MapReduceEngine, Mapper,
     ReduceContext, Reducer,
@@ -254,5 +257,50 @@ proptest! {
         let by_copy = gesall_mapreduce::shuffle::reduce_merge::<u64, u64>(vec![owned], 4, &c2);
         prop_assert_eq!(by_ref, by_copy);
         prop_assert_eq!(c1.get("shuffle.records"), pairs.len() as u64);
+    }
+
+    #[test]
+    fn streaming_merge_equals_materialized_oracle(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((0u64..200, any::<u64>()), 0..80),
+            0..12,
+        ),
+        codec_bits in any::<u16>(),
+        min_shift in 0u32..10,
+        merge_factor in 2usize..=16,
+    ) {
+        // The streaming reduce merge (lazy run cursors, merge_factor-
+        // bounded residency) must be indistinguishable from the eager
+        // materializing oracle on any mix of run sizes, codecs, and
+        // fan-ins — including empty runs, singleton runs, duplicate
+        // keys across runs, and run counts forcing multipass merges.
+        let segments: Vec<Segment> = runs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut pairs)| {
+                pairs.sort_unstable();
+                let compress = (codec_bits >> (i % 16)) & 1 == 1;
+                Segment::from_pairs_with(
+                    &pairs,
+                    CodecPolicy::new(compress, 1usize << min_shift),
+                )
+            })
+            .collect();
+        let total_records: u64 = segments.iter().map(|s| s.records).sum();
+        let c_stream = gesall_mapreduce::Counters::new();
+        let c_oracle = gesall_mapreduce::Counters::new();
+        let streaming =
+            reduce_merge::<u64, u64>(segments.clone(), merge_factor, &c_stream);
+        let materialized =
+            reduce_merge_materialized::<u64, u64>(segments, merge_factor, &c_oracle);
+        prop_assert_eq!(streaming, materialized);
+        // The streaming path keeps the shuffle accounting intact.
+        prop_assert_eq!(c_stream.get("shuffle.records"), total_records);
+        let _ = &c_oracle;
+        // The streaming path reports its residency peak whenever it
+        // actually held records.
+        if total_records > 0 {
+            prop_assert!(c_stream.get("mem.reduce.peak_resident") > 0);
+        }
     }
 }

@@ -24,6 +24,14 @@ pub mod keys {
     /// Released spill-scratch buffers dropped because the arena's
     /// free-list was already at capacity (bounded memory, not a leak).
     pub const SPILL_EVICTED: &str = "mem.spill.evicted";
+    /// Peak decoded-side resident bytes of a streaming reduce-side
+    /// merge: decompression scratch for the active runs plus the head
+    /// records under the merge heap. Encoded run storage (zero-copy
+    /// segment windows, arena-recycled rewrite buffers) is the engine's
+    /// "disk" layer and is excluded. Since `Counters::merge` sums, an
+    /// aggregated value is the sum of per-reducer peaks — flat in input
+    /// size at a fixed reducer count and `merge_factor`.
+    pub const REDUCE_PEAK_RESIDENT: &str = "mem.reduce.peak_resident";
 }
 
 /// Derived memory-path statistics from a counter snapshot.
