@@ -41,6 +41,153 @@ pub const REGRESSION_HEADROOM: f64 = 1.15;
 /// ratio should be ~1.0; the slack absorbs head-record jitter.
 pub const PEAK_RESIDENT_FLATNESS: f64 = 1.25;
 
+/// Allowed wall-clock slowdown of the gray-failure probe's faulty run
+/// over its clean twin. The faults are survivable by design; what the
+/// gate catches is a retry/hedge path that stalls instead of routing
+/// around the damage.
+pub const GRAY_FAILURE_SLOWDOWN: f64 = 1.5;
+
+/// Absolute grace added on top of [`GRAY_FAILURE_SLOWDOWN`]: the probe
+/// runs in tens of milliseconds, and the injected faults carry a
+/// deterministic latency floor (one un-hedged slow read before the
+/// latency histogram marks the node, plus a hedge budget per slow read
+/// after) that a pure ratio cannot absorb at this scale. A broken
+/// retry or hedge path stalls for its 10 s deadline and still trips
+/// the gate by two orders of magnitude.
+pub const GRAY_FAILURE_GRACE_MS: f64 = 250.0;
+
+/// What the seeded gray-failure probe measured.
+struct GrayFailureProbe {
+    clean_ms: f64,
+    faulty_ms: f64,
+    detected: u64,
+    repaired: u64,
+    hedged: u64,
+    retried: u64,
+}
+
+/// Run the same small job twice — once clean, once under a seeded
+/// `FaultPlan` combining one corrupt_block, one slow_node, and
+/// flaky_read injections — on twin replication-2 transit DFSes, and
+/// require byte-identical reduce output. The integrity and gray-failure
+/// counters come off the faulty run's DFS registry.
+fn gray_failure_probe() -> Result<GrayFailureProbe, String> {
+    use gesall_dfs::metrics_keys;
+    use gesall_mapreduce::{
+        FaultPlan, HashPartitioner, InputSplit, JobConfig, MapContext, Mapper, ReduceContext,
+        Reducer,
+    };
+
+    struct ModKey;
+    impl Mapper for ModKey {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+            ctx.emit(k % 97, v.wrapping_add(*k));
+        }
+    }
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut ReduceContext<'_, u64, u64>) {
+            ctx.emit(k, vs.iter().fold(0u64, |a, b| a.wrapping_add(*b)));
+        }
+    }
+
+    let splits = || -> Vec<InputSplit<u64, u64>> {
+        (0..12)
+            .map(|s| {
+                let records: Vec<(u64, u64)> =
+                    (0..40).map(|i| ((s * 40 + i) as u64, i as u64)).collect();
+                InputSplit::new(format!("s{s}"), records)
+            })
+            .collect()
+    };
+    let cfg = || JobConfig {
+        name: "gray-probe".into(),
+        n_reducers: 3,
+        io_sort_bytes: 4096,
+        retry_backoff_ms: 1.0,
+        speculative: false,
+        ..JobConfig::default()
+    };
+    // Replication 2 gives every block a verified survivor; the third
+    // node hosts the repair. A tightened hedge budget keeps the slow
+    // node's tax per read small at probe scale.
+    let probe_dfs = || {
+        Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1 << 20,
+            replication: 2,
+            hedge_after_micros: 2_000,
+            ..DfsConfig::default()
+        })
+    };
+
+    let clean_dfs = probe_dfs();
+    let clean_engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096))
+        .with_shuffle_dfs(clean_dfs.clone());
+    let t0 = std::time::Instant::now();
+    let clean = clean_engine
+        .run_job(cfg(), &ModKey, &Sum, &HashPartitioner, splits())
+        .map_err(|e| format!("gray-failure probe: clean run failed: {e}"))?;
+    let clean_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Replica 0 is the primary — the copy reads actually hit — so the
+    // corruption is deterministically detected; the slow node's first
+    // read seeds its latency histogram and every later read hedges.
+    let plan = FaultPlan::seeded(0x6E55)
+        .corrupt_block("map-00000", 0, 0)
+        .flaky_read(0, 4)
+        .flaky_read(1, 4)
+        .slow_node(2, 12);
+    let faulty_dfs = probe_dfs();
+    let faulty_engine = MapReduceEngine::new(ClusterResources::uniform(3, 2, 4096))
+        .with_shuffle_dfs(faulty_dfs.clone())
+        .with_fault_plan(plan);
+    let t1 = std::time::Instant::now();
+    let faulty = faulty_engine
+        .run_job(cfg(), &ModKey, &Sum, &HashPartitioner, splits())
+        .map_err(|e| format!("gray-failure probe: faulty run failed: {e}"))?;
+    let faulty_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let sorted = |res: &gesall_mapreduce::JobResult<u64, u64>| -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = res.outputs.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        all
+    };
+    if sorted(&clean) != sorted(&faulty) {
+        return Err(
+            "gray-failure gate: faulty run's reduce output differs from the clean run — \
+             a damaged or stale byte reached a reducer"
+                .into(),
+        );
+    }
+    let get = |k: &str| faulty_dfs.metrics().counter(k).get();
+    // A detection from a hedge helper thread can land a beat after the
+    // job returns; give it a bounded settle window.
+    for _ in 0..200 {
+        let d = get(metrics_keys::BLOCKS_CORRUPT_DETECTED);
+        if d > 0 && get(metrics_keys::BLOCKS_CORRUPT_REPAIRED) == d {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    Ok(GrayFailureProbe {
+        clean_ms,
+        faulty_ms,
+        detected: get(metrics_keys::BLOCKS_CORRUPT_DETECTED),
+        repaired: get(metrics_keys::BLOCKS_CORRUPT_REPAIRED),
+        hedged: get(metrics_keys::READS_HEDGED),
+        retried: get(metrics_keys::READS_RETRIED),
+    })
+}
+
 /// Peak decoded-side resident bytes of one streaming merge over
 /// `n_runs` equal-sized sorted runs at the given fan-in — the
 /// flatness-gate probe. Deterministic: same runs, same peak.
@@ -210,6 +357,9 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     // move the streaming merge's peak resident bytes.
     let peak_n = streaming_merge_peak(8, 4);
     let peak_2n = streaming_merge_peak(16, 4);
+    // Gray-failure probe: seeded corruption + slow + flaky injections
+    // against a clean twin of the same job.
+    let gray = gray_failure_probe()?;
 
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
@@ -232,6 +382,11 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ),
         ("reduce_peak_resident_8_runs".into(), peak_n.to_string()),
         ("reduce_peak_resident_16_runs".into(), peak_2n.to_string()),
+        ("dfs_reads_hedged".into(), gray.hedged.to_string()),
+        ("dfs_corrupt_repaired".into(), gray.repaired.to_string()),
+        ("dfs_corrupt_detected".into(), gray.detected.to_string()),
+        ("gray_clean_ms".into(), format!("{:.2}", gray.clean_ms)),
+        ("gray_faulty_ms".into(), format!("{:.2}", gray.faulty_ms)),
     ];
     record.config = vec![
         ("n_partitions".into(), scale.n_partitions.to_string()),
@@ -299,6 +454,33 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
              — the merge is no longer memory-bounded"
         ));
     }
+    // Gray-failure gates: the seeded corruption must be detected and
+    // fully repaired, the slow node must have driven reads into
+    // hedging, and surviving the whole matrix must not have cost more
+    // than the allowed slowdown over the clean twin.
+    if gray.detected == 0 || gray.repaired != gray.detected {
+        return Err(format!(
+            "gray-failure gate: {} corrupt blocks detected, {} repaired — \
+             every detection must be repaired from a verified survivor",
+            gray.detected, gray.repaired
+        ));
+    }
+    if gray.hedged == 0 {
+        return Err(
+            "gray-failure gate: no reads hedged against the injected slow node — \
+             the latency histogram is not driving hedged reads"
+                .into(),
+        );
+    }
+    let gray_allowed_ms = gray.clean_ms * GRAY_FAILURE_SLOWDOWN + GRAY_FAILURE_GRACE_MS;
+    if gray.faulty_ms > gray_allowed_ms {
+        return Err(format!(
+            "gray-failure gate: faulty run took {:.1} ms vs {:.1} ms clean \
+             (allowed {GRAY_FAILURE_SLOWDOWN}x + {GRAY_FAILURE_GRACE_MS} ms = {:.1} ms) — \
+             the retry/hedge path is stalling instead of routing around faults",
+            gray.faulty_ms, gray.clean_ms, gray_allowed_ms
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -325,6 +507,11 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
          {shuffle_memory_bytes} in-memory handoffs; reduce merge peaked at \
          {reduce_peak_resident} resident bytes (flatness probe: {peak_n} B @ 8 \
          runs vs {peak_2n} B @ 16 runs, fan-in 4)\n"
+    ));
+    text.push_str(&format!(
+        "Gray failures: {} corrupt blocks detected / {} repaired, {} reads \
+         hedged, {} retried; faulty twin {:.1} ms vs {:.1} ms clean\n",
+        gray.detected, gray.repaired, gray.hedged, gray.retried, gray.faulty_ms, gray.clean_ms
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -420,6 +607,17 @@ mod tests {
         );
         assert!(field("reduce_peak_resident_bytes") > 0);
         assert!(outcome.report.contains("Shuffle transit"));
+        // Gray-failure probe: the seeded faults fired and were survived.
+        assert!(
+            field("dfs_reads_hedged") > 0,
+            "the slow node must push reads into hedging"
+        );
+        assert!(
+            field("dfs_corrupt_repaired") > 0,
+            "the injected corruption must be detected and repaired"
+        );
+        assert_eq!(field("dfs_corrupt_repaired"), field("dfs_corrupt_detected"));
+        assert!(outcome.report.contains("Gray failures"));
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

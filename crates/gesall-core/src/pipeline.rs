@@ -282,6 +282,11 @@ impl GesallPlatform {
         // jobs with `shuffle_via_dfs` on (the per-job flag comes from
         // `PlatformConfig` in `job_config`).
         engine.set_shuffle_dfs(dfs.clone());
+        // Crash sweep: shuffle-transit files are deleted by the engine
+        // when a job finishes, so any still present at platform startup
+        // were orphaned by a crashed prior process. Reclaim them before
+        // new jobs write next to them.
+        dfs.sweep_orphans();
         GesallPlatform {
             dfs,
             engine,
@@ -293,9 +298,10 @@ impl GesallPlatform {
     /// Like [`GesallPlatform::new`], but wires the engine's node-death
     /// hook to the DFS: when the engine declares a node dead mid-wave,
     /// the DFS fails the same node (scrubbing its replicas from file
-    /// metadata) and immediately re-replicates under-replicated blocks
-    /// onto surviving nodes — the YARN-NodeManager-death → HDFS-
-    /// re-replication coupling of a real cluster.
+    /// metadata) and immediately re-replicates exactly the blocks the
+    /// failure under-replicated — the YARN-NodeManager-death → HDFS-
+    /// re-replication coupling of a real cluster, using the incremental
+    /// per-node index rather than a namespace sweep.
     pub fn with_fault_tolerance(
         dfs: Dfs,
         engine: MapReduceEngine,
@@ -305,8 +311,8 @@ impl GesallPlatform {
         let n_dfs_nodes = dfs.config().n_nodes;
         let engine = engine.on_node_death(move |node| {
             if node < n_dfs_nodes {
-                hook_dfs.fail_node(node);
-                hook_dfs.re_replicate();
+                let report = hook_dfs.fail_node(node);
+                hook_dfs.re_replicate_blocks(&report.under_replicated);
             }
         });
         GesallPlatform::new(dfs, engine, config)

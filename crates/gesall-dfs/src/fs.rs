@@ -1,14 +1,16 @@
 //! The distributed file system: name node + data nodes + client API.
 
+use crate::checksum::xxh64;
 use crate::placement::{BlockPlacementPolicy, DefaultPlacement};
 use gesall_formats::SharedBytes;
-use gesall_telemetry::MetricsRegistry;
-use parking_lot::RwLock;
+use gesall_telemetry::{Histogram, MetricsRegistry};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// DFS error type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,10 +18,28 @@ pub enum DfsError {
     FileNotFound(String),
     FileExists(String),
     BlockMissing(u64),
+    /// Every reachable replica of the block failed checksum
+    /// verification — the data is unrecoverable, not worth retrying.
+    Corrupt(u64),
+    /// The per-op read deadline elapsed before any replica served.
+    Timeout(String),
+    /// A requested byte range falls outside the file.
+    BadRange(String),
     BadPolicy(String),
     NoLiveNodes,
-    /// Block-store I/O failed (persisting or mapping a block file).
+    /// Block-store I/O failed (persisting or mapping a block file), or a
+    /// replica read failed transiently. Retryable.
     Io(String),
+}
+
+impl DfsError {
+    /// Can a retry plausibly succeed? Transient I/O and deadline
+    /// expiries are worth re-attempting; corruption with no surviving
+    /// replica, missing blocks, and caller bugs are not. Shuffle-fetch
+    /// retry loops key off this to avoid spinning on fatal errors.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, DfsError::Io(_) | DfsError::Timeout(_))
+    }
 }
 
 impl fmt::Display for DfsError {
@@ -28,6 +48,9 @@ impl fmt::Display for DfsError {
             DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
             DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
             DfsError::BlockMissing(b) => write!(f, "block {b} missing from all replicas"),
+            DfsError::Corrupt(b) => write!(f, "block {b} corrupt on every reachable replica"),
+            DfsError::Timeout(m) => write!(f, "read deadline exceeded: {m}"),
+            DfsError::BadRange(m) => write!(f, "bad range: {m}"),
             DfsError::BadPolicy(m) => write!(f, "bad placement: {m}"),
             DfsError::NoLiveNodes => write!(f, "no live data nodes remain"),
             DfsError::Io(m) => write!(f, "block store i/o: {m}"),
@@ -45,6 +68,9 @@ pub struct BlockInfo {
     pub len: usize,
     /// Data-node indices holding replicas.
     pub nodes: Vec<usize>,
+    /// XXH64 of the block payload, computed at write time and verified
+    /// against every replica read ([`crate::checksum`]).
+    pub checksum: u64,
 }
 
 /// Metadata of one stored file.
@@ -113,6 +139,26 @@ pub struct DfsConfig {
     /// meaningful with `block_store_dir` set. Counted under
     /// [`metrics_keys::BLOCKS_PACKED`].
     pub pack_threshold: usize,
+    /// How many times a failed block read is re-attempted when the
+    /// failure is transient ([`DfsError::is_retryable`]). Each retry
+    /// sleeps an exponentially growing, seed-jittered backoff.
+    pub read_retries: usize,
+    /// Base backoff before the first retry, in milliseconds; doubles
+    /// per attempt with ±50% deterministic jitter from `seed`.
+    pub retry_backoff_ms: u64,
+    /// Per-op deadline for one `read_block` call, retries included.
+    /// Exhausting it yields [`DfsError::Timeout`].
+    pub read_deadline_ms: u64,
+    /// Hedged-read latency budget, in microseconds. When a block has a
+    /// second live replica and the primary replica's node shows a p90
+    /// read latency above this budget (per-node log2 histogram), the
+    /// primary read is raced against the alternate replica and the
+    /// first finisher wins — the storage-layer analogue of speculative
+    /// task execution.
+    pub hedge_after_micros: u64,
+    /// Seed for retry-backoff jitter, so fault-injection runs are
+    /// reproducible end to end.
+    pub seed: u64,
 }
 
 impl Default for DfsConfig {
@@ -123,6 +169,11 @@ impl Default for DfsConfig {
             replication: 1,
             block_store_dir: None,
             pack_threshold: 0,
+            read_retries: 3,
+            retry_backoff_ms: 1,
+            read_deadline_ms: 10_000,
+            hedge_after_micros: 5_000,
+            seed: 0,
         }
     }
 }
@@ -214,6 +265,29 @@ struct NameNode {
     files: RwLock<HashMap<String, FileInfo>>,
 }
 
+/// A pending corrupt-on-write injection: flip a byte of the stored
+/// replica whenever a write's path contains `path_contains` and the
+/// block index matches. The block's metadata checksum keeps the true
+/// value, so the next read of that replica detects the damage.
+struct CorruptOnWrite {
+    path_contains: String,
+    block: usize,
+    replica: usize,
+}
+
+/// Gray-failure injection state, armed by the fault harness
+/// ([`Dfs::inject_corrupt_on_write`] et al.). All injections apply to
+/// the client read/write paths only — the repair path reads replicas
+/// directly, as a datanode-local scrubber would.
+#[derive(Default)]
+struct FaultState {
+    corrupt_on_write: Mutex<Vec<CorruptOnWrite>>,
+    /// node → remaining reads that fail with a transient error.
+    flaky: Mutex<HashMap<usize, u64>>,
+    /// node → injected per-read service delay (ms).
+    slow: RwLock<HashMap<usize, u64>>,
+}
+
 /// The DFS handle. Cheap to clone (`Arc` inside); safe to share across
 /// worker threads.
 #[derive(Clone)]
@@ -229,9 +303,28 @@ struct DfsInner {
     /// Nodes declared dead via `fail_node`. Writes avoid them; they never
     /// come back (matching the engine's permanent node-death model).
     dead: RwLock<HashSet<usize>>,
+    /// Block id → owning file path. Lets quarantine, targeted repair,
+    /// and incremental re-replication reach a block's metadata without
+    /// scanning the whole namespace.
+    locator: RwLock<HashMap<u64, String>>,
+    /// Per-node index of block ids whose metadata lists that node — the
+    /// inverse of `FileInfo::blocks[].nodes`. `fail_node` drains the
+    /// dead node's entry and scrubs exactly those blocks instead of
+    /// sweeping every file.
+    node_index: Vec<RwLock<HashSet<u64>>>,
+    /// Per-node replica-read service latency (µs), log2-bucketed. The
+    /// hedging policy consults the primary node's p90 against
+    /// [`DfsConfig::hedge_after_micros`].
+    read_lat: Vec<Arc<Histogram>>,
+    /// Injected gray failures (see [`FaultState`]).
+    faults: FaultState,
     /// Block-level I/O counters (see [`metrics_keys`]).
     metrics: MetricsRegistry,
 }
+
+// Lock acquisition order, where two must be held at once:
+// `locator` → `namenode.files` → `node_index` → `datanodes[n].blocks`
+// → `datanodes[n].extent`. Every multi-lock path below follows it.
 
 /// Counter names the DFS maintains on its [`MetricsRegistry`].
 pub mod metrics_keys {
@@ -264,6 +357,24 @@ pub mod metrics_keys {
     /// shared per-node extent file instead of receiving their own
     /// `.blk` inode (a subset of [`BLOCKS_MAPPED`]).
     pub const BLOCKS_PACKED: &str = "dfs.blocks.packed";
+    /// Replicas whose payload failed checksum verification — each one
+    /// is quarantined (dropped from storage and metadata) on detection.
+    pub const BLOCKS_CORRUPT_DETECTED: &str = "dfs.blocks.corrupt.detected";
+    /// Replicas re-created from a verified survivor after a corrupt
+    /// replica was quarantined (targeted repair).
+    pub const BLOCKS_CORRUPT_REPAIRED: &str = "dfs.blocks.corrupt.repaired";
+    /// Replicas created by [`Dfs::re_replicate_blocks`] — the
+    /// incremental (per-node-index) repair path, vs the full sweep.
+    pub const BLOCKS_REREPLICATED_INCREMENTAL: &str = "dfs.blocks.rereplicated.incremental";
+    /// Block reads re-attempted after a transient failure.
+    pub const READS_RETRIED: &str = "dfs.reads.retried";
+    /// Block reads where a hedge (second replica race) was launched
+    /// because the primary exceeded its latency budget.
+    pub const READS_HEDGED: &str = "dfs.reads.hedged";
+    /// Hedged reads where the alternate replica finished first.
+    pub const READS_HEDGE_WINS: &str = "dfs.reads.hedge_wins";
+    /// Stale shuffle-transit files removed by [`Dfs::sweep_orphans`].
+    pub const ORPHANS_SWEPT: &str = "dfs.orphans.swept";
 }
 
 impl Dfs {
@@ -276,6 +387,13 @@ impl Dfs {
                 extent: parking_lot::Mutex::new(ExtentState::default()),
             })
             .collect();
+        let metrics = MetricsRegistry::new();
+        let read_lat = (0..config.n_nodes)
+            .map(|n| metrics.histogram(&format!("dfs.read.latency.node{n}.micros")))
+            .collect();
+        let node_index = (0..config.n_nodes)
+            .map(|_| RwLock::new(HashSet::new()))
+            .collect();
         Dfs {
             inner: Arc::new(DfsInner {
                 config,
@@ -285,7 +403,11 @@ impl Dfs {
                 datanodes,
                 next_block: AtomicU64::new(1),
                 dead: RwLock::new(HashSet::new()),
-                metrics: MetricsRegistry::new(),
+                locator: RwLock::new(HashMap::new()),
+                node_index,
+                read_lat,
+                faults: FaultState::default(),
+                metrics,
             }),
         }
     }
@@ -366,9 +488,11 @@ impl Dfs {
             }
             let nodes = remap_around_dead(nodes, &dead, n_nodes)?;
             let id = self.inner.next_block.fetch_add(1, Ordering::Relaxed);
+            let checksum = xxh64(chunk.as_slice());
             for &n in &nodes {
-                self.store_replica(n, id, &chunk)?;
+                self.store_replica(n, id, &chunk, checksum)?;
             }
+            self.apply_corrupt_on_write(path, bi, &nodes, id);
             let m = &self.inner.metrics;
             m.counter(metrics_keys::BLOCKS_WRITTEN).add(nodes.len() as u64);
             m.counter(metrics_keys::BYTES_WRITTEN)
@@ -377,7 +501,19 @@ impl Dfs {
                 id,
                 len: chunk.len(),
                 nodes,
+                checksum,
             });
+        }
+        {
+            let mut locator = self.inner.locator.write();
+            for b in &blocks {
+                locator.insert(b.id, path.to_string());
+            }
+        }
+        for b in &blocks {
+            for &n in &b.nodes {
+                self.inner.node_index[n].write().insert(b.id);
+            }
         }
         let info = FileInfo {
             path: path.to_string(),
@@ -412,13 +548,22 @@ impl Dfs {
     /// backing, or — with a block store configured — persisted to the
     /// node's directory and re-served through a file mapping. Replicas
     /// under the pack threshold append to the node's shared extent file
-    /// rather than taking an inode each.
-    fn store_replica(&self, node: usize, id: u64, chunk: &SharedBytes) -> Result<(), DfsError> {
+    /// rather than taking an inode each. With a block store, the
+    /// block's checksum is also appended to the node's `checksums.crc`
+    /// log, persisting integrity metadata alongside blocks and extents.
+    fn store_replica(
+        &self,
+        node: usize,
+        id: u64,
+        chunk: &SharedBytes,
+        checksum: u64,
+    ) -> Result<(), DfsError> {
         let io = |e: std::io::Error| DfsError::Io(format!("block {id} on node {node}: {e}"));
         let backing = match &self.inner.config.block_store_dir {
             Some(dir) => {
                 let node_dir = dir.join(format!("node-{node}"));
                 std::fs::create_dir_all(&node_dir).map_err(io)?;
+                append_checksum_record(&node_dir, id, checksum).map_err(io)?;
                 if !chunk.is_empty() && chunk.len() < self.inner.config.pack_threshold {
                     self.pack_replica(node, &node_dir, chunk).map_err(io)?
                 } else {
@@ -484,16 +629,257 @@ impl Dfs {
     /// Read one block from any live replica. Zero-copy: the returned
     /// handle is a window onto the stored block itself (the writer's
     /// backing, or the block file's mapping when persisted).
+    ///
+    /// Every replica payload is verified against the block's checksum;
+    /// a mismatch quarantines that replica, repairs it from a verified
+    /// survivor, and falls through to the next replica — a corrupt
+    /// replica never reaches the caller. Transient failures are retried
+    /// up to [`DfsConfig::read_retries`] times with seeded-jitter
+    /// exponential backoff under a per-op deadline, and a slow primary
+    /// replica is hedged against an alternate (see
+    /// [`DfsConfig::hedge_after_micros`]).
     pub fn read_block(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
-        for &n in &block.nodes {
-            if let Some(b) = self.inner.datanodes[n].blocks.read().get(&block.id) {
-                let m = &self.inner.metrics;
-                m.counter(metrics_keys::BLOCKS_READ).add(1);
-                m.counter(metrics_keys::BYTES_READ).add(b.len() as u64);
-                return Ok(b.bytes().clone());
+        let cfg = &self.inner.config;
+        let start = Instant::now();
+        let deadline = Duration::from_millis(cfg.read_deadline_ms.max(1));
+        let mut attempt = 0usize;
+        loop {
+            match self.read_block_once(block) {
+                Ok(bytes) => {
+                    let m = &self.inner.metrics;
+                    m.counter(metrics_keys::BLOCKS_READ).add(1);
+                    m.counter(metrics_keys::BYTES_READ).add(bytes.len() as u64);
+                    return Ok(bytes);
+                }
+                Err(e) if e.is_retryable() && attempt < cfg.read_retries => {
+                    attempt += 1;
+                    self.inner
+                        .metrics
+                        .counter(metrics_keys::READS_RETRIED)
+                        .add(1);
+                    let pause =
+                        backoff_with_jitter(cfg.retry_backoff_ms, attempt, cfg.seed, block.id);
+                    if start.elapsed() + pause >= deadline {
+                        return Err(DfsError::Timeout(format!(
+                            "block {}: {} ms deadline exhausted after {attempt} retries ({e})",
+                            block.id, cfg.read_deadline_ms
+                        )));
+                    }
+                    std::thread::sleep(pause);
+                }
+                Err(e) => return Err(e),
             }
         }
-        Err(DfsError::BlockMissing(block.id))
+    }
+
+    /// One pass over the block's live replicas: hedge the primary when
+    /// its node looks slow, verify whatever payload is served, and
+    /// classify the failure if nothing verifies.
+    fn read_block_once(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
+        let nodes = self.live_replica_nodes(block);
+        if nodes.is_empty() {
+            return Err(DfsError::BlockMissing(block.id));
+        }
+        let mut transient: Option<String> = None;
+        let mut saw_corrupt = false;
+        let mut result: Option<SharedBytes> = None;
+        let mut next = 0usize;
+        if nodes.len() > 1 && self.node_suspect_slow(nodes[0]) {
+            next = 2;
+            match self.hedged_read(block, nodes[0], nodes[1]) {
+                ReplicaRead::Ok(b) => result = Some(b),
+                ReplicaRead::Corrupt => saw_corrupt = true,
+                ReplicaRead::Transient(m) => transient = Some(m),
+                ReplicaRead::Missing => {}
+            }
+        }
+        if result.is_none() {
+            for &n in &nodes[next.min(nodes.len())..] {
+                match self.read_replica(n, block) {
+                    ReplicaRead::Ok(b) => {
+                        result = Some(b);
+                        break;
+                    }
+                    ReplicaRead::Corrupt => saw_corrupt = true,
+                    ReplicaRead::Transient(m) => transient = Some(m),
+                    ReplicaRead::Missing => {}
+                }
+            }
+        }
+        match (result, transient) {
+            (Some(bytes), _) => Ok(bytes),
+            // A transient failure may clear on retry even if another
+            // replica was corrupt (that one is already quarantined).
+            (None, Some(msg)) => Err(DfsError::Io(msg)),
+            (None, None) if saw_corrupt => Err(DfsError::Corrupt(block.id)),
+            (None, None) => Err(DfsError::BlockMissing(block.id)),
+        }
+    }
+
+    /// The block's replica homes per current metadata (the caller's
+    /// `BlockInfo` may predate a quarantine or repair), minus dead
+    /// nodes. Falls back to the caller's snapshot for deleted files.
+    fn live_replica_nodes(&self, block: &BlockInfo) -> Vec<usize> {
+        let fresh = {
+            let locator = self.inner.locator.read();
+            locator.get(&block.id).cloned()
+        }
+        .and_then(|path| {
+            self.inner.namenode.files.read().get(&path).and_then(|info| {
+                info.blocks
+                    .iter()
+                    .find(|b| b.id == block.id)
+                    .map(|b| b.nodes.clone())
+            })
+        });
+        let dead = self.inner.dead.read();
+        fresh
+            .unwrap_or_else(|| block.nodes.clone())
+            .into_iter()
+            .filter(|n| !dead.contains(n))
+            .collect()
+    }
+
+    /// Does `node`'s read-latency history (p90) exceed the hedge budget?
+    fn node_suspect_slow(&self, node: usize) -> bool {
+        let h = &self.inner.read_lat[node];
+        h.count() > 0 && h.quantile(0.9).unwrap_or(0) > self.inner.config.hedge_after_micros
+    }
+
+    /// Race the suspected-slow `primary` replica against `alt`:
+    /// the primary runs on a helper thread; if it hasn't answered
+    /// within the hedge budget, read the alternate inline and take
+    /// whichever verifies first.
+    fn hedged_read(&self, block: &BlockInfo, primary: usize, alt: usize) -> ReplicaRead {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let dfs = self.clone();
+        let blk = block.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(dfs.read_replica(primary, &blk));
+        });
+        let budget = Duration::from_micros(self.inner.config.hedge_after_micros.max(1));
+        match rx.recv_timeout(budget) {
+            Ok(outcome) => outcome,
+            Err(_) => {
+                let m = &self.inner.metrics;
+                m.counter(metrics_keys::READS_HEDGED).add(1);
+                let alt_outcome = self.read_replica(alt, block);
+                if matches!(alt_outcome, ReplicaRead::Ok(_)) {
+                    m.counter(metrics_keys::READS_HEDGE_WINS).add(1);
+                    return alt_outcome;
+                }
+                // Alternate lost too: fall back to whatever the primary
+                // eventually produces (its thread always terminates).
+                rx.recv().unwrap_or(alt_outcome)
+            }
+        }
+    }
+
+    /// Serve one replica from `node`, applying injected gray failures,
+    /// recording service latency, and verifying the checksum. A
+    /// mismatch quarantines the replica and triggers targeted repair
+    /// before reporting [`ReplicaRead::Corrupt`].
+    fn read_replica(&self, node: usize, block: &BlockInfo) -> ReplicaRead {
+        let start = Instant::now();
+        let slow_ms = self.inner.faults.slow.read().get(&node).copied();
+        if let Some(ms) = slow_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if self.take_flaky_failure(node) {
+            return ReplicaRead::Transient(format!(
+                "transient read failure on node {node} (block {})",
+                block.id
+            ));
+        }
+        let bytes = {
+            let blocks = self.inner.datanodes[node].blocks.read();
+            match blocks.get(&block.id) {
+                Some(b) => b.bytes().clone(),
+                None => return ReplicaRead::Missing,
+            }
+        };
+        let verified = xxh64(bytes.as_slice()) == block.checksum;
+        self.inner.read_lat[node].record(start.elapsed().as_micros() as u64);
+        if verified {
+            ReplicaRead::Ok(bytes)
+        } else {
+            if self.quarantine_replica(node, block.id) {
+                self.repair_block(block.id);
+            }
+            ReplicaRead::Corrupt
+        }
+    }
+
+    /// Injected flaky read: consume one scheduled failure for `node`.
+    fn take_flaky_failure(&self, node: usize) -> bool {
+        let mut flaky = self.inner.faults.flaky.lock();
+        match flaky.get_mut(&node) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop a replica that failed verification: scrub it from the
+    /// block's metadata and node index, then remove its storage.
+    /// Returns `true` for the caller that actually removed the stored
+    /// payload (concurrent detections count the corruption once).
+    fn quarantine_replica(&self, node: usize, id: u64) -> bool {
+        let path = self.inner.locator.read().get(&id).cloned();
+        if let Some(path) = path {
+            let mut files = self.inner.namenode.files.write();
+            if let Some(info) = files.get_mut(&path) {
+                if let Some(b) = info.blocks.iter_mut().find(|b| b.id == id) {
+                    b.nodes.retain(|&n| n != node);
+                }
+            }
+        }
+        self.inner.node_index[node].write().remove(&id);
+        match self.inner.datanodes[node].blocks.write().remove(&id) {
+            Some(backing) => {
+                backing.unlink();
+                self.inner
+                    .metrics
+                    .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                    .add(1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Targeted repair after a quarantine: restore the block to its
+    /// effective replication from a checksum-verified survivor. Counts
+    /// created replicas under [`metrics_keys::BLOCKS_CORRUPT_REPAIRED`].
+    fn repair_block(&self, id: u64) -> usize {
+        let (live, effective) = self.live_and_effective();
+        let path = self.inner.locator.read().get(&id).cloned();
+        let Some(path) = path else { return 0 };
+        let mut files = self.inner.namenode.files.write();
+        let Some(info) = files.get_mut(&path) else { return 0 };
+        let Some(b) = info.blocks.iter_mut().find(|b| b.id == id) else {
+            return 0;
+        };
+        let (created, _) = self.restore_block_locked(b, &live, effective);
+        if created > 0 {
+            self.inner
+                .metrics
+                .counter(metrics_keys::BLOCKS_CORRUPT_REPAIRED)
+                .add(created as u64);
+        }
+        created
+    }
+
+    /// Live nodes and the replication factor they can support.
+    fn live_and_effective(&self) -> (Vec<usize>, usize) {
+        let dead = self.inner.dead.read();
+        let live: Vec<usize> = (0..self.inner.config.n_nodes)
+            .filter(|n| !dead.contains(n))
+            .collect();
+        let effective = self.inner.config.replication.min(live.len());
+        (live, effective)
     }
 
     /// Read an entire file back into a fresh owned buffer (one counted
@@ -551,7 +937,7 @@ impl Dfs {
             .checked_add(len)
             .filter(|&e| e <= info.len)
             .ok_or_else(|| {
-                DfsError::Io(format!(
+                DfsError::BadRange(format!(
                     "range {offset}+{len} beyond {path} (len {})",
                     info.len
                 ))
@@ -621,14 +1007,47 @@ impl Dfs {
                 .remove(path)
                 .ok_or_else(|| DfsError::FileNotFound(path.to_string()))?
         };
+        {
+            let mut locator = self.inner.locator.write();
+            for b in &info.blocks {
+                locator.remove(&b.id);
+            }
+        }
         for b in &info.blocks {
             for &n in &b.nodes {
+                self.inner.node_index[n].write().remove(&b.id);
                 if let Some(backing) = self.inner.datanodes[n].blocks.write().remove(&b.id) {
                     backing.unlink();
                 }
             }
         }
         Ok(())
+    }
+
+    /// Remove stale shuffle-transit files (`…/shuffle-<run>/…`) left
+    /// behind by a crashed prior process. The engine deletes its transit
+    /// prefix when a job completes, so anything still matching at
+    /// platform startup is an orphan. Returns the number of files swept
+    /// (counted under [`metrics_keys::ORPHANS_SWEPT`]).
+    pub fn sweep_orphans(&self) -> usize {
+        let stale: Vec<String> = self
+            .list("")
+            .into_iter()
+            .filter(|p| is_shuffle_transit_path(p))
+            .collect();
+        let mut swept = 0usize;
+        for path in &stale {
+            if self.delete(path).is_ok() {
+                swept += 1;
+            }
+        }
+        if swept > 0 {
+            self.inner
+                .metrics
+                .counter(metrics_keys::ORPHANS_SWEPT)
+                .add(swept as u64);
+        }
+        swept
     }
 
     /// All paths with the given prefix, sorted.
@@ -683,12 +1102,16 @@ impl Dfs {
         self.inner.datanodes[node].extent.lock().open = None;
     }
 
-    /// Declare a node dead: drop its replicas, scrub it from every file's
-    /// block locations, and exclude it from future writes.
+    /// Declare a node dead: drop its replicas, scrub it from the
+    /// affected files' block locations, and exclude it from future
+    /// writes.
     ///
-    /// Returns a [`FailureReport`] listing blocks that lost their last
-    /// replica and blocks that are now under-replicated. Calling it twice
-    /// for the same node is a no-op reporting no further damage.
+    /// The scrub is incremental: the per-node block index names exactly
+    /// the blocks whose metadata lists this node, so only their owning
+    /// files are touched — no namespace-wide sweep. Returns a
+    /// [`FailureReport`] listing blocks that lost their last replica
+    /// and blocks that are now under-replicated. Calling it twice for
+    /// the same node is a no-op reporting no further damage.
     pub fn fail_node(&self, node: usize) -> FailureReport {
         assert!(node < self.inner.config.n_nodes, "no such node: {node}");
         if !self.inner.dead.read().contains(&node) {
@@ -696,21 +1119,29 @@ impl Dfs {
         }
         self.inner.dead.write().insert(node);
         self.wipe_node_storage(node);
+        let held: Vec<u64> = {
+            let mut index = self.inner.node_index[node].write();
+            index.drain().collect()
+        };
         let target = self.inner.config.replication;
         let mut report = FailureReport {
             node,
             ..FailureReport::default()
         };
+        let locator = self.inner.locator.read();
         let mut files = self.inner.namenode.files.write();
-        for info in files.values_mut() {
-            for b in info.blocks.iter_mut() {
-                if let Some(pos) = b.nodes.iter().position(|&n| n == node) {
-                    b.nodes.remove(pos);
-                    if b.nodes.is_empty() {
-                        report.blocks_lost.push(b.id);
-                    } else if b.nodes.len() < target {
-                        report.under_replicated.push(b.id);
-                    }
+        for id in held {
+            let Some(path) = locator.get(&id) else { continue };
+            let Some(info) = files.get_mut(path) else { continue };
+            let Some(b) = info.blocks.iter_mut().find(|b| b.id == id) else {
+                continue;
+            };
+            if let Some(pos) = b.nodes.iter().position(|&n| n == node) {
+                b.nodes.remove(pos);
+                if b.nodes.is_empty() {
+                    report.blocks_lost.push(id);
+                } else if b.nodes.len() < target {
+                    report.under_replicated.push(id);
                 }
             }
         }
@@ -734,41 +1165,24 @@ impl Dfs {
     /// Copy surviving replicas of under-replicated blocks onto live nodes
     /// until every block reaches `min(replication, live nodes)` replicas —
     /// the name node's re-replication sweep after a failure. Targets are
-    /// chosen least-loaded-first. Returns the number of replicas created.
+    /// chosen least-loaded-first; copy sources are checksum-verified, so
+    /// a corrupt replica is never propagated (it is quarantined instead).
+    /// Returns the number of replicas created.
     pub fn re_replicate(&self) -> usize {
-        let dead = self.inner.dead.read().clone();
-        let live: Vec<usize> = (0..self.inner.config.n_nodes)
-            .filter(|n| !dead.contains(n))
-            .collect();
-        let effective = self.inner.config.replication.min(live.len());
-        let mut created = 0;
+        let (live, effective) = self.live_and_effective();
+        let mut created = 0usize;
         let mut files = self.inner.namenode.files.write();
         for info in files.values_mut() {
             for b in info.blocks.iter_mut() {
-                while !b.nodes.is_empty() && b.nodes.len() < effective {
-                    // A surviving replica to copy from (kill_node may have
-                    // silently wiped some listed homes, so probe them all).
-                    let Some(payload) = b.nodes.iter().find_map(|&n| {
-                        self.inner.datanodes[n]
-                            .blocks
-                            .read()
-                            .get(&b.id)
-                            .map(|bb| bb.bytes().clone())
-                    }) else {
-                        break;
-                    };
-                    let Some(&dst) = live
-                        .iter()
-                        .filter(|n| !b.nodes.contains(n))
-                        .min_by_key(|&&n| self.inner.datanodes[n].blocks.read().len())
-                    else {
-                        break;
-                    };
-                    if self.store_replica(dst, b.id, &payload).is_err() {
-                        break;
-                    }
-                    b.nodes.push(dst);
-                    created += 1;
+                let (c, dropped) = self.restore_block_locked(b, &live, effective);
+                created += c;
+                if dropped > 0 {
+                    // Replicas re-created in place of corrupt sources
+                    // found during this sweep count as repairs too.
+                    self.inner
+                        .metrics
+                        .counter(metrics_keys::BLOCKS_CORRUPT_REPAIRED)
+                        .add(c.min(dropped) as u64);
                 }
             }
         }
@@ -780,6 +1194,230 @@ impl Dfs {
         }
         created
     }
+
+    /// Incremental re-replication: restore only the given blocks (as
+    /// reported by [`Dfs::fail_node`]) via the block locator, instead of
+    /// sweeping the whole namespace. Returns the number of replicas
+    /// created, counted under both
+    /// [`metrics_keys::BLOCKS_REREPLICATED_INCREMENTAL`] and
+    /// [`metrics_keys::REPLICAS_RESTORED`].
+    pub fn re_replicate_blocks(&self, ids: &[u64]) -> usize {
+        let (live, effective) = self.live_and_effective();
+        let mut created = 0usize;
+        let locator = self.inner.locator.read();
+        let mut files = self.inner.namenode.files.write();
+        for &id in ids {
+            let Some(path) = locator.get(&id) else { continue };
+            let Some(info) = files.get_mut(path) else { continue };
+            let Some(b) = info.blocks.iter_mut().find(|b| b.id == id) else {
+                continue;
+            };
+            let (c, _) = self.restore_block_locked(b, &live, effective);
+            created += c;
+        }
+        if created > 0 {
+            let m = &self.inner.metrics;
+            m.counter(metrics_keys::BLOCKS_REREPLICATED_INCREMENTAL)
+                .add(created as u64);
+            m.counter(metrics_keys::REPLICAS_RESTORED).add(created as u64);
+        }
+        created
+    }
+
+    /// Bring one block (whose metadata entry the caller holds mutably,
+    /// under the namenode write lock) back to `effective` replicas.
+    /// Sources are checksum-verified; replicas that fail verification
+    /// are dropped from storage and metadata on the spot (counted as
+    /// detected corruption). Returns `(replicas created, corrupt
+    /// replicas dropped)`.
+    fn restore_block_locked(
+        &self,
+        b: &mut BlockInfo,
+        live: &[usize],
+        effective: usize,
+    ) -> (usize, usize) {
+        let mut created = 0usize;
+        let mut dropped = 0usize;
+        while !b.nodes.is_empty() && b.nodes.len() < effective {
+            // A verified surviving replica to copy from (kill_node may
+            // have silently wiped some listed homes; bit rot may have
+            // silently damaged others — probe and verify them all).
+            let mut payload: Option<SharedBytes> = None;
+            let mut i = 0;
+            while i < b.nodes.len() {
+                let n = b.nodes[i];
+                let candidate = self.inner.datanodes[n]
+                    .blocks
+                    .read()
+                    .get(&b.id)
+                    .map(|bb| bb.bytes().clone());
+                match candidate {
+                    Some(bytes) if xxh64(bytes.as_slice()) == b.checksum => {
+                        payload = Some(bytes);
+                        break;
+                    }
+                    Some(_) => {
+                        // Corrupt source: quarantine it right here (we
+                        // already hold the metadata lock).
+                        b.nodes.remove(i);
+                        self.inner.node_index[n].write().remove(&b.id);
+                        if let Some(bad) = self.inner.datanodes[n].blocks.write().remove(&b.id) {
+                            bad.unlink();
+                        }
+                        self.inner
+                            .metrics
+                            .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                            .add(1);
+                        dropped += 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            let Some(payload) = payload else { break };
+            let Some(&dst) = live
+                .iter()
+                .filter(|n| !b.nodes.contains(n))
+                .min_by_key(|&&n| self.inner.datanodes[n].blocks.read().len())
+            else {
+                break;
+            };
+            if self.store_replica(dst, b.id, &payload, b.checksum).is_err() {
+                break;
+            }
+            b.nodes.push(dst);
+            self.inner.node_index[dst].write().insert(b.id);
+            created += 1;
+        }
+        (created, dropped)
+    }
+
+    /// Flip a byte of the stored replica of `path`'s `block`-th block on
+    /// its `replica`-th home — simulated bit rot for integrity tests.
+    /// The block's metadata checksum still holds the true value, so the
+    /// next read detects and repairs the damage.
+    pub fn corrupt_block(&self, path: &str, block: usize, replica: usize) -> Result<(), DfsError> {
+        let info = self.stat(path)?;
+        let b = info.blocks.get(block).ok_or_else(|| {
+            DfsError::BadRange(format!("{path} has {} blocks, not {block}", info.blocks.len()))
+        })?;
+        let &node = b.nodes.get(replica).ok_or_else(|| {
+            DfsError::BadRange(format!(
+                "block {} has {} replicas, not {replica}",
+                b.id,
+                b.nodes.len()
+            ))
+        })?;
+        self.corrupt_replica_storage(node, b.id)
+    }
+
+    /// Arm a corrupt-on-write injection: any future write whose path
+    /// contains `path_contains` gets the stored payload of its
+    /// `block`-th block's `replica`-th home bit-flipped after the write
+    /// completes. Deterministic — fires on every matching write.
+    pub fn inject_corrupt_on_write(&self, path_contains: &str, block: usize, replica: usize) {
+        self.inner
+            .faults
+            .corrupt_on_write
+            .lock()
+            .push(CorruptOnWrite {
+                path_contains: path_contains.to_string(),
+                block,
+                replica,
+            });
+    }
+
+    /// Arm a flaky-read injection: the next `fail_first_n` replica
+    /// reads served by `node` fail with a retryable transient error.
+    pub fn inject_flaky_reads(&self, node: usize, fail_first_n: u64) {
+        self.inner.faults.flaky.lock().insert(node, fail_first_n);
+    }
+
+    /// Arm a slow-node injection: every replica read served by `node`
+    /// sleeps `delay_ms` first — a limping-but-alive disk. Hedged reads
+    /// are the intended countermeasure.
+    pub fn inject_slow_node(&self, node: usize, delay_ms: u64) {
+        self.inner.faults.slow.write().insert(node, delay_ms);
+    }
+
+    /// Apply any armed corrupt-on-write injections to a block just
+    /// written to `nodes` as block index `bi` of `path`.
+    fn apply_corrupt_on_write(&self, path: &str, bi: usize, nodes: &[usize], id: u64) {
+        let plans = self.inner.faults.corrupt_on_write.lock();
+        for c in plans.iter() {
+            if c.block == bi && path.contains(&c.path_contains) {
+                if let Some(&n) = nodes.get(c.replica) {
+                    let _ = self.corrupt_replica_storage(n, id);
+                }
+            }
+        }
+    }
+
+    /// Replace the stored payload of one replica with a bit-flipped
+    /// copy (metadata untouched). Persisted backings are unlinked; the
+    /// damaged copy lives heap-resident, which is all the verify path
+    /// cares about.
+    fn corrupt_replica_storage(&self, node: usize, id: u64) -> Result<(), DfsError> {
+        let mut blocks = self.inner.datanodes[node].blocks.write();
+        let Some(backing) = blocks.get(&id) else {
+            return Err(DfsError::BlockMissing(id));
+        };
+        let mut flipped = backing.bytes().to_vec();
+        match flipped.first_mut() {
+            Some(b0) => *b0 ^= 0xA5,
+            None => flipped.push(0xA5),
+        }
+        backing.unlink();
+        blocks.insert(id, BlockBacking::Resident(SharedBytes::from_vec(flipped)));
+        Ok(())
+    }
+}
+
+/// Outcome of serving one replica.
+enum ReplicaRead {
+    Ok(SharedBytes),
+    /// The node doesn't hold this block (wiped or never stored).
+    Missing,
+    /// A transient failure worth retrying elsewhere or later.
+    Transient(String),
+    /// Payload failed checksum verification (already quarantined).
+    Corrupt,
+}
+
+/// Exponential backoff with deterministic ±50% jitter: attempt `k`
+/// sleeps `base * 2^(k-1) * [0.5, 1.0)` milliseconds, where the jitter
+/// fraction is a pure hash of `(seed, nonce, attempt)` so fault runs
+/// replay identically.
+fn backoff_with_jitter(base_ms: u64, attempt: usize, seed: u64, nonce: u64) -> Duration {
+    let exp = base_ms.max(1).saturating_mul(1 << (attempt - 1).min(6)) as f64;
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(nonce.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((attempt as u64).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let jitter = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    Duration::from_micros((exp * (0.5 + 0.5 * jitter) * 1000.0) as u64)
+}
+
+/// Does any path segment look like an engine shuffle-transit run
+/// directory (`shuffle-<digits>`)?
+fn is_shuffle_transit_path(path: &str) -> bool {
+    path.split('/').any(|seg| {
+        seg.strip_prefix("shuffle-")
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    })
+}
+
+/// Append one `block-id checksum` record to the node's integrity log,
+/// persisting checksums alongside the blocks and extents they cover.
+fn append_checksum_record(node_dir: &std::path::Path, id: u64, checksum: u64) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(node_dir.join("checksums.crc"))?;
+    writeln!(f, "{id:016x} {checksum:016x}")
 }
 
 /// Substitute dead nodes in a placement with the next live node (cyclic
@@ -1146,11 +1784,22 @@ mod tests {
         (dfs, dir)
     }
 
+    /// Block-payload files (`.blk` + `.ext`) across all node dirs; the
+    /// per-node `checksums.crc` integrity log is not payload.
     fn blk_files(dir: &PathBuf) -> usize {
         let mut n = 0;
         for node in std::fs::read_dir(dir).unwrap().flatten() {
             if node.path().is_dir() {
-                n += std::fs::read_dir(node.path()).unwrap().count();
+                n += std::fs::read_dir(node.path())
+                    .unwrap()
+                    .flatten()
+                    .filter(|e| {
+                        matches!(
+                            e.path().extension().and_then(|x| x.to_str()),
+                            Some("blk") | Some("ext")
+                        )
+                    })
+                    .count();
             }
         }
         n
@@ -1262,6 +1911,7 @@ mod tests {
             replication: 1,
             block_store_dir: Some(dir.clone()),
             pack_threshold: 512,
+            ..DfsConfig::default()
         });
         // 12 files of 300 B each: all under the threshold.
         let mut datas = Vec::new();
@@ -1303,6 +1953,7 @@ mod tests {
             replication: 2,
             block_store_dir: Some(dir.clone()),
             pack_threshold: 512 * 1024,
+            ..DfsConfig::default()
         });
         // Four ~400 KiB packed blocks per node: the fourth append finds
         // the open extent past the 1 MiB roll point, forcing a second
@@ -1318,6 +1969,255 @@ mod tests {
         dfs.fail_node(0);
         assert_eq!(dfs.read_file("/p").unwrap(), data);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_replica_is_quarantined_and_repaired_on_read() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(1500); // 3 blocks × 2 replicas
+        dfs.write_file_with_policy("/c", &data, &PinnedPlacement(0))
+            .unwrap();
+        // Rot the primary replica of block 1.
+        dfs.corrupt_block("/c", 1, 0).unwrap();
+        // Reads never see the damage...
+        assert_eq!(dfs.read_file("/c").unwrap(), data);
+        let get = |k: &str| dfs.metrics().counter(k).get();
+        // ...and the replica was quarantined and re-created elsewhere.
+        assert_eq!(get(metrics_keys::BLOCKS_CORRUPT_DETECTED), 1);
+        assert_eq!(get(metrics_keys::BLOCKS_CORRUPT_REPAIRED), 1);
+        let info = dfs.stat("/c").unwrap();
+        assert!(info.blocks.iter().all(|b| b.nodes.len() == 2));
+        // The repaired replica verifies: a second full read is clean.
+        assert_eq!(dfs.read_file("/c").unwrap(), data);
+        assert_eq!(get(metrics_keys::BLOCKS_CORRUPT_DETECTED), 1);
+    }
+
+    #[test]
+    fn stale_block_info_still_reads_after_repair() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(800);
+        let info = dfs
+            .write_file_with_policy("/s", &data, &PinnedPlacement(0))
+            .unwrap();
+        let stale = info.blocks[0].clone();
+        dfs.corrupt_block("/s", 0, 0).unwrap();
+        dfs.read_file("/s").unwrap(); // detect + repair; homes moved
+        // A reader holding pre-repair metadata must still be served —
+        // the read path re-resolves replica homes through the locator.
+        assert_eq!(dfs.read_block(&stale).unwrap().as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_a_typed_fatal_error() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        dfs.write_file_with_policy("/c", &payload(600), &PinnedPlacement(0))
+            .unwrap();
+        dfs.corrupt_block("/c", 0, 0).unwrap();
+        dfs.corrupt_block("/c", 0, 1).unwrap();
+        let err = dfs.read_file("/c").unwrap_err();
+        assert!(matches!(err, DfsError::Corrupt(_)), "got {err}");
+        assert!(!err.is_retryable());
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                .get(),
+            2
+        );
+        // No survivor, so nothing could be repaired.
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BLOCKS_CORRUPT_REPAIRED)
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn flaky_reads_are_retried_with_backoff() {
+        let dfs = small_dfs();
+        let data = payload(700); // 1 block on one node
+        let info = dfs.write_file("/f", &data).unwrap();
+        let home = info.blocks[0].nodes[0];
+        dfs.inject_flaky_reads(home, 2);
+        assert_eq!(dfs.read_file("/f").unwrap(), data);
+        assert_eq!(dfs.metrics().counter(metrics_keys::READS_RETRIED).get(), 2);
+        // Once the injected failures are consumed, reads are clean.
+        assert_eq!(dfs.read_file("/f").unwrap(), data);
+        assert_eq!(dfs.metrics().counter(metrics_keys::READS_RETRIED).get(), 2);
+    }
+
+    #[test]
+    fn retries_exhausted_is_retryable_deadline_is_timeout() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 1,
+            block_size: 1024,
+            replication: 1,
+            read_retries: 2,
+            ..DfsConfig::default()
+        });
+        let info = dfs.write_file("/f", &payload(100)).unwrap();
+        dfs.inject_flaky_reads(0, 100);
+        let err = dfs.read_block(&info.blocks[0]).unwrap_err();
+        assert!(matches!(err, DfsError::Io(_)), "got {err}");
+        assert!(err.is_retryable());
+        // A deadline shorter than the first backoff pause times out.
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 1,
+            block_size: 1024,
+            replication: 1,
+            retry_backoff_ms: 50,
+            read_deadline_ms: 1,
+            ..DfsConfig::default()
+        });
+        let info = dfs.write_file("/f", &payload(100)).unwrap();
+        dfs.inject_flaky_reads(0, 100);
+        let err = dfs.read_block(&info.blocks[0]).unwrap_err();
+        assert!(matches!(err, DfsError::Timeout(_)), "got {err}");
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn slow_node_triggers_hedged_reads() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1024,
+            replication: 2,
+            hedge_after_micros: 2_000,
+            ..DfsConfig::default()
+        });
+        let data = payload(900);
+        let info = dfs
+            .write_file_with_policy("/h", &data, &PinnedPlacement(0))
+            .unwrap();
+        dfs.inject_slow_node(0, 20);
+        // First read is just slow — it seeds node 0's latency history.
+        assert_eq!(dfs.read_file("/h").unwrap(), data);
+        assert_eq!(dfs.metrics().counter(metrics_keys::READS_HEDGED).get(), 0);
+        // Subsequent reads see a suspect primary and hedge to node 1,
+        // which answers within the budget and wins.
+        for _ in 0..3 {
+            assert_eq!(dfs.read_file("/h").unwrap(), data);
+        }
+        let hedged = dfs.metrics().counter(metrics_keys::READS_HEDGED).get();
+        let wins = dfs.metrics().counter(metrics_keys::READS_HEDGE_WINS).get();
+        assert_eq!(hedged, 3);
+        assert_eq!(wins, 3, "fast replica must win every race");
+        assert_eq!(dfs.read_block(&info.blocks[0]).unwrap().as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn corrupt_on_write_injection_matches_path_and_block() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 512,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        dfs.inject_corrupt_on_write("map-00001", 0, 0);
+        let data = payload(400);
+        dfs.write_file_with_policy("/j/map-00000.segs", &data, &PinnedPlacement(0))
+            .unwrap();
+        dfs.write_file_with_policy("/j/map-00001.segs", &data, &PinnedPlacement(1))
+            .unwrap();
+        // Non-matching file is untouched end to end.
+        assert_eq!(dfs.read_file("/j/map-00000.segs").unwrap(), data);
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                .get(),
+            0
+        );
+        // Matching file was damaged on write, detected and healed on read.
+        assert_eq!(dfs.read_file("/j/map-00001.segs").unwrap(), data);
+        let get = |k: &str| dfs.metrics().counter(k).get();
+        assert_eq!(get(metrics_keys::BLOCKS_CORRUPT_DETECTED), 1);
+        assert_eq!(get(metrics_keys::BLOCKS_CORRUPT_REPAIRED), 1);
+    }
+
+    #[test]
+    fn incremental_rereplication_restores_only_reported_blocks() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 512,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(2000); // 4 blocks on nodes {0, 1}
+        dfs.write_file_with_policy("/r", &data, &PinnedPlacement(0))
+            .unwrap();
+        dfs.write_file_with_policy("/other", &payload(512), &PinnedPlacement(2))
+            .unwrap();
+        let report = dfs.fail_node(0);
+        assert_eq!(report.under_replicated.len(), 4);
+        let created = dfs.re_replicate_blocks(&report.under_replicated);
+        assert_eq!(created, 4);
+        let get = |k: &str| dfs.metrics().counter(k).get();
+        assert_eq!(get(metrics_keys::BLOCKS_REREPLICATED_INCREMENTAL), 4);
+        assert_eq!(get(metrics_keys::REPLICAS_RESTORED), 4);
+        let info = dfs.stat("/r").unwrap();
+        assert!(info.blocks.iter().all(|b| b.nodes.len() == 2));
+        assert!(info.blocks.iter().all(|b| !b.nodes.contains(&0)));
+        assert_eq!(dfs.read_file("/r").unwrap(), data);
+        // A follow-up full sweep finds nothing left to do.
+        assert_eq!(dfs.re_replicate(), 0);
+    }
+
+    #[test]
+    fn sweep_orphans_removes_only_shuffle_transit_files() {
+        let dfs = small_dfs();
+        dfs.write_file("/job/shuffle-3/map-00000.segs", &payload(10)).unwrap();
+        dfs.write_file("/job/shuffle-3/map-00001.segs", &payload(10)).unwrap();
+        dfs.write_file("/job/part-00000", &payload(10)).unwrap();
+        dfs.write_file("/job/shuffle-log", &payload(10)).unwrap(); // not digits
+        assert_eq!(dfs.sweep_orphans(), 2);
+        assert_eq!(
+            dfs.list("/job/"),
+            vec!["/job/part-00000".to_string(), "/job/shuffle-log".to_string()]
+        );
+        assert_eq!(dfs.metrics().counter(metrics_keys::ORPHANS_SWEPT).get(), 2);
+        // Idempotent.
+        assert_eq!(dfs.sweep_orphans(), 0);
+    }
+
+    #[test]
+    fn rereplication_never_copies_a_corrupt_source() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(600);
+        dfs.write_file_with_policy("/v", &data, &PinnedPlacement(0))
+            .unwrap();
+        // Rot node 1's replica, then lose node 0: the sweep must not
+        // propagate the rotten copy. It quarantines it instead, so the
+        // block has lost its last (honest) replica.
+        dfs.corrupt_block("/v", 0, 1).unwrap();
+        dfs.fail_node(0);
+        assert_eq!(dfs.re_replicate(), 0);
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                .get(),
+            1
+        );
+        assert!(matches!(dfs.read_file("/v"), Err(DfsError::BlockMissing(_))));
     }
 
     #[test]

@@ -16,11 +16,13 @@
 //!    blocks of a file to one node — how Gesall guarantees a logical
 //!    partition is readable locally by a wrapped single-node program.
 
+pub mod checksum;
 pub mod fs;
 pub mod placement;
 
 pub use fs::{
-    metrics_keys, BlockBacking, Dfs, DfsConfig, DfsError, FailureReport, FileInfo, NodeStats,
+    metrics_keys, BlockBacking, BlockInfo, Dfs, DfsConfig, DfsError, FailureReport, FileInfo,
+    NodeStats,
 };
 pub use placement::{
     BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement, PinnedPlacement,

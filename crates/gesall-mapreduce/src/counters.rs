@@ -95,6 +95,10 @@ pub mod keys {
     /// DFS-shipped output survived on a replica: the reducers re-fetch
     /// instead of the engine re-running the map.
     pub const MAPS_RESHIPPED_FROM_DFS: &str = "fault.maps.reshipped.from.dfs";
+    /// Shuffle fetches re-attempted at the engine level after a
+    /// retryable DFS error survived the DFS's own internal retries —
+    /// the second tier of the gray-failure defence.
+    pub const SHUFFLE_FETCH_RETRIES: &str = "shuffle.fetch.retries";
     /// Map-output segments that travelled the shuffle uncompressed.
     pub const SHUFFLE_SEGMENTS_RAW: &str = "shuffle.segments.raw";
     /// Map-output segments that travelled the shuffle compressed (shipped

@@ -262,6 +262,10 @@ pub struct MapReduceEngine {
     /// retried/speculative attempts and repeated jobs never collide on
     /// a DFS path.
     shuffle_seq: AtomicU64,
+    /// Whether the fault plan's storage-layer gray failures have been
+    /// armed on the shuffle DFS (once per engine: flaky-read budgets
+    /// are consumable and must not be re-armed per job).
+    dfs_faults_armed: AtomicBool,
 }
 
 impl MapReduceEngine {
@@ -276,6 +280,7 @@ impl MapReduceEngine {
             spill_pool: Mutex::new(None),
             shuffle_dfs: Mutex::new(None),
             shuffle_seq: AtomicU64::new(0),
+            dfs_faults_armed: AtomicBool::new(false),
         }
     }
 
@@ -389,6 +394,22 @@ impl MapReduceEngine {
         } else {
             None
         };
+        // Arm the plan's storage-layer gray failures on the transit DFS,
+        // once per engine (flaky-read budgets are consumable).
+        if let Some(dfs) = &shuffle_dfs {
+            let faults = self.fault_plan.dfs_faults();
+            if !faults.is_empty() && !self.dfs_faults_armed.swap(true, Ordering::SeqCst) {
+                for c in &faults.corrupt_blocks {
+                    dfs.inject_corrupt_on_write(&c.path_contains, c.block, c.replica);
+                }
+                for &(node, n) in &faults.flaky_reads {
+                    dfs.inject_flaky_reads(node, n);
+                }
+                for &(node, ms) in &faults.slow_nodes {
+                    dfs.inject_slow_node(node, ms);
+                }
+            }
+        }
         // Per-run shuffle directory: the id makes repeated jobs on one
         // engine (and their retried attempts' files, below) disjoint.
         let shuffle_base = format!(
@@ -614,11 +635,28 @@ impl MapReduceEngine {
                             seg
                         }
                         MapOutput::Dfs { path, .. } => {
+                            // The DFS already retries transient replica
+                            // failures internally; this outer loop covers
+                            // whole-op failures that outlive its budget
+                            // (e.g. a deadline expiry). Non-retryable
+                            // errors — corrupt beyond repair, missing
+                            // file — panic immediately: that's an attempt
+                            // failure, and the scheduler's re-run (or
+                            // reship probe) is the right recovery.
                             let dfs = shuffle_dfs.as_ref().expect("Dfs output implies a DFS");
-                            let seg = shipping::fetch_partition(dfs, path, partition)
-                                .unwrap_or_else(|e| {
-                                    panic!("fetching partition {partition} of {path}: {e}")
-                                });
+                            let mut tries = 0usize;
+                            let seg = loop {
+                                match shipping::fetch_partition(dfs, path, partition) {
+                                    Ok(seg) => break seg,
+                                    Err(e) if e.is_retryable() && tries < 2 => {
+                                        tries += 1;
+                                        bag.add(keys::SHUFFLE_FETCH_RETRIES, 1);
+                                    }
+                                    Err(e) => {
+                                        panic!("fetching partition {partition} of {path}: {e}")
+                                    }
+                                }
+                            };
                             bag.add(keys::SHUFFLE_BYTES_DFS, seg.wire_len() as u64);
                             seg
                         }

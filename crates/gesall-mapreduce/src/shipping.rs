@@ -31,6 +31,19 @@ pub enum ShipError {
     Format(FormatError),
 }
 
+impl ShipError {
+    /// Is this failure worth re-attempting? Transient DFS errors
+    /// (flaky reads, deadline expiries) are; corrupt-beyond-repair
+    /// blocks, missing files, and malformed frames are not — retrying
+    /// those only delays the attempt failure that triggers a re-run.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ShipError::Dfs(e) => e.is_retryable(),
+            ShipError::Format(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for ShipError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
