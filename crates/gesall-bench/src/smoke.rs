@@ -56,6 +56,195 @@ pub const GRAY_FAILURE_SLOWDOWN: f64 = 1.5;
 /// the gate by two orders of magnitude.
 pub const GRAY_FAILURE_GRACE_MS: f64 = 250.0;
 
+/// Allowed wall-clock for two engine jobs run *concurrently* through
+/// the job service, as a multiple of the slower job's serial wall. Each
+/// job's task count fits in half the cluster, so true concurrency keeps
+/// the combined wall near the slower serial run; a scheduler that
+/// serializes tenants lands at the *sum* of the serial walls and trips
+/// the gate.
+pub const JOBSVC_CONCURRENCY_SLOWDOWN: f64 = 1.8;
+
+/// Absolute grace added on top of [`JOBSVC_CONCURRENCY_SLOWDOWN`]: the
+/// probe's serial walls are tens of milliseconds, and the staggered
+/// submit (tenant B waits until A is provably running so the elastic
+/// borrow is deterministic) plus one dispatcher rebalance pass carry a
+/// fixed cost a pure ratio cannot absorb at this scale. A serializing
+/// scheduler still overshoots by the whole second job's wall.
+pub const JOBSVC_CONCURRENCY_GRACE_MS: f64 = 100.0;
+
+/// What the multi-tenant job-service probe measured.
+struct JobsvcProbe {
+    serial_a_ms: f64,
+    serial_b_ms: f64,
+    concurrent_ms: f64,
+    queue_wait_p90_nanos: u64,
+    slots_borrowed: u64,
+    slots_reclaimed: u64,
+}
+
+/// Run two small engine jobs twice: serially on a bare platform, then
+/// concurrently as two tenants of a `JobService`. Tenant A asks for the
+/// whole cluster (an elastic borrow beyond its configured half-share);
+/// tenant B's arrival forces the preemption-free reclaim — lease
+/// shrink, drain, harvest — before B dispatches. Gates require the
+/// concurrent wall to stay near the slower serial run and the reduce
+/// outputs to be byte-identical to the serial twins.
+fn jobsvc_probe() -> Result<JobsvcProbe, String> {
+    use gesall_jobsvc::{
+        keys, JobOutput, JobService, JobSpec, JobStatus, JobSvcConfig, TenantConfig,
+    };
+    use gesall_mapreduce::{
+        GesallError, HashPartitioner, InputSplit, JobConfig, MapContext, Mapper, ReduceContext,
+        Reducer,
+    };
+
+    /// Mapper with a per-record sleep so task walls dwarf scheduler
+    /// latency and the concurrency ratio is meaningful at probe scale.
+    struct SleepyMod(u64);
+    impl Mapper for SleepyMod {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+            std::thread::sleep(std::time::Duration::from_micros(400));
+            ctx.emit(k % self.0, v.wrapping_add(*k));
+        }
+    }
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut ReduceContext<'_, u64, u64>) {
+            ctx.emit(k, vs.iter().fold(0u64, |a, b| a.wrapping_add(*b)));
+        }
+    }
+
+    // Four splits per job on a 4-node x 2-slot cluster: each job fills
+    // half the slots, so two jobs fit side by side without contention.
+    let splits = || -> Vec<InputSplit<u64, u64>> {
+        (0..4)
+            .map(|s| {
+                let records: Vec<(u64, u64)> =
+                    (0..30).map(|i| ((s * 30 + i) as u64, i as u64)).collect();
+                InputSplit::new(format!("s{s}"), records)
+            })
+            .collect()
+    };
+    let probe_platform = || {
+        GesallPlatform::new(
+            Dfs::new(DfsConfig {
+                n_nodes: 4,
+                block_size: 1 << 20,
+                replication: 1,
+                ..DfsConfig::default()
+            }),
+            MapReduceEngine::new(ClusterResources::uniform(4, 2, 4096)),
+            PlatformConfig::default(),
+        )
+    };
+    let cfg = |name: &str| JobConfig {
+        name: name.into(),
+        n_reducers: 2,
+        retry_backoff_ms: 1.0,
+        speculative: false,
+        ..JobConfig::default()
+    };
+    let sorted = |res: &gesall_mapreduce::JobResult<u64, u64>| -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = res.outputs.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        all
+    };
+
+    // Serial baseline: both jobs back to back on an unconstrained
+    // platform. Distinct key moduli keep the two workloads distinct.
+    let serial = probe_platform();
+    let t0 = std::time::Instant::now();
+    let ref_a = serial
+        .engine
+        .run_job(cfg("probe-a"), &SleepyMod(31), &Sum, &HashPartitioner, splits())
+        .map_err(|e| format!("jobsvc probe: serial job A failed: {e}"))?;
+    let serial_a_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = std::time::Instant::now();
+    let ref_b = serial
+        .engine
+        .run_job(cfg("probe-b"), &SleepyMod(53), &Sum, &HashPartitioner, splits())
+        .map_err(|e| format!("jobsvc probe: serial job B failed: {e}"))?;
+    let serial_b_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let (ref_a, ref_b) = (sorted(&ref_a), sorted(&ref_b));
+
+    // Concurrent twin: same jobs as two tenants of one service.
+    let svc = JobService::new(
+        probe_platform(),
+        JobSvcConfig {
+            tenants: vec![TenantConfig::new("a", 1), TenantConfig::new("b", 1)],
+            ..JobSvcConfig::default()
+        },
+    );
+    let total = svc.total_slots();
+    let job = |modulus: u64| {
+        let splits = splits();
+        move |ctx: &gesall_jobsvc::JobCtx| -> Result<JobOutput, GesallError> {
+            let res = ctx.platform().engine.run_job(
+                ctx.job_config("probe", 2),
+                &SleepyMod(modulus),
+                &Sum,
+                &HashPartitioner,
+                splits,
+            )?;
+            Ok(Box::new(res) as JobOutput)
+        }
+    };
+    let t2 = std::time::Instant::now();
+    // A asks for every slot — granted immediately, half of it an
+    // elastic borrow of B's idle entitlement.
+    let ha = svc
+        .submit("a", JobSpec::new("probe-a", total, job(31)))
+        .map_err(|e| format!("jobsvc probe: submit A failed: {e}"))?;
+    // Wait until A is provably dispatched so B's arrival always finds
+    // the cluster fully granted and must trigger the reclaim path.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while ha.status() == JobStatus::Queued && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let hb = svc
+        .submit("b", JobSpec::new("probe-b", total / 2, job(53)))
+        .map_err(|e| format!("jobsvc probe: submit B failed: {e}"))?;
+    ha.wait()
+        .map_err(|e| format!("jobsvc probe: concurrent job A failed: {e}"))?;
+    hb.wait()
+        .map_err(|e| format!("jobsvc probe: concurrent job B failed: {e}"))?;
+    let concurrent_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    let out = |h: &gesall_jobsvc::JobHandle| -> Result<Vec<(u64, u64)>, String> {
+        h.take_output()
+            .and_then(|b| b.downcast::<gesall_mapreduce::JobResult<u64, u64>>().ok())
+            .map(|r| sorted(&r))
+            .ok_or_else(|| "jobsvc probe: job finished without a result".into())
+    };
+    if out(&ha)? != ref_a || out(&hb)? != ref_b {
+        return Err(
+            "jobsvc gate: a job's reduce output under the service differs from its \
+             serial twin — namespacing or lease throttling corrupted the run"
+                .into(),
+        );
+    }
+    let m = svc.metrics();
+    let probe = JobsvcProbe {
+        serial_a_ms,
+        serial_b_ms,
+        concurrent_ms,
+        queue_wait_p90_nanos: m.histogram(keys::QUEUE_WAIT_NANOS).quantile(0.9).unwrap_or(0),
+        slots_borrowed: m.counter(keys::SLOTS_BORROWED).get(),
+        slots_reclaimed: m.counter(keys::SLOTS_RECLAIMED).get(),
+    };
+    drop((ha, hb));
+    svc.shutdown();
+    Ok(probe)
+}
+
 /// What the seeded gray-failure probe measured.
 struct GrayFailureProbe {
     clean_ms: f64,
@@ -360,6 +549,9 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     // Gray-failure probe: seeded corruption + slow + flaky injections
     // against a clean twin of the same job.
     let gray = gray_failure_probe()?;
+    // Job-service probe: the same two jobs serial vs concurrent under
+    // two tenants, with a forced elastic borrow + reclaim in between.
+    let jobsvc = jobsvc_probe()?;
 
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
@@ -387,6 +579,30 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ("dfs_corrupt_detected".into(), gray.detected.to_string()),
         ("gray_clean_ms".into(), format!("{:.2}", gray.clean_ms)),
         ("gray_faulty_ms".into(), format!("{:.2}", gray.faulty_ms)),
+        (
+            "jobsvc_queue_wait_p90_nanos".into(),
+            jobsvc.queue_wait_p90_nanos.to_string(),
+        ),
+        (
+            "jobsvc_slots_borrowed".into(),
+            jobsvc.slots_borrowed.to_string(),
+        ),
+        (
+            "jobsvc_slots_reclaimed".into(),
+            jobsvc.slots_reclaimed.to_string(),
+        ),
+        (
+            "jobsvc_serial_a_ms".into(),
+            format!("{:.2}", jobsvc.serial_a_ms),
+        ),
+        (
+            "jobsvc_serial_b_ms".into(),
+            format!("{:.2}", jobsvc.serial_b_ms),
+        ),
+        (
+            "jobsvc_concurrent_ms".into(),
+            format!("{:.2}", jobsvc.concurrent_ms),
+        ),
     ];
     record.config = vec![
         ("n_partitions".into(), scale.n_partitions.to_string()),
@@ -481,6 +697,29 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             gray.faulty_ms, gray.clean_ms, gray_allowed_ms
         ));
     }
+    // Job-service gates: tenant A's whole-cluster ask must have been an
+    // elastic borrow (and reclaimed when B arrived), and running both
+    // jobs through the service must genuinely overlap them — a
+    // serializing scheduler lands near the *sum* of the serial walls.
+    if jobsvc.slots_borrowed == 0 || jobsvc.slots_reclaimed == 0 {
+        return Err(format!(
+            "jobsvc gate: {} slots borrowed, {} reclaimed — the whole-cluster ask \
+             must borrow the idle tenant's share and give it back on demand",
+            jobsvc.slots_borrowed, jobsvc.slots_reclaimed
+        ));
+    }
+    let jobsvc_allowed_ms = jobsvc.serial_a_ms.max(jobsvc.serial_b_ms)
+        * JOBSVC_CONCURRENCY_SLOWDOWN
+        + JOBSVC_CONCURRENCY_GRACE_MS;
+    if jobsvc.concurrent_ms > jobsvc_allowed_ms {
+        return Err(format!(
+            "jobsvc gate: two concurrent jobs took {:.1} ms vs serial walls \
+             {:.1}/{:.1} ms (allowed {JOBSVC_CONCURRENCY_SLOWDOWN}x max + \
+             {JOBSVC_CONCURRENCY_GRACE_MS} ms = {:.1} ms) — the scheduler is \
+             serializing tenants instead of running them side by side",
+            jobsvc.concurrent_ms, jobsvc.serial_a_ms, jobsvc.serial_b_ms, jobsvc_allowed_ms
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -512,6 +751,16 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         "Gray failures: {} corrupt blocks detected / {} repaired, {} reads \
          hedged, {} retried; faulty twin {:.1} ms vs {:.1} ms clean\n",
         gray.detected, gray.repaired, gray.hedged, gray.retried, gray.faulty_ms, gray.clean_ms
+    ));
+    text.push_str(&format!(
+        "Job service: 2 tenants concurrent {:.1} ms vs serial {:.1}/{:.1} ms; \
+         {} slots borrowed, {} reclaimed, queue-wait p90 {:.2} ms\n",
+        jobsvc.concurrent_ms,
+        jobsvc.serial_a_ms,
+        jobsvc.serial_b_ms,
+        jobsvc.slots_borrowed,
+        jobsvc.slots_reclaimed,
+        jobsvc.queue_wait_p90_nanos as f64 / 1e6
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -618,6 +867,17 @@ mod tests {
         );
         assert_eq!(field("dfs_corrupt_repaired"), field("dfs_corrupt_detected"));
         assert!(outcome.report.contains("Gray failures"));
+        // Job-service probe: the whole-cluster ask borrowed the idle
+        // tenant's share and gave it back when the second tenant arrived.
+        assert!(
+            field("jobsvc_slots_borrowed") > 0,
+            "tenant A's whole-cluster ask must register an elastic borrow"
+        );
+        assert!(
+            field("jobsvc_slots_reclaimed") > 0,
+            "tenant B's arrival must reclaim the borrowed slots"
+        );
+        assert!(outcome.report.contains("Job service"));
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

@@ -35,4 +35,4 @@ pub mod rounds;
 pub mod storage;
 
 pub use error::PlatformError;
-pub use pipeline::{GesallPlatform, PipelineOutput, PlatformConfig};
+pub use pipeline::{GesallPlatform, PipelineOutput, PlatformConfig, RunOptions};

@@ -27,6 +27,7 @@ use gesall_formats::sam::{SamHeader, SamRecord, SortOrder};
 use gesall_formats::vcf::VariantRecord;
 use gesall_formats::SharedBytes;
 use gesall_mapreduce::counters::Counters;
+use gesall_mapreduce::lease::SlotLease;
 use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
 use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
 use gesall_telemetry::{report, OpenSpan, PhaseRow, SpanId, SpanKind};
@@ -268,6 +269,21 @@ impl PipelineOutput {
     }
 }
 
+/// External controls for one pipeline run, handed in by a multi-job
+/// driver (gesall-jobsvc). The default runs unconstrained under the
+/// classic `/pipeline` namespace — exactly the old single-caller
+/// behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Container-slot lease capping the run's concurrently executing
+    /// tasks (see `gesall_mapreduce::lease`). `None` = unthrottled.
+    pub slot_lease: Option<SlotLease>,
+    /// DFS prefix the run stages and shuffles under (e.g.
+    /// `/{tenant}/{job}`); all transit and staging files land below it,
+    /// so one `Dfs::sweep_prefix` call retires the whole run.
+    pub namespace: Option<String>,
+}
+
 /// The Gesall platform: DFS + MapReduce engine + configuration.
 pub struct GesallPlatform {
     pub dfs: Dfs,
@@ -318,7 +334,7 @@ impl GesallPlatform {
         GesallPlatform::new(dfs, engine, config)
     }
 
-    fn job_config(&self, name: &str, n_reducers: usize, parent: SpanId) -> JobConfig {
+    fn job_config(&self, opts: &RunOptions, name: &str, n_reducers: usize, parent: SpanId) -> JobConfig {
         JobConfig {
             name: name.into(),
             n_reducers,
@@ -329,6 +345,8 @@ impl GesallPlatform {
             async_spill: self.config.async_spill,
             shuffle_via_dfs: self.config.shuffle_via_dfs,
             parent_span: parent,
+            slot_lease: opts.slot_lease.clone(),
+            shuffle_namespace: opts.namespace.clone(),
             ..JobConfig::default()
         }
     }
@@ -373,16 +391,38 @@ impl GesallPlatform {
 
     /// Run the full five-round pipeline on interleaved read pairs.
     pub fn run_pipeline(&self, aligner: &Aligner, pairs: Vec<ReadPair>) -> Result<PipelineOutput> {
+        self.run_pipeline_with(aligner, pairs, &RunOptions::default())
+    }
+
+    /// Like [`GesallPlatform::run_pipeline`], but under external
+    /// control: a capacity scheduler's slot lease caps the run's
+    /// concurrent container slots, and a namespace confines every
+    /// staged and shuffled byte to one sweepable DFS prefix. This is
+    /// the hook gesall-jobsvc drives; `run_pipeline` is the
+    /// unconstrained single-caller form.
+    pub fn run_pipeline_with(
+        &self,
+        aligner: &Aligner,
+        pairs: Vec<ReadPair>,
+        opts: &RunOptions,
+    ) -> Result<PipelineOutput> {
         let counters = Counters::new();
         let mut rounds = Vec::new();
         // Unique DFS namespace per run so one platform can host many
-        // pipeline executions.
+        // pipeline executions — a monotone per-platform counter, never
+        // wall-clock derived, so paths and span names are stable across
+        // reruns of the same seed.
         let run = self
             .run_seq
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let base = format!("/pipeline/run{run}");
+        let ns = opts
+            .namespace
+            .as_deref()
+            .map(|n| n.trim_end_matches('/').to_string())
+            .unwrap_or_else(|| "/pipeline".to_string());
+        let base = format!("{ns}/run{run}");
         let recorder = self.engine.recorder().clone();
-        let pipeline_name = format!("pipeline-run{run}");
+        let pipeline_name = format!("{}-run{run}", ns.trim_start_matches('/').replace('/', "-"));
         let pipeline_span = recorder.start(SpanKind::Pipeline, &pipeline_name, SpanId::NONE);
         // Closes a round span, carrying the round's task counts and
         // counter snapshot so the trace alone reconstructs the table.
@@ -428,7 +468,7 @@ impl GesallPlatform {
         }
         let rspan = recorder.start(SpanKind::Round, "round1-align", pipeline_span.id);
         let r1 = self.engine.run_map_only(
-            self.job_config("round1-align", 1, rspan.id),
+            self.job_config(opts, "round1-align", 1, rspan.id),
             &Round1Align {
                 aligner,
                 threads_per_mapper: self.config.bwa_threads_per_mapper,
@@ -456,7 +496,7 @@ impl GesallPlatform {
         let splits = self.stage_bam_partitions(&format!("{base}/round1"), &header, &r1_parts)?;
         let rspan = recorder.start(SpanKind::Round, "round2-clean-fixmate", pipeline_span.id);
         let r2 = self.engine.run_job(
-            self.job_config("round2-clean-fixmate", self.config.n_reducers, rspan.id),
+            self.job_config(opts, "round2-clean-fixmate", self.config.n_reducers, rspan.id),
             &Round2CleanMapper {
                 read_group: self.config.read_group.clone(),
                 references: references.clone(),
@@ -483,7 +523,7 @@ impl GesallPlatform {
         let bloom = if self.config.markdup_opt {
             let rspan = recorder.start(SpanKind::Round, "round2b-bloom", pipeline_span.id);
             let rb = self.engine.run_map_only(
-                self.job_config("round2b-bloom", 1, rspan.id),
+                self.job_config(opts, "round2b-bloom", 1, rspan.id),
                 &BloomBuildMapper {
                     counters: counters.clone(),
                 },
@@ -506,6 +546,7 @@ impl GesallPlatform {
         let rspan = recorder.start(SpanKind::Round, "round3-markdup", pipeline_span.id);
         let r3 = self.engine.run_job(
             self.job_config(
+                opts,
                 if self.config.markdup_opt {
                     "round3-markdup-opt"
                 } else {
@@ -540,7 +581,7 @@ impl GesallPlatform {
         let splits = self.stage_bam_partitions(&format!("{base}/round3"), &header, &r3_parts)?;
         let rspan = recorder.start(SpanKind::Round, "round4-sort", pipeline_span.id);
         let r4 = self.engine.run_job(
-            self.job_config("round4-sort", n_chroms + 1, rspan.id),
+            self.job_config(opts, "round4-sort", n_chroms + 1, rspan.id),
             &Round4SortMapper {
                 counters: counters.clone(),
             },
@@ -569,7 +610,7 @@ impl GesallPlatform {
             )?;
             let rspan = recorder.start(SpanKind::Round, "round4a-recal-table", pipeline_span.id);
             let ra = self.engine.run_map_only(
-                self.job_config("round4a-recal-table", 1, rspan.id),
+                self.job_config(opts, "round4a-recal-table", 1, rspan.id),
                 &crate::rounds::RecalTableMapper {
                     references: references.clone(),
                     known_sites: self.config.known_sites.clone(),
@@ -587,7 +628,7 @@ impl GesallPlatform {
             rounds.push(s);
             let rspan = recorder.start(SpanKind::Round, "round4b-print-reads", pipeline_span.id);
             let rb2 = self.engine.run_map_only(
-                self.job_config("round4b-print-reads", 1, rspan.id),
+                self.job_config(opts, "round4b-print-reads", 1, rspan.id),
                 &crate::rounds::PrintReadsMapper {
                     table,
                     config: self.config.recal.clone(),
@@ -617,7 +658,7 @@ impl GesallPlatform {
                 )?;
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-unifiedgenotyper", 1, rspan.id),
+                        self.job_config(opts, "round5-unifiedgenotyper", 1, rspan.id),
                         &crate::rounds::Round5UnifiedGenotyper {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),
@@ -637,7 +678,7 @@ impl GesallPlatform {
                 )?;
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-haplotypecaller", 1, rspan.id),
+                        self.job_config(opts, "round5-haplotypecaller", 1, rspan.id),
                         &Round5HaplotypeCaller {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),
@@ -694,7 +735,7 @@ impl GesallPlatform {
                 }
                 (
                     self.engine.run_map_only(
-                        self.job_config("round5-hc-finegrained", 1, rspan.id),
+                        self.job_config(opts, "round5-hc-finegrained", 1, rspan.id),
                         &crate::rounds::Round5HaplotypeCallerFine {
                             references: references.clone(),
                             chrom_names: chrom_names.clone(),

@@ -375,6 +375,38 @@ pub mod metrics_keys {
     pub const READS_HEDGE_WINS: &str = "dfs.reads.hedge_wins";
     /// Stale shuffle-transit files removed by [`Dfs::sweep_orphans`].
     pub const ORPHANS_SWEPT: &str = "dfs.orphans.swept";
+    /// Files removed by a live retention sweep ([`Dfs::sweep_prefix`])
+    /// when the owning job finished — the job-end transit cleanup.
+    pub const RETENTION_SWEPT_COMPLETED: &str = "dfs.retention.swept.completed";
+    /// Files removed by a retention sweep because the owner's TTL
+    /// lapsed or its handle was dropped (retention released).
+    pub const RETENTION_SWEPT_TTL: &str = "dfs.retention.swept.ttl";
+    /// Files removed by a retention sweep because the owning job was
+    /// cancelled before finishing.
+    pub const RETENTION_SWEPT_CANCELLED: &str = "dfs.retention.swept.cancelled";
+}
+
+/// Why a retention sweep ran. Picks the counter the swept files are
+/// charged to, splitting what used to be one undifferentiated
+/// `dfs.orphans.swept` total into per-cause retention families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepReason {
+    /// The job that owned the prefix ran to the end (success or error).
+    Completed,
+    /// The owner's retention TTL lapsed, or its handle was dropped.
+    Ttl,
+    /// The owning job was cancelled.
+    Cancelled,
+}
+
+impl SweepReason {
+    fn counter_key(self) -> &'static str {
+        match self {
+            SweepReason::Completed => metrics_keys::RETENTION_SWEPT_COMPLETED,
+            SweepReason::Ttl => metrics_keys::RETENTION_SWEPT_TTL,
+            SweepReason::Cancelled => metrics_keys::RETENTION_SWEPT_CANCELLED,
+        }
+    }
 }
 
 impl Dfs {
@@ -1035,12 +1067,7 @@ impl Dfs {
             .into_iter()
             .filter(|p| is_shuffle_transit_path(p))
             .collect();
-        let mut swept = 0usize;
-        for path in &stale {
-            if self.delete(path).is_ok() {
-                swept += 1;
-            }
-        }
+        let swept = self.delete_all(&stale);
         if swept > 0 {
             self.inner
                 .metrics
@@ -1048,6 +1075,28 @@ impl Dfs {
                 .add(swept as u64);
         }
         swept
+    }
+
+    /// Live retention sweep: delete every file under `prefix`, charging
+    /// the count to `reason`'s counter. Unlike the startup-only
+    /// [`Dfs::sweep_orphans`], this is the runtime half of the retention
+    /// policy — the engine calls it with [`SweepReason::Completed`] when
+    /// a job's shuffle transit is consumed, and the job service calls it
+    /// with [`SweepReason::Cancelled`] / [`SweepReason::Ttl`] when a
+    /// tenant's job namespace is retired. Returns the files swept.
+    pub fn sweep_prefix(&self, prefix: &str, reason: SweepReason) -> usize {
+        let swept = self.delete_all(&self.list(prefix));
+        if swept > 0 {
+            self.inner
+                .metrics
+                .counter(reason.counter_key())
+                .add(swept as u64);
+        }
+        swept
+    }
+
+    fn delete_all(&self, paths: &[String]) -> usize {
+        paths.iter().filter(|p| self.delete(p).is_ok()).count()
     }
 
     /// All paths with the given prefix, sorted.

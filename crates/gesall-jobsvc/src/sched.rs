@@ -1,0 +1,132 @@
+//! Capacity-scheduler arithmetic, kept pure so fairness properties are
+//! unit-testable without threads.
+//!
+//! The model is YARN's capacity scheduler reduced to its essentials:
+//! every *active* tenant (one with queued or running work) is entitled
+//! to `share / Σ shares × total_slots` container slots. A tenant using
+//! fewer is *under share*; slots it isn't using may be borrowed by
+//! others, but the moment it queues work the borrowers are shrunk back
+//! toward their entitlement and the draining slots flow to it.
+//!
+//! All comparisons are integer cross-products with lexicographic
+//! tie-breaks — no floats, no hash-order, so a given state always
+//! schedules the same way.
+
+use std::collections::BTreeMap;
+
+/// One tenant's scheduling-relevant state, as the picker sees it.
+#[derive(Debug, Clone)]
+pub struct TenantView {
+    pub name: String,
+    /// Configured share weight (> 0).
+    pub share: u32,
+    /// Container slots currently granted to the tenant's running jobs.
+    pub inflight: usize,
+    /// Whether the tenant has queued work.
+    pub has_queued: bool,
+    /// Slots the tenant may still be granted before hitting its
+    /// in-flight quota.
+    pub quota_room: usize,
+}
+
+/// Fair entitlement of each active tenant: `share / Σ shares × total`,
+/// floored, but never below 1 (a tenant with work always deserves one
+/// container). Inactive tenants are entitled to nothing — their unused
+/// share is what others borrow.
+pub fn entitlements(total_slots: usize, active: &[(&str, u32)]) -> BTreeMap<String, usize> {
+    let sum: u64 = active.iter().map(|&(_, s)| s as u64).sum();
+    let mut out = BTreeMap::new();
+    if sum == 0 {
+        return out;
+    }
+    for &(name, share) in active {
+        let ent = ((share as u64 * total_slots as u64) / sum) as usize;
+        out.insert(name.to_string(), ent.max(1));
+    }
+    out
+}
+
+/// Pick the tenant whose queued work should be served next: the one
+/// with the lowest share-normalized usage (`inflight / share`), i.e.
+/// the most under-share — exactly "queued jobs from an under-share
+/// tenant get the next freed slots". Tenants without queued work or
+/// without quota room are not candidates. Ties break on name, so the
+/// decision is total.
+pub fn pick_tenant(tenants: &[TenantView]) -> Option<&TenantView> {
+    tenants
+        .iter()
+        .filter(|t| t.has_queued && t.quota_room > 0 && t.share > 0)
+        .min_by(|a, b| {
+            // a.inflight/a.share < b.inflight/b.share, cross-multiplied.
+            let lhs = a.inflight as u64 * b.share as u64;
+            let rhs = b.inflight as u64 * a.share as u64;
+            lhs.cmp(&rhs).then_with(|| a.name.cmp(&b.name))
+        })
+}
+
+/// How many of the `grant` slots about to be handed to a tenant sit
+/// beyond its fair entitlement — the borrowed portion, charged to
+/// `jobsvc.slots.borrowed`.
+pub fn borrowed_delta(inflight_before: usize, grant: usize, entitlement: usize) -> usize {
+    let over_after = (inflight_before + grant).saturating_sub(entitlement);
+    let over_before = inflight_before.saturating_sub(entitlement);
+    over_after - over_before.min(over_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(name: &str, share: u32, inflight: usize, has_queued: bool, room: usize) -> TenantView {
+        TenantView {
+            name: name.into(),
+            share,
+            inflight,
+            has_queued,
+            quota_room: room,
+        }
+    }
+
+    #[test]
+    fn entitlements_split_by_share_with_floor_one() {
+        let e = entitlements(8, &[("a", 3), ("b", 1)]);
+        assert_eq!(e["a"], 6);
+        assert_eq!(e["b"], 2);
+        // A sliver tenant still gets one slot.
+        let e = entitlements(4, &[("a", 100), ("b", 1)]);
+        assert_eq!(e["b"], 1);
+        assert!(entitlements(4, &[]).is_empty());
+    }
+
+    #[test]
+    fn picks_most_under_share_tenant() {
+        // b uses 1 of share 1 (normalized 1.0); a uses 1 of share 4
+        // (0.25) — a is more under-share.
+        let ts = vec![t("b", 1, 1, true, 10), t("a", 4, 1, true, 10)];
+        assert_eq!(pick_tenant(&ts).unwrap().name, "a");
+        // Equal normalized usage → lexicographic.
+        let ts = vec![t("b", 1, 2, true, 10), t("a", 2, 4, true, 10)];
+        assert_eq!(pick_tenant(&ts).unwrap().name, "a");
+    }
+
+    #[test]
+    fn quota_and_queue_filter_candidates() {
+        let ts = vec![
+            t("a", 1, 0, true, 0),  // no quota room
+            t("b", 1, 9, true, 5),  // eligible despite heavy usage
+            t("c", 1, 0, false, 5), // nothing queued
+        ];
+        assert_eq!(pick_tenant(&ts).unwrap().name, "b");
+        assert!(pick_tenant(&[t("a", 1, 0, false, 5)]).is_none());
+    }
+
+    #[test]
+    fn borrowed_counts_only_beyond_entitlement() {
+        // Entitled to 4: first 4 granted slots are owed, the rest borrowed.
+        assert_eq!(borrowed_delta(0, 4, 4), 0);
+        assert_eq!(borrowed_delta(0, 6, 4), 2);
+        assert_eq!(borrowed_delta(4, 3, 4), 3);
+        assert_eq!(borrowed_delta(5, 2, 4), 2);
+        assert_eq!(borrowed_delta(2, 1, 4), 0);
+    }
+}

@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod counters;
 pub mod error;
 pub mod fault;
+pub mod lease;
 pub mod runtime;
 pub mod shipping;
 pub mod shuffle;
@@ -41,6 +42,7 @@ pub use cluster::{ClusterResources, NodeResources};
 pub use counters::Counters;
 pub use error::GesallError;
 pub use fault::{FaultPlan, NodeDeath};
+pub use lease::{LeasePermit, SlotLease};
 pub use runtime::{
     AttemptOutcome, InputSplit, JobConfig, JobResult, MapReduceEngine, TaskEvent, TaskKind,
 };

@@ -14,11 +14,12 @@ use crate::cluster::ClusterResources;
 use crate::counters::{keys, Counters};
 use crate::error::{panic_message, GesallError};
 use crate::fault::{FaultPlan, NodeDeath};
+use crate::lease::{LeasePermit, SlotLease};
 use crate::shipping;
 use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer, COMPRESS_MIN_BYTES};
 use crate::spillpool::SpillPool;
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
-use gesall_dfs::{Dfs, PinnedPlacement};
+use gesall_dfs::{Dfs, PinnedPlacement, SweepReason};
 use gesall_telemetry::{Phase, Recorder, Span, SpanId, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
@@ -110,6 +111,18 @@ pub struct JobConfig {
     /// = a root span). Set by drivers that trace a larger unit — e.g. a
     /// pipeline round — so the job nests inside it.
     pub parent_span: SpanId,
+    /// Container-slot lease for this job, handed in by an external
+    /// capacity scheduler (gesall-jobsvc). Wave workers take a permit
+    /// before each attempt and release it after, so the job never runs
+    /// more than the lease's current grant concurrently — the mechanism
+    /// that lets many jobs share one engine without oversubscribing the
+    /// cluster. `None` (the default) leaves the job unthrottled.
+    pub slot_lease: Option<SlotLease>,
+    /// DFS directory the job's shuffle transit lives under: transit
+    /// files go to `{namespace}/shuffle-{run}/…` instead of the default
+    /// `/{name}/shuffle-{run}/…`. The job service sets `/{tenant}/{job}`
+    /// here so every tenant's transit sits under one sweepable prefix.
+    pub shuffle_namespace: Option<String>,
 }
 
 impl Default for JobConfig {
@@ -134,6 +147,8 @@ impl Default for JobConfig {
             speculative_multiplier: 1.5,
             speculative_min_runtime_ms: 25.0,
             parent_span: SpanId::NONE,
+            slot_lease: None,
+            shuffle_namespace: None,
         }
     }
 }
@@ -412,19 +427,22 @@ impl MapReduceEngine {
         }
         // Per-run shuffle directory: the id makes repeated jobs on one
         // engine (and their retried attempts' files, below) disjoint.
-        let shuffle_base = format!(
-            "/{}/shuffle-{}",
-            config.name,
-            self.shuffle_seq.fetch_add(1, Ordering::Relaxed)
-        );
-        // Drop every shipped map output for this run — losing attempts
-        // leave orphans at unique paths, so a prefix sweep is the only
-        // correct cleanup.
+        // The run counter is monotone per engine — never wall-clock
+        // derived — so transit paths are stable across reruns of the
+        // same seed. A namespaced job (job service tenancy) shuffles
+        // under its own `/{tenant}/{job}/` prefix instead.
+        let shuffle_run = self.shuffle_seq.fetch_add(1, Ordering::Relaxed);
+        let shuffle_base = match &config.shuffle_namespace {
+            Some(ns) => format!("{}/shuffle-{}", ns.trim_end_matches('/'), shuffle_run),
+            None => format!("/{}/shuffle-{}", config.name, shuffle_run),
+        };
+        // Drop every shipped map output for this run, on success *and*
+        // every error path — losing attempts leave orphans at unique
+        // paths, so a retention prefix sweep is the only correct
+        // cleanup (charged to `dfs.retention.swept.completed`).
         let cleanup_shuffle = |dfs: &Option<Dfs>| {
             if let Some(dfs) = dfs {
-                for p in dfs.list(&shuffle_base) {
-                    let _ = dfs.delete(&p);
-                }
+                dfs.sweep_prefix(&shuffle_base, SweepReason::Completed);
             }
         };
         let map_outputs: Vec<Mutex<Option<MapOutput>>> =
@@ -995,6 +1013,9 @@ enum Acquired {
     Exit,
 }
 
+/// Marker error: the job's slot lease has no free permit right now.
+struct LeaseSaturated;
+
 struct WaveCtx<'a, T> {
     engine: &'a MapReduceEngine,
     kind: TaskKind,
@@ -1023,28 +1044,61 @@ impl<T> WaveCtx<'_, T> {
     where
         F: Fn(usize, usize, &Counters) -> T + Send + Sync,
     {
+        // Delay scheduling: prefer local tasks; wait one beat before
+        // stealing a remote one (or launching a backup attempt). The
+        // beats are condvar waits, not sleeps: a commit or requeue
+        // wakes idle workers immediately, while the timeouts remain
+        // as the backstop that drives the time-based machinery
+        // (retry backoff expiry, straggler detection).
+        let mut allow_steal = false;
         loop {
-            // Delay scheduling: prefer local tasks; wait one beat before
-            // stealing a remote one (or launching a backup attempt). The
-            // beats are condvar waits, not sleeps: a commit or requeue
-            // wakes idle workers immediately, while the timeouts remain
-            // as the backstop that drives the time-based machinery
-            // (retry backoff expiry, straggler detection).
-            match self.acquire(node, false) {
+            // The job's slot lease gates admission to *work*, not the
+            // worker threads themselves: a saturated lease parks the
+            // worker until a running attempt releases its permit or the
+            // grant grows. Shrinking the grant therefore reclaims slots
+            // preemption-free — in-flight attempts finish, new ones
+            // simply don't start.
+            let permit = match self.lease_permit() {
+                Ok(p) => p,
+                Err(LeaseSaturated) => {
+                    if self.wave_over(node) {
+                        break;
+                    }
+                    self.idle_wait(Duration::from_micros(500));
+                    allow_steal = true;
+                    continue;
+                }
+            };
+            match self.acquire(node, allow_steal) {
                 Acquired::Exit => break,
                 Acquired::Got(a) => {
                     self.run_attempt(node, a, body);
-                    continue;
+                    allow_steal = false;
                 }
-                Acquired::Idle => {}
-            }
-            self.idle_wait(Duration::from_micros(500));
-            match self.acquire(node, true) {
-                Acquired::Exit => break,
-                Acquired::Got(a) => self.run_attempt(node, a, body),
-                Acquired::Idle => self.idle_wait(Duration::from_micros(200)),
+                Acquired::Idle => {
+                    // An idle worker holds no permit — a parked thread
+                    // is not an occupied container slot.
+                    drop(permit);
+                    self.idle_wait(Duration::from_micros(if allow_steal { 200 } else { 500 }));
+                    allow_steal = true;
+                }
             }
         }
+    }
+
+    /// Take a permit on the job's slot lease (`Ok(None)` for unleased
+    /// jobs, which may use every spawned worker).
+    fn lease_permit(&self) -> Result<Option<LeasePermit>, LeaseSaturated> {
+        match &self.config.slot_lease {
+            None => Ok(None),
+            Some(lease) => lease.try_acquire().map(Some).ok_or(LeaseSaturated),
+        }
+    }
+
+    /// Whether this worker should exit instead of waiting for a permit.
+    fn wave_over(&self, node: usize) -> bool {
+        let st = self.state.lock();
+        st.fatal.is_some() || st.remaining == 0 || self.engine.is_dead(node)
     }
 
     /// Park on the schedule-change condvar for at most `timeout`,

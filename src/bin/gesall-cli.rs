@@ -10,6 +10,8 @@
 //! gesall-cli diff      --serial A.bam --parallel B.bam
 //! gesall-cli sv        --bam IN.bam [--insert-mean N] [--insert-sd N]
 //! gesall-cli optimize  [--cluster a|b] [--objective wall|efficiency]
+//! gesall-cli serve     [--tenants N] [--jobs N] [--pairs N] [--nodes N]
+//!                      [--slots N] [--seed S]
 //! ```
 //!
 //! Files use the workspace's own formats: FASTA references, FASTQ reads,
@@ -43,6 +45,7 @@ fn main() {
         "diff" => cmd_diff(&opts),
         "sv" => cmd_sv(&opts),
         "optimize" => cmd_optimize(&opts),
+        "serve" => cmd_serve(&opts),
         other => usage(&format!("unknown subcommand {other:?}")),
     };
     if let Err(e) = result {
@@ -415,5 +418,138 @@ fn cmd_diff(opts: &Opts) -> Result<(), AnyError> {
         "low-quality fraction of discordants: {:.0}%",
         100.0 * d.low_quality_fraction()
     );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
+    use gesall::jobsvc::{keys, JobOutput, JobService, JobSpec, JobSvcConfig, TenantConfig};
+    use gesall::mapreduce::GesallError;
+    use gesall::platform::pipeline::PipelineOutput;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let n_tenants = get_num(opts, "tenants", 3usize).max(1);
+    let jobs_per_tenant = get_num(opts, "jobs", 2usize).max(1);
+    let n_pairs = get_num(opts, "pairs", 400usize);
+    let nodes = get_num(opts, "nodes", 3usize).max(1);
+    let seed = get_num(opts, "seed", 42u64);
+
+    eprintln!("generating a shared {n_pairs}-pair workload (seed {seed})...");
+    let genome = ReferenceGenome::generate(&GenomeConfig {
+        chromosome_lengths: vec![120_000, 80_000],
+        seed,
+        ..GenomeConfig::default()
+    });
+    let donor = DonorGenome::generate(
+        &genome,
+        &DonorConfig { seed: seed ^ 7, ..DonorConfig::default() },
+    );
+    let (pairs, _) = ReadSimulator::new(
+        &genome,
+        &donor,
+        ReadSimConfig { n_pairs, seed: seed ^ 99, ..ReadSimConfig::default() },
+    )
+    .simulate();
+    let chroms: Vec<(String, Vec<u8>)> = genome
+        .chromosomes
+        .iter()
+        .map(|c| (c.name.clone(), c.seq.clone()))
+        .collect();
+    let aligner = Arc::new(Aligner::new(ReferenceIndex::build(&chroms), AlignerConfig::default()));
+
+    let platform = GesallPlatform::new(
+        Dfs::new(DfsConfig {
+            n_nodes: nodes,
+            block_size: 1024 * 1024,
+            replication: 1,
+            ..DfsConfig::default()
+        }),
+        MapReduceEngine::new(ClusterResources::uniform(nodes, 2, 8 * 1024)),
+        PlatformConfig::default(),
+    );
+
+    // Tenant 1 holds a double share so the capacity split is visibly
+    // uneven; everyone else competes at share 1 and borrows tenant 1's
+    // idle slots elastically.
+    let tenants: Vec<TenantConfig> = (0..n_tenants)
+        .map(|i| TenantConfig::new(format!("t{}", i + 1), if i == 0 { 2 } else { 1 }))
+        .collect();
+    let slots = get_num(opts, "slots", 0usize);
+    let svc = JobService::new(
+        platform,
+        JobSvcConfig {
+            tenants,
+            total_slots: (slots > 0).then_some(slots),
+            ..JobSvcConfig::default()
+        },
+    );
+    let total = svc.total_slots();
+    // Each job asks for half the cluster: with several tenants live the
+    // scheduler must shrink leases back toward fair share, and with one
+    // tenant live its jobs borrow the idle half.
+    let want = (total / 2).max(1);
+    eprintln!(
+        "serving {n_tenants} tenants x {jobs_per_tenant} pipeline jobs \
+         ({total} slots, {want} requested per job)..."
+    );
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    // Round-robin submission so tenants contend from the first dispatch.
+    for round in 0..jobs_per_tenant {
+        for i in 0..n_tenants {
+            let aligner = Arc::clone(&aligner);
+            let pairs = pairs.clone();
+            let spec = JobSpec::new(format!("pipeline-{round}"), want, move |ctx| {
+                let out = ctx
+                    .platform()
+                    .run_pipeline_with(&aligner, pairs, &ctx.run_options())
+                    .map_err(|e| GesallError::Streaming(e.to_string()))?;
+                Ok(Box::new(out) as JobOutput)
+            });
+            handles.push(svc.submit(&format!("t{}", i + 1), spec)?);
+        }
+    }
+    for h in &handles {
+        h.wait()?;
+        let out = h
+            .take_output()
+            .and_then(|b| b.downcast::<PipelineOutput>().ok())
+            .ok_or("job finished without pipeline output")?;
+        println!(
+            "[{}] {}: {} records, {} variants",
+            h.tenant(),
+            h.id(),
+            out.records.len(),
+            out.variants.len()
+        );
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let m = svc.metrics();
+    let ms = |nanos: Option<u64>| nanos.unwrap_or(0) as f64 / 1e6;
+    println!("tenant   jobs  queue-wait p50   p90");
+    for i in 0..n_tenants {
+        let t = format!("t{}", i + 1);
+        let done = m.counter(&format!("{}.{t}", keys::JOBS_COMPLETED)).get();
+        let h = m.histogram(&format!("{}.{t}", keys::QUEUE_WAIT_NANOS));
+        println!(
+            "{t:<8} {done:<5} {:>9.2}ms {:>9.2}ms",
+            ms(h.quantile(0.5)),
+            ms(h.quantile(0.9))
+        );
+    }
+    println!(
+        "slots: granted {}, borrowed {}, reclaimed {}",
+        m.counter(keys::SLOTS_GRANTED).get(),
+        m.counter(keys::SLOTS_BORROWED).get(),
+        m.counter(keys::SLOTS_RECLAIMED).get()
+    );
+    println!(
+        "{} jobs across {n_tenants} tenants in {wall_s:.2}s",
+        handles.len()
+    );
+    drop(handles);
+    svc.shutdown();
     Ok(())
 }

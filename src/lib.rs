@@ -8,6 +8,7 @@ pub use gesall_core as platform;
 pub use gesall_datagen as datagen;
 pub use gesall_dfs as dfs;
 pub use gesall_formats as formats;
+pub use gesall_jobsvc as jobsvc;
 pub use gesall_mapreduce as mapreduce;
 pub use gesall_sim as sim;
 pub use gesall_telemetry as telemetry;
