@@ -15,7 +15,7 @@ use gesall_datagen::reads::ReadSimConfig;
 use gesall_datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
 use gesall_dfs::{Dfs, DfsConfig};
 use gesall_mapreduce::{ClusterResources, MapReduceEngine, Recorder, SpanKind};
-use gesall_telemetry::report::{gantt, shuffle_matrix, straggler_report, GanttRow};
+use gesall_telemetry::report::{critical_path, gantt, shuffle_matrix, straggler_report, GanttRow};
 use gesall_telemetry::{mem_keys, BenchRecord, MemStats};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -71,6 +71,14 @@ pub const JOBSVC_CONCURRENCY_SLOWDOWN: f64 = 1.8;
 /// fixed cost a pure ratio cannot absorb at this scale. A serializing
 /// scheduler still overshoots by the whole second job's wall.
 pub const JOBSVC_CONCURRENCY_GRACE_MS: f64 = 100.0;
+
+/// Allowed wall-clock for the warm DAG re-run as a fraction of the cold
+/// pipeline wall. A warm re-run answers every stage from the
+/// content-addressed cache — no alignment, no shuffle, no calling — so
+/// it should cost a small fraction of the cold run; a warm wall above
+/// half the cold wall means stages are re-executing instead of being
+/// cache-served.
+pub const DAG_WARM_RERUN_MAX_RATIO: f64 = 0.5;
 
 /// What the multi-tenant job-service probe measured.
 struct JobsvcProbe {
@@ -462,7 +470,7 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     let platform = GesallPlatform::new(dfs, engine, config);
     let t0 = std::time::Instant::now();
     let out = platform
-        .run_pipeline(&aligner, pairs)
+        .run_pipeline(&aligner, pairs.clone())
         .map_err(|e| format!("smoke pipeline failed: {e:?}"))?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -497,6 +505,29 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ..MemStats::default()
     }
     .bytes_copied_per_record(shuffled);
+
+    // DAG warm-rerun probe: the identical pipeline on the same platform
+    // must be answered entirely from the content-addressed stage cache
+    // the cold run populated, byte-identically. Runs *after* the cold
+    // copy counters are captured so the (cache-served) re-run's DFS
+    // reads cannot pollute the memory-path gate.
+    let warm_t0 = std::time::Instant::now();
+    let warm = platform
+        .run_pipeline(&aligner, pairs)
+        .map_err(|e| format!("smoke warm re-run failed: {e:?}"))?;
+    let warm_rerun_wall_nanos = warm_t0.elapsed().as_nanos() as u64;
+    let dag_stage_cache_hits = warm.cache_hits();
+    if warm.records != out.records || warm.variants != out.variants {
+        return Err(
+            "dag-cache gate: warm re-run output differs from the cold run — \
+             the stage cache is serving wrong bytes"
+                .into(),
+        );
+    }
+    // Critical path through the cold run's stage DAG, from the per-stage
+    // wall clocks the executor recorded.
+    let (_, dag_critical_path_ms) = critical_path(&out.dag_rows());
+    let dag_critical_path_nanos = (dag_critical_path_ms * 1e6) as u64;
 
     // Spill-overlap metric: time the background encoder pool spent
     // sorting spills, over the wall-clock of the map waves it overlapped
@@ -602,6 +633,18 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         (
             "jobsvc_concurrent_ms".into(),
             format!("{:.2}", jobsvc.concurrent_ms),
+        ),
+        (
+            "dag_stage_cache_hits".into(),
+            dag_stage_cache_hits.to_string(),
+        ),
+        (
+            "dag_critical_path_nanos".into(),
+            dag_critical_path_nanos.to_string(),
+        ),
+        (
+            "warm_rerun_wall_nanos".into(),
+            warm_rerun_wall_nanos.to_string(),
         ),
     ];
     record.config = vec![
@@ -720,6 +763,25 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             jobsvc.concurrent_ms, jobsvc.serial_a_ms, jobsvc.serial_b_ms, jobsvc_allowed_ms
         ));
     }
+    // DAG-cache gates: the warm re-run must have been answered from the
+    // stage cache (every stage a hit) and must cost a small fraction of
+    // the cold wall — re-executing stages on a warm cache is the
+    // regression this catches.
+    if dag_stage_cache_hits == 0 {
+        return Err(
+            "dag-cache gate: warm re-run recorded zero stage cache hits — \
+             the content-addressed store is not serving"
+                .into(),
+        );
+    }
+    let warm_ms = warm_rerun_wall_nanos as f64 / 1e6;
+    if warm_ms > wall_ms * DAG_WARM_RERUN_MAX_RATIO {
+        return Err(format!(
+            "dag-cache gate: warm re-run took {warm_ms:.1} ms vs {wall_ms:.1} ms \
+             cold (allowed {DAG_WARM_RERUN_MAX_RATIO}x) — stages are re-executing \
+             instead of being cache-served"
+        ));
+    }
 
     let mut text = String::new();
     text.push_str(&format!(
@@ -761,6 +823,11 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         jobsvc.slots_borrowed,
         jobsvc.slots_reclaimed,
         jobsvc.queue_wait_p90_nanos as f64 / 1e6
+    ));
+    text.push_str(&format!(
+        "Stage DAG: warm re-run {warm_ms:.1} ms vs {wall_ms:.1} ms cold, \
+         {dag_stage_cache_hits} stages cache-served; critical path {:.1} ms\n",
+        dag_critical_path_ms
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -878,6 +945,15 @@ mod tests {
             "tenant B's arrival must reclaim the borrowed slots"
         );
         assert!(outcome.report.contains("Job service"));
+        // DAG probe: the warm re-run was cache-served, fast, and the
+        // cold run's critical path was measured.
+        assert!(
+            field("dag_stage_cache_hits") > 0,
+            "the warm re-run must be served from the stage cache"
+        );
+        assert!(field("dag_critical_path_nanos") > 0);
+        assert!(field("warm_rerun_wall_nanos") > 0);
+        assert!(outcome.report.contains("Stage DAG"));
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

@@ -1,0 +1,553 @@
+//! Declarative stage DAGs over the round planner.
+//!
+//! The paper executes the GATK best-practices workflow as a fixed
+//! sequence of MapReduce rounds; this module lifts that sequence into an
+//! explicit graph so an executor (the platform's DAG driver, or
+//! `gesall-jobsvc`'s dependency-aware submission) can:
+//!
+//! * dispatch a stage the moment its parents commit — independent
+//!   siblings run concurrently instead of serialising behind the
+//!   hand-rolled round order;
+//! * key every stage output by a **content hash** chained through its
+//!   ancestry (stage code version, config fingerprint, parent keys,
+//!   rooted at a hash of the external inputs), so a re-run with one
+//!   changed stage re-executes exactly that stage and its descendants
+//!   while every unchanged upstream output is served from the
+//!   content-addressed store (`Dfs::cas_get`/`cas_put`);
+//! * attribute wall-clock to the critical path
+//!   ([`gesall_telemetry::report::critical_path`]).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use gesall_dfs::checksum::xxh64;
+use gesall_formats::wire;
+
+use crate::pipeline::{
+    plan_rounds, CallerChoice, HcPartitioning, Partitioning, PlatformConfig, ProgramSpec,
+};
+
+/// Well-known counter names for the DAG executor. Bumped on both the
+/// run's [`Counters`](gesall_mapreduce::counters::Counters) bag and the
+/// platform DFS's metrics registry (the latter survives across runs, so
+/// tests and the bench harness can assert warm-rerun behaviour).
+pub mod keys {
+    /// Stages whose body actually executed this run.
+    pub const STAGES_RUN: &str = "dag.stages.run";
+    /// Stages served from the content-addressed intermediate store.
+    pub const STAGES_CACHE_HIT: &str = "dag.stages.cache_hit";
+}
+
+/// One node of a stage graph: a named unit of pipeline work plus the
+/// identity facts its cache key is derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    pub name: String,
+    /// Upstream stages whose committed outputs this stage consumes.
+    /// Order matters: it is part of the content key.
+    pub parents: Vec<String>,
+    /// Bumped whenever the stage's implementation changes observable
+    /// output — the "stage code version" component of the content key.
+    pub code_version: u32,
+    /// Fingerprint of exactly the configuration slice this stage's
+    /// output depends on (not the whole config, so e.g. changing the
+    /// caller never invalidates alignment).
+    pub config_fp: u64,
+}
+
+impl StageSpec {
+    pub fn new(name: impl Into<String>, parents: &[&str]) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            parents: parents.iter().map(|p| (*p).to_string()).collect(),
+            code_version: 1,
+            config_fp: 0,
+        }
+    }
+
+    pub fn code_version(mut self, v: u32) -> StageSpec {
+        self.code_version = v;
+        self
+    }
+
+    pub fn config_fp(mut self, fp: u64) -> StageSpec {
+        self.config_fp = fp;
+        self
+    }
+}
+
+/// A whole stage graph, in declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DagSpec {
+    pub stages: Vec<StageSpec>,
+}
+
+/// Typed planning errors — every malformed graph is rejected before an
+/// executor could hang on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph has no stages.
+    Empty,
+    /// Two stages share a name.
+    Duplicate(String),
+    /// A stage names a parent that is not in the graph.
+    UnknownParent { stage: String, parent: String },
+    /// The stages that remain unordered after peeling all roots — the
+    /// members (and downstream captives) of at least one cycle.
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Empty => write!(f, "stage graph is empty"),
+            DagError::Duplicate(n) => write!(f, "duplicate stage name: {n}"),
+            DagError::UnknownParent { stage, parent } => {
+                write!(f, "stage {stage} names unknown parent {parent}")
+            }
+            DagError::Cycle(names) => {
+                write!(f, "stage graph has a cycle through: {}", names.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl DagSpec {
+    pub fn stage(&self, name: &str) -> Option<&StageSpec> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Reject duplicates, dangling parents, and cycles.
+    pub fn validate(&self) -> Result<(), DagError> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// Deterministic topological order (Kahn's algorithm; declaration
+    /// order breaks ties), or a typed error for a malformed graph.
+    pub fn topo_order(&self) -> Result<Vec<String>, DagError> {
+        if self.stages.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, s) in self.stages.iter().enumerate() {
+            if index.insert(s.name.as_str(), i).is_some() {
+                return Err(DagError::Duplicate(s.name.clone()));
+            }
+        }
+        let n = self.stages.len();
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, s) in self.stages.iter().enumerate() {
+            for p in &s.parents {
+                let Some(&pi) = index.get(p.as_str()) else {
+                    return Err(DagError::UnknownParent {
+                        stage: s.name.clone(),
+                        parent: p.clone(),
+                    });
+                };
+                children[pi].push(i);
+                indeg[i] += 1;
+            }
+        }
+        // Ready set kept sorted by declaration index, so the order is a
+        // stable function of the spec alone.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&i) = ready.first() {
+            ready.remove(0);
+            order.push(i);
+            for &c in &children[i] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    let pos = ready.binary_search(&c).unwrap_err();
+                    ready.insert(pos, c);
+                }
+            }
+        }
+        if order.len() < n {
+            let stuck: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.stages[i].name.clone())
+                .collect();
+            return Err(DagError::Cycle(stuck));
+        }
+        Ok(order.into_iter().map(|i| self.stages[i].name.clone()).collect())
+    }
+
+    /// All stages downstream of `name` (excluding `name` itself) — the
+    /// exact set a failure of `name` must fail, and the set an
+    /// invalidation of `name` re-executes.
+    pub fn descendants(&self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut queue: VecDeque<&str> = VecDeque::from([name]);
+        while let Some(cur) = queue.pop_front() {
+            for s in &self.stages {
+                if s.parents.iter().any(|p| p == cur) && !out.contains(&s.name) {
+                    out.push(s.name.clone());
+                    queue.push_back(s.name.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    /// Content keys for every stage: `xxh64` over (stage name, code
+    /// version, config fingerprint, the root input key for parentless
+    /// stages, and the parent keys in declared order). An entry in
+    /// `invalidate` salts that stage's key — its descendants' keys shift
+    /// automatically through the parent-key chain, so "invalidate one
+    /// stage" re-executes exactly that stage and its descendants.
+    pub fn stage_keys(
+        &self,
+        root_key: u64,
+        invalidate: &[(String, u64)],
+    ) -> Result<BTreeMap<String, u64>, DagError> {
+        let order = self.topo_order()?;
+        let mut keys: BTreeMap<String, u64> = BTreeMap::new();
+        for name in &order {
+            let s = self.stage(name).expect("topo names come from the spec");
+            let mut buf = Vec::new();
+            wire::put_str(&mut buf, &s.name);
+            wire::put_u32(&mut buf, s.code_version);
+            wire::put_u64(&mut buf, s.config_fp);
+            if s.parents.is_empty() {
+                wire::put_u64(&mut buf, root_key);
+            }
+            for p in &s.parents {
+                wire::put_u64(&mut buf, keys[p]);
+            }
+            if let Some((_, salt)) = invalidate.iter().find(|(n, _)| n == name) {
+                wire::put_u64(&mut buf, *salt);
+            }
+            keys.insert(name.clone(), xxh64(&buf));
+        }
+        Ok(keys)
+    }
+}
+
+/// Fingerprint helper: hash the `Debug` rendering of a config slice.
+/// Debug output is stable for the plain-data config types involved, and
+/// a false *difference* only costs a cache miss, never a wrong hit.
+pub fn config_fingerprint(parts: &[&dyn fmt::Debug]) -> u64 {
+    let mut text = String::new();
+    for p in parts {
+        text.push_str(&format!("{p:?}"));
+        text.push('\x1f');
+    }
+    xxh64(text.as_bytes())
+}
+
+/// Lift a [`plan_rounds`] plan into a stage graph: one stage per
+/// planned round, chained linearly (round *i+1* consumes round *i*'s
+/// arrangement). Stage names embed the fused program list so the
+/// mapping back to the plan is visible in traces.
+pub fn dag_from_plan(initial: Partitioning, programs: &[ProgramSpec]) -> DagSpec {
+    let rounds = plan_rounds(initial, programs);
+    let mut stages = Vec::with_capacity(rounds.len());
+    let mut prev: Option<String> = None;
+    for (i, r) in rounds.iter().enumerate() {
+        let name = format!("round{}-{}", i + 1, r.programs.join("+").to_lowercase());
+        let parents: Vec<&str> = prev.as_deref().into_iter().collect();
+        stages.push(
+            StageSpec::new(name.clone(), &parents)
+                .config_fp(config_fingerprint(&[&r.programs, &r.needs_shuffle])),
+        );
+        prev = Some(name);
+    }
+    DagSpec { stages }
+}
+
+/// The round-5 stage name the executed pipeline will use for `config`.
+pub fn round5_stage_name(config: &PlatformConfig) -> &'static str {
+    match (config.caller, config.hc_partitioning) {
+        (CallerChoice::UnifiedGenotyper, _) => "round5-unifiedgenotyper",
+        (CallerChoice::HaplotypeCaller, HcPartitioning::Chromosome) => "round5-haplotypecaller",
+        (CallerChoice::HaplotypeCaller, HcPartitioning::FineGrained { .. }) => {
+            "round5-hc-finegrained"
+        }
+    }
+}
+
+/// The stage whose committed parts are the pipeline's final records.
+pub fn final_parts_stage(config: &PlatformConfig) -> &'static str {
+    if config.recalibrate {
+        "round4b-print-reads"
+    } else {
+        "round4-sort"
+    }
+}
+
+/// The *executed* pipeline graph for `config` — the graph
+/// [`GesallPlatform::run_pipeline_dag`](crate::pipeline::GesallPlatform::run_pipeline_dag)
+/// walks. Unlike [`dag_from_plan`] (a faithful lift of the planner's
+/// linear rounds) this reflects the real dataflow: the bloom build and
+/// the recalibration-table build are side branches that rejoin, which is
+/// what lets an executor overlap them with siblings and cache them
+/// independently.
+pub fn pipeline_dag(config: &PlatformConfig) -> DagSpec {
+    // Per-stage config slices. known_sites is an unordered set: sort it
+    // so the fingerprint is deterministic across runs.
+    let mut sites: Vec<(i32, i64)> = config.known_sites.iter().copied().collect();
+    sites.sort_unstable();
+
+    let mut stages = vec![
+        StageSpec::new("round1-align", &[]).config_fp(config_fingerprint(&[
+            &config.n_round1_partitions,
+            &config.bwa_threads_per_mapper,
+        ])),
+        StageSpec::new("round2-clean-fixmate", &["round1-align"])
+            .config_fp(config_fingerprint(&[&config.read_group, &config.n_reducers])),
+    ];
+    let mut markdup_parents: Vec<&str> = vec!["round2-clean-fixmate"];
+    if config.markdup_opt {
+        stages.push(StageSpec::new("round2b-bloom", &["round2-clean-fixmate"]));
+        markdup_parents.push("round2b-bloom");
+    }
+    stages.push(
+        StageSpec::new("round3-markdup", &markdup_parents).config_fp(config_fingerprint(&[
+            &config.markdup_opt,
+            &config.seed,
+            &config.n_reducers,
+        ])),
+    );
+    stages.push(StageSpec::new("round4-sort", &["round3-markdup"]));
+    let mut tail_parent = "round4-sort";
+    if config.recalibrate {
+        stages.push(
+            StageSpec::new("round4a-recal-table", &["round4-sort"])
+                .config_fp(config_fingerprint(&[&config.recal, &sites])),
+        );
+        stages.push(
+            StageSpec::new("round4b-print-reads", &["round4-sort", "round4a-recal-table"])
+                .config_fp(config_fingerprint(&[&config.recal])),
+        );
+        tail_parent = "round4b-print-reads";
+    }
+    let round5_fp = match config.caller {
+        CallerChoice::UnifiedGenotyper => config_fingerprint(&[&config.ug]),
+        CallerChoice::HaplotypeCaller => {
+            config_fingerprint(&[&config.hc, &config.hc_partitioning])
+        }
+    };
+    stages.push(StageSpec::new(round5_stage_name(config), &[tail_parent]).config_fp(round5_fp));
+    DagSpec { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::gatk_best_practices_specs;
+    use proptest::prelude::*;
+
+    fn spec(edges: &[(&str, &[&str])]) -> DagSpec {
+        DagSpec {
+            stages: edges
+                .iter()
+                .map(|(n, ps)| StageSpec::new(*n, ps))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_and_respects_edges() {
+        let d = spec(&[
+            ("a", &[]),
+            ("b", &["a"]),
+            ("c", &["a"]),
+            ("d", &["b", "c"]),
+        ]);
+        assert_eq!(d.topo_order().unwrap(), vec!["a", "b", "c", "d"]);
+        assert_eq!(d.descendants("a"), vec!["b", "c", "d"]);
+        assert_eq!(d.descendants("b"), vec!["d"]);
+        assert!(d.descendants("d").is_empty());
+    }
+
+    #[test]
+    fn malformed_graphs_are_typed_errors() {
+        assert_eq!(DagSpec::default().topo_order(), Err(DagError::Empty));
+        assert_eq!(
+            spec(&[("a", &[]), ("a", &[])]).topo_order(),
+            Err(DagError::Duplicate("a".into()))
+        );
+        assert_eq!(
+            spec(&[("a", &["ghost"])]).topo_order(),
+            Err(DagError::UnknownParent {
+                stage: "a".into(),
+                parent: "ghost".into()
+            })
+        );
+        // A cycle is reported, not spun on — including the self-loop.
+        match spec(&[("a", &["b"]), ("b", &["a"]), ("c", &[])]).topo_order() {
+            Err(DagError::Cycle(names)) => assert_eq!(names, vec!["a", "b"]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        assert!(matches!(
+            spec(&[("a", &["a"])]).topo_order(),
+            Err(DagError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn stage_keys_chain_through_ancestry() {
+        let d = spec(&[("a", &[]), ("b", &["a"]), ("c", &["b"])]);
+        let k1 = d.stage_keys(1, &[]).unwrap();
+        // Different root input: every key shifts.
+        let k2 = d.stage_keys(2, &[]).unwrap();
+        for n in ["a", "b", "c"] {
+            assert_ne!(k1[n], k2[n], "{n} key must depend on the root input");
+        }
+        // Invalidating b shifts b and its descendant c, but not a.
+        let k3 = d.stage_keys(1, &[("b".into(), 7)]).unwrap();
+        assert_eq!(k1["a"], k3["a"]);
+        assert_ne!(k1["b"], k3["b"]);
+        assert_ne!(k1["c"], k3["c"]);
+        // Same inputs: keys are a pure function.
+        assert_eq!(k1, d.stage_keys(1, &[]).unwrap());
+    }
+
+    #[test]
+    fn plan_lift_matches_round_boundaries() {
+        let programs = gatk_best_practices_specs();
+        let rounds = plan_rounds(Partitioning::ByReadName, &programs);
+        let d = dag_from_plan(Partitioning::ByReadName, &programs);
+        // 1:1 stages onto planned rounds, chained linearly.
+        assert_eq!(d.stages.len(), rounds.len());
+        for (i, (s, r)) in d.stages.iter().zip(&rounds).enumerate() {
+            for prog in &r.programs {
+                assert!(
+                    s.name.contains(&prog.to_lowercase()),
+                    "stage {} must name its fused programs {:?}",
+                    s.name,
+                    r.programs
+                );
+            }
+            if i == 0 {
+                assert!(s.parents.is_empty());
+            } else {
+                assert_eq!(s.parents, vec![d.stages[i - 1].name.clone()]);
+            }
+        }
+        assert_eq!(d.topo_order().unwrap().len(), rounds.len());
+    }
+
+    #[test]
+    fn pipeline_dag_reflects_config_branches() {
+        let base = PlatformConfig::default(); // markdup_opt on, recal off
+        let d = pipeline_dag(&base);
+        d.validate().unwrap();
+        let names: Vec<&str> = d.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "round1-align",
+                "round2-clean-fixmate",
+                "round2b-bloom",
+                "round3-markdup",
+                "round4-sort",
+                "round5-haplotypecaller"
+            ]
+        );
+        assert_eq!(
+            d.stage("round3-markdup").unwrap().parents,
+            vec!["round2-clean-fixmate", "round2b-bloom"]
+        );
+        let recal = PlatformConfig {
+            recalibrate: true,
+            markdup_opt: false,
+            ..PlatformConfig::default()
+        };
+        let d = pipeline_dag(&recal);
+        d.validate().unwrap();
+        assert!(d.stage("round2b-bloom").is_none());
+        assert_eq!(
+            d.stage("round4b-print-reads").unwrap().parents,
+            vec!["round4-sort", "round4a-recal-table"]
+        );
+        assert_eq!(
+            d.stage("round5-haplotypecaller").unwrap().parents,
+            vec!["round4b-print-reads"]
+        );
+        // Changing one stage's config slice moves only that subgraph.
+        let k_base = pipeline_dag(&base).stage_keys(9, &[]).unwrap();
+        let reseeded = PlatformConfig {
+            seed: 42,
+            ..PlatformConfig::default()
+        };
+        let k_seed = pipeline_dag(&reseeded).stage_keys(9, &[]).unwrap();
+        assert_eq!(k_base["round1-align"], k_seed["round1-align"]);
+        assert_eq!(k_base["round2b-bloom"], k_seed["round2b-bloom"]);
+        assert_ne!(k_base["round3-markdup"], k_seed["round3-markdup"]);
+        assert_ne!(k_base["round4-sort"], k_seed["round4-sort"]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random acyclic graphs (parents only point at earlier stages):
+        /// the topological order always places every parent first.
+        #[test]
+        fn prop_topo_order_respects_all_edges(
+            parent_picks in proptest::collection::vec(
+                proptest::collection::vec(0usize..100, 0..4), 1..20
+            ),
+        ) {
+            let stages: Vec<StageSpec> = parent_picks
+                .iter()
+                .enumerate()
+                .map(|(i, picks)| {
+                    let mut parents: Vec<String> = picks
+                        .iter()
+                        .filter(|_| i > 0)
+                        .map(|p| format!("s{}", p % i))
+                        .collect();
+                    parents.sort();
+                    parents.dedup();
+                    StageSpec {
+                        name: format!("s{i}"),
+                        parents,
+                        code_version: 1,
+                        config_fp: 0,
+                    }
+                })
+                .collect();
+            let d = DagSpec { stages };
+            let order = d.topo_order().unwrap();
+            prop_assert_eq!(order.len(), d.stages.len());
+            let pos: std::collections::HashMap<&str, usize> =
+                order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+            for s in &d.stages {
+                for p in &s.parents {
+                    prop_assert!(
+                        pos[p.as_str()] < pos[s.name.as_str()],
+                        "{} must come before {}", p, s.name
+                    );
+                }
+            }
+            // Keys exist for every stage and chain deterministically.
+            let keys = d.stage_keys(123, &[]).unwrap();
+            prop_assert_eq!(keys.len(), d.stages.len());
+        }
+
+        /// Adding a single back edge to a chain always yields the typed
+        /// cycle error, never a hang or panic.
+        #[test]
+        fn prop_back_edge_is_typed_cycle(len in 2usize..12, from in 0usize..12, to in 0usize..12) {
+            let from = from % len;
+            // Target at or before the source: a backward (or self) edge.
+            let to = to % (from + 1);
+            let stages: Vec<StageSpec> = (0..len)
+                .map(|i| {
+                    let mut parents = if i == 0 { vec![] } else { vec![format!("s{}", i - 1)] };
+                    if i == to {
+                        parents.push(format!("s{from}"));
+                    }
+                    StageSpec { name: format!("s{i}"), parents, code_version: 1, config_fp: 0 }
+                })
+                .collect();
+            let d = DagSpec { stages };
+            prop_assert!(matches!(d.topo_order(), Err(DagError::Cycle(_))));
+        }
+    }
+}

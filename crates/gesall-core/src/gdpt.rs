@@ -302,6 +302,38 @@ impl BloomFilter {
     }
 }
 
+/// Stable byte codec so a built filter can live in the DAG stage cache
+/// (`StageData::Bloom`) and be reused across pipeline runs.
+impl Wire for BloomFilter {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        gesall_formats::wire::put_u32(buf, self.n_hashes);
+        gesall_formats::wire::put_varint(buf, self.bits.len() as u64);
+        for w in &self.bits {
+            gesall_formats::wire::put_u64(buf, *w);
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> FmtResult<Self> {
+        let n_hashes = cur.get_u32()?;
+        let n = cur.get_varint()? as usize;
+        if n * 8 > cur.remaining() {
+            return Err(FormatError::Bam(format!(
+                "bloom filter claims {n} words but only {} bytes remain",
+                cur.remaining()
+            )));
+        }
+        let mut bits = Vec::with_capacity(n);
+        for _ in 0..n {
+            bits.push(cur.get_u64()?);
+        }
+        Ok(BloomFilter { bits, n_hashes })
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + gesall_formats::wire::varint_len(self.bits.len() as u64) + 8 * self.bits.len()
+    }
+}
+
 // ---------------------------------------------------------------------
 // Range partitioning
 // ---------------------------------------------------------------------

@@ -25,6 +25,7 @@
 //!   concordant/discordant sets, D-count, D-impact, logistic quality
 //!   weighting.
 
+pub mod dag;
 pub mod diagnosis;
 pub mod diagnosis_mr;
 pub mod error;
@@ -34,5 +35,8 @@ pub mod programs;
 pub mod rounds;
 pub mod storage;
 
+pub use dag::{DagError, DagSpec, StageSpec};
 pub use error::PlatformError;
-pub use pipeline::{GesallPlatform, PipelineOutput, PlatformConfig, RunOptions};
+pub use pipeline::{
+    DagRunOptions, GesallPlatform, PipelineOutput, PlatformConfig, RunOptions, StageReport,
+};

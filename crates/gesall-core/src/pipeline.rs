@@ -11,8 +11,9 @@
 //! * [`serial_tail_from_aligned`] / [`serial_tail_from_markdup`] — the
 //!   hybrid pipelines P̄ᵢ ∘ serial used to measure D-impact (§4.5.2).
 
-use crate::error::Result;
-use crate::gdpt::{chromosome_partition, RangeKey};
+use crate::dag;
+use crate::error::{PlatformError, Result};
+use crate::gdpt::{chromosome_partition, BloomFilter, RangeKey};
 use crate::rounds::{
     build_bloom_from_outputs, BloomBuildMapper, Round1Align, Round2CleanMapper,
     Round2FixMateReducer, Round3MarkDupMapper, Round3MarkDupReducer, Round4SortMapper,
@@ -20,20 +21,24 @@ use crate::rounds::{
 };
 use crate::storage;
 use gesall_aligner::Aligner;
-use gesall_dfs::{Dfs, LogicalPartitionPlacement};
+use gesall_dfs::{checksum, Dfs, LogicalPartitionPlacement};
 use gesall_formats::fastq::{pairs_to_interleaved_bytes, split_pairs_into_partitions, ReadPair};
 use gesall_formats::sam::header::ReadGroup;
 use gesall_formats::sam::{SamHeader, SamRecord, SortOrder};
 use gesall_formats::vcf::VariantRecord;
+use gesall_formats::wire::{self, Wire};
 use gesall_formats::SharedBytes;
 use gesall_mapreduce::counters::Counters;
 use gesall_mapreduce::lease::SlotLease;
 use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
 use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
-use gesall_telemetry::{report, OpenSpan, PhaseRow, SpanId, SpanKind};
+use gesall_telemetry::{report, OpenSpan, PhaseRow, Recorder, SpanId, SpanKind};
 use gesall_tools::haplotype_caller::{call_chromosome, HaplotypeCallerConfig};
+use gesall_tools::recalibration::RecalTable;
 use gesall_tools::refview::RefView;
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 // ---------------------------------------------------------------------
 // Round planner
@@ -251,6 +256,9 @@ pub struct PipelineOutput {
     /// Variant calls from round 5.
     pub variants: Vec<VariantRecord>,
     pub rounds: Vec<RoundSummary>,
+    /// Per-stage DAG execution report, in topological order. Empty for
+    /// the sequential oracle driver.
+    pub stages: Vec<StageReport>,
 }
 
 impl PipelineOutput {
@@ -267,6 +275,34 @@ impl PipelineOutput {
     pub fn phase_table(&self) -> String {
         report::phase_table(&self.phase_rows())
     }
+
+    /// Stages whose bodies executed this run.
+    pub fn stages_run(&self) -> usize {
+        self.stages.iter().filter(|s| !s.cache_hit).count()
+    }
+
+    /// Stages served from the content-addressed intermediate store.
+    pub fn cache_hits(&self) -> usize {
+        self.stages.iter().filter(|s| s.cache_hit).count()
+    }
+
+    /// Rows for the telemetry DAG / critical-path report.
+    pub fn dag_rows(&self) -> Vec<report::DagStageRow> {
+        self.stages
+            .iter()
+            .map(|s| report::DagStageRow {
+                name: s.name.clone(),
+                parents: s.parents.clone(),
+                duration_ms: s.wall_ms,
+                cached: s.cache_hit,
+            })
+            .collect()
+    }
+
+    /// The rendered stage table with critical-path attribution.
+    pub fn dag_report(&self) -> String {
+        report::dag_report(&self.dag_rows())
+    }
 }
 
 /// External controls for one pipeline run, handed in by a multi-job
@@ -282,6 +318,47 @@ pub struct RunOptions {
     /// `/{tenant}/{job}`); all transit and staging files land below it,
     /// so one `Dfs::sweep_prefix` call retires the whole run.
     pub namespace: Option<String>,
+    /// DFS prefix for the content-addressed intermediate store
+    /// (`{cas_root}/cas/{key}`). Defaults to the run namespace; a
+    /// multi-job driver should point it at a prefix shared across the
+    /// tenant's jobs (e.g. `/{tenant}`) so successive jobs hit each
+    /// other's cache instead of each getting a private one.
+    pub cas_root: Option<String>,
+}
+
+/// Controls for the DAG executor beyond [`RunOptions`].
+#[derive(Debug, Clone)]
+pub struct DagRunOptions {
+    /// Read/write the content-addressed intermediate store. Off, the
+    /// executor still walks the graph but every stage executes.
+    pub cache: bool,
+    /// Per-stage invalidation salts: the named stage's content key is
+    /// perturbed, forcing it — and, through key chaining, exactly its
+    /// descendants — to re-execute.
+    pub invalidate: Vec<(String, u64)>,
+}
+
+impl Default for DagRunOptions {
+    fn default() -> DagRunOptions {
+        DagRunOptions {
+            cache: true,
+            invalidate: Vec::new(),
+        }
+    }
+}
+
+/// How one DAG stage resolved.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    pub name: String,
+    /// Content key of the stage's committed output.
+    pub key: u64,
+    pub parents: Vec<String>,
+    /// Served from the content-addressed store (the body never ran).
+    pub cache_hit: bool,
+    /// Resolution wall time: decode-and-pin for a hit, full execution
+    /// for a miss.
+    pub wall_ms: f64,
 }
 
 /// The Gesall platform: DFS + MapReduce engine + configuration.
@@ -389,7 +466,8 @@ impl GesallPlatform {
         Ok(SharedBytes::from_vec(bytes))
     }
 
-    /// Run the full five-round pipeline on interleaved read pairs.
+    /// Run the full pipeline on interleaved read pairs, through the
+    /// stage-DAG executor with content-addressed caching.
     pub fn run_pipeline(&self, aligner: &Aligner, pairs: Vec<ReadPair>) -> Result<PipelineOutput> {
         self.run_pipeline_with(aligner, pairs, &RunOptions::default())
     }
@@ -399,15 +477,199 @@ impl GesallPlatform {
     /// concurrent container slots, and a namespace confines every
     /// staged and shuffled byte to one sweepable DFS prefix. This is
     /// the hook gesall-jobsvc drives; `run_pipeline` is the
-    /// unconstrained single-caller form.
+    /// unconstrained single-caller form. Both route through the DAG
+    /// executor ([`GesallPlatform::run_pipeline_dag`]) with default
+    /// cache behaviour.
     pub fn run_pipeline_with(
         &self,
         aligner: &Aligner,
         pairs: Vec<ReadPair>,
         opts: &RunOptions,
     ) -> Result<PipelineOutput> {
-        let counters = Counters::new();
-        let mut rounds = Vec::new();
+        self.run_pipeline_dag(aligner, pairs, opts, &DagRunOptions::default())
+    }
+
+    /// The DAG executor. Walks [`dag::pipeline_dag`] in topological
+    /// order; each stage's output is keyed by its content hash (code
+    /// version + config slice + parent keys, rooted at a hash of the
+    /// read pairs and reference) and committed to the content-addressed
+    /// store under `{cas_root}/cas/{key}`. A key that hits is decoded
+    /// instead of executed (`dag.stages.cache_hit` vs `dag.stages.run`),
+    /// so re-running with one changed stage re-executes exactly that
+    /// stage and its descendants. Every entry touched is pinned until
+    /// the run finishes, so retention sweeps and TTL can never delete a
+    /// live intermediate out from under a dependent stage.
+    pub fn run_pipeline_dag(
+        &self,
+        aligner: &Aligner,
+        pairs: Vec<ReadPair>,
+        opts: &RunOptions,
+        dag_opts: &DagRunOptions,
+    ) -> Result<PipelineOutput> {
+        let spec = dag::pipeline_dag(&self.config);
+        let order = spec
+            .topo_order()
+            .map_err(|e| PlatformError::Invariant(e.to_string()))?;
+        let (mut cx, pipeline_span, pipeline_name, ns) = self.begin_run(aligner, opts);
+        let cas_root = opts
+            .cas_root
+            .as_deref()
+            .map(|c| c.trim_end_matches('/').to_string())
+            .unwrap_or(ns);
+
+        // Root content key: the external inputs every stage chain hangs
+        // off — the read pairs, the reference sequences, their names.
+        let root_key = {
+            let mut buf = Vec::new();
+            wire::put_u64(&mut buf, checksum::xxh64(&pairs_to_interleaved_bytes(&pairs)));
+            for r in cx.references.iter() {
+                wire::put_u64(&mut buf, checksum::xxh64(r));
+            }
+            for n in cx.chrom_names.iter() {
+                wire::put_str(&mut buf, n);
+            }
+            checksum::xxh64(&buf)
+        };
+        let keys = spec
+            .stage_keys(root_key, &dag_opts.invalidate)
+            .map_err(|e| PlatformError::Invariant(e.to_string()))?;
+
+        let mut data: HashMap<String, StageData> = HashMap::new();
+        let mut pinned: Vec<String> = Vec::new();
+        let mut stage_reports: Vec<StageReport> = Vec::new();
+        let mut pairs = Some(pairs);
+        let outcome = {
+            let mut walk = || -> Result<()> {
+                for name in &order {
+                    let stage = spec.stage(name).expect("topo names come from the spec");
+                    let key = keys[name.as_str()];
+                    let cas_path = Dfs::cas_path(&cas_root, key);
+                    let t0 = Instant::now();
+                    let sspan = cx.recorder.start(SpanKind::Stage, name, cx.pipeline_span);
+                    let mut cached = None;
+                    if dag_opts.cache {
+                        if let Some(bytes) = self.dfs.cas_get(&cas_root, key)? {
+                            // A corrupt entry decodes to a miss: the
+                            // stage re-runs, and `cas_put` on the same
+                            // key is a no-op hit, so nothing is torn.
+                            cached = StageData::from_wire_bytes(&bytes).ok();
+                        }
+                    }
+                    let cache_hit = cached.is_some();
+                    let out = match cached {
+                        Some(d) => d,
+                        None => {
+                            let d = self.execute_stage(&mut cx, name, &data, &mut pairs)?;
+                            if dag_opts.cache {
+                                self.dfs.cas_put(
+                                    &cas_root,
+                                    key,
+                                    SharedBytes::from_vec(d.to_wire_bytes()),
+                                )?;
+                            }
+                            d
+                        }
+                    };
+                    if dag_opts.cache {
+                        // Pinned for the rest of the run: a dependent
+                        // stage may range-read this entry long after a
+                        // retention sweep of the namespace would
+                        // otherwise have deleted it.
+                        self.dfs.pin(&cas_path)?;
+                        pinned.push(cas_path);
+                    }
+                    let counter = if cache_hit {
+                        dag::keys::STAGES_CACHE_HIT
+                    } else {
+                        dag::keys::STAGES_RUN
+                    };
+                    // On the run's counter bag for the trace, and on the
+                    // platform DFS registry so warm-rerun behaviour is
+                    // observable across runs.
+                    cx.counters.add(counter, 1);
+                    self.dfs.metrics().counter(counter).add(1);
+                    cx.recorder.end_with(
+                        sspan,
+                        name,
+                        vec![
+                            ("parents".to_string(), stage.parents.join(",")),
+                            ("cached".to_string(), cache_hit.to_string()),
+                            ("key".to_string(), format!("{key:016x}")),
+                        ],
+                        Vec::new(),
+                    );
+                    stage_reports.push(StageReport {
+                        name: name.clone(),
+                        key,
+                        parents: stage.parents.clone(),
+                        cache_hit,
+                        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    });
+                    data.insert(name.clone(), out);
+                }
+                Ok(())
+            };
+            walk()
+        };
+        // Success or failure, live pins must not outlast the run.
+        for p in &pinned {
+            self.dfs.unpin(p);
+        }
+        outcome?;
+
+        let final_stage = dag::final_parts_stage(&self.config);
+        let Some(StageData::Parts(parts)) = data.remove(final_stage) else {
+            return Err(PlatformError::Invariant(format!(
+                "stage {final_stage} did not produce partitions"
+            )));
+        };
+        let records: Vec<SamRecord> = parts.into_iter().flatten().collect();
+        let Some(StageData::Variants(variants)) = data.remove(dag::round5_stage_name(&self.config))
+        else {
+            return Err(PlatformError::Invariant(
+                "round 5 did not produce variants".into(),
+            ));
+        };
+        Ok(self.finish_run(cx, pipeline_span, &pipeline_name, records, variants, stage_reports))
+    }
+
+    /// The legacy hand-sequenced driver, kept as the DAG executor's test
+    /// oracle: the same stage bodies in fixed order, with no graph, no
+    /// cache, and no stage spans. Production callers go through
+    /// [`GesallPlatform::run_pipeline_with`].
+    pub fn run_pipeline_sequential(
+        &self,
+        aligner: &Aligner,
+        pairs: Vec<ReadPair>,
+        opts: &RunOptions,
+    ) -> Result<PipelineOutput> {
+        let (mut cx, pipeline_span, pipeline_name, _ns) = self.begin_run(aligner, opts);
+        let r1 = self.stage_round1(&mut cx, pairs)?;
+        let r2 = self.stage_round2(&mut cx, &r1)?;
+        let bloom = if self.config.markdup_opt {
+            Some(Arc::new(self.stage_round2b(&mut cx, &r2)?))
+        } else {
+            None
+        };
+        let r3 = self.stage_round3(&mut cx, &r2, bloom)?;
+        let mut r4 = self.stage_round4(&mut cx, &r3)?;
+        if self.config.recalibrate {
+            let table = Arc::new(self.stage_round4a(&mut cx, &r4)?);
+            r4 = self.stage_round4b(&mut cx, &r4, table)?;
+        }
+        let variants = self.stage_round5(&mut cx, &r4)?;
+        let records: Vec<SamRecord> = r4.into_iter().flatten().collect();
+        Ok(self.finish_run(cx, pipeline_span, &pipeline_name, records, variants, Vec::new()))
+    }
+
+    /// Shared preamble for both drivers: allocate the run's DFS
+    /// namespace, open the pipeline span, and snapshot the reference
+    /// facts every stage needs.
+    fn begin_run<'a>(
+        &self,
+        aligner: &'a Aligner,
+        opts: &'a RunOptions,
+    ) -> (StageCtx<'a>, OpenSpan, String, String) {
         // Unique DFS namespace per run so one platform can host many
         // pipeline executions — a monotone per-platform counter, never
         // wall-clock derived, so paths and span names are stable across
@@ -424,20 +686,9 @@ impl GesallPlatform {
         let recorder = self.engine.recorder().clone();
         let pipeline_name = format!("{}-run{run}", ns.trim_start_matches('/').replace('/', "-"));
         let pipeline_span = recorder.start(SpanKind::Pipeline, &pipeline_name, SpanId::NONE);
-        // Closes a round span, carrying the round's task counts and
-        // counter snapshot so the trace alone reconstructs the table.
-        let end_round = |open: OpenSpan, s: &RoundSummary| {
-            recorder.end_with(
-                open,
-                &s.name,
-                vec![
-                    ("n_map_tasks".to_string(), s.n_map_tasks.to_string()),
-                    ("n_reduce_tasks".to_string(), s.n_reduce_tasks.to_string()),
-                ],
-                s.counters.clone(),
-            );
-        };
         let header = aligner.index().sam_header();
+        let mut sorted_header = header.clone();
+        sorted_header.sort_order = SortOrder::Coordinate;
         let references: Arc<Vec<Vec<u8>>> = Arc::new(
             (0..aligner.index().n_chromosomes())
                 .map(|i| aligner.index().chromosome_seq(i).to_vec())
@@ -448,12 +699,159 @@ impl GesallPlatform {
                 .map(|i| aligner.index().name(i).to_string())
                 .collect(),
         );
+        let cx = StageCtx {
+            aligner,
+            opts,
+            counters: Counters::new(),
+            recorder,
+            pipeline_span: pipeline_span.id,
+            base,
+            header,
+            sorted_header,
+            references,
+            chrom_names,
+            rounds: Vec::new(),
+            staged: HashMap::new(),
+        };
+        (cx, pipeline_span, pipeline_name, ns)
+    }
 
-        // ---- Round 1: alignment (map-only over FASTQ partitions) -----
+    /// [`Self::stage_bam_partitions`] memoized on the DFS dir: the first
+    /// caller uploads and splits, later callers in the same run reuse
+    /// the splits without touching the DFS again.
+    fn staged_bam_partitions(
+        &self,
+        cx: &mut StageCtx<'_>,
+        dir: String,
+        sorted: bool,
+        partitions: &[Vec<SamRecord>],
+    ) -> Result<Vec<InputSplit<String, SharedBytes>>> {
+        if let Some(splits) = cx.staged.get(&dir) {
+            return Ok(splits.clone());
+        }
+        let header = if sorted { &cx.sorted_header } else { &cx.header };
+        let splits = self.stage_bam_partitions(&dir, header, partitions)?;
+        cx.staged.insert(dir, splits.clone());
+        Ok(splits)
+    }
+
+    /// Shared postamble: close the pipeline span with the cumulative
+    /// counter snapshot and assemble the output.
+    fn finish_run(
+        &self,
+        cx: StageCtx<'_>,
+        pipeline_span: OpenSpan,
+        pipeline_name: &str,
+        records: Vec<SamRecord>,
+        variants: Vec<VariantRecord>,
+        stages: Vec<StageReport>,
+    ) -> PipelineOutput {
+        cx.recorder.end_with(
+            pipeline_span,
+            pipeline_name,
+            vec![("n_rounds".to_string(), cx.rounds.len().to_string())],
+            cx.counters.snapshot(),
+        );
+        cx.recorder.flush();
+        PipelineOutput {
+            records,
+            variants,
+            rounds: cx.rounds,
+            stages,
+        }
+    }
+
+    /// Dispatch one DAG stage body against its parents' in-memory
+    /// outputs.
+    fn execute_stage(
+        &self,
+        cx: &mut StageCtx<'_>,
+        name: &str,
+        data: &HashMap<String, StageData>,
+        pairs: &mut Option<Vec<ReadPair>>,
+    ) -> Result<StageData> {
+        fn parts<'a>(
+            data: &'a HashMap<String, StageData>,
+            stage: &str,
+        ) -> Result<&'a Vec<Vec<SamRecord>>> {
+            match data.get(stage) {
+                Some(StageData::Parts(p)) => Ok(p),
+                _ => Err(PlatformError::Invariant(format!(
+                    "stage input {stage} missing or mistyped"
+                ))),
+            }
+        }
+        match name {
+            "round1-align" => {
+                let pairs = pairs.take().ok_or_else(|| {
+                    PlatformError::Invariant("round1-align executed twice in one run".into())
+                })?;
+                Ok(StageData::Parts(self.stage_round1(cx, pairs)?))
+            }
+            "round2-clean-fixmate" => Ok(StageData::Parts(
+                self.stage_round2(cx, parts(data, "round1-align")?)?,
+            )),
+            "round2b-bloom" => Ok(StageData::Bloom(
+                self.stage_round2b(cx, parts(data, "round2-clean-fixmate")?)?,
+            )),
+            "round3-markdup" => {
+                let bloom = if self.config.markdup_opt {
+                    match data.get("round2b-bloom") {
+                        Some(StageData::Bloom(b)) => Some(Arc::new(b.clone())),
+                        _ => {
+                            return Err(PlatformError::Invariant(
+                                "round3-markdup needs the bloom stage output".into(),
+                            ))
+                        }
+                    }
+                } else {
+                    None
+                };
+                Ok(StageData::Parts(self.stage_round3(
+                    cx,
+                    parts(data, "round2-clean-fixmate")?,
+                    bloom,
+                )?))
+            }
+            "round4-sort" => Ok(StageData::Parts(
+                self.stage_round4(cx, parts(data, "round3-markdup")?)?,
+            )),
+            "round4a-recal-table" => Ok(StageData::Recal(
+                self.stage_round4a(cx, parts(data, "round4-sort")?)?,
+            )),
+            "round4b-print-reads" => {
+                let table = match data.get("round4a-recal-table") {
+                    Some(StageData::Recal(t)) => Arc::new(t.clone()),
+                    _ => {
+                        return Err(PlatformError::Invariant(
+                            "round4b-print-reads needs the recal-table output".into(),
+                        ))
+                    }
+                };
+                Ok(StageData::Parts(self.stage_round4b(
+                    cx,
+                    parts(data, "round4-sort")?,
+                    table,
+                )?))
+            }
+            n if n.starts_with("round5-") => Ok(StageData::Variants(self.stage_round5(
+                cx,
+                parts(data, dag::final_parts_stage(&self.config))?,
+            )?)),
+            other => Err(PlatformError::Invariant(format!("unknown stage {other}"))),
+        }
+    }
+
+    /// Round 1: alignment (map-only over FASTQ logical partitions).
+    fn stage_round1(
+        &self,
+        cx: &mut StageCtx<'_>,
+        pairs: Vec<ReadPair>,
+    ) -> Result<Vec<Vec<SamRecord>>> {
         let parts = split_pairs_into_partitions(pairs, self.config.n_round1_partitions.max(1));
         let mut splits = Vec::new();
         for (i, part) in parts.iter().enumerate() {
-            let path = format!("{base}/fastq/part-{i:05}");
+            let path = format!("{}/fastq/part-{i:05}", cx.base);
             // One backing serves both the DFS blocks and the mapper's
             // input split — staging copies nothing.
             let bytes = SharedBytes::from_vec(pairs_to_interleaved_bytes(part));
@@ -466,87 +864,104 @@ impl GesallPlatform {
             }
             splits.push(split);
         }
-        let rspan = recorder.start(SpanKind::Round, "round1-align", pipeline_span.id);
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round1-align", cx.pipeline_span);
         let r1 = self.engine.run_map_only(
-            self.job_config(opts, "round1-align", 1, rspan.id),
+            self.job_config(cx.opts, "round1-align", 1, rspan.id),
             &Round1Align {
-                aligner,
+                aligner: cx.aligner,
                 threads_per_mapper: self.config.bwa_threads_per_mapper,
-                counters: counters.clone(),
+                counters: cx.counters.clone(),
             },
             splits,
         )?;
-        r1.counters.merge(&counters);
+        r1.counters.merge(&cx.counters);
         let s = summary("round1-align", &r1.counters, &r1.events, r1.wall_ms);
-        end_round(rspan, &s);
-        rounds.push(s);
-
+        cx.finish_round(rspan, s);
         // Round 1 output partitions (BAM bytes), already grouped by name
         // (pairs adjacent).
-        let r1_parts: Vec<Vec<SamRecord>> = r1
+        Ok(r1
             .outputs
             .iter()
             .map(|out| {
                 let (_, bytes) = &out[0];
                 gesall_formats::bam::read_bam(bytes).expect("round1 bam").1
             })
-            .collect();
+            .collect())
+    }
 
-        // ---- Round 2: clean (map) + fix-mate (reduce), shuffle by name
-        let splits = self.stage_bam_partitions(&format!("{base}/round1"), &header, &r1_parts)?;
-        let rspan = recorder.start(SpanKind::Round, "round2-clean-fixmate", pipeline_span.id);
+    /// Round 2: clean (map) + fix-mate (reduce), shuffled by read name.
+    fn stage_round2(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r1_parts: &[Vec<SamRecord>],
+    ) -> Result<Vec<Vec<SamRecord>>> {
+        let splits =
+            self.stage_bam_partitions(&format!("{}/round2in", cx.base), &cx.header, r1_parts)?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round2-clean-fixmate", cx.pipeline_span);
         let r2 = self.engine.run_job(
-            self.job_config(opts, "round2-clean-fixmate", self.config.n_reducers, rspan.id),
+            self.job_config(cx.opts, "round2-clean-fixmate", self.config.n_reducers, rspan.id),
             &Round2CleanMapper {
                 read_group: self.config.read_group.clone(),
-                references: references.clone(),
-                counters: counters.clone(),
+                references: cx.references.clone(),
+                counters: cx.counters.clone(),
             },
             &Round2FixMateReducer {
-                counters: counters.clone(),
+                counters: cx.counters.clone(),
             },
             &HashPartitioner,
             splits,
         )?;
-        r2.counters.merge(&counters);
+        r2.counters.merge(&cx.counters);
         let s = summary("round2-clean-fixmate", &r2.counters, &r2.events, r2.wall_ms);
-        end_round(rspan, &s);
-        rounds.push(s);
-        let r2_parts: Vec<Vec<SamRecord>> = r2
-            .outputs
-            .iter()
-            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
-            .collect();
+        cx.finish_round(rspan, s);
+        Ok(collect_parts(&r2.outputs))
+    }
 
-        // ---- Round 2½: bloom build (MarkDup_opt only) -----------------
-        let splits = self.stage_bam_partitions(&format!("{base}/round2"), &header, &r2_parts)?;
-        let bloom = if self.config.markdup_opt {
-            let rspan = recorder.start(SpanKind::Round, "round2b-bloom", pipeline_span.id);
-            let rb = self.engine.run_map_only(
-                self.job_config(opts, "round2b-bloom", 1, rspan.id),
-                &BloomBuildMapper {
-                    counters: counters.clone(),
-                },
-                splits.clone(),
-            )?;
-            let n_keys: usize = rb.outputs.iter().map(Vec::len).sum();
-            rb.counters.merge(&counters);
-            let s = summary("round2b-bloom", &rb.counters, &rb.events, rb.wall_ms);
-            end_round(rspan, &s);
-            rounds.push(s);
-            Some(Arc::new(build_bloom_from_outputs(
-                &rb.outputs,
-                n_keys.max(64),
-            )))
-        } else {
-            None
-        };
+    /// Round 2½: bloom-filter build over the cleaned parts
+    /// (`MarkDup_opt` only).
+    fn stage_round2b(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r2_parts: &[Vec<SamRecord>],
+    ) -> Result<BloomFilter> {
+        let splits =
+            self.staged_bam_partitions(cx, format!("{}/round2out", cx.base), false, r2_parts)?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round2b-bloom", cx.pipeline_span);
+        let rb = self.engine.run_map_only(
+            self.job_config(cx.opts, "round2b-bloom", 1, rspan.id),
+            &BloomBuildMapper {
+                counters: cx.counters.clone(),
+            },
+            splits,
+        )?;
+        let n_keys: usize = rb.outputs.iter().map(Vec::len).sum();
+        rb.counters.merge(&cx.counters);
+        let s = summary("round2b-bloom", &rb.counters, &rb.events, rb.wall_ms);
+        cx.finish_round(rspan, s);
+        Ok(build_bloom_from_outputs(&rb.outputs, n_keys.max(64)))
+    }
 
-        // ---- Round 3: MarkDuplicates (compound shuffle) ---------------
-        let rspan = recorder.start(SpanKind::Round, "round3-markdup", pipeline_span.id);
+    /// Round 3: MarkDuplicates under the compound 5′-end shuffle.
+    fn stage_round3(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r2_parts: &[Vec<SamRecord>],
+        bloom: Option<Arc<BloomFilter>>,
+    ) -> Result<Vec<Vec<SamRecord>>> {
+        let splits =
+            self.staged_bam_partitions(cx, format!("{}/round2out", cx.base), false, r2_parts)?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round3-markdup", cx.pipeline_span);
         let r3 = self.engine.run_job(
             self.job_config(
-                opts,
+                cx.opts,
                 if self.config.markdup_opt {
                     "round3-markdup-opt"
                 } else {
@@ -557,138 +972,168 @@ impl GesallPlatform {
             ),
             &Round3MarkDupMapper {
                 bloom,
-                counters: counters.clone(),
+                counters: cx.counters.clone(),
             },
             &Round3MarkDupReducer {
                 seed: self.config.seed,
-                counters: counters.clone(),
+                counters: cx.counters.clone(),
             },
             &HashPartitioner,
             splits,
         )?;
-        r3.counters.merge(&counters);
+        r3.counters.merge(&cx.counters);
         let s = summary("round3-markdup", &r3.counters, &r3.events, r3.wall_ms);
-        end_round(rspan, &s);
-        rounds.push(s);
-        let r3_parts: Vec<Vec<SamRecord>> = r3
-            .outputs
-            .iter()
-            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
-            .collect();
+        cx.finish_round(rspan, s);
+        Ok(collect_parts(&r3.outputs))
+    }
 
-        // ---- Round 4: range-partitioned sort --------------------------
-        let n_chroms = chrom_names.len();
-        let splits = self.stage_bam_partitions(&format!("{base}/round3"), &header, &r3_parts)?;
-        let rspan = recorder.start(SpanKind::Round, "round4-sort", pipeline_span.id);
+    /// Round 4: range-partitioned coordinate sort (one reducer per
+    /// chromosome plus the unmapped partition).
+    fn stage_round4(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r3_parts: &[Vec<SamRecord>],
+    ) -> Result<Vec<Vec<SamRecord>>> {
+        let n_chroms = cx.chrom_names.len();
+        let splits =
+            self.stage_bam_partitions(&format!("{}/round4in", cx.base), &cx.header, r3_parts)?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round4-sort", cx.pipeline_span);
         let r4 = self.engine.run_job(
-            self.job_config(opts, "round4-sort", n_chroms + 1, rspan.id),
+            self.job_config(cx.opts, "round4-sort", n_chroms + 1, rspan.id),
             &Round4SortMapper {
-                counters: counters.clone(),
+                counters: cx.counters.clone(),
             },
             &Round4SortReducer,
             &FnPartitioner::new(|k: &RangeKey, n| chromosome_partition(k, n)),
             splits,
         )?;
-        r4.counters.merge(&counters);
+        r4.counters.merge(&cx.counters);
         let s = summary("round4-sort", &r4.counters, &r4.events, r4.wall_ms);
-        end_round(rspan, &s);
-        rounds.push(s);
-        let mut sorted_header = header.clone();
-        sorted_header.sort_order = SortOrder::Coordinate;
-        let mut r4_parts: Vec<Vec<SamRecord>> = r4
-            .outputs
-            .iter()
-            .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
-            .collect();
+        cx.finish_round(rspan, s);
+        Ok(collect_parts(&r4.outputs))
+    }
 
-        // ---- Rounds 4½a/4½b: base recalibration (steps 11–12) --------
-        if self.config.recalibrate {
-            let splits = self.stage_bam_partitions(
-                &format!("{base}/round4a"),
-                &sorted_header,
-                &r4_parts[..n_chroms],
-            )?;
-            let rspan = recorder.start(SpanKind::Round, "round4a-recal-table", pipeline_span.id);
-            let ra = self.engine.run_map_only(
-                self.job_config(opts, "round4a-recal-table", 1, rspan.id),
-                &crate::rounds::RecalTableMapper {
-                    references: references.clone(),
-                    known_sites: self.config.known_sites.clone(),
-                    config: self.config.recal.clone(),
-                    counters: counters.clone(),
-                },
-                splits.clone(),
-            )?;
-            // The covariate tally is distributive: partial tables from
-            // the partitions merge into exactly the whole-dataset table.
-            let table = Arc::new(crate::rounds::merge_recal_tables(&ra.outputs));
-            ra.counters.merge(&counters);
-            let s = summary("round4a-recal-table", &ra.counters, &ra.events, ra.wall_ms);
-            end_round(rspan, &s);
-            rounds.push(s);
-            let rspan = recorder.start(SpanKind::Round, "round4b-print-reads", pipeline_span.id);
-            let rb2 = self.engine.run_map_only(
-                self.job_config(opts, "round4b-print-reads", 1, rspan.id),
-                &crate::rounds::PrintReadsMapper {
-                    table,
-                    config: self.config.recal.clone(),
-                    counters: counters.clone(),
-                },
-                splits,
-            )?;
-            rb2.counters.merge(&counters);
-            let s = summary("round4b-print-reads", &rb2.counters, &rb2.events, rb2.wall_ms);
-            end_round(rspan, &s);
-            rounds.push(s);
-            for (i, out) in rb2.outputs.into_iter().enumerate() {
-                r4_parts[i] = out.into_iter().map(|(_, r)| r).collect();
-            }
+    /// Round 4½a: per-partition covariate tables (BaseRecalibrator),
+    /// merged into the whole-dataset table — the tally is distributive.
+    fn stage_round4a(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r4_parts: &[Vec<SamRecord>],
+    ) -> Result<RecalTable> {
+        let n_chroms = cx.chrom_names.len();
+        let splits = self.staged_bam_partitions(
+            cx,
+            format!("{}/round4sorted", cx.base),
+            true,
+            &r4_parts[..n_chroms],
+        )?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round4a-recal-table", cx.pipeline_span);
+        let ra = self.engine.run_map_only(
+            self.job_config(cx.opts, "round4a-recal-table", 1, rspan.id),
+            &crate::rounds::RecalTableMapper {
+                references: cx.references.clone(),
+                known_sites: self.config.known_sites.clone(),
+                config: self.config.recal.clone(),
+                counters: cx.counters.clone(),
+            },
+            splits,
+        )?;
+        let table = crate::rounds::merge_recal_tables(&ra.outputs);
+        ra.counters.merge(&cx.counters);
+        let s = summary("round4a-recal-table", &ra.counters, &ra.events, ra.wall_ms);
+        cx.finish_round(rspan, s);
+        Ok(table)
+    }
+
+    /// Round 4½b: apply the merged table (PrintReads). Returns the full
+    /// partition set: recalibrated chromosome parts plus the untouched
+    /// unmapped partition.
+    fn stage_round4b(
+        &self,
+        cx: &mut StageCtx<'_>,
+        r4_parts: &[Vec<SamRecord>],
+        table: Arc<RecalTable>,
+    ) -> Result<Vec<Vec<SamRecord>>> {
+        let n_chroms = cx.chrom_names.len();
+        let splits = self.staged_bam_partitions(
+            cx,
+            format!("{}/round4sorted", cx.base),
+            true,
+            &r4_parts[..n_chroms],
+        )?;
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, "round4b-print-reads", cx.pipeline_span);
+        let rb2 = self.engine.run_map_only(
+            self.job_config(cx.opts, "round4b-print-reads", 1, rspan.id),
+            &crate::rounds::PrintReadsMapper {
+                table,
+                config: self.config.recal.clone(),
+                counters: cx.counters.clone(),
+            },
+            splits,
+        )?;
+        rb2.counters.merge(&cx.counters);
+        let s = summary("round4b-print-reads", &rb2.counters, &rb2.events, rb2.wall_ms);
+        cx.finish_round(rspan, s);
+        let mut parts = r4_parts.to_vec();
+        for (i, out) in rb2.outputs.into_iter().enumerate() {
+            parts[i] = out.into_iter().map(|(_, r)| r).collect();
         }
+        Ok(parts)
+    }
 
-        // ---- Round 5: variant calling -----------------------------------
-        // (the unmapped partition, index n_chroms, is skipped)
-        // The span name is fixed at close time, once the variant is known.
-        let rspan = recorder.start(SpanKind::Round, "round5", pipeline_span.id);
-        let (r5, round5_name) = match (self.config.caller, self.config.hc_partitioning) {
+    /// Round 5: variant calling under the configured caller and
+    /// partitioning scheme. The unmapped partition (index `n_chroms`)
+    /// is skipped.
+    fn stage_round5(
+        &self,
+        cx: &mut StageCtx<'_>,
+        parts: &[Vec<SamRecord>],
+    ) -> Result<Vec<VariantRecord>> {
+        let n_chroms = cx.chrom_names.len();
+        let round5_name = dag::round5_stage_name(&self.config);
+        let rspan = cx
+            .recorder
+            .start(SpanKind::Round, round5_name, cx.pipeline_span);
+        let r5 = match (self.config.caller, self.config.hc_partitioning) {
             (CallerChoice::UnifiedGenotyper, _) => {
                 let splits = self.stage_bam_partitions(
-                    &format!("{base}/round5in"),
-                    &sorted_header,
-                    &r4_parts[..n_chroms],
+                    &format!("{}/round5in", cx.base),
+                    &cx.sorted_header,
+                    &parts[..n_chroms],
                 )?;
-                (
-                    self.engine.run_map_only(
-                        self.job_config(opts, "round5-unifiedgenotyper", 1, rspan.id),
-                        &crate::rounds::Round5UnifiedGenotyper {
-                            references: references.clone(),
-                            chrom_names: chrom_names.clone(),
-                            config: self.config.ug.clone(),
-                            counters: counters.clone(),
-                        },
-                        splits,
-                    )?,
-                    "round5-unifiedgenotyper",
-                )
+                self.engine.run_map_only(
+                    self.job_config(cx.opts, "round5-unifiedgenotyper", 1, rspan.id),
+                    &crate::rounds::Round5UnifiedGenotyper {
+                        references: cx.references.clone(),
+                        chrom_names: cx.chrom_names.clone(),
+                        config: self.config.ug.clone(),
+                        counters: cx.counters.clone(),
+                    },
+                    splits,
+                )?
             }
             (CallerChoice::HaplotypeCaller, HcPartitioning::Chromosome) => {
                 let splits = self.stage_bam_partitions(
-                    &format!("{base}/round5in"),
-                    &sorted_header,
-                    &r4_parts[..n_chroms],
+                    &format!("{}/round5in", cx.base),
+                    &cx.sorted_header,
+                    &parts[..n_chroms],
                 )?;
-                (
-                    self.engine.run_map_only(
-                        self.job_config(opts, "round5-haplotypecaller", 1, rspan.id),
-                        &Round5HaplotypeCaller {
-                            references: references.clone(),
-                            chrom_names: chrom_names.clone(),
-                            config: self.config.hc.clone(),
-                            counters: counters.clone(),
-                        },
-                        splits,
-                    )?,
-                    "round5-haplotypecaller",
-                )
+                self.engine.run_map_only(
+                    self.job_config(cx.opts, "round5-haplotypecaller", 1, rspan.id),
+                    &Round5HaplotypeCaller {
+                        references: cx.references.clone(),
+                        chrom_names: cx.chrom_names.clone(),
+                        config: self.config.hc.clone(),
+                        counters: cx.counters.clone(),
+                    },
+                    splits,
+                )?
             }
             (CallerChoice::HaplotypeCaller, HcPartitioning::FineGrained { segment_len, overlap }) => {
                 // The §3.2 overlapping range scheme: reads overlapping a
@@ -696,8 +1141,8 @@ impl GesallPlatform {
                 // partition; calls are emitted from segment cores only.
                 let ranges = crate::gdpt::OverlappingRanges::new(segment_len, overlap);
                 let mut splits = Vec::new();
-                for (ref_id, part) in r4_parts[..n_chroms].iter().enumerate() {
-                    let chrom_len = references[ref_id].len() as i64;
+                for (ref_id, part) in parts[..n_chroms].iter().enumerate() {
+                    let chrom_len = cx.references[ref_id].len() as i64;
                     if part.is_empty() {
                         continue;
                     }
@@ -718,9 +1163,9 @@ impl GesallPlatform {
                             (span_s, span_e),
                         );
                         let bytes = SharedBytes::from_vec(
-                            gesall_formats::bam::write_bam(&sorted_header, &seg_records),
+                            gesall_formats::bam::write_bam(&cx.sorted_header, &seg_records),
                         );
-                        let path = format!("{base}/round5fine/{label}");
+                        let path = format!("{}/round5fine/{label}", cx.base);
                         let info = self.dfs.write_shared_with_policy(
                             &path,
                             bytes.clone(),
@@ -733,25 +1178,21 @@ impl GesallPlatform {
                         splits.push(split);
                     }
                 }
-                (
-                    self.engine.run_map_only(
-                        self.job_config(opts, "round5-hc-finegrained", 1, rspan.id),
-                        &crate::rounds::Round5HaplotypeCallerFine {
-                            references: references.clone(),
-                            chrom_names: chrom_names.clone(),
-                            config: self.config.hc.clone(),
-                            counters: counters.clone(),
-                        },
-                        splits,
-                    )?,
-                    "round5-hc-finegrained",
-                )
+                self.engine.run_map_only(
+                    self.job_config(cx.opts, "round5-hc-finegrained", 1, rspan.id),
+                    &crate::rounds::Round5HaplotypeCallerFine {
+                        references: cx.references.clone(),
+                        chrom_names: cx.chrom_names.clone(),
+                        config: self.config.hc.clone(),
+                        counters: cx.counters.clone(),
+                    },
+                    splits,
+                )?
             }
         };
-        r5.counters.merge(&counters);
+        r5.counters.merge(&cx.counters);
         let s = summary(round5_name, &r5.counters, &r5.events, r5.wall_ms);
-        end_round(rspan, &s);
-        rounds.push(s);
+        cx.finish_round(rspan, s);
         let mut variants: Vec<VariantRecord> = r5
             .outputs
             .into_iter()
@@ -766,20 +1207,105 @@ impl GesallPlatform {
                 b.alt_allele.clone(),
             ))
         });
+        Ok(variants)
+    }
+}
 
-        let records: Vec<SamRecord> = r4_parts.into_iter().flatten().collect();
-        recorder.end_with(
-            pipeline_span,
-            &pipeline_name,
-            vec![("n_rounds".to_string(), rounds.len().to_string())],
-            counters.snapshot(),
+/// Everything a stage body needs besides its data inputs: the run's
+/// namespace, span parentage, cumulative counters, reference facts, and
+/// the growing round-summary list.
+struct StageCtx<'a> {
+    aligner: &'a Aligner,
+    opts: &'a RunOptions,
+    counters: Counters,
+    recorder: Recorder,
+    pipeline_span: SpanId,
+    base: String,
+    header: SamHeader,
+    sorted_header: SamHeader,
+    references: Arc<Vec<Vec<u8>>>,
+    chrom_names: Arc<Vec<String>>,
+    rounds: Vec<RoundSummary>,
+    /// Staged input splits keyed by DFS dir, so sibling stages consuming
+    /// the same parent output (round2b + round3, round4a + round4b)
+    /// upload it once and share the splits — the split's byte payloads
+    /// are refcounted slices, so the clone is pointer-sized.
+    staged: HashMap<String, Vec<InputSplit<String, SharedBytes>>>,
+}
+
+impl StageCtx<'_> {
+    /// Close a round span carrying the round's task counts and counter
+    /// snapshot (so the trace alone reconstructs the table), and append
+    /// the summary.
+    fn finish_round(&mut self, open: OpenSpan, s: RoundSummary) {
+        self.recorder.end_with(
+            open,
+            &s.name,
+            vec![
+                ("n_map_tasks".to_string(), s.n_map_tasks.to_string()),
+                ("n_reduce_tasks".to_string(), s.n_reduce_tasks.to_string()),
+            ],
+            s.counters.clone(),
         );
-        recorder.flush();
-        Ok(PipelineOutput {
-            records,
-            variants,
-            rounds,
-        })
+        self.rounds.push(s);
+    }
+}
+
+fn collect_parts<K>(outputs: &[Vec<(K, SamRecord)>]) -> Vec<Vec<SamRecord>> {
+    outputs
+        .iter()
+        .map(|out| out.iter().map(|(_, r)| r.clone()).collect())
+        .collect()
+}
+
+/// A stage's committed output, as stored in the content-addressed
+/// intermediate store. The lossless wire codec matters: VCF *text*
+/// round-trips qualities through `{:.2}` formatting, so cached variants
+/// are stored as wire records, never as rendered text.
+#[derive(Debug, Clone)]
+pub enum StageData {
+    /// BAM logical partitions (most stages).
+    Parts(Vec<Vec<SamRecord>>),
+    /// The `MarkDup_opt` bloom filter.
+    Bloom(BloomFilter),
+    /// The merged base-recalibration table.
+    Recal(RecalTable),
+    /// Round-5 calls, sorted by site.
+    Variants(Vec<VariantRecord>),
+}
+
+impl Wire for StageData {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StageData::Parts(p) => {
+                wire::put_varint(buf, 0);
+                p.encode(buf);
+            }
+            StageData::Bloom(b) => {
+                wire::put_varint(buf, 1);
+                b.encode(buf);
+            }
+            StageData::Recal(t) => {
+                wire::put_varint(buf, 2);
+                t.encode(buf);
+            }
+            StageData::Variants(v) => {
+                wire::put_varint(buf, 3);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(cur: &mut wire::Cursor<'_>) -> gesall_formats::error::Result<StageData> {
+        match cur.get_varint()? {
+            0 => Ok(StageData::Parts(Vec::<Vec<SamRecord>>::decode(cur)?)),
+            1 => Ok(StageData::Bloom(BloomFilter::decode(cur)?)),
+            2 => Ok(StageData::Recal(RecalTable::decode(cur)?)),
+            3 => Ok(StageData::Variants(Vec::<VariantRecord>::decode(cur)?)),
+            t => Err(gesall_formats::error::FormatError::Bam(format!(
+                "unknown stage-data tag {t}"
+            ))),
+        }
     }
 }
 

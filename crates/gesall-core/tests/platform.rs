@@ -507,3 +507,87 @@ fn faulty_pipeline_matches_fault_free_output() {
         .unwrap_or(0);
     assert!(failed > 0, "the 15% panic rate must have fired at least once");
 }
+
+#[test]
+fn dag_cache_serves_warm_rerun_and_invalidation_is_surgical() {
+    use gesall_core::pipeline::{DagRunOptions, RunOptions};
+
+    let w = build_world(700);
+    let p = platform(PlatformConfig::default());
+    let opts = RunOptions::default();
+
+    // Cold run: every stage executes, nothing hits.
+    let cold = p
+        .run_pipeline_dag(&w.aligner, w.pairs.clone(), &opts, &DagRunOptions::default())
+        .unwrap();
+    assert_eq!(cold.stages.len(), 6, "default config is a six-stage DAG");
+    assert_eq!(cold.stages_run(), 6);
+    assert_eq!(cold.cache_hits(), 0);
+    assert_eq!(cold.rounds.len(), 6, "cold run executes every round");
+
+    // Warm rerun on the same platform: all six stages come from the
+    // content-addressed store and the final output is byte-identical.
+    let warm = p
+        .run_pipeline_dag(&w.aligner, w.pairs.clone(), &opts, &DagRunOptions::default())
+        .unwrap();
+    assert_eq!(warm.stages_run(), 0);
+    assert_eq!(warm.cache_hits(), 6);
+    assert!(warm.rounds.is_empty(), "no stage body ran");
+    assert_eq!(warm.records, cold.records);
+    assert_eq!(warm.variants, cold.variants);
+    // Observable on the platform registry too.
+    assert_eq!(
+        p.dfs.metrics().counter(gesall_core::dag::keys::STAGES_CACHE_HIT).get(),
+        6
+    );
+
+    // Invalidate round4-sort: exactly it and its sole descendant
+    // (round5) re-execute; rounds 1–3 + bloom stay cached.
+    let inv = DagRunOptions {
+        invalidate: vec![("round4-sort".to_string(), 1)],
+        ..DagRunOptions::default()
+    };
+    let partial = p
+        .run_pipeline_dag(&w.aligner, w.pairs.clone(), &opts, &inv)
+        .unwrap();
+    assert_eq!(partial.stages_run(), 2);
+    assert_eq!(partial.cache_hits(), 4);
+    for s in &partial.stages {
+        let expect_run = s.name == "round4-sort" || s.name.starts_with("round5-");
+        assert_eq!(!s.cache_hit, expect_run, "stage {} resolution", s.name);
+    }
+    // The invalidated lineage recomputes to the same bytes.
+    assert_eq!(partial.records, cold.records);
+    assert_eq!(partial.variants, cold.variants);
+}
+
+#[test]
+fn dag_executor_matches_sequential_oracle() {
+    use gesall_core::pipeline::RunOptions;
+
+    let w = build_world(600);
+    let config = PlatformConfig {
+        recalibrate: true,
+        ..PlatformConfig::default()
+    };
+
+    let seq = platform(config.clone())
+        .run_pipeline_sequential(&w.aligner, w.pairs.clone(), &RunOptions::default())
+        .unwrap();
+    assert!(seq.stages.is_empty(), "the oracle does not report stages");
+
+    let dag = platform(config)
+        .run_pipeline(&w.aligner, w.pairs.clone())
+        .unwrap();
+    assert_eq!(dag.stages.len(), 8, "recalibrating DAG has eight stages");
+    assert_eq!(dag.records, seq.records);
+    assert_eq!(dag.variants, seq.variants);
+    assert_eq!(
+        dag.rounds.iter().map(|r| r.name.clone()).collect::<Vec<_>>(),
+        seq.rounds.iter().map(|r| r.name.clone()).collect::<Vec<_>>(),
+        "both drivers execute the same rounds in the same order"
+    );
+    // The stage report renders with critical-path attribution.
+    let report = dag.dag_report();
+    assert!(report.contains("round4a-recal-table"));
+}

@@ -27,6 +27,10 @@ pub enum DfsError {
     BadRange(String),
     BadPolicy(String),
     NoLiveNodes,
+    /// The file is pinned (live cache-entry refcount > 0) and cannot be
+    /// deleted until every pin is released. Not retryable — the caller
+    /// must wait for the pin holder, not spin on the delete.
+    Pinned(String),
     /// Block-store I/O failed (persisting or mapping a block file), or a
     /// replica read failed transiently. Retryable.
     Io(String),
@@ -53,6 +57,7 @@ impl fmt::Display for DfsError {
             DfsError::BadRange(m) => write!(f, "bad range: {m}"),
             DfsError::BadPolicy(m) => write!(f, "bad placement: {m}"),
             DfsError::NoLiveNodes => write!(f, "no live data nodes remain"),
+            DfsError::Pinned(p) => write!(f, "file pinned by a live cache reference: {p}"),
             DfsError::Io(m) => write!(f, "block store i/o: {m}"),
         }
     }
@@ -318,6 +323,12 @@ struct DfsInner {
     read_lat: Vec<Arc<Histogram>>,
     /// Injected gray failures (see [`FaultState`]).
     faults: FaultState,
+    /// Path → live pin refcount. A pinned path refuses [`Dfs::delete`]
+    /// and is skipped (not failed) by retention sweeps, so a cache
+    /// entry a running stage still reads can never be swept from under
+    /// it. Independent of the metadata locks below — pin state is
+    /// consulted before any of them is taken.
+    pins: Mutex<HashMap<String, u64>>,
     /// Block-level I/O counters (see [`metrics_keys`]).
     metrics: MetricsRegistry,
 }
@@ -384,6 +395,16 @@ pub mod metrics_keys {
     /// Files removed by a retention sweep because the owning job was
     /// cancelled before finishing.
     pub const RETENTION_SWEPT_CANCELLED: &str = "dfs.retention.swept.cancelled";
+    /// Files a retention sweep *skipped* because a live pin protected
+    /// them. A nonzero skip count tells the sweeper the namespace is
+    /// not yet fully retired.
+    pub const RETENTION_PIN_SKIPS: &str = "dfs.retention.pin_skips";
+    /// Content-addressed store writes that stored a new entry.
+    pub const CAS_PUTS: &str = "dfs.cas.puts";
+    /// CAS lookups (get or put) that found the entry already present.
+    pub const CAS_HITS: &str = "dfs.cas.hits";
+    /// CAS gets that found no entry for the key.
+    pub const CAS_MISSES: &str = "dfs.cas.misses";
 }
 
 /// Why a retention sweep ran. Picks the counter the swept files are
@@ -407,6 +428,18 @@ impl SweepReason {
             SweepReason::Cancelled => metrics_keys::RETENTION_SWEPT_CANCELLED,
         }
     }
+}
+
+/// What a retention sweep actually did: files removed, and files it had
+/// to leave in place because a live pin protected them. A sweeper that
+/// sees `pinned_skipped > 0` knows the prefix is not fully retired and
+/// should come back after the pins release.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Files deleted by this sweep.
+    pub swept: usize,
+    /// Files skipped because their pin refcount was nonzero.
+    pub pinned_skipped: usize,
 }
 
 impl Dfs {
@@ -439,6 +472,7 @@ impl Dfs {
                 node_index,
                 read_lat,
                 faults: FaultState::default(),
+                pins: Mutex::new(HashMap::new()),
                 metrics,
             }),
         }
@@ -1031,8 +1065,49 @@ impl Dfs {
         })
     }
 
-    /// Delete a file and free its replicas.
+    /// Pin a file: while its refcount is nonzero, [`Dfs::delete`]
+    /// refuses with [`DfsError::Pinned`] and retention sweeps skip it.
+    /// Pins nest — each `pin` needs a matching [`Dfs::unpin`].
+    pub fn pin(&self, path: &str) -> Result<(), DfsError> {
+        if !self.exists(path) {
+            return Err(DfsError::FileNotFound(path.to_string()));
+        }
+        *self.inner.pins.lock().entry(path.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Release one pin on `path`. Releasing a path with no live pin is
+    /// a no-op (pin holders may race a namespace teardown).
+    pub fn unpin(&self, path: &str) {
+        let mut pins = self.inner.pins.lock();
+        if let Some(n) = pins.get_mut(path) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(path);
+            }
+        }
+    }
+
+    /// Current pin refcount of `path` (0 when unpinned or unknown).
+    pub fn pin_count(&self, path: &str) -> u64 {
+        self.inner.pins.lock().get(path).copied().unwrap_or(0)
+    }
+
+    /// Are any paths under `prefix` currently pinned?
+    pub fn any_pinned(&self, prefix: &str) -> bool {
+        self.inner
+            .pins
+            .lock()
+            .keys()
+            .any(|p| p.starts_with(prefix))
+    }
+
+    /// Delete a file and free its replicas. Refuses with
+    /// [`DfsError::Pinned`] while the path holds a live pin.
     pub fn delete(&self, path: &str) -> Result<(), DfsError> {
+        if self.pin_count(path) > 0 {
+            return Err(DfsError::Pinned(path.to_string()));
+        }
         let info = {
             let mut files = self.inner.namenode.files.write();
             files
@@ -1067,7 +1142,7 @@ impl Dfs {
             .into_iter()
             .filter(|p| is_shuffle_transit_path(p))
             .collect();
-        let swept = self.delete_all(&stale);
+        let swept = self.delete_all(&stale).swept;
         if swept > 0 {
             self.inner
                 .metrics
@@ -1083,20 +1158,44 @@ impl Dfs {
     /// policy — the engine calls it with [`SweepReason::Completed`] when
     /// a job's shuffle transit is consumed, and the job service calls it
     /// with [`SweepReason::Cancelled`] / [`SweepReason::Ttl`] when a
-    /// tenant's job namespace is retired. Returns the files swept.
+    /// tenant's job namespace is retired. Returns the files swept;
+    /// pinned files are skipped, not failed — see
+    /// [`Dfs::sweep_prefix_report`] for the skip count.
     pub fn sweep_prefix(&self, prefix: &str, reason: SweepReason) -> usize {
-        let swept = self.delete_all(&self.list(prefix));
-        if swept > 0 {
+        self.sweep_prefix_report(prefix, reason).swept
+    }
+
+    /// [`Dfs::sweep_prefix`] with full accounting: how many files were
+    /// removed and how many a live pin protected. Skips are counted
+    /// under [`metrics_keys::RETENTION_PIN_SKIPS`] so a retirement loop
+    /// can tell "namespace empty" from "namespace still referenced".
+    pub fn sweep_prefix_report(&self, prefix: &str, reason: SweepReason) -> SweepReport {
+        let report = self.delete_all(&self.list(prefix));
+        if report.swept > 0 {
             self.inner
                 .metrics
                 .counter(reason.counter_key())
-                .add(swept as u64);
+                .add(report.swept as u64);
         }
-        swept
+        report
     }
 
-    fn delete_all(&self, paths: &[String]) -> usize {
-        paths.iter().filter(|p| self.delete(p).is_ok()).count()
+    fn delete_all(&self, paths: &[String]) -> SweepReport {
+        let mut report = SweepReport::default();
+        for p in paths {
+            match self.delete(p) {
+                Ok(()) => report.swept += 1,
+                Err(DfsError::Pinned(_)) => report.pinned_skipped += 1,
+                Err(_) => {}
+            }
+        }
+        if report.pinned_skipped > 0 {
+            self.inner
+                .metrics
+                .counter(metrics_keys::RETENTION_PIN_SKIPS)
+                .add(report.pinned_skipped as u64);
+        }
+        report
     }
 
     /// All paths with the given prefix, sorted.
@@ -1112,6 +1211,47 @@ impl Dfs {
             .collect();
         v.sort();
         v
+    }
+
+    /// The canonical path of a content-addressed entry: `{root}/cas/{key}`
+    /// with the key rendered as fixed-width hex, so `list("{root}/cas/")`
+    /// enumerates a tenant's whole cache in key order.
+    pub fn cas_path(root: &str, key: u64) -> String {
+        format!("{root}/cas/{key:016x}")
+    }
+
+    /// Store `data` under content key `key` in `root`'s cache. Naturally
+    /// idempotent: the path is derived from the content key, so an
+    /// already-present entry means an identical payload was committed by
+    /// an earlier (or racing) writer and the put degrades to a hit —
+    /// `write_shared_with_policy` inserts namenode metadata last, so a
+    /// visible entry is always complete. Returns the entry's path.
+    pub fn cas_put(&self, root: &str, key: u64, data: SharedBytes) -> Result<String, DfsError> {
+        let path = Dfs::cas_path(root, key);
+        match self.write_file_shared(&path, data) {
+            Ok(_) => {
+                self.inner.metrics.counter(metrics_keys::CAS_PUTS).add(1);
+                Ok(path)
+            }
+            Err(DfsError::FileExists(_)) => {
+                self.inner.metrics.counter(metrics_keys::CAS_HITS).add(1);
+                Ok(path)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fetch the entry for `key` in `root`'s cache, or `None` when the
+    /// key was never committed. Hits and misses are counted under
+    /// [`metrics_keys::CAS_HITS`] / [`metrics_keys::CAS_MISSES`].
+    pub fn cas_get(&self, root: &str, key: u64) -> Result<Option<SharedBytes>, DfsError> {
+        let path = Dfs::cas_path(root, key);
+        if !self.exists(&path) {
+            self.inner.metrics.counter(metrics_keys::CAS_MISSES).add(1);
+            return Ok(None);
+        }
+        self.inner.metrics.counter(metrics_keys::CAS_HITS).add(1);
+        self.read_file_shared(&path).map(Some)
     }
 
     /// Per-node storage counters (data-locality accounting).
@@ -2283,5 +2423,71 @@ mod tests {
         // Every surviving replica is persisted somewhere on disk.
         assert_eq!(blk_files(&dir), 3 * 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinned_file_refuses_delete_until_unpinned() {
+        let dfs = small_dfs();
+        dfs.write_file("/t/cas/a", &payload(100)).unwrap();
+        dfs.pin("/t/cas/a").unwrap();
+        dfs.pin("/t/cas/a").unwrap();
+        assert_eq!(dfs.pin_count("/t/cas/a"), 2);
+        assert!(matches!(dfs.delete("/t/cas/a"), Err(DfsError::Pinned(_))));
+        dfs.unpin("/t/cas/a");
+        assert!(matches!(dfs.delete("/t/cas/a"), Err(DfsError::Pinned(_))));
+        dfs.unpin("/t/cas/a");
+        assert_eq!(dfs.pin_count("/t/cas/a"), 0);
+        dfs.delete("/t/cas/a").unwrap();
+        // Pinning a missing path is an error; unpinning one is a no-op.
+        assert!(matches!(dfs.pin("/t/cas/a"), Err(DfsError::FileNotFound(_))));
+        dfs.unpin("/t/cas/a");
+    }
+
+    #[test]
+    fn retention_sweep_skips_pinned_files_and_reports_them() {
+        let dfs = small_dfs();
+        dfs.write_file("/t/job/x", &payload(50)).unwrap();
+        dfs.write_file("/t/job/y", &payload(50)).unwrap();
+        dfs.write_file("/t/job/z", &payload(50)).unwrap();
+        dfs.pin("/t/job/y").unwrap();
+        let report = dfs.sweep_prefix_report("/t/job", SweepReason::Ttl);
+        assert_eq!(report, SweepReport { swept: 2, pinned_skipped: 1 });
+        assert!(dfs.exists("/t/job/y"), "pinned file must survive the sweep");
+        assert!(dfs.any_pinned("/t/job"));
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::RETENTION_PIN_SKIPS).get(),
+            1
+        );
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::RETENTION_SWEPT_TTL)
+                .get(),
+            2
+        );
+        dfs.unpin("/t/job/y");
+        assert!(!dfs.any_pinned("/t/job"));
+        let report = dfs.sweep_prefix_report("/t/job", SweepReason::Ttl);
+        assert_eq!(report, SweepReport { swept: 1, pinned_skipped: 0 });
+    }
+
+    #[test]
+    fn cas_put_is_idempotent_and_get_counts_hits() {
+        let dfs = small_dfs();
+        let key = 0xDEAD_BEEFu64;
+        let bytes = SharedBytes::copy_from_slice(&payload(300));
+        assert_eq!(dfs.cas_get("/t", key).unwrap(), None);
+        let path = dfs.cas_put("/t", key, bytes.clone()).unwrap();
+        assert_eq!(path, Dfs::cas_path("/t", key));
+        // A second put of the same key degrades to a hit, not an error.
+        let again = dfs.cas_put("/t", key, bytes.clone()).unwrap();
+        assert_eq!(again, path);
+        assert_eq!(
+            dfs.cas_get("/t", key).unwrap().unwrap().as_slice(),
+            bytes.as_slice()
+        );
+        let m = dfs.metrics();
+        assert_eq!(m.counter(metrics_keys::CAS_PUTS).get(), 1);
+        assert_eq!(m.counter(metrics_keys::CAS_MISSES).get(), 1);
+        assert_eq!(m.counter(metrics_keys::CAS_HITS).get(), 2);
     }
 }

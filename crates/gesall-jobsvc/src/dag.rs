@@ -1,0 +1,307 @@
+//! DAG execution on the job service: submit a stage graph once and a
+//! coordinator thread dispatches each stage the moment its parents
+//! commit, so ready siblings run concurrently under the ordinary
+//! capacity / borrowing machinery. A failed stage fails exactly its
+//! descendants — typed [`JobSvcError::UpstreamFailed`] naming the
+//! root-cause stage — and never its cousins: independent branches run
+//! to completion regardless.
+//!
+//! Graph validation reuses `gesall_core::dag` (the same Kahn walk the
+//! pipeline executor uses), so duplicate names, unknown parents, and
+//! cycles are rejected synchronously at submit with
+//! [`JobSvcError::InvalidDag`] instead of hanging the coordinator.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use gesall_core::dag::{DagSpec, StageSpec};
+use gesall_telemetry::MetricsRegistry;
+
+use crate::service::{JobHandle, JobOutput, JobSpec, JobSvcError};
+use crate::keys;
+
+/// One node of a service DAG: a named [`JobSpec`] plus the names of the
+/// stages whose completion it requires.
+pub struct DagNodeSpec {
+    pub name: String,
+    pub parents: Vec<String>,
+    pub spec: JobSpec,
+}
+
+impl DagNodeSpec {
+    pub fn new(name: impl Into<String>, parents: &[&str], spec: JobSpec) -> DagNodeSpec {
+        DagNodeSpec {
+            name: name.into(),
+            parents: parents.iter().map(|p| p.to_string()).collect(),
+            spec,
+        }
+    }
+}
+
+/// Where one stage of a submitted DAG stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Parents have not all committed yet.
+    Waiting,
+    /// Handed to the scheduler (queued or running).
+    Submitted,
+    Completed,
+    /// The stage's own job failed (or was rejected at submit).
+    Failed(JobSvcError),
+    /// A transitive parent failed; this stage never ran. `upstream`
+    /// names the root-cause stage.
+    UpstreamFailed { upstream: String },
+}
+
+impl StageStatus {
+    fn is_terminal(&self) -> bool {
+        !matches!(self, StageStatus::Waiting | StageStatus::Submitted)
+    }
+}
+
+struct NodeState {
+    status: StageStatus,
+    /// Held until the [`DagHandle`] goes away, so stage namespaces stay
+    /// under retention while the caller may still read outputs.
+    handle: Option<JobHandle>,
+    output: Option<JobOutput>,
+}
+
+pub(crate) type SubmitFn = Box<dyn Fn(JobSpec) -> Result<JobHandle, JobSvcError> + Send>;
+
+/// Handle to a submitted DAG. Dropping it joins the coordinator (the
+/// DAG runs to its terminal state) and then releases every stage job's
+/// retention.
+pub struct DagHandle {
+    nodes: std::sync::Arc<parking_lot::Mutex<HashMap<String, NodeState>>>,
+    order: Vec<String>,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl DagHandle {
+    /// Block until every stage is terminal. Returns the first failure
+    /// in topological order — which is always a root cause, since a
+    /// stage's own failure precedes its descendants' `UpstreamFailed`.
+    pub fn wait(&mut self) -> Result<(), JobSvcError> {
+        if let Some(j) = self.coordinator.take() {
+            let _ = j.join();
+        }
+        let nodes = self.nodes.lock();
+        for name in &self.order {
+            match &nodes[name].status {
+                StageStatus::Failed(e) => return Err(e.clone()),
+                StageStatus::UpstreamFailed { upstream } => {
+                    return Err(JobSvcError::UpstreamFailed {
+                        stage: name.clone(),
+                        upstream: upstream.clone(),
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The named stage's current status (`None` for an unknown name).
+    pub fn stage_status(&self, name: &str) -> Option<StageStatus> {
+        self.nodes.lock().get(name).map(|n| n.status.clone())
+    }
+
+    /// Take a completed stage's output (once).
+    pub fn take_output(&self, name: &str) -> Option<JobOutput> {
+        self.nodes.lock().get_mut(name).and_then(|n| n.output.take())
+    }
+
+    /// Stage names in the validated topological order.
+    pub fn order(&self) -> &[String] {
+        &self.order
+    }
+}
+
+impl Drop for DagHandle {
+    fn drop(&mut self) {
+        if let Some(j) = self.coordinator.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for DagHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nodes = self.nodes.lock();
+        let mut d = f.debug_map();
+        for name in &self.order {
+            d.entry(&name, &nodes[name].status);
+        }
+        d.finish()
+    }
+}
+
+/// Validate the graph and spawn its coordinator. `submit` is the
+/// service's tenant-bound submission closure; `registry`/`tenant` feed
+/// the `jobsvc.dag.*` counters.
+pub(crate) fn launch(
+    nodes: Vec<DagNodeSpec>,
+    submit: SubmitFn,
+    registry: MetricsRegistry,
+    tenant: String,
+) -> Result<DagHandle, JobSvcError> {
+    let spec = DagSpec {
+        stages: nodes
+            .iter()
+            .map(|n| StageSpec {
+                name: n.name.clone(),
+                parents: n.parents.clone(),
+                code_version: 1,
+                config_fp: 0,
+            })
+            .collect(),
+    };
+    let order = spec
+        .topo_order()
+        .map_err(|e| JobSvcError::InvalidDag(e.to_string()))?;
+
+    let mut specs: HashMap<String, JobSpec> = HashMap::new();
+    let mut states: HashMap<String, NodeState> = HashMap::new();
+    for n in nodes {
+        states.insert(
+            n.name.clone(),
+            NodeState {
+                status: StageStatus::Waiting,
+                handle: None,
+                output: None,
+            },
+        );
+        specs.insert(n.name, n.spec);
+    }
+    let states = std::sync::Arc::new(parking_lot::Mutex::new(states));
+
+    let coordinator = {
+        let states = states.clone();
+        let order = order.clone();
+        std::thread::Builder::new()
+            .name("jobsvc-dag".into())
+            .spawn(move || coordinate(spec, order, specs, states, submit, registry, tenant))
+            .expect("spawn jobsvc dag coordinator")
+    };
+    Ok(DagHandle {
+        nodes: states,
+        order,
+        coordinator: Some(coordinator),
+    })
+}
+
+fn coordinate(
+    spec: DagSpec,
+    order: Vec<String>,
+    mut specs: HashMap<String, JobSpec>,
+    states: std::sync::Arc<parking_lot::Mutex<HashMap<String, NodeState>>>,
+    submit: SubmitFn,
+    registry: MetricsRegistry,
+    tenant: String,
+) {
+    // Marks `failed`'s not-yet-terminal descendants UpstreamFailed,
+    // attributing all of them to the root cause. Descendants of an
+    // already-UpstreamFailed stage keep their original attribution
+    // (first failure wins).
+    let fail_downstream = |failed: &str| {
+        let descendants = spec.descendants(failed);
+        let mut st = states.lock();
+        let mut n_failed = 0u64;
+        for d in &descendants {
+            let node = st.get_mut(d).expect("descendant exists");
+            if !node.status.is_terminal() {
+                node.status = StageStatus::UpstreamFailed {
+                    upstream: failed.to_string(),
+                };
+                n_failed += 1;
+            }
+        }
+        if n_failed > 0 {
+            registry
+                .counter(keys::DAG_STAGES_UPSTREAM_FAILED)
+                .add(n_failed);
+            registry
+                .counter(&format!("{}.{}", keys::DAG_STAGES_UPSTREAM_FAILED, tenant))
+                .add(n_failed);
+        }
+    };
+
+    loop {
+        // Phase 1: submit every waiting stage whose parents have all
+        // committed — all ready siblings are in the scheduler's hands
+        // before the coordinator blocks, so they contend for slots
+        // concurrently like any other jobs.
+        for name in &order {
+            let ready = {
+                let st = states.lock();
+                matches!(st[name].status, StageStatus::Waiting)
+                    && spec
+                        .stage(name)
+                        .expect("stage exists")
+                        .parents
+                        .iter()
+                        .all(|p| matches!(st[p].status, StageStatus::Completed))
+            };
+            if !ready {
+                continue;
+            }
+            let job_spec = specs.remove(name).expect("spec not yet submitted");
+            match submit(job_spec) {
+                Ok(h) => {
+                    let mut st = states.lock();
+                    let node = st.get_mut(name).expect("stage exists");
+                    node.status = StageStatus::Submitted;
+                    node.handle = Some(h);
+                }
+                Err(e) => {
+                    states.lock().get_mut(name).expect("stage exists").status =
+                        StageStatus::Failed(e);
+                    fail_downstream(name);
+                }
+            }
+        }
+
+        // Phase 2: block on the topologically-first in-flight stage.
+        // Its completion is what can unblock new work; later in-flight
+        // siblings keep running while we wait.
+        let next = order.iter().find(|n| {
+            matches!(states.lock()[n.as_str()].status, StageStatus::Submitted)
+        });
+        let Some(name) = next else {
+            // Nothing in flight: every stage is terminal or
+            // permanently blocked (which fail_downstream prevents), so
+            // the DAG is done.
+            return;
+        };
+        // Take the handle out so the blocking wait holds no lock
+        // (stage_status / take_output stay responsive), then put it
+        // back — it must outlive the DAG so retention holds until the
+        // DagHandle goes away.
+        let handle = states
+            .lock()
+            .get_mut(name.as_str())
+            .expect("stage exists")
+            .handle
+            .take()
+            .expect("submitted stage has a handle");
+        let result = handle.wait();
+        let mut st = states.lock();
+        let node = st.get_mut(name.as_str()).expect("stage exists");
+        match result {
+            Ok(()) => {
+                node.output = handle.take_output();
+                node.status = StageStatus::Completed;
+            }
+            Err(e) => {
+                node.status = StageStatus::Failed(e);
+            }
+        }
+        node.handle = Some(handle);
+        let failed = matches!(st[name.as_str()].status, StageStatus::Failed(_));
+        drop(st);
+        if failed {
+            fail_downstream(name);
+        }
+    }
+}

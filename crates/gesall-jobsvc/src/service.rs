@@ -178,6 +178,12 @@ pub enum JobSvcError {
     ShuttingDown,
     /// The job's work function returned an error or panicked.
     Failed(String),
+    /// A DAG stage never ran because a transitive upstream stage
+    /// failed. `upstream` names the root-cause stage.
+    UpstreamFailed { stage: String, upstream: String },
+    /// A submitted DAG was malformed: empty, duplicate stage names, an
+    /// unknown parent, or a cycle.
+    InvalidDag(String),
 }
 
 impl fmt::Display for JobSvcError {
@@ -192,6 +198,10 @@ impl fmt::Display for JobSvcError {
             JobSvcError::Cancelled => write!(f, "job cancelled"),
             JobSvcError::ShuttingDown => write!(f, "job service shutting down"),
             JobSvcError::Failed(msg) => write!(f, "job failed: {msg}"),
+            JobSvcError::UpstreamFailed { stage, upstream } => {
+                write!(f, "stage {stage} not run: upstream stage {upstream} failed")
+            }
+            JobSvcError::InvalidDag(msg) => write!(f, "invalid dag: {msg}"),
         }
     }
 }
@@ -354,10 +364,15 @@ impl JobCtx {
     }
 
     /// Pipeline [`RunOptions`] carrying the same lease + namespace.
+    /// The content-addressed intermediate store points at the *tenant*
+    /// prefix (`/{tenant}/cas/…`), not the job's own namespace, so
+    /// successive jobs of one tenant hit each other's stage cache while
+    /// tenants stay isolated from each other.
     pub fn run_options(&self) -> RunOptions {
         RunOptions {
             slot_lease: Some(self.lease.clone()),
             namespace: Some(self.shared.namespace.clone()),
+            cas_root: Some(format!("/{}", self.shared.tenant)),
         }
     }
 }
@@ -510,6 +525,41 @@ impl JobService {
     /// capacity order.
     pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<JobHandle, JobSvcError> {
         self.svc.submit(tenant, spec)
+    }
+
+    /// Submit a stage DAG for `tenant`. Validation is synchronous —
+    /// typed [`JobSvcError::InvalidDag`] on duplicates, unknown
+    /// parents, or cycles — and execution is asynchronous: a
+    /// coordinator thread submits each stage the moment its parents
+    /// commit, so ready siblings contend for slots concurrently under
+    /// the ordinary capacity machinery, and a failed stage fails
+    /// exactly its descendants ([`JobSvcError::UpstreamFailed`]).
+    pub fn submit_dag(
+        &self,
+        tenant: &str,
+        nodes: Vec<crate::dag::DagNodeSpec>,
+    ) -> Result<crate::dag::DagHandle, JobSvcError> {
+        {
+            let st = self.svc.state.lock();
+            if st.shutdown {
+                return Err(JobSvcError::ShuttingDown);
+            }
+            if !st.rt.contains_key(tenant) {
+                return Err(JobSvcError::TenantUnknown(tenant.to_string()));
+            }
+        }
+        let svc = self.svc.clone();
+        let tenant_owned = tenant.to_string();
+        let submit: crate::dag::SubmitFn =
+            Box::new(move |spec| svc.submit(&tenant_owned, spec));
+        let h = crate::dag::launch(
+            nodes,
+            submit,
+            self.svc.registry.clone(),
+            tenant.to_string(),
+        )?;
+        self.svc.count(keys::DAGS_SUBMITTED, tenant, 1);
+        Ok(h)
     }
 
     /// The service's `jobsvc.*` / `dfs.retention.*`-adjacent metrics.
@@ -719,7 +769,25 @@ impl Svc {
             }
         });
         for ns in due {
-            self.platform.dfs.sweep_prefix(&ns, SweepReason::Ttl);
+            self.sweep_or_defer(st, ns, SweepReason::Ttl);
+        }
+    }
+
+    /// Sweep a retired namespace, pin-aware: files under the prefix
+    /// with live CAS pins refuse deletion (a dependent stage may still
+    /// be range-reading them), so instead of silently dropping the
+    /// namespace from retention the sweep is re-queued on a short
+    /// deadline and the dispatcher retries until the last pin is
+    /// released. Everything unpinned under the prefix is swept
+    /// immediately either way.
+    fn sweep_or_defer(&self, st: &mut SvcState, namespace: String, reason: SweepReason) {
+        let report = self.platform.dfs.sweep_prefix_report(&namespace, reason);
+        if report.pinned_skipped > 0 {
+            st.retired.push(Retirement {
+                namespace,
+                deadline: Instant::now() + Duration::from_millis(50),
+            });
+            self.wake.notify_all();
         }
     }
 
@@ -1044,13 +1112,9 @@ impl Svc {
         // handle is already gone sweep now; otherwise the namespace
         // lives until its TTL or the handle drop.
         if cancelled {
-            self.platform
-                .dfs
-                .sweep_prefix(&shared.namespace, SweepReason::Cancelled);
+            self.sweep_or_defer(&mut st, shared.namespace.clone(), SweepReason::Cancelled);
         } else if shared.retention_released.load(Ordering::SeqCst) {
-            self.platform
-                .dfs
-                .sweep_prefix(&shared.namespace, SweepReason::Ttl);
+            self.sweep_or_defer(&mut st, shared.namespace.clone(), SweepReason::Ttl);
         } else {
             st.retired.push(Retirement {
                 namespace: shared.namespace.clone(),
@@ -1107,6 +1171,9 @@ impl Svc {
 
     /// Handle dropped: sweep now if the job is finished and still
     /// retained, otherwise flag it so `finish_job` sweeps immediately.
+    /// "Now" is still pin-aware — a dropped handle must not yank a
+    /// namespace out from under a dependent stage that holds live CAS
+    /// pins into it; those entries stay until the pins release.
     fn release_retention(self: &Arc<Self>, shared: &Arc<JobShared>) {
         shared.retention_released.store(true, Ordering::SeqCst);
         let mut st = self.state.lock();
@@ -1116,8 +1183,7 @@ impl Svc {
             .position(|r| r.namespace == shared.namespace)
         {
             let r = st.retired.remove(pos);
-            drop(st);
-            self.platform.dfs.sweep_prefix(&r.namespace, SweepReason::Ttl);
+            self.sweep_or_defer(&mut st, r.namespace, SweepReason::Ttl);
         }
     }
 }
@@ -1396,6 +1462,179 @@ mod tests {
         assert!(
             m.counter(keys::SLOTS_RECLAIMED).get() >= 1,
             "b ran on slots reclaimed from a's shrunk lease"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn dag_runs_ready_siblings_concurrently() {
+        use crate::dag::{DagNodeSpec, StageStatus};
+        use std::sync::atomic::AtomicUsize;
+
+        let svc = service(4, vec![TenantConfig::new("a", 1)]);
+        // Diamond: a → {b, c} → d. The rendezvous proves b and c were
+        // on the cluster at the same time: each blocks until both have
+        // arrived, so the DAG can only finish if the coordinator
+        // submitted both siblings before waiting on either.
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let rendezvous = |arrived: Arc<AtomicUsize>| {
+            move |_ctx: &JobCtx| {
+                arrived.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while arrived.load(Ordering::SeqCst) < 2 {
+                    if Instant::now() > deadline {
+                        return Err(GesallError::Streaming("sibling never arrived".into()));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Box::new(()) as JobOutput)
+            }
+        };
+        let mut dag = svc
+            .submit_dag(
+                "a",
+                vec![
+                    DagNodeSpec::new("a", &[], JobSpec::new("root", 1, |_| Ok(Box::new(7usize)))),
+                    DagNodeSpec::new(
+                        "b",
+                        &["a"],
+                        JobSpec::new("left", 1, rendezvous(arrived.clone())),
+                    ),
+                    DagNodeSpec::new(
+                        "c",
+                        &["a"],
+                        JobSpec::new("right", 1, rendezvous(arrived.clone())),
+                    ),
+                    DagNodeSpec::new(
+                        "d",
+                        &["b", "c"],
+                        JobSpec::new("join", 1, |_| Ok(Box::new(()))),
+                    ),
+                ],
+            )
+            .unwrap();
+        dag.wait().unwrap();
+        for stage in ["a", "b", "c", "d"] {
+            assert_eq!(dag.stage_status(stage), Some(StageStatus::Completed));
+        }
+        let root = dag.take_output("a").unwrap().downcast::<usize>().unwrap();
+        assert_eq!(*root, 7);
+        assert_eq!(svc.metrics().counter(keys::DAGS_SUBMITTED).get(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn dag_failure_fails_exactly_its_descendants() {
+        use crate::dag::{DagNodeSpec, StageStatus};
+
+        let svc = service(2, vec![TenantConfig::new("a", 1)]);
+        // a fails → b and c (its chain) are UpstreamFailed with a as
+        // the root cause; independent d completes untouched.
+        let mut dag = svc
+            .submit_dag(
+                "a",
+                vec![
+                    DagNodeSpec::new(
+                        "a",
+                        &[],
+                        JobSpec::new("bad", 1, |_| {
+                            Err(GesallError::Streaming("boom".into()))
+                        }),
+                    ),
+                    DagNodeSpec::new("b", &["a"], JobSpec::new("mid", 1, |_| Ok(Box::new(())))),
+                    DagNodeSpec::new("c", &["b"], JobSpec::new("leaf", 1, |_| Ok(Box::new(())))),
+                    DagNodeSpec::new("d", &[], JobSpec::new("island", 1, |_| Ok(Box::new(())))),
+                ],
+            )
+            .unwrap();
+        // The first error in topo order is the root cause itself.
+        let err = dag.wait().unwrap_err();
+        assert!(matches!(err, JobSvcError::Failed(ref m) if m.contains("boom")));
+        assert!(matches!(
+            dag.stage_status("a"),
+            Some(StageStatus::Failed(JobSvcError::Failed(_)))
+        ));
+        // Transitive attribution: c's upstream is a, not b — b never
+        // failed, it just never ran.
+        for stage in ["b", "c"] {
+            assert_eq!(
+                dag.stage_status(stage),
+                Some(StageStatus::UpstreamFailed {
+                    upstream: "a".to_string()
+                }),
+                "stage {stage}"
+            );
+        }
+        assert_eq!(dag.stage_status("d"), Some(StageStatus::Completed));
+        assert_eq!(
+            svc.metrics().counter(keys::DAG_STAGES_UPSTREAM_FAILED).get(),
+            2
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn malformed_dags_are_rejected_typed() {
+        use crate::dag::DagNodeSpec;
+
+        let svc = service(2, vec![TenantConfig::new("a", 1)]);
+        let cyclic = vec![
+            DagNodeSpec::new("x", &["y"], JobSpec::new("x", 1, |_| Ok(Box::new(())))),
+            DagNodeSpec::new("y", &["x"], JobSpec::new("y", 1, |_| Ok(Box::new(())))),
+        ];
+        assert!(matches!(
+            svc.submit_dag("a", cyclic),
+            Err(JobSvcError::InvalidDag(_))
+        ));
+        assert!(matches!(
+            svc.submit_dag("ghost", vec![]),
+            Err(JobSvcError::TenantUnknown(_))
+        ));
+        assert_eq!(svc.metrics().counter(keys::DAGS_SUBMITTED).get(), 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn pinned_cas_entries_defer_namespace_sweep() {
+        let svc = service(2, vec![TenantConfig::new("a", 1)]);
+        let h = svc
+            .submit(
+                "a",
+                JobSpec::new("w", 1, |ctx: &JobCtx| {
+                    ctx.dfs()
+                        .write_file(
+                            &format!("{}/cas/0000000000000001", ctx.namespace()),
+                            b"entry",
+                        )
+                        .unwrap();
+                    Ok(Box::new(()) as JobOutput)
+                }),
+            )
+            .unwrap();
+        h.wait().unwrap();
+        let ns = h.namespace().to_string();
+        let dfs = svc.platform().dfs.clone();
+        let path = format!("{ns}/cas/0000000000000001");
+        // A dependent stage still range-reading the entry holds a pin.
+        dfs.pin(&path).unwrap();
+        // Handle drop releases retention — but the pinned entry must
+        // survive the release sweep instead of racing the reader.
+        drop(h);
+        assert!(
+            !wait_until(100, || dfs.list(&ns).is_empty()),
+            "pinned CAS entry was swept by the handle-drop release"
+        );
+        assert!(
+            dfs.metrics()
+                .counter(gesall_dfs::fs::metrics_keys::RETENTION_PIN_SKIPS)
+                .get()
+                >= 1
+        );
+        // Pin released → the deferred retirement catches up and sweeps.
+        dfs.unpin(&path);
+        assert!(
+            wait_until(2000, || dfs.list(&ns).is_empty()),
+            "deferred sweep never fired after the pin was released"
         );
         svc.shutdown();
     }

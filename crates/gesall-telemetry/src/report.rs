@@ -132,6 +132,132 @@ pub fn gantt(rows: &[GanttRow], width: usize) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Pipeline DAG: stage table + critical-path attribution
+// ---------------------------------------------------------------------
+
+/// One executed (or cache-served) stage node of a pipeline DAG, as
+/// reconstructed from `SpanKind::Stage` spans or an executor's stage
+/// report.
+#[derive(Debug, Clone)]
+pub struct DagStageRow {
+    pub name: String,
+    /// Names of the stages whose outputs this stage consumed.
+    pub parents: Vec<String>,
+    pub duration_ms: f64,
+    /// Was the stage's output served from the content-addressed store
+    /// instead of being recomputed?
+    pub cached: bool,
+}
+
+/// The chain of stages that bounds the DAG's wall-clock: the
+/// root-to-sink path maximizing summed stage duration. Returns the
+/// stage names along the path (source first) and the path's total
+/// milliseconds. Parents not present in `rows` contribute nothing;
+/// a (malformed) cyclic input breaks the cycle rather than recursing
+/// forever.
+pub fn critical_path(rows: &[DagStageRow]) -> (Vec<String>, f64) {
+    use std::collections::HashMap;
+    let by_name: HashMap<&str, &DagStageRow> =
+        rows.iter().map(|r| (r.name.as_str(), r)).collect();
+    // cost[name] = duration + max(cost(parents)); memoized DFS with an
+    // in-progress marker so a cycle terminates instead of overflowing.
+    fn cost<'a>(
+        name: &'a str,
+        by_name: &HashMap<&'a str, &'a DagStageRow>,
+        memo: &mut HashMap<&'a str, Option<f64>>,
+    ) -> f64 {
+        match memo.get(name) {
+            Some(Some(c)) => return *c,
+            Some(None) => return 0.0, // on the stack: cycle guard
+            None => {}
+        }
+        let Some(row) = by_name.get(name) else { return 0.0 };
+        memo.insert(name, None);
+        let upstream = row
+            .parents
+            .iter()
+            .map(|p| cost(p.as_str(), by_name, memo))
+            .fold(0.0f64, f64::max);
+        let c = row.duration_ms + upstream;
+        memo.insert(name, Some(c));
+        c
+    }
+    let mut memo = HashMap::new();
+    let Some(sink) = rows
+        .iter()
+        .max_by(|a, b| {
+            cost(a.name.as_str(), &by_name, &mut memo)
+                .total_cmp(&cost(b.name.as_str(), &by_name, &mut memo))
+        })
+    else {
+        return (Vec::new(), 0.0);
+    };
+    let total = cost(sink.name.as_str(), &by_name, &mut memo);
+    // Walk back from the sink along the max-cost parent at each step.
+    let mut path = vec![sink.name.clone()];
+    let mut cur = sink;
+    loop {
+        let next = cur
+            .parents
+            .iter()
+            .filter_map(|p| by_name.get(p.as_str()).copied())
+            .max_by(|a, b| {
+                cost(a.name.as_str(), &by_name, &mut memo)
+                    .total_cmp(&cost(b.name.as_str(), &by_name, &mut memo))
+            });
+        match next {
+            Some(p) if !path.contains(&p.name) => {
+                path.push(p.name.clone());
+                cur = p;
+            }
+            _ => break,
+        }
+    }
+    path.reverse();
+    (path, total)
+}
+
+/// Render the stage table — parents, duration, cache status, and a `*`
+/// marker on critical-path stages — followed by the critical-path
+/// chain and its total, the DAG analogue of the phase table.
+pub fn dag_report(rows: &[DagStageRow]) -> String {
+    if rows.is_empty() {
+        return "(no stages recorded)\n".to_string();
+    }
+    let (path, total) = critical_path(rows);
+    let headers = vec![
+        "stage".to_string(),
+        "parents".to_string(),
+        "ms".to_string(),
+        "cached".to_string(),
+        "crit".to_string(),
+    ];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                if r.parents.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.parents.join(",")
+                },
+                fmt_ms(r.duration_ms),
+                if r.cached { "hit" } else { "run" }.to_string(),
+                if path.contains(&r.name) { "*" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = render_aligned(&headers, &cells);
+    out.push_str(&format!(
+        "critical path: {} ({} ms)\n",
+        path.join(" → "),
+        fmt_ms(total)
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
 // Straggler / skew statistics
 // ---------------------------------------------------------------------
 
@@ -355,6 +481,37 @@ mod tests {
         let bar1: &str = lines[2];
         assert!(bar0.find('#').unwrap() < bar1.find('#').unwrap());
         assert_eq!(gantt(&[], 20), "(no tasks)\n");
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_chain() {
+        // Diamond: a → {b, c} → d, with the b side heavier.
+        let rows = vec![
+            DagStageRow { name: "a".into(), parents: vec![], duration_ms: 10.0, cached: false },
+            DagStageRow { name: "b".into(), parents: vec!["a".into()], duration_ms: 50.0, cached: false },
+            DagStageRow { name: "c".into(), parents: vec!["a".into()], duration_ms: 5.0, cached: true },
+            DagStageRow {
+                name: "d".into(),
+                parents: vec!["b".into(), "c".into()],
+                duration_ms: 20.0,
+                cached: false,
+            },
+        ];
+        let (path, total) = critical_path(&rows);
+        assert_eq!(path, vec!["a", "b", "d"]);
+        assert!((total - 80.0).abs() < 1e-9);
+        let report = dag_report(&rows);
+        assert!(report.contains("critical path: a → b → d"));
+        assert!(report.contains("hit"), "cached stage marked: {report}");
+        assert!(report.contains("run"));
+        assert_eq!(dag_report(&[]), "(no stages recorded)\n");
+        // A malformed cyclic input terminates.
+        let cyc = vec![
+            DagStageRow { name: "x".into(), parents: vec!["y".into()], duration_ms: 1.0, cached: false },
+            DagStageRow { name: "y".into(), parents: vec!["x".into()], duration_ms: 1.0, cached: false },
+        ];
+        let (_, t) = critical_path(&cyc);
+        assert!(t.is_finite());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub enum SpanKind {
     Pipeline,
     /// One MapReduce round of a pipeline.
     Round,
+    /// One node of a pipeline stage DAG (carries `parents` metadata
+    /// naming its upstream stages, and a `cached` flag when the stage's
+    /// output was served from the content-addressed store).
+    Stage,
     /// One MapReduce job.
     Job,
     /// One scheduling wave (map wave, reduce wave) within a job.
@@ -54,6 +58,7 @@ impl SpanKind {
         match self {
             SpanKind::Pipeline => "pipeline",
             SpanKind::Round => "round",
+            SpanKind::Stage => "stage",
             SpanKind::Job => "job",
             SpanKind::Wave => "wave",
             SpanKind::TaskAttempt => "task-attempt",

@@ -5,13 +5,14 @@
 //! gesall-cli align     --reference REF.fa --r1 R1.fastq --r2 R2.fastq --out OUT.bam
 //! gesall-cli pipeline  --reference REF.fa --r1 R1.fastq --r2 R2.fastq --out-dir DIR
 //!                      [--partitions N] [--nodes N] [--caller hc|ug] [--recalibrate]
-//!                      [--trace] [--bench-json DIR]
+//!                      [--trace] [--dag] [--bench-json DIR]
+//!                      (`run` is an alias for `pipeline`)
 //! gesall-cli call      --reference REF.fa --bam IN.bam --out OUT.vcf [--caller hc|ug]
 //! gesall-cli diff      --serial A.bam --parallel B.bam
 //! gesall-cli sv        --bam IN.bam [--insert-mean N] [--insert-sd N]
 //! gesall-cli optimize  [--cluster a|b] [--objective wall|efficiency]
 //! gesall-cli serve     [--tenants N] [--jobs N] [--pairs N] [--nodes N]
-//!                      [--slots N] [--seed S]
+//!                      [--slots N] [--seed S] [--dag]
 //! ```
 //!
 //! Files use the workspace's own formats: FASTA references, FASTQ reads,
@@ -40,7 +41,7 @@ fn main() {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&opts),
         "align" => cmd_align(&opts),
-        "pipeline" => cmd_pipeline(&opts),
+        "pipeline" | "run" => cmd_pipeline(&opts),
         "call" => cmd_call(&opts),
         "diff" => cmd_diff(&opts),
         "sv" => cmd_sv(&opts),
@@ -73,7 +74,7 @@ fn parse_opts(args: &[String]) -> Opts {
             usage(&format!("expected --flag, found {a:?}"));
         };
         // Boolean flags take no value.
-        if key == "recalibrate" || key == "trace" {
+        if key == "recalibrate" || key == "trace" || key == "dag" {
             opts.insert(key.to_string(), "true".into());
             continue;
         }
@@ -282,6 +283,16 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
     );
     println!("\nPer-phase breakdown (ms, summed across tasks):");
     print!("{}", out.phase_table());
+    // --dag prints the stage-graph view of the same run: per-stage
+    // cache disposition and the critical path through the DAG.
+    if opts.contains_key("dag") {
+        println!(
+            "\nStage DAG ({} run, {} served from cache):",
+            out.stages_run(),
+            out.cache_hits()
+        );
+        print!("{}", out.dag_report());
+    }
     // --bench-json DIR appends a machine-readable record of this run to
     // DIR/BENCH_pipeline.json (phase timings + counters).
     if let Some(dir) = opts.get("bench-json") {
@@ -495,34 +506,100 @@ fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
 
     let t0 = Instant::now();
     let mut handles = Vec::new();
-    // Round-robin submission so tenants contend from the first dispatch.
-    for round in 0..jobs_per_tenant {
+    let mut n_jobs = 0usize;
+    if opts.contains_key("dag") {
+        use gesall::jobsvc::DagNodeSpec;
+        use gesall::telemetry::report;
+
+        // --dag: each tenant submits one stage graph instead of a flat
+        // job stream. `prep` runs the pipeline cold and fills the
+        // tenant's content-addressed stage cache (every job of a tenant
+        // shares /{tenant}/cas); the two `twin` analyses depend on it,
+        // dispatch together the moment it commits, and are served
+        // entirely from that cache — the Gantt shows them overlapping
+        // inside each tenant while `prep` gates both.
+        let bars: Arc<std::sync::Mutex<Vec<report::GanttRow>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut dags = Vec::new();
         for i in 0..n_tenants {
-            let aligner = Arc::clone(&aligner);
-            let pairs = pairs.clone();
-            let spec = JobSpec::new(format!("pipeline-{round}"), want, move |ctx| {
-                let out = ctx
-                    .platform()
-                    .run_pipeline_with(&aligner, pairs, &ctx.run_options())
-                    .map_err(|e| GesallError::Streaming(e.to_string()))?;
-                Ok(Box::new(out) as JobOutput)
-            });
-            handles.push(svc.submit(&format!("t{}", i + 1), spec)?);
+            let tenant = format!("t{}", i + 1);
+            let stage = |name: &str| {
+                let aligner = Arc::clone(&aligner);
+                let pairs = pairs.clone();
+                let bars = Arc::clone(&bars);
+                let label = format!("{tenant}/{name}");
+                JobSpec::new(name, want, move |ctx| {
+                    let start_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let out = ctx
+                        .platform()
+                        .run_pipeline_with(&aligner, pairs, &ctx.run_options())
+                        .map_err(|e| GesallError::Streaming(e.to_string()))?;
+                    bars.lock().unwrap().push(report::GanttRow {
+                        label,
+                        start_ms,
+                        end_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    });
+                    Ok(Box::new(out) as JobOutput)
+                })
+            };
+            let nodes = vec![
+                DagNodeSpec::new("prep", &[], stage("prep")),
+                DagNodeSpec::new("twin-a", &["prep"], stage("twin-a")),
+                DagNodeSpec::new("twin-b", &["prep"], stage("twin-b")),
+            ];
+            dags.push((tenant.clone(), svc.submit_dag(&tenant, nodes)?));
         }
-    }
-    for h in &handles {
-        h.wait()?;
-        let out = h
-            .take_output()
-            .and_then(|b| b.downcast::<PipelineOutput>().ok())
-            .ok_or("job finished without pipeline output")?;
-        println!(
-            "[{}] {}: {} records, {} variants",
-            h.tenant(),
-            h.id(),
-            out.records.len(),
-            out.variants.len()
-        );
+        for (tenant, dag) in &mut dags {
+            dag.wait()?;
+            n_jobs += dag.order().len();
+            let hits: usize = ["twin-a", "twin-b"]
+                .iter()
+                .filter_map(|s| dag.take_output(s))
+                .filter_map(|b| b.downcast::<PipelineOutput>().ok())
+                .map(|o| o.cache_hits())
+                .sum();
+            println!(
+                "[{tenant}] dag complete: {} stages, twins served {hits} stages from cache",
+                dag.order().len()
+            );
+        }
+        let mut rows = bars.lock().unwrap().clone();
+        rows.sort_by(|a, b| a.label.cmp(&b.label));
+        println!("\nPer-tenant stage concurrency:");
+        print!("{}", report::gantt(&rows, 48));
+        drop(dags);
+    } else {
+        // Round-robin submission so tenants contend from the first
+        // dispatch.
+        for round in 0..jobs_per_tenant {
+            for i in 0..n_tenants {
+                let aligner = Arc::clone(&aligner);
+                let pairs = pairs.clone();
+                let spec = JobSpec::new(format!("pipeline-{round}"), want, move |ctx| {
+                    let out = ctx
+                        .platform()
+                        .run_pipeline_with(&aligner, pairs, &ctx.run_options())
+                        .map_err(|e| GesallError::Streaming(e.to_string()))?;
+                    Ok(Box::new(out) as JobOutput)
+                });
+                handles.push(svc.submit(&format!("t{}", i + 1), spec)?);
+            }
+        }
+        for h in &handles {
+            h.wait()?;
+            let out = h
+                .take_output()
+                .and_then(|b| b.downcast::<PipelineOutput>().ok())
+                .ok_or("job finished without pipeline output")?;
+            println!(
+                "[{}] {}: {} records, {} variants",
+                h.tenant(),
+                h.id(),
+                out.records.len(),
+                out.variants.len()
+            );
+        }
+        n_jobs = handles.len();
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
@@ -545,10 +622,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
         m.counter(keys::SLOTS_BORROWED).get(),
         m.counter(keys::SLOTS_RECLAIMED).get()
     );
-    println!(
-        "{} jobs across {n_tenants} tenants in {wall_s:.2}s",
-        handles.len()
-    );
+    println!("{n_jobs} jobs across {n_tenants} tenants in {wall_s:.2}s");
     drop(handles);
     svc.shutdown();
     Ok(())
