@@ -1,14 +1,32 @@
-//! FM-index: BWT + checkpointed rank, backward search, sampled locate.
+//! FM-index: 2-bit packed BWT + word-popcount rank, backward search,
+//! sampled locate.
 //!
 //! Alphabet: sentinel (0), A (1), C (2), G (3), T (4). Reads containing
 //! `N` never reach the index — seeding skips seeds with ambiguous bases.
+//!
+//! The BWT is stored as a [`PackedSeq`]: 2-bit codes, 32 symbols per
+//! `u64` word. The sentinel is the one "N" of the BWT string, so the
+//! packer records its row out-of-band (`n_positions()[0]`) and its
+//! packed slot holds code 0 — rank queries for `A` subtract it back
+//! out. `occ()` — the innermost loop of every backward-search step —
+//! counts whole words with XOR-splat + popcount
+//! ([`count_code_in_word`]) from a checkpoint aligned to a word
+//! boundary, instead of the historical byte-at-a-time scan (which
+//! survives as [`FmIndex::occ_scalar`], the proptest oracle and the
+//! `kernels=false` twin path for bench-smoke). The sampled suffix array
+//! is a row-sorted vec probed by a branchless binary search, replacing
+//! the old `HashMap`.
 
+use crate::kernels;
 use crate::suffix::{bwt_from_sa, suffix_array};
-use std::collections::HashMap;
+use gesall_formats::dna::{count_code_in_word, PackedSeq};
 
 const ALPHABET: usize = 5;
-/// Rank checkpoint spacing (rows).
+/// Rank checkpoint spacing (rows). A multiple of 32 so every checkpoint
+/// sits on a packed-word boundary and the residual scan is whole words
+/// plus at most one masked partial word.
 const OCC_SAMPLE: usize = 128;
+const WORDS_PER_CP: usize = OCC_SAMPLE / 32;
 /// SA sampling spacing (text positions).
 const SA_SAMPLE: u32 = 32;
 
@@ -26,16 +44,24 @@ fn code(b: u8) -> Option<u8> {
 
 /// The FM-index over a text (no 0 bytes; sentinel added internally).
 pub struct FmIndex {
-    /// BWT as alphabet codes, length `text_len + 1`.
-    bwt: Vec<u8>,
+    /// BWT as a 2-bit packed sequence, length `text_len + 1`. The
+    /// sentinel row is the packer's single recorded "N".
+    bwt: PackedSeq,
+    /// BWT row holding the sentinel (cached from `bwt.n_positions()`).
+    sentinel_row: u32,
     /// `c_table[c]` = number of BWT symbols strictly smaller than `c`.
     c_table: [u64; ALPHABET + 1],
-    /// Rank checkpoints: counts of each code in `bwt[0..k*OCC_SAMPLE)`.
-    checkpoints: Vec<[u32; ALPHABET]>,
-    /// Sampled suffix array: BWT row → text position, for rows whose text
-    /// position is a multiple of [`SA_SAMPLE`].
-    sampled: HashMap<u32, u32>,
+    /// Rank checkpoints: counts of each 2-bit code in
+    /// `bwt[0..k*OCC_SAMPLE)`, sentinel slot counted in bucket 0 (the
+    /// `A` adjustment happens at query time).
+    checkpoints: Vec<[u32; 4]>,
+    /// Sampled suffix array: `(row, text position)` sorted by row, for
+    /// rows whose text position is a multiple of [`SA_SAMPLE`].
+    sampled: Vec<(u32, u32)>,
     text_len: usize,
+    /// Bit-parallel rank on (default). Off, `occ` runs the scalar
+    /// symbol-at-a-time oracle — the bench-smoke twin path.
+    kernels: bool,
 }
 
 impl FmIndex {
@@ -43,55 +69,64 @@ impl FmIndex {
     pub fn build(text: &[u8]) -> FmIndex {
         let sa = suffix_array(text);
         let bwt_ascii = bwt_from_sa(text, &sa);
-        let bwt: Vec<u8> = bwt_ascii
-            .iter()
-            .map(|&b| code(b).expect("text must be ACGT-only"))
-            .collect();
+        debug_assert!(bwt_ascii.iter().all(|&b| code(b).is_some()));
+        // The sentinel is byte 0 — not ACGT — so the packer records its
+        // row as the sequence's one "N" position.
+        let bwt = PackedSeq::from_ascii(&bwt_ascii);
+        assert_eq!(
+            bwt.n_positions().len(),
+            1,
+            "text must be ACGT-only (exactly one sentinel in the BWT)"
+        );
+        let sentinel_row = bwt.n_positions()[0];
 
-        // C table.
-        let mut counts = [0u64; ALPHABET];
-        for &c in &bwt {
-            counts[c as usize] += 1;
-        }
+        // C table from the packed histogram: `count_bases()` returns
+        // [A, C, G, T, N] and the sentinel is the single N.
+        let hist = bwt.count_bases();
+        let counts = [hist[4] as u64, hist[0] as u64, hist[1] as u64, hist[2] as u64, hist[3] as u64];
         let mut c_table = [0u64; ALPHABET + 1];
         for i in 0..ALPHABET {
             c_table[i + 1] = c_table[i] + counts[i];
         }
 
-        // Rank checkpoints.
+        // Word-aligned rank checkpoints over raw packed codes.
         let m = bwt.len();
-        let n_cp = m / OCC_SAMPLE + 1;
-        let mut checkpoints = Vec::with_capacity(n_cp);
-        let mut running = [0u32; ALPHABET];
-        for (i, &c) in bwt.iter().enumerate() {
-            if i % OCC_SAMPLE == 0 {
+        let mut checkpoints = Vec::with_capacity(m / OCC_SAMPLE + 1);
+        let mut running = [0u32; 4];
+        checkpoints.push(running);
+        for (w, &word) in bwt.words().iter().enumerate() {
+            let n = (m - w * 32).min(32);
+            let valid: u64 = if n == 32 { !0 } else { (1u64 << (n * 2)) - 1 };
+            for c2 in 0..4u64 {
+                running[c2 as usize] += count_code_in_word(word, c2, valid);
+            }
+            if (w + 1) % WORDS_PER_CP == 0 && (w + 1) * 32 <= m {
                 checkpoints.push(running);
             }
-            running[c as usize] += 1;
-        }
-        if m.is_multiple_of(OCC_SAMPLE) {
-            checkpoints.push(running);
         }
 
         // Sampled SA over the extended text: row 0 is the sentinel suffix
-        // (text position = text_len); row r+1 corresponds to sa[r].
-        let mut sampled = HashMap::new();
+        // (text position = text_len); row r+1 corresponds to sa[r]. Rows
+        // are pushed in increasing order, so the vec is already sorted.
+        let mut sampled = Vec::new();
         let n = text.len() as u32;
         if n.is_multiple_of(SA_SAMPLE) {
-            sampled.insert(0u32, n);
+            sampled.push((0u32, n));
         }
         for (r, &pos) in sa.iter().enumerate() {
             if pos % SA_SAMPLE == 0 {
-                sampled.insert(r as u32 + 1, pos);
+                sampled.push((r as u32 + 1, pos));
             }
         }
 
         FmIndex {
             bwt,
+            sentinel_row,
             c_table,
             checkpoints,
             sampled,
             text_len: text.len(),
+            kernels: true,
         }
     }
 
@@ -100,29 +135,100 @@ impl FmIndex {
         self.text_len
     }
 
-    /// Approximate heap size of the index in bytes (for the per-mapper
-    /// index-load cost model, Fig. 5a).
-    pub fn heap_bytes(&self) -> usize {
-        self.bwt.len()
-            + self.checkpoints.len() * ALPHABET * 4
-            + self.sampled.len() * 8
+    /// Toggle the bit-parallel rank kernel (on by default). Off, `occ`
+    /// runs the scalar oracle — the knob bench-smoke's twin run uses.
+    pub fn set_kernels(&mut self, on: bool) {
+        self.kernels = on;
     }
 
-    /// Number of occurrences of `c` in `bwt[0..i)`.
+    /// Heap size of the index in bytes, capacity-accurate (the
+    /// per-mapper index-load cost model, Fig. 5a, shouldn't be
+    /// flattered by ignoring allocator reality): packed BWT words at
+    /// `capacity`, checkpoint rows at `capacity`, and the sorted-vec SA
+    /// at `capacity × entry size` — which, unlike the old `HashMap`
+    /// estimate, has no hidden bucket/control-byte overhead to ignore.
+    pub fn heap_bytes(&self) -> usize {
+        self.bwt.words().len().max(self.bwt.len().div_ceil(32)) * 8
+            + self.bwt.n_positions().len() * 4
+            + self.checkpoints.capacity() * std::mem::size_of::<[u32; 4]>()
+            + self.sampled.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    /// Alphabet code of the BWT symbol at `row`.
     #[inline]
-    fn occ(&self, c: u8, i: usize) -> u64 {
+    fn symbol_at(&self, row: usize) -> u8 {
+        if row == self.sentinel_row as usize {
+            0
+        } else {
+            self.bwt.code_at(row) + 1
+        }
+    }
+
+    /// Number of occurrences of `c` in `bwt[0..i)`, plus the whole words
+    /// popcounted answering it (0 on the scalar path). `c` is a nonzero
+    /// alphabet code; the sentinel's rank is just "is its row before
+    /// `i`" and is handled by the callers that can see it (`lf_words`).
+    /// Public (hidden) so the proptests can pin it to the oracle.
+    #[doc(hidden)]
+    #[inline]
+    pub fn occ_words(&self, c: u8, i: usize) -> (u64, u32) {
+        debug_assert!((1..=4).contains(&c));
+        if !self.kernels {
+            return (self.occ_scalar(c, i), 0);
+        }
+        let c2 = (c - 1) as u64;
         let cp = i / OCC_SAMPLE;
-        let mut count = self.checkpoints[cp][c as usize] as u64;
-        for &b in &self.bwt[cp * OCC_SAMPLE..i] {
-            count += u64::from(b == c);
+        let mut count = self.checkpoints[cp][c2 as usize] as u64;
+        let words = self.bwt.words();
+        let end_w = i / 32;
+        let mut touched = 0u32;
+        for &word in &words[cp * WORDS_PER_CP..end_w] {
+            count += count_code_in_word(word, c2, !0) as u64;
+            touched += 1;
+        }
+        let rem = i % 32;
+        if rem != 0 {
+            let mask = (1u64 << (rem * 2)) - 1;
+            count += count_code_in_word(words[end_w], c2, mask) as u64;
+            touched += 1;
+        }
+        // The sentinel slot is packed as code 0 and so was absorbed into
+        // the `A` bucket; subtract it back out.
+        if c == 1 && (self.sentinel_row as usize) < i {
+            count -= 1;
+        }
+        (count, touched)
+    }
+
+    /// Scalar rank oracle: symbol-at-a-time scan from the checkpoint,
+    /// exactly the pre-kernel behaviour. Public (hidden) for the
+    /// proptests pinning [`FmIndex::occ_words`] to it.
+    #[doc(hidden)]
+    #[inline]
+    pub fn occ_scalar(&self, c: u8, i: usize) -> u64 {
+        debug_assert!((1..=4).contains(&c));
+        let c2 = c - 1;
+        let cp = i / OCC_SAMPLE;
+        let mut count = self.checkpoints[cp][c2 as usize] as u64;
+        for pos in cp * OCC_SAMPLE..i {
+            count += u64::from(self.bwt.code_at(pos) == c2);
+        }
+        if c == 1 && (self.sentinel_row as usize) < i {
+            count -= 1;
         }
         count
     }
 
     #[inline]
-    fn lf(&self, row: usize) -> usize {
-        let c = self.bwt[row];
-        (self.c_table[c as usize] + self.occ(c, row)) as usize
+    fn lf_words(&self, row: usize) -> (usize, u32) {
+        let c = self.symbol_at(row);
+        if c == 0 {
+            // occ(sentinel, row) is 0: there is exactly one sentinel and
+            // this is its row.
+            return (self.c_table[0] as usize, 0);
+        }
+        let (count, words) = self.occ_words(c, row);
+        ((self.c_table[c as usize] + count) as usize, words)
     }
 
     /// Backward search: the half-open BWT row interval of suffixes
@@ -134,15 +240,26 @@ impl FmIndex {
         }
         let mut l = 0u64;
         let mut r = self.bwt.len() as u64;
+        // Words popcounted accumulate locally; one relaxed atomic add per
+        // search keeps the metric off the innermost loop.
+        let mut words = 0u64;
+        let mut valid = true;
         for &b in pattern.iter().rev() {
-            let c = code(b).filter(|&c| c != 0)?;
-            l = self.c_table[c as usize] + self.occ(c, l as usize);
-            r = self.c_table[c as usize] + self.occ(c, r as usize);
+            let Some(c) = code(b).filter(|&c| c != 0) else {
+                valid = false;
+                break;
+            };
+            let (lc, lw) = self.occ_words(c, l as usize);
+            let (rc, rw) = self.occ_words(c, r as usize);
+            words += (lw + rw) as u64;
+            l = self.c_table[c as usize] + lc;
+            r = self.c_table[c as usize] + rc;
             if l >= r {
-                return None;
+                break;
             }
         }
-        Some((l, r))
+        kernels::add_occ_words(words);
+        (valid && l < r).then_some((l, r))
     }
 
     /// Number of occurrences of `pattern` in the text.
@@ -150,18 +267,43 @@ impl FmIndex {
         self.search(pattern).map(|(l, r)| r - l).unwrap_or(0)
     }
 
+    /// Text position sampled for `row`, if any: branchless binary search
+    /// over the row-sorted vec (the comparison feeds a conditional move,
+    /// not a branch — no misprediction on random probe rows).
+    #[inline]
+    fn sampled_pos(&self, row: u32) -> Option<u32> {
+        if self.sampled.is_empty() {
+            return None;
+        }
+        let mut lo = 0usize;
+        let mut size = self.sampled.len();
+        while size > 1 {
+            let half = size / 2;
+            let mid = lo + half;
+            lo = if self.sampled[mid].0 <= row { mid } else { lo };
+            size -= half;
+        }
+        let (r, pos) = self.sampled[lo];
+        (r == row).then_some(pos)
+    }
+
     /// Text position of the suffix at BWT `row`, via LF-walking to a
     /// sampled row.
     pub fn locate_row(&self, mut row: u64) -> u64 {
         let mut steps = 0u64;
-        loop {
-            if let Some(&pos) = self.sampled.get(&(row as u32)) {
-                let n = self.text_len as u64 + 1;
-                return (pos as u64 + steps) % n;
+        let mut words = 0u64;
+        let pos = loop {
+            if let Some(pos) = self.sampled_pos(row as u32) {
+                break pos;
             }
-            row = self.lf(row as usize) as u64;
+            let (next, w) = self.lf_words(row as usize);
+            row = next as u64;
+            words += w as u64;
             steps += 1;
-        }
+        };
+        kernels::add_occ_words(words);
+        let n = self.text_len as u64 + 1;
+        (pos as u64 + steps) % n
     }
 
     /// All text positions where `pattern` occurs, capped at `max_hits`
@@ -269,11 +411,56 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_is_sane() {
+    fn packed_rank_matches_scalar_oracle() {
+        // Deterministic sweep: every code at checkpoint/word-boundary
+        // offsets plus a scatter of interior positions. (The randomized
+        // version lives in tests/proptest_aligner.rs.)
+        let text = pseudo_dna(3000, 23);
+        let fm = FmIndex::build(&text);
+        let m = text.len() + 1;
+        let mut probes: Vec<usize> = vec![0, 1, 31, 32, 33, 127, 128, 129, m - 1, m];
+        probes.extend((0..200).map(|k| (k * 7919) % (m + 1)));
+        for c in 1..=4u8 {
+            for &i in &probes {
+                let (packed, _) = fm.occ_words(c, i);
+                assert_eq!(packed, fm.occ_scalar(c, i), "occ({c}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_twin_is_byte_identical() {
+        let text = pseudo_dna(2000, 41);
+        let mut scalar = FmIndex::build(&text);
+        scalar.set_kernels(false);
+        let fast = FmIndex::build(&text);
+        for (start, len) in [(0usize, 12usize), (700, 18), (1988, 12), (5, 9)] {
+            let pat = &text[start..start + len];
+            assert_eq!(fast.search(pat), scalar.search(pat));
+            assert_eq!(fast.locate(pat, 1000), scalar.locate(pat, 1000));
+        }
+    }
+
+    #[test]
+    fn rank_kernel_reports_words_popcounted() {
+        let text = pseudo_dna(4000, 29);
+        let fm = FmIndex::build(&text);
+        let before = crate::kernels::snapshot();
+        assert!(fm.count(&text[1000..1020]) > 0);
+        let delta = crate::kernels::snapshot().delta(&before);
+        assert!(delta.occ_words_popcounted > 0, "kernel ran no words?");
+    }
+
+    #[test]
+    fn heap_bytes_reflects_packing() {
         let text = pseudo_dna(10_000, 1);
         let fm = FmIndex::build(&text);
         let bytes = fm.heap_bytes();
-        assert!(bytes > 10_000, "index smaller than text? {bytes}");
-        assert!(bytes < 10 * 10_000, "index blew up: {bytes}");
+        // 2-bit packing plus word-aligned checkpoints plus the sorted-vec
+        // SA lands well under one byte per text base ...
+        assert!(bytes < 10_000, "packed index not smaller than text? {bytes}");
+        // ... but the structure is real: more than the ~2500 bytes of
+        // packed words alone, and at least text/8.
+        assert!(bytes > 10_000 / 8, "index implausibly small: {bytes}");
     }
 }

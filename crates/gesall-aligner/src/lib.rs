@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod fm;
 pub mod index;
+pub mod kernels;
 pub mod pairing;
 pub mod single;
 pub mod suffix;

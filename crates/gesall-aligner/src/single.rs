@@ -1,7 +1,7 @@
 //! Per-read alignment: seeding, candidate generation, mapping quality.
 
 use crate::index::ReferenceIndex;
-use crate::sw::{local_align, Scoring};
+use crate::sw::{self, Band, Scoring};
 use gesall_formats::dna::reverse_complement;
 use gesall_formats::sam::cigar::Cigar;
 
@@ -22,6 +22,12 @@ pub struct SingleConfig {
     /// Keep at most this many candidates per strand pass.
     pub max_candidates: usize,
     pub scoring: Scoring,
+    /// Run seed extension through the banded Smith–Waterman kernel
+    /// (DESIGN.md §5). The band is centered on the seed diagonal with
+    /// `window_margin` diagonals of slack each side and falls back to
+    /// the full DP whenever it can't prove its answer, so turning this
+    /// off changes speed, not results.
+    pub banded_sw: bool,
 }
 
 impl Default for SingleConfig {
@@ -34,6 +40,7 @@ impl Default for SingleConfig {
             min_score: 30,
             max_candidates: 16,
             scoring: Scoring::default(),
+            banded_sw: true,
         }
     }
 }
@@ -131,7 +138,19 @@ fn collect_strand_candidates(
         else {
             continue;
         };
-        let Some(aln) = local_align(s, window, &cfg.scoring) else {
+        // Expected diagonal of the read inside the window: the read
+        // should start `anchor - gstart` columns in (≈ window_margin,
+        // less when the window was clamped at a chromosome edge).
+        let aln = sw::with_workspace(|ws| {
+            if cfg.banded_sw {
+                let off = (anchor - gstart as i64) as isize;
+                let band = Band::around_offset(off, cfg.window_margin);
+                sw::local_align_banded(s, window, &cfg.scoring, band, ws)
+            } else {
+                sw::local_align_with(s, window, &cfg.scoring, ws)
+            }
+        });
+        let Some(aln) = aln else {
             continue;
         };
         if aln.score < cfg.min_score {
@@ -291,6 +310,46 @@ mod tests {
         assert_eq!(mapping_quality(100, Some(90), 30), 60);
         assert_eq!(mapping_quality(0, None, 30), 0);
         assert_eq!(mapping_quality(50, Some(45), 30), 30);
+    }
+
+    #[test]
+    fn banded_candidates_match_scalar_twin() {
+        // The full scalar twin (banded SW off, packed rank off) must
+        // produce identical candidates for a mix of read shapes.
+        let (mut idx, chr1, chr2) = build_index();
+        let mut reads: Vec<Vec<u8>> = vec![
+            chr1[5000..5100].to_vec(),
+            reverse_complement(&chr2[7000..7100]),
+            pseudo_dna(100, 999_999),
+        ];
+        let mut erry = chr1[9000..9100].to_vec();
+        erry[20] = match erry[20] {
+            b'A' => b'C',
+            _ => b'A',
+        };
+        reads.push(erry);
+        let mut indel = chr1[3000..3096].to_vec();
+        indel.splice(48..48, [b'A', b'C', b'G', b'T']);
+        reads.push(indel);
+        let mut deleted = chr1[11000..11104].to_vec();
+        deleted.drain(50..54);
+        reads.push(deleted);
+
+        let banded_cfg = SingleConfig::default();
+        let scalar_cfg = SingleConfig {
+            banded_sw: false,
+            ..SingleConfig::default()
+        };
+        let with_kernels: Vec<Vec<Candidate>> = reads
+            .iter()
+            .map(|r| find_candidates(&idx, &banded_cfg, r))
+            .collect();
+        idx.set_kernels(false);
+        let scalar: Vec<Vec<Candidate>> = reads
+            .iter()
+            .map(|r| find_candidates(&idx, &scalar_cfg, r))
+            .collect();
+        assert_eq!(with_kernels, scalar);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use gesall_aligner::fm::FmIndex;
 use gesall_aligner::suffix::suffix_array;
-use gesall_aligner::sw::{local_align, Scoring};
+use gesall_aligner::sw::{self, local_align, Band, Scoring};
 use proptest::prelude::*;
 
 fn arb_dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -103,5 +103,114 @@ proptest! {
         // An exact substring must achieve the perfect score.
         prop_assert_eq!(a.score, qlen as i32);
         prop_assert_eq!(a.edit_distance, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-parallel kernel oracles (DESIGN.md §5): every kernel is pinned to
+// its scalar twin on arbitrary inputs, including the band's forced
+// fallbacks.
+
+fn mutate(seq: &mut [u8], positions: &[usize]) {
+    for &p in positions {
+        let p = p % seq.len();
+        seq[p] = match seq[p] {
+            b'A' => b'C',
+            b'C' => b'G',
+            b'G' => b'T',
+            _ => b'A',
+        };
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occ_packed_matches_scalar(text in arb_dna(20, 900), probes in proptest::collection::vec(0usize..1000, 1..12)) {
+        let fm = FmIndex::build(&text);
+        let n = text.len() + 1; // BWT length includes the sentinel row
+        for c in 1u8..=4 {
+            // Scattered probes plus every structurally interesting row:
+            // word boundaries, checkpoint boundaries, the extremes.
+            let mut rows: Vec<usize> = probes.iter().map(|&p| p % (n + 1)).collect();
+            rows.extend([0, 1, n.min(31), n.min(32), n.min(33), n.min(127), n.min(128), n.min(129), n]);
+            for i in rows {
+                let (packed, _) = fm.occ_words(c, i);
+                prop_assert_eq!(packed, fm.occ_scalar(c, i), "occ(c={}, i={})", c, i);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_alignment_matches_full_dp(
+        window in arb_dna(80, 250),
+        qlen in 24usize..60,
+        offset in 0usize..200,
+        subs in proptest::collection::vec(0usize..256, 0..4),
+        slack in 4usize..20,
+    ) {
+        let offset = offset % (window.len().saturating_sub(qlen).max(1));
+        let qlen = qlen.min(window.len() - offset);
+        let mut query = window[offset..offset + qlen].to_vec();
+        mutate(&mut query, &subs);
+        let scoring = Scoring::default();
+        let full = local_align(&query, &window, &scoring);
+        let banded = sw::with_workspace(|ws| {
+            sw::local_align_banded(&query, &window, &scoring, Band::around_offset(offset as isize, slack), ws)
+        });
+        prop_assert_eq!(banded, full);
+    }
+
+    #[test]
+    fn banded_matches_full_dp_across_band_crossing_indels(
+        window in arb_dna(130, 250),
+        qlen in 62usize..80,
+        offset in 0usize..120,
+        del_len in 1usize..24,
+        slack in 2usize..9,
+    ) {
+        // A deletion wider than the slack forces the true path out of
+        // the band. Exactness is guaranteed when the crossing carries at
+        // least `edge_cutoff` score at the band edge: the prefix before
+        // the cut is qlen/2 ≥ 31 matches, so the edge cell scores
+        // ≥ 31 − gap_open − (slack−1) ≥ 31 − 6 − 8 = 17 > 16 and the
+        // edge-potential trigger must fire the full-DP fallback.
+        let offset = offset % (window.len().saturating_sub(qlen + del_len).max(1));
+        let qlen = qlen.min(window.len() - offset - del_len);
+        let cut = qlen / 2;
+        let mut query = window[offset..offset + cut].to_vec();
+        query.extend_from_slice(&window[offset + cut + del_len..offset + del_len + qlen]);
+        let scoring = Scoring::default();
+        let full = local_align(&query, &window, &scoring);
+        let banded = sw::with_workspace(|ws| {
+            sw::local_align_banded(&query, &window, &scoring, Band::around_offset(offset as isize, slack), ws)
+        });
+        prop_assert_eq!(banded, full);
+    }
+
+    #[test]
+    fn banded_never_beats_full_dp_on_unrelated_sequences(
+        query in arb_dna(10, 80),
+        window in arb_dna(40, 200),
+        offset in -30isize..120,
+        slack in 1usize..16,
+    ) {
+        // No planted relationship: the band has no seed to justify it,
+        // so exact equality is not promised (a chance hit wholly outside
+        // the band is invisible to every band cell — the documented
+        // residual caveat). What *is* promised: a banded miss falls back
+        // to the full DP (so None implies full None), and a banded hit
+        // can never score above the true optimum.
+        let scoring = Scoring::default();
+        let full = local_align(&query, &window, &scoring);
+        let banded = sw::with_workspace(|ws| {
+            sw::local_align_banded(&query, &window, &scoring, Band::around_offset(offset, slack), ws)
+        });
+        match (&banded, &full) {
+            (None, f) => prop_assert!(f.is_none(), "banded None must mean full None"),
+            (Some(b), Some(f)) => prop_assert!(b.score <= f.score),
+            (Some(_), None) => prop_assert!(false, "banded found a hit the full DP missed"),
+        }
     }
 }

@@ -72,6 +72,13 @@ pub const JOBSVC_CONCURRENCY_SLOWDOWN: f64 = 1.8;
 /// scheduler still overshoots by the whole second job's wall.
 pub const JOBSVC_CONCURRENCY_GRACE_MS: f64 = 100.0;
 
+/// Required Map-phase speedup of the kernel run over its scalar twin
+/// (same pipeline, every bit-parallel kernel switched off via config).
+/// The twin runs on a fresh platform so the DAG cache cannot serve it;
+/// outputs must be byte-identical — the kernels are exact, so the only
+/// thing allowed to change is time.
+pub const KERNEL_MAP_SPEEDUP: f64 = 1.3;
+
 /// Allowed wall-clock for the warm DAG re-run as a fraction of the cold
 /// pipeline wall. A warm re-run answers every stage from the
 /// content-addressed cache — no alignment, no shuffle, no calling — so
@@ -513,7 +520,7 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     // reads cannot pollute the memory-path gate.
     let warm_t0 = std::time::Instant::now();
     let warm = platform
-        .run_pipeline(&aligner, pairs)
+        .run_pipeline(&aligner, pairs.clone())
         .map_err(|e| format!("smoke warm re-run failed: {e:?}"))?;
     let warm_rerun_wall_nanos = warm_t0.elapsed().as_nanos() as u64;
     let dag_stage_cache_hits = warm.cache_hits();
@@ -584,6 +591,78 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     // two tenants, with a forced elastic borrow + reclaim in between.
     let jobsvc = jobsvc_probe()?;
 
+    // Kernel twin: the identical cold pipeline with every bit-parallel
+    // kernel (packed rank, banded SW, radix spill sort) switched off via
+    // config, on a *fresh* platform — the DAG cache lives on the
+    // platform's DFS, so a fresh DFS keeps the twin cache-cold and its
+    // Map phase honestly re-executed. Output must match the kernel run
+    // byte for byte; the only permitted difference is time.
+    let phase_map_nanos = agg
+        .get(gesall_telemetry::Phase::Map.counter_key())
+        .copied()
+        .unwrap_or(0);
+    let kernel_occ_words = agg
+        .get(gesall_telemetry::kernel_keys::OCC_WORDS_POPCOUNTED)
+        .copied()
+        .unwrap_or(0);
+    let kernel_banded_hits = agg
+        .get(gesall_telemetry::kernel_keys::SW_BANDED_HITS)
+        .copied()
+        .unwrap_or(0);
+    let kernel_full_fallbacks = agg
+        .get(gesall_telemetry::kernel_keys::SW_FULL_FALLBACKS)
+        .copied()
+        .unwrap_or(0);
+    let kernel_radix_passes = agg
+        .get(gesall_telemetry::kernel_keys::SORT_RADIX_PASSES)
+        .copied()
+        .unwrap_or(0);
+    let kernel_comparison_fallbacks = agg
+        .get(gesall_telemetry::kernel_keys::SORT_COMPARISON_FALLBACKS)
+        .copied()
+        .unwrap_or(0);
+    let mut scalar_aligner = Aligner::new(ReferenceIndex::build(&chroms), AlignerConfig::default());
+    scalar_aligner.set_kernels(false);
+    let scalar_platform = GesallPlatform::new(
+        Dfs::new(DfsConfig {
+            n_nodes: 4,
+            block_size: 64 * 1024,
+            replication: 1,
+            ..DfsConfig::default()
+        }),
+        MapReduceEngine::new(ClusterResources::uniform(4, 2, 8192)),
+        PlatformConfig {
+            n_round1_partitions: scale.n_partitions,
+            n_reducers: scale.n_partitions,
+            io_sort_bytes,
+            merge_factor,
+            kernels: false,
+            ..PlatformConfig::default()
+        },
+    );
+    let scalar_out = scalar_platform
+        .run_pipeline(&scalar_aligner, pairs)
+        .map_err(|e| format!("smoke scalar twin failed: {e:?}"))?;
+    if scalar_out.records != out.records || scalar_out.variants != out.variants {
+        return Err(
+            "kernel gate: scalar twin's pipeline output differs from the kernel run — \
+             a bit-parallel kernel changed results, not just time"
+                .into(),
+        );
+    }
+    let phase_map_scalar_nanos: u64 = scalar_out
+        .rounds
+        .iter()
+        .flat_map(|r| r.counters.iter())
+        .filter(|(k, _)| k.as_str() == gesall_telemetry::Phase::Map.counter_key())
+        .map(|(_, v)| *v)
+        .sum();
+    let kernel_map_speedup = if phase_map_nanos > 0 {
+        phase_map_scalar_nanos as f64 / phase_map_nanos as f64
+    } else {
+        0.0
+    };
+
     let mut record = BenchRecord::new("smoke").with_counters(agg.into_iter().collect());
     record.wall_ms = wall_ms;
     record.workload = vec![
@@ -645,6 +724,35 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         (
             "warm_rerun_wall_nanos".into(),
             warm_rerun_wall_nanos.to_string(),
+        ),
+        ("phase_map_nanos".into(), phase_map_nanos.to_string()),
+        (
+            "phase_map_scalar_nanos".into(),
+            phase_map_scalar_nanos.to_string(),
+        ),
+        (
+            "kernel_map_speedup".into(),
+            format!("{kernel_map_speedup:.2}"),
+        ),
+        (
+            "kernel_occ_words_popcounted".into(),
+            kernel_occ_words.to_string(),
+        ),
+        (
+            "kernel_sw_banded_hits".into(),
+            kernel_banded_hits.to_string(),
+        ),
+        (
+            "kernel_sw_full_fallbacks".into(),
+            kernel_full_fallbacks.to_string(),
+        ),
+        (
+            "kernel_sort_radix_passes".into(),
+            kernel_radix_passes.to_string(),
+        ),
+        (
+            "kernel_sort_comparison_fallbacks".into(),
+            kernel_comparison_fallbacks.to_string(),
         ),
     ];
     record.config = vec![
@@ -763,6 +871,41 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             jobsvc.concurrent_ms, jobsvc.serial_a_ms, jobsvc.serial_b_ms, jobsvc_allowed_ms
         ));
     }
+    // Kernel gates: the banded SW must have answered real extensions
+    // inside the band (a zeroed counter means the fast path silently
+    // fell back everywhere), the packed rank and radix sort must have
+    // engaged, and the kernel run's Map phase must beat the scalar twin
+    // by the required factor. Output equality was already enforced when
+    // the twin finished.
+    if kernel_banded_hits == 0 {
+        return Err(
+            "kernel gate: banded Smith-Waterman recorded zero in-band hits — \
+             every extension is falling back to the full DP"
+                .into(),
+        );
+    }
+    if kernel_occ_words == 0 {
+        return Err(
+            "kernel gate: packed-BWT rank popcounted zero words — \
+             occ is running the scalar path despite kernels being on"
+                .into(),
+        );
+    }
+    if kernel_radix_passes + kernel_comparison_fallbacks == 0 {
+        return Err(
+            "kernel gate: the radix spill sort never engaged — \
+             spills are using the comparison sort despite kernels being on"
+                .into(),
+        );
+    }
+    if kernel_map_speedup < KERNEL_MAP_SPEEDUP {
+        return Err(format!(
+            "kernel gate: Map phase with kernels on took {phase_map_nanos} ns vs \
+             {phase_map_scalar_nanos} ns scalar ({kernel_map_speedup:.2}x, need \
+             {KERNEL_MAP_SPEEDUP}x) — the bit-parallel kernels are not paying for \
+             themselves"
+        ));
+    }
     // DAG-cache gates: the warm re-run must have been answered from the
     // stage cache (every stage a hit) and must cost a small fraction of
     // the cold wall — re-executing stages on a warm cache is the
@@ -828,6 +971,14 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         "Stage DAG: warm re-run {warm_ms:.1} ms vs {wall_ms:.1} ms cold, \
          {dag_stage_cache_hits} stages cache-served; critical path {:.1} ms\n",
         dag_critical_path_ms
+    ));
+    text.push_str(&format!(
+        "Kernels: Map phase {:.1} ms vs {:.1} ms scalar twin ({kernel_map_speedup:.2}x); \
+         {kernel_occ_words} occ words popcounted, {kernel_banded_hits} banded SW hits \
+         / {kernel_full_fallbacks} full fallbacks, {kernel_radix_passes} radix passes \
+         / {kernel_comparison_fallbacks} comparison fallbacks\n",
+        phase_map_nanos as f64 / 1e6,
+        phase_map_scalar_nanos as f64 / 1e6
     ));
 
     // Task timeline across the whole run, from the attempt spans.
@@ -954,6 +1105,21 @@ mod tests {
         assert!(field("dag_critical_path_nanos") > 0);
         assert!(field("warm_rerun_wall_nanos") > 0);
         assert!(outcome.report.contains("Stage DAG"));
+        // Kernel probe: the bit-parallel kernels ran, beat the scalar
+        // twin, and the twin's output matched (enforced inside run_smoke).
+        assert!(
+            field("kernel_sw_banded_hits") > 0,
+            "banded SW must answer extensions inside the band"
+        );
+        assert!(
+            field("kernel_occ_words_popcounted") > 0,
+            "packed rank must popcount words"
+        );
+        assert!(
+            field("phase_map_scalar_nanos") >= field("phase_map_nanos"),
+            "scalar twin cannot be faster than the kernel run"
+        );
+        assert!(outcome.report.contains("Kernels:"));
         // The record on disk round-trips through the JSON parser.
         let path = outcome.bench_path.expect("bench path written");
         let records = read_bench_file(&path).unwrap();

@@ -32,7 +32,7 @@ use gesall_mapreduce::counters::Counters;
 use gesall_mapreduce::lease::SlotLease;
 use gesall_mapreduce::runtime::{InputSplit, JobConfig, MapReduceEngine};
 use gesall_mapreduce::task::{FnPartitioner, HashPartitioner};
-use gesall_telemetry::{report, OpenSpan, PhaseRow, Recorder, SpanId, SpanKind};
+use gesall_telemetry::{kernel_keys, report, OpenSpan, PhaseRow, Recorder, SpanId, SpanKind};
 use gesall_tools::haplotype_caller::{call_chromosome, HaplotypeCallerConfig};
 use gesall_tools::recalibration::RecalTable;
 use gesall_tools::refview::RefView;
@@ -199,6 +199,13 @@ pub struct PlatformConfig {
     /// Overlap spill sorting with the map loop via the engine's
     /// background encoder pool (byte-identical output either way).
     pub async_spill: bool,
+    /// Enable the bit-parallel map-phase kernels (DESIGN.md §5) in the
+    /// MR jobs this platform launches — today that is the radix spill
+    /// sort. Off is the scalar-twin benchmark configuration; results
+    /// are byte-identical either way. The aligner-side kernels (packed
+    /// rank, banded SW) live on the `Aligner` the caller passes in —
+    /// flip them with [`gesall_aligner::Aligner::set_kernels`].
+    pub kernels: bool,
     /// Ship map outputs through the DFS (one indexed file per map task,
     /// pinned to the mapper's node) and let reducers range-read their
     /// partitions, instead of handing in-memory segment references.
@@ -228,6 +235,7 @@ impl Default for PlatformConfig {
             compress_map_output: true,
             compress_min_bytes: gesall_mapreduce::shuffle::COMPRESS_MIN_BYTES,
             async_spill: true,
+            kernels: true,
             shuffle_via_dfs: true,
             seed: 0x6765_7361_6c6c_0001,
             read_group: ReadGroup::new("rg1", "sample1"),
@@ -420,6 +428,7 @@ impl GesallPlatform {
             compress_map_output: self.config.compress_map_output,
             compress_min_bytes: self.config.compress_min_bytes,
             async_spill: self.config.async_spill,
+            radix_sort: self.config.kernels,
             shuffle_via_dfs: self.config.shuffle_via_dfs,
             parent_span: parent,
             slot_lease: opts.slot_lease.clone(),
@@ -867,6 +876,10 @@ impl GesallPlatform {
         let rspan = cx
             .recorder
             .start(SpanKind::Round, "round1-align", cx.pipeline_span);
+        // The aligner-side kernels (packed rank, banded SW) report on
+        // process-wide atomics; bracket the round with snapshots so the
+        // round counters carry exactly this run's kernel activity.
+        let kernels_before = gesall_aligner::kernels::snapshot();
         let r1 = self.engine.run_map_only(
             self.job_config(cx.opts, "round1-align", 1, rspan.id),
             &Round1Align {
@@ -876,6 +889,16 @@ impl GesallPlatform {
             },
             splits,
         )?;
+        let kd = gesall_aligner::kernels::snapshot().delta(&kernels_before);
+        for (key, val) in [
+            (kernel_keys::OCC_WORDS_POPCOUNTED, kd.occ_words_popcounted),
+            (kernel_keys::SW_BANDED_HITS, kd.sw_banded_hits),
+            (kernel_keys::SW_FULL_FALLBACKS, kd.sw_full_fallbacks),
+        ] {
+            if val != 0 {
+                r1.counters.add(key, val);
+            }
+        }
         r1.counters.merge(&cx.counters);
         let s = summary("round1-align", &r1.counters, &r1.events, r1.wall_ms);
         cx.finish_round(rspan, s);

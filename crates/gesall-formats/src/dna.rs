@@ -189,15 +189,86 @@ impl PackedSeq {
         [b'A', b'C', b'G', b'T'][code as usize]
     }
 
-    /// Unpack the whole sequence back to ASCII.
+    /// 2-bit code at position `i` (`A`=0 … `T`=3). Positions that held
+    /// `N` return 0 — callers that must distinguish `N` consult
+    /// [`PackedSeq::n_positions`].
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        ((self.words[i / 32] >> ((i % 32) * 2)) & 0b11) as u8
+    }
+
+    /// The packed word array: 32 bases per `u64`, position `i` at bits
+    /// `(i % 32) * 2 ..`. Trailing slots past `len` are zero. The raw
+    /// substrate for bit-parallel kernels (XOR-splat + popcount rank).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Sorted positions that held `N` in the original sequence.
+    #[inline]
+    pub fn n_positions(&self) -> &[u32] {
+        &self.n_positions
+    }
+
+    /// Unpack the whole sequence back to ASCII: one linear pass over the
+    /// packed words, then splat the recorded `N`s (each list is already
+    /// sorted, so the merge is a single walk — no per-base
+    /// `binary_search`).
     pub fn to_ascii(&self) -> Vec<u8> {
-        (0..self.len).map(|i| self.get_ascii(i)).collect()
+        const LUT: [u8; 4] = [b'A', b'C', b'G', b'T'];
+        let mut out = Vec::with_capacity(self.len);
+        for (w, &word) in self.words.iter().enumerate() {
+            let n = (self.len - w * 32).min(32);
+            for i in 0..n {
+                out.push(LUT[((word >> (i * 2)) & 0b11) as usize]);
+            }
+        }
+        for &p in &self.n_positions {
+            out[p as usize] = b'N';
+        }
+        out
+    }
+
+    /// Per-base histogram `[A, C, G, T, N]`, counted word-at-a-time with
+    /// the XOR-splat + popcount trick (the same kernel the packed-BWT
+    /// rank uses): positions recorded as `N` are packed as code 0, so
+    /// they are subtracted from the `A` bucket afterwards.
+    pub fn count_bases(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        let mut remaining = self.len;
+        for &word in &self.words {
+            let n = remaining.min(32);
+            remaining -= n;
+            // Mask off the unused tail of the last word so its zero bits
+            // don't count as `A`.
+            let valid: u64 = if n == 32 { !0 } else { (1u64 << (n * 2)) - 1 };
+            for code in 0..4u64 {
+                counts[code as usize] += count_code_in_word(word, code, valid) as usize;
+            }
+        }
+        counts[4] = self.n_positions.len();
+        counts[0] -= self.n_positions.len();
+        counts
     }
 
     /// Heap bytes used by the packed representation.
     pub fn packed_bytes(&self) -> usize {
         self.words.len() * 8 + self.n_positions.len() * 4
     }
+}
+
+/// Occurrences of 2-bit `code` among the base slots selected by the
+/// `valid` bit-mask of `word` (mask must cover whole 2-bit slots). The
+/// bit-parallel inner step shared by [`PackedSeq::count_bases`] and the
+/// FM-index packed rank: XOR makes matching slots `00`, then
+/// `!(x | x >> 1)` turns exactly those into a set low bit per slot.
+#[inline]
+pub fn count_code_in_word(word: u64, code: u64, valid: u64) -> u32 {
+    debug_assert!(code < 4);
+    let x = word ^ (code * 0x5555_5555_5555_5555);
+    (!(x | (x >> 1)) & 0x5555_5555_5555_5555 & valid).count_ones()
 }
 
 #[cfg(test)]
@@ -247,6 +318,42 @@ mod tests {
         assert_eq!(p.to_ascii(), s.to_vec());
         assert_eq!(p.get_ascii(4), b'N');
         assert_eq!(p.get_ascii(0), b'A');
+    }
+
+    #[test]
+    fn packed_seq_linear_unpack_matches_per_base() {
+        let s = b"ACGTNTGCAACGTNNACGTACGTACGTACGTNACGTACGTN";
+        let p = PackedSeq::from_ascii(s);
+        let per_base: Vec<u8> = (0..p.len()).map(|i| p.get_ascii(i)).collect();
+        assert_eq!(p.to_ascii(), per_base);
+        assert_eq!(p.code_at(0), 0);
+        assert_eq!(p.code_at(3), 3);
+        assert_eq!(p.n_positions()[0], 4);
+    }
+
+    #[test]
+    fn count_bases_histogram() {
+        let s = b"AACGTNNTTT";
+        let p = PackedSeq::from_ascii(s);
+        assert_eq!(p.count_bases(), [2, 1, 1, 4, 2]);
+        // Word-boundary stress: 100 bases, deterministic pattern + Ns.
+        let long: Vec<u8> = (0..100)
+            .map(|i| if i % 17 == 0 { b'N' } else { b"ACGT"[i % 4] })
+            .collect();
+        let p = PackedSeq::from_ascii(&long);
+        let mut expect = [0usize; 5];
+        for &b in &long {
+            let idx = match b {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                b'T' => 3,
+                _ => 4,
+            };
+            expect[idx] += 1;
+        }
+        assert_eq!(p.count_bases(), expect);
+        assert_eq!(p.count_bases().iter().sum::<usize>(), 100);
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub struct JobConfig {
     /// finish becomes a drain-and-merge barrier. Output is byte-identical
     /// to the synchronous path.
     pub async_spill: bool,
+    /// Sort spill batches with the radix kernel
+    /// ([`Wire::sort_prefix`](gesall_formats::wire::Wire::sort_prefix)-keyed
+    /// LSD radix, DESIGN.md §5) instead of the comparison sort. Output
+    /// is identical either way; off = the scalar-twin benchmark config.
+    pub radix_sort: bool,
     /// `mapreduce.job.reduce.slowstart.completedmaps` — fraction of maps
     /// that must finish before reducers are scheduled. The in-process
     /// engine always barriers maps before reduces; the value is recorded
@@ -135,6 +140,7 @@ impl Default for JobConfig {
             compress_map_output: true,
             compress_min_bytes: COMPRESS_MIN_BYTES,
             async_spill: true,
+            radix_sort: true,
             slowstart_completed_maps: 0.05,
             map_vcores: 1,
             map_memory_mb: 1024,
@@ -505,7 +511,8 @@ impl MapReduceEngine {
                     config.compress_map_output,
                     bag.clone(),
                 )
-                .with_min_compress_bytes(config.compress_min_bytes);
+                .with_min_compress_bytes(config.compress_min_bytes)
+                .with_radix(config.radix_sort);
                 if let Some(pool) = &pool {
                     buf = buf.with_pool(pool.clone());
                 }

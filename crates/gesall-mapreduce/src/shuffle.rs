@@ -23,7 +23,7 @@ use crate::task::Partitioner;
 use gesall_formats::compress::{compress_append, decompress};
 use gesall_formats::wire::{put_u64, Cursor, Wire};
 use gesall_formats::{Codec, FormatError, SharedBytes};
-use gesall_telemetry::Phase;
+use gesall_telemetry::{kernel_keys, Phase};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -227,9 +227,130 @@ pub fn read_frame(bytes: &SharedBytes, offset: usize) -> gesall_formats::Result<
     Ok((seg, data_start + data_len))
 }
 
+/// A tournament (loser) tree over keyed leaves, the k-way merge kernel
+/// (DESIGN.md §5): internal nodes remember the *loser* of their match,
+/// so replacing the winner and finding the next one replays only the
+/// leaf-to-root path — `log₂ k` comparisons per record, against the
+/// binary heap's pop **and** push (each `log k`, plus the tuple moves).
+/// `None` keys are +∞ (exhausted leaves); ties go to the lower leaf
+/// index, which is exactly [`merge_runs`]' documented stable order.
+struct LoserTree<K: Ord> {
+    /// `tree[1..cap]` hold the loser leaf of each internal match;
+    /// `tree[0]` holds the overall winner.
+    tree: Vec<usize>,
+    keys: Vec<Option<K>>,
+    /// Leaf count, padded to a power of two with `None` leaves.
+    cap: usize,
+}
+
+impl<K: Ord> LoserTree<K> {
+    fn new(mut keys: Vec<Option<K>>) -> LoserTree<K> {
+        let cap = keys.len().max(1).next_power_of_two();
+        keys.resize_with(cap, || None);
+        let mut lt = LoserTree {
+            tree: vec![0; cap],
+            keys,
+            cap,
+        };
+        // One bottom-up pass: winners bubble up, losers park in `tree`.
+        let mut winners = vec![0usize; 2 * cap];
+        for i in 0..cap {
+            winners[cap + i] = i;
+        }
+        for node in (1..cap).rev() {
+            let (a, b) = (winners[2 * node], winners[2 * node + 1]);
+            let (w, l) = if lt.beats(a, b) { (a, b) } else { (b, a) };
+            winners[node] = w;
+            lt.tree[node] = l;
+        }
+        lt.tree[0] = winners[1];
+        lt
+    }
+
+    /// Does leaf `a` come before leaf `b`? `None` = +∞; ties → lower
+    /// leaf index (run submission order — the stability contract).
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.keys[a], &self.keys[b]) {
+            (Some(ka), Some(kb)) => match ka.cmp(kb) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+            (Some(_), None) => true,
+            (None, _) => a < b && self.keys[b].is_none(),
+        }
+    }
+
+    /// Current winner leaf, or `None` once every leaf is exhausted.
+    fn winner(&self) -> Option<usize> {
+        let w = self.tree[0];
+        self.keys[w].is_some().then_some(w)
+    }
+
+    /// Swap the winner leaf's key for `next` (its run's next head) and
+    /// replay its path to the root; returns the displaced key.
+    fn replace_winner(&mut self, leaf: usize, next: Option<K>) -> Option<K> {
+        debug_assert_eq!(leaf, self.tree[0], "only the winner may be replaced");
+        let prev = std::mem::replace(&mut self.keys[leaf], next);
+        let mut winner = leaf;
+        let mut node = (self.cap + leaf) / 2;
+        while node >= 1 {
+            let loser = self.tree[node];
+            if self.beats(loser, winner) {
+                self.tree[node] = winner;
+                winner = loser;
+            }
+            node /= 2;
+        }
+        self.tree[0] = winner;
+        prev
+    }
+}
+
 /// Stable k-way merge of sorted runs by key (ties broken by run order,
-/// then intra-run order — deterministic).
+/// then intra-run order — deterministic). Runs on the [`LoserTree`]
+/// kernel; [`merge_runs_heap`] is the binary-heap twin it is pinned to.
 pub fn merge_runs<K: Wire + Ord + Clone, V: Wire>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<(K, V)>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut heads: Vec<Option<V>> = Vec::with_capacity(iters.len());
+    let mut keys: Vec<Option<K>> = Vec::with_capacity(iters.len());
+    for it in iters.iter_mut() {
+        match it.next() {
+            Some((k, v)) => {
+                keys.push(Some(k));
+                heads.push(Some(v));
+            }
+            None => {
+                keys.push(None);
+                heads.push(None);
+            }
+        }
+    }
+    let mut lt = LoserTree::new(keys);
+    while let Some(i) = lt.winner() {
+        let v = heads[i].take().expect("head value present for winner run");
+        let next = match iters[i].next() {
+            Some((nk, nv)) => {
+                heads[i] = Some(nv);
+                Some(nk)
+            }
+            None => None,
+        };
+        let k = lt
+            .replace_winner(i, next)
+            .expect("winner leaf holds a key");
+        out.push((k, v));
+    }
+    out
+}
+
+/// The binary-heap twin of [`merge_runs`], retained as its order oracle
+/// (and as the merge under [`reduce_merge_materialized`], keeping that
+/// oracle fully independent of the loser-tree kernel).
+pub fn merge_runs_heap<K: Wire + Ord + Clone, V: Wire>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
     let total: usize = runs.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     // Heap of (key, run_idx) → pop smallest; stability from run_idx order.
@@ -312,9 +433,126 @@ impl SpillArena {
     }
 }
 
+/// Runs shorter than this skip the radix machinery — a stable
+/// comparison sort wins outright on tiny inputs.
+const RADIX_MIN_RUN: usize = 64;
+
+/// LSD radix sort of one partition's run, stable, keyed on
+/// [`Wire::sort_prefix`] (DESIGN.md §5). The permutation is computed
+/// over 16-byte `(prefix, index)` items — the typed pairs move exactly
+/// once, at the end — and constant prefix bytes skip their pass
+/// entirely. Because `sort_prefix` is order-consistent
+/// (`k₁ < k₂ ⇒ prefix(k₁) ≤ prefix(k₂)`), equal-prefix items end up
+/// contiguous; each such tie run that isn't already key-ordered gets a
+/// stable comparison sort, so the final order — including stability
+/// across equal keys — is exactly `sort_by(key)`'s. Types that keep the
+/// default prefix of 0 degenerate to one big tie run (correct, just not
+/// faster). Returns (radix passes executed, comparison fallbacks).
+fn radix_sort_run<K: Wire + Ord, V: Wire>(run: &mut Vec<(K, V)>) -> (u64, u64) {
+    let n = run.len();
+    if n <= 1 {
+        return (0, 0);
+    }
+    if n < RADIX_MIN_RUN {
+        run.sort_by(|a, b| a.0.cmp(&b.0));
+        return (0, 1);
+    }
+    let mut items: Vec<(u64, u32)> = run
+        .iter()
+        .enumerate()
+        .map(|(i, (k, _))| (k.sort_prefix(), i as u32))
+        .collect();
+    let mut scratch: Vec<(u64, u32)> = vec![(0, 0); n];
+    let mut passes = 0u64;
+    for byte in 0..8 {
+        let shift = byte * 8;
+        let mut counts = [0usize; 256];
+        for &(p, _) in &items {
+            counts[((p >> shift) & 0xff) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue; // constant byte — this pass would be the identity
+        }
+        passes += 1;
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (o, &c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        for &(p, i) in &items {
+            let b = ((p >> shift) & 0xff) as usize;
+            scratch[offsets[b]] = (p, i);
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut items, &mut scratch);
+    }
+    // Move the typed pairs into prefix order (their one move).
+    let mut src: Vec<Option<(K, V)>> = run.drain(..).map(Some).collect();
+    run.extend(
+        items
+            .iter()
+            .map(|&(_, i)| src[i as usize].take().expect("permutation visits each index once")),
+    );
+    // Settle equal-prefix tie runs with a stable comparison sort.
+    let mut fallbacks = 0u64;
+    let mut start = 0usize;
+    while start < n {
+        let prefix = items[start].0;
+        let mut end = start + 1;
+        while end < n && items[end].0 == prefix {
+            end += 1;
+        }
+        if end - start > 1 && run[start..end].windows(2).any(|w| w[0].0 > w[1].0) {
+            run[start..end].sort_by(|a, b| a.0.cmp(&b.0));
+            fallbacks += 1;
+        }
+        start = end;
+    }
+    (passes, fallbacks)
+}
+
 /// Sort a spill batch by (partition, key) and bucket it into one sorted
-/// run per partition — the unit of work a spill encoder executes.
+/// run per partition — the unit of work a spill encoder executes. The
+/// radix path buckets by partition with a stable counting scatter, then
+/// radix-sorts each run ([`radix_sort_run`]); pass/fallback activity
+/// lands on the `kernel.sort.*` counters.
 fn sort_and_bucket<K: Wire + Ord, V: Wire>(
+    batch: Vec<(usize, K, V)>,
+    n_partitions: usize,
+    radix: bool,
+    counters: &Counters,
+) -> Vec<Vec<(K, V)>> {
+    if !radix {
+        return sort_and_bucket_comparison(batch, n_partitions);
+    }
+    let mut counts = vec![0usize; n_partitions];
+    for (p, _, _) in &batch {
+        counts[*p] += 1;
+    }
+    let mut runs: Vec<Vec<(K, V)>> = counts.into_iter().map(Vec::with_capacity).collect();
+    for (p, k, v) in batch {
+        runs[p].push((k, v));
+    }
+    let mut passes = 0u64;
+    let mut fallbacks = 0u64;
+    for run in &mut runs {
+        let (p, f) = radix_sort_run(run);
+        passes += p;
+        fallbacks += f;
+    }
+    if passes > 0 {
+        counters.add(kernel_keys::SORT_RADIX_PASSES, passes);
+    }
+    if fallbacks > 0 {
+        counters.add(kernel_keys::SORT_COMPARISON_FALLBACKS, fallbacks);
+    }
+    runs
+}
+
+/// The comparison-sort twin of [`sort_and_bucket`] — the oracle the
+/// radix path is pinned to (identical runs for any batch, proptested).
+fn sort_and_bucket_comparison<K: Wire + Ord, V: Wire>(
     mut batch: Vec<(usize, K, V)>,
     n_partitions: usize,
 ) -> Vec<Vec<(K, V)>> {
@@ -351,6 +589,8 @@ pub struct SortSpillBuffer<'a, K: Wire + Ord + Clone, V: Wire> {
     pool: Option<Arc<SpillPool>>,
     slots: Arc<SpillSlots<K, V>>,
     counters: Counters,
+    /// Radix-sort spill batches (default); off = comparison-sort twin.
+    radix: bool,
 }
 
 impl<'a, K, V> SortSpillBuffer<'a, K, V>
@@ -379,7 +619,16 @@ where
                 done: Condvar::new(),
             }),
             counters,
+            radix: true,
         }
+    }
+
+    /// Choose the spill-sort kernel: radix on [`Wire::sort_prefix`]
+    /// (default) or the comparison-sort twin. Output is identical either
+    /// way; only speed changes.
+    pub fn with_radix(mut self, radix: bool) -> Self {
+        self.radix = radix;
+        self
     }
 
     /// Run spills on `pool`'s background encoders; the mapper keeps
@@ -430,11 +679,12 @@ where
                 };
                 self.counters.add(keys::SPILL_POOL_JOBS, 1);
                 let n = self.n_partitions;
+                let radix = self.radix;
                 let slots = self.slots.clone();
                 let counters = self.counters.clone();
                 pool.submit(Box::new(move || {
                     let t0 = Instant::now();
-                    let runs = sort_and_bucket(batch, n);
+                    let runs = sort_and_bucket(batch, n, radix, &counters);
                     counters.add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
                     let mut filled = slots.filled.lock();
                     filled[idx] = Some(runs);
@@ -443,7 +693,8 @@ where
             }
             None => {
                 let t0 = Instant::now();
-                let runs = sort_and_bucket(batch, self.n_partitions);
+                let runs =
+                    sort_and_bucket(batch, self.n_partitions, self.radix, &self.counters);
                 self.spills.push(runs);
                 self.counters
                     .add(Phase::SortSpill.counter_key(), t0.elapsed().as_nanos() as u64);
@@ -689,40 +940,51 @@ impl<K: Wire + Ord + Clone, V: Wire> RunCursor<K, V> {
 /// Stable streaming k-way merge over run cursors, identical in order to
 /// [`merge_runs`] (ties break by cursor index, then intra-run order).
 /// At most one head record per cursor is typed-resident at any moment.
+/// Runs on the [`LoserTree`] kernel; the byte-identity proptest against
+/// [`reduce_merge_materialized`] (whose merge is the heap twin) pins the
+/// order down.
 fn merge_streams<K: Wire + Ord + Clone, V: Wire>(
     mut cursors: Vec<RunCursor<K, V>>,
     arena: &mut SpillArena,
     gauge: &mut ResidentGauge,
     mut sink: impl FnMut(K, V),
 ) {
-    let mut heap: BinaryHeap<Reverse<(K, usize)>> = BinaryHeap::new();
     let mut heads: Vec<Option<V>> = Vec::with_capacity(cursors.len());
+    let mut keys: Vec<Option<K>> = Vec::with_capacity(cursors.len());
     let mut head_bytes: Vec<u64> = vec![0; cursors.len()];
     for i in 0..cursors.len() {
         match cursors[i].next(gauge) {
             Some((k, v, sz)) => {
-                heap.push(Reverse((k, i)));
+                keys.push(Some(k));
                 heads.push(Some(v));
                 head_bytes[i] = sz;
             }
             None => {
                 cursors[i].retire(arena, gauge);
+                keys.push(None);
                 heads.push(None);
             }
         }
     }
-    while let Some(Reverse((k, i))) = heap.pop() {
-        let v = heads[i].take().expect("head value present for popped run");
+    let mut lt = LoserTree::new(keys);
+    while let Some(i) = lt.winner() {
+        let v = heads[i].take().expect("head value present for winner run");
         gauge.release(head_bytes[i]);
-        sink(k, v);
-        match cursors[i].next(gauge) {
+        let next = match cursors[i].next(gauge) {
             Some((nk, nv, sz)) => {
-                heap.push(Reverse((nk, i)));
                 heads[i] = Some(nv);
                 head_bytes[i] = sz;
+                Some(nk)
             }
-            None => cursors[i].retire(arena, gauge),
-        }
+            None => {
+                cursors[i].retire(arena, gauge);
+                None
+            }
+        };
+        let k = lt
+            .replace_winner(i, next)
+            .expect("winner leaf holds a key");
+        sink(k, v);
     }
 }
 
@@ -845,11 +1107,11 @@ pub fn reduce_merge_materialized<K: Wire + Ord + Clone, V: Wire>(
     while runs.len() > merge_factor {
         let take = merge_factor.min(runs.len());
         let batch: Vec<Vec<(K, V)>> = (0..take).map(|_| runs.pop_front().unwrap()).collect();
-        let merged = merge_runs(batch);
+        let merged = merge_runs_heap(batch);
         counters.add(keys::REDUCE_MERGE_PASSES, 1);
         runs.push_back(merged);
     }
-    let merged = merge_runs(runs.into_iter().collect());
+    let merged = merge_runs_heap(runs.into_iter().collect());
     let mut out: Vec<(K, Vec<V>)> = Vec::new();
     for (k, v) in merged {
         match out.last_mut() {
@@ -963,6 +1225,90 @@ mod tests {
         assert!(merged.is_empty());
         let merged: Vec<(u64, u64)> = merge_runs(vec![vec![], vec![(1, 2)], vec![]]);
         assert_eq!(merged, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn loser_tree_merge_matches_heap_oracle() {
+        // Deterministic pseudo-random runs, duplicate-heavy keys, varied
+        // run counts (1, power-of-two, odd): loser tree == heap, always.
+        let mut x = 42u64;
+        let mut rand = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for n_runs in [1usize, 2, 3, 7, 8, 13] {
+            let runs: Vec<Vec<(u64, u64)>> = (0..n_runs)
+                .map(|r| {
+                    let len = (rand() % 40) as usize;
+                    let mut run: Vec<(u64, u64)> =
+                        (0..len).map(|i| (rand() % 10, (r * 1000 + i) as u64)).collect();
+                    run.sort_by_key(|&(k, _)| k);
+                    run
+                })
+                .collect();
+            assert_eq!(
+                merge_runs(runs.clone()),
+                merge_runs_heap(runs),
+                "n_runs={n_runs}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_twin() {
+        let mut x = 99u64;
+        let mut rand = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let counters = Counters::new();
+        // String keys exercise the 8-byte-prefix + tie-run path; shared
+        // long prefixes force comparison fallbacks past byte 8.
+        let batch: Vec<(usize, String, u64)> = (0..500)
+            .map(|i| {
+                let p = (rand() % 3) as usize;
+                let k = format!("shared-prefix-{:06}", rand() % 120);
+                (p, k, i)
+            })
+            .collect();
+        let fast = sort_and_bucket(batch.clone(), 3, true, &counters);
+        let slow = sort_and_bucket_comparison(batch, 3);
+        assert_eq!(fast, slow);
+        assert!(counters.get(kernel_keys::SORT_COMPARISON_FALLBACKS) > 0);
+
+        // u64 keys: prefix IS the key — passes run, no unsorted tie runs.
+        let counters = Counters::new();
+        let batch: Vec<(usize, u64, u64)> = (0..500)
+            .map(|i| ((rand() % 2) as usize, rand() % 100_000, i))
+            .collect();
+        let fast = sort_and_bucket(batch.clone(), 2, true, &counters);
+        let slow = sort_and_bucket_comparison(batch, 2);
+        assert_eq!(fast, slow);
+        assert!(counters.get(kernel_keys::SORT_RADIX_PASSES) > 0);
+        assert_eq!(counters.get(kernel_keys::SORT_COMPARISON_FALLBACKS), 0);
+    }
+
+    #[test]
+    fn radix_sort_run_edge_cases() {
+        // Empty and singleton runs cost nothing.
+        let mut run: Vec<(u64, u64)> = vec![];
+        assert_eq!(radix_sort_run(&mut run), (0, 0));
+        let mut run = vec![(5u64, 0u64)];
+        assert_eq!(radix_sort_run(&mut run), (0, 0));
+        // All-equal keys: stability preserves emission order, no
+        // fallback sort is spent on an already-ordered tie run.
+        let mut run: Vec<(u64, u64)> = (0..200).map(|i| (7u64, i)).collect();
+        let (_, fallbacks) = radix_sort_run(&mut run);
+        assert_eq!(fallbacks, 0);
+        assert_eq!(run, (0..200).map(|i| (7u64, i)).collect::<Vec<_>>());
+        // Signed keys cross the negative/positive boundary correctly.
+        let mut run: Vec<(i64, u64)> = (0..200i64)
+            .map(|i| (if i % 2 == 0 { -i } else { i }, i as u64))
+            .collect();
+        let mut expect = run.clone();
+        radix_sort_run(&mut run);
+        expect.sort_by_key(|a| a.0);
+        assert_eq!(run, expect);
     }
 
     #[test]

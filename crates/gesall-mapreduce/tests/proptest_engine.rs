@@ -5,8 +5,8 @@
 
 use gesall_formats::{Codec, SharedBytes};
 use gesall_mapreduce::shuffle::{
-    merge_runs, read_frame, reduce_merge, reduce_merge_materialized, write_frame, CodecPolicy,
-    Segment,
+    merge_runs, merge_runs_heap, read_frame, reduce_merge, reduce_merge_materialized, write_frame,
+    CodecPolicy, Segment,
 };
 use gesall_mapreduce::{
     ClusterResources, HashPartitioner, InputSplit, JobConfig, MapContext, MapReduceEngine, Mapper,
@@ -362,5 +362,117 @@ proptest! {
         if total_records > 0 {
             prop_assert!(c_stream.get("mem.reduce.peak_resident") > 0);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-parallel spill kernels (DESIGN.md §5): the radix spill sort and
+// the loser-tree merge, each pinned to its comparison twin on arbitrary
+// inputs.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn loser_tree_merge_matches_heap(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((0u64..64, any::<u64>()), 0..40),
+            0..12,
+        ),
+    ) {
+        // Narrow key range forces heavy duplication, so the stable
+        // tie-break (lower run index first) is exercised constantly.
+        let sorted: Vec<Vec<(u64, u64)>> = runs
+            .into_iter()
+            .map(|mut r| { r.sort_by_key(|a| a.0); r })
+            .collect();
+        prop_assert_eq!(
+            merge_runs::<u64, u64>(sorted.clone()),
+            merge_runs_heap::<u64, u64>(sorted)
+        );
+    }
+
+    #[test]
+    fn loser_tree_merge_matches_heap_on_strings(
+        runs in proptest::collection::vec(
+            proptest::collection::vec((0u32..40, any::<u64>()), 0..30),
+            1..9,
+        ),
+    ) {
+        // Shared-prefix string keys: the first-8-bytes sort prefix ties
+        // everywhere and the Ord fallback decides.
+        let sorted: Vec<Vec<(String, u64)>> = runs
+            .into_iter()
+            .map(|r| {
+                let mut r: Vec<(String, u64)> = r
+                    .into_iter()
+                    .map(|(k, v)| (format!("read-{k:04}"), v))
+                    .collect();
+                r.sort_by(|a, b| a.0.cmp(&b.0));
+                r
+            })
+            .collect();
+        prop_assert_eq!(
+            merge_runs::<String, u64>(sorted.clone()),
+            merge_runs_heap::<String, u64>(sorted)
+        );
+    }
+
+    #[test]
+    fn radix_spill_sort_matches_comparison_twin(
+        records in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..400),
+        n_partitions in 1usize..6,
+        io_sort_bytes in 64usize..4096,
+    ) {
+        // The same emission stream through both spill-sort kernels must
+        // produce identical segments, spill pattern and all.
+        let p = HashPartitioner;
+        let run = |radix: bool| -> Vec<Vec<(u64, u64)>> {
+            let counters = gesall_mapreduce::Counters::new();
+            let mut buf = gesall_mapreduce::shuffle::SortSpillBuffer::new(
+                io_sort_bytes,
+                n_partitions,
+                &p,
+                false,
+                counters,
+            )
+            .with_radix(radix);
+            for &(k, v) in &records {
+                buf.emit(k, v);
+            }
+            buf.finish().iter().map(|s| s.to_pairs::<u64, u64>()).collect()
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn radix_spill_sort_matches_comparison_twin_on_strings(
+        records in proptest::collection::vec((0u32..200, any::<u64>()), 0..300),
+        n_partitions in 1usize..5,
+    ) {
+        // String keys with a long shared prefix: every sort prefix ties,
+        // so the radix path must lean entirely on its comparison
+        // fallback and still match the twin record for record.
+        let p = HashPartitioner;
+        let keyed: Vec<(String, u64)> = records
+            .into_iter()
+            .map(|(k, v)| (format!("sample-0001-read-{k:06}"), v))
+            .collect();
+        let run = |radix: bool| -> Vec<Vec<(String, u64)>> {
+            let counters = gesall_mapreduce::Counters::new();
+            let mut buf = gesall_mapreduce::shuffle::SortSpillBuffer::new(
+                512,
+                n_partitions,
+                &p,
+                false,
+                counters,
+            )
+            .with_radix(radix);
+            for (k, v) in keyed.iter().cloned() {
+                buf.emit(k, v);
+            }
+            buf.finish().iter().map(|s| s.to_pairs::<String, u64>()).collect()
+        };
+        prop_assert_eq!(run(true), run(false));
     }
 }

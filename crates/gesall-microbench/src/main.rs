@@ -1,0 +1,199 @@
+//! Kernel microbenches: each bit-parallel map-phase kernel (DESIGN.md
+//! §5) timed head-to-head against the scalar twin it is pinned to —
+//! packed-BWT rank vs the symbol-at-a-time scan, banded Smith–Waterman
+//! vs the full DP, radix spill sort vs the comparison sort.
+//!
+//! Hand-rolled harness (no criterion: this is a `bin`, and the paired
+//! run must share inputs exactly): warm up, sample each side N times,
+//! report the median ns/op and the speedup. A `BENCH_micro.json` record
+//! is appended under the output dir (first CLI arg, default `.`), next
+//! to bench-smoke's record, so CI archives both.
+
+use gesall_aligner::fm::FmIndex;
+use gesall_aligner::sw::{self, Band, Scoring};
+use gesall_mapreduce::shuffle::SortSpillBuffer;
+use gesall_mapreduce::task::HashPartitioner;
+use gesall_mapreduce::Counters;
+use gesall_telemetry::BenchRecord;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+fn pseudo_dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(x >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// Median ns per call of `f` over `samples` timed runs of `iters`
+/// calls each, after one untimed warmup run.
+fn time_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..iters {
+        f();
+    }
+    let mut runs: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as u64 / iters as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2]
+}
+
+struct Pair {
+    name: &'static str,
+    kernel_ns: u64,
+    scalar_ns: u64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        if self.kernel_ns == 0 {
+            0.0
+        } else {
+            self.scalar_ns as f64 / self.kernel_ns as f64
+        }
+    }
+}
+
+/// occ rank over a 64 kbp BWT: whole-word XOR+popcount vs the
+/// symbol-at-a-time scan, probed at positions spread across checkpoint
+/// strides so both sides pay every remainder length.
+fn bench_occ() -> Pair {
+    let text = pseudo_dna(1 << 16, 0xB817);
+    let fm = FmIndex::build(&text);
+    let n = text.len() + 1;
+    let probes: Vec<(u8, usize)> = (0..256)
+        .map(|k| ((k % 4) as u8 + 1, (k * 509 + 37) % (n + 1)))
+        .collect();
+    let kernel_ns = time_ns(15, 200, || {
+        for &(c, i) in &probes {
+            black_box(fm.occ_words(c, i));
+        }
+    });
+    let scalar_ns = time_ns(15, 200, || {
+        for &(c, i) in &probes {
+            black_box(fm.occ_scalar(c, i));
+        }
+    });
+    Pair {
+        name: "occ_rank_256_probes",
+        kernel_ns,
+        scalar_ns,
+    }
+}
+
+/// Seed extension of a 100 bp read against a 240 bp window: the banded
+/// DP (slack 16, the production window margin) vs the full DP, on a
+/// read with a few substitutions so the traceback is non-trivial.
+fn bench_sw() -> Pair {
+    let window = pseudo_dna(240, 0x57AB);
+    let offset = 70usize;
+    let mut query = window[offset..offset + 100].to_vec();
+    for p in [11usize, 47, 83] {
+        query[p] = match query[p] {
+            b'A' => b'C',
+            b'C' => b'G',
+            b'G' => b'T',
+            _ => b'A',
+        };
+    }
+    let scoring = Scoring::default();
+    let band = Band::around_offset(offset as isize, 16);
+    let kernel_ns = sw::with_workspace(|ws| {
+        time_ns(15, 400, || {
+            black_box(sw::local_align_banded(&query, &window, &scoring, band, ws));
+        })
+    });
+    let scalar_ns = sw::with_workspace(|ws| {
+        time_ns(15, 400, || {
+            black_box(sw::local_align_with(&query, &window, &scoring, ws));
+        })
+    });
+    Pair {
+        name: "sw_extend_100bp_in_240bp",
+        kernel_ns,
+        scalar_ns,
+    }
+}
+
+/// The spill path end to end — emit 20k u64 records through the
+/// sort-spill buffer and drain it — with the radix kernel vs the
+/// comparison sort. Keys are shuffled so every radix byte pass works.
+fn bench_spill_sort() -> Pair {
+    let records: Vec<(u64, u64)> = (0..20_000u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i))
+        .collect();
+    let p = HashPartitioner;
+    let run = |radix: bool| {
+        time_ns(9, 5, || {
+            let mut buf =
+                SortSpillBuffer::new(64 * 1024, 4, &p, false, Counters::new()).with_radix(radix);
+            for &(k, v) in &records {
+                buf.emit(k, v);
+            }
+            black_box(buf.finish());
+        })
+    };
+    Pair {
+        name: "spill_sort_20k_u64",
+        kernel_ns: run(true),
+        scalar_ns: run(false),
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let t0 = Instant::now();
+    let pairs = [bench_occ(), bench_sw(), bench_spill_sort()];
+
+    println!("== bench-micro: bit-parallel kernels vs scalar twins ==\n");
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "kernel", "kernel ns/op", "scalar ns/op", "speedup"
+    );
+    for p in &pairs {
+        println!(
+            "{:<28} {:>14} {:>14} {:>8.2}x",
+            p.name,
+            p.kernel_ns,
+            p.scalar_ns,
+            p.speedup()
+        );
+    }
+
+    let mut record = BenchRecord::new("micro");
+    record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for p in &pairs {
+        record
+            .workload
+            .push((format!("{}_kernel_ns", p.name), p.kernel_ns.to_string()));
+        record
+            .workload
+            .push((format!("{}_scalar_ns", p.name), p.scalar_ns.to_string()));
+        record
+            .workload
+            .push((format!("{}_speedup", p.name), format!("{:.2}", p.speedup())));
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output dir {out_dir}: {e}");
+        std::process::exit(1);
+    }
+    match record.append_to_dir(Path::new(&out_dir)) {
+        Ok(path) => println!("\nBench record appended to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write bench record: {e}");
+            std::process::exit(1);
+        }
+    }
+}

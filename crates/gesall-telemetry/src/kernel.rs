@@ -1,0 +1,100 @@
+//! Bit-parallel kernel metrics: the well-known counter names the
+//! map-phase kernels (packed-BWT rank, banded Smith–Waterman, radix
+//! spill sort) report their activity under.
+//!
+//! The kernels are exact — each is pinned to its scalar oracle by
+//! proptests — so these counters exist to prove the fast path actually
+//! ran (a config regression that silently falls back to the scalar path
+//! shows up as a zeroed counter in bench-smoke, not as an unexplained
+//! Map-phase slowdown) and to size the work the bit-tricks did.
+
+/// Well-known kernel counter names.
+pub mod keys {
+    /// Whole `u64` words popcounted by the packed-BWT `occ` rank kernel
+    /// (32 BWT symbols per word; the byte-scan predecessor would have
+    /// touched each symbol individually).
+    pub const OCC_WORDS_POPCOUNTED: &str = "kernel.occ.words_popcounted";
+    /// Seed extensions answered by the banded Smith–Waterman without
+    /// touching a band edge (the fast path).
+    pub const SW_BANDED_HITS: &str = "kernel.sw.banded_hits";
+    /// Seed extensions whose banded best path touched a band edge and
+    /// were re-run through the full DP for exactness.
+    pub const SW_FULL_FALLBACKS: &str = "kernel.sw.full_fallbacks";
+    /// LSD radix passes executed by the spill sort (constant-byte passes
+    /// are skipped and not counted).
+    pub const SORT_RADIX_PASSES: &str = "kernel.sort.radix_passes";
+    /// Equal-prefix runs the radix sort resolved with the comparison
+    /// fallback.
+    pub const SORT_COMPARISON_FALLBACKS: &str = "kernel.sort.comparison_fallbacks";
+}
+
+/// Kernel activity pulled out of a counter snapshot — the numbers the
+/// CLI report and the bench-smoke gates consume.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    pub occ_words_popcounted: u64,
+    pub sw_banded_hits: u64,
+    pub sw_full_fallbacks: u64,
+    pub sort_radix_passes: u64,
+    pub sort_comparison_fallbacks: u64,
+}
+
+impl KernelStats {
+    /// Pull the kernel counters out of a snapshot.
+    pub fn from_snapshot(snapshot: &[(String, u64)]) -> KernelStats {
+        let get = |name: &str| {
+            snapshot
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        KernelStats {
+            occ_words_popcounted: get(keys::OCC_WORDS_POPCOUNTED),
+            sw_banded_hits: get(keys::SW_BANDED_HITS),
+            sw_full_fallbacks: get(keys::SW_FULL_FALLBACKS),
+            sort_radix_passes: get(keys::SORT_RADIX_PASSES),
+            sort_comparison_fallbacks: get(keys::SORT_COMPARISON_FALLBACKS),
+        }
+    }
+
+    /// Fraction of seed extensions the band answered without fallback.
+    pub fn banded_hit_ratio(&self) -> f64 {
+        let total = self.sw_banded_hits + self.sw_full_fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.sw_banded_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_snapshot() {
+        let snap = vec![
+            ("kernel.occ.words_popcounted".to_string(), 1000u64),
+            ("kernel.sw.banded_hits".to_string(), 90),
+            ("kernel.sw.full_fallbacks".to_string(), 10),
+            ("kernel.sort.radix_passes".to_string(), 24),
+            ("unrelated".to_string(), 7),
+        ];
+        let k = KernelStats::from_snapshot(&snap);
+        assert_eq!(k.occ_words_popcounted, 1000);
+        assert_eq!(k.sw_banded_hits, 90);
+        assert_eq!(k.sw_full_fallbacks, 10);
+        assert_eq!(k.sort_radix_passes, 24);
+        assert_eq!(k.sort_comparison_fallbacks, 0);
+        assert!((k.banded_hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let k = KernelStats::from_snapshot(&[]);
+        assert_eq!(k, KernelStats::default());
+        assert_eq!(k.banded_hit_ratio(), 0.0);
+    }
+}

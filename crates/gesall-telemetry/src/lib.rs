@@ -13,6 +13,9 @@
 //! * [`mem`] — memory-path metrics: payload **bytes actually copied**
 //!   on the record path and spill-arena allocator behaviour, the gauge
 //!   the zero-copy refactor (DESIGN.md §3⅞) is measured by.
+//! * [`kernel`] — bit-parallel kernel metrics: packed-BWT rank words
+//!   popcounted, banded-SW hits vs full-DP fallbacks, radix sort passes
+//!   (DESIGN.md §5) — proof in the counters that the fast paths ran.
 //! * [`span`] — **span-based structured tracing** of job → wave →
 //!   task-attempt → phase lifecycles: parent ids, start/end timestamps,
 //!   attached metrics, an in-memory event log, and an optional JSONL
@@ -34,6 +37,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod kernel;
 pub mod mem;
 pub mod metrics;
 pub mod phase;
@@ -42,6 +46,7 @@ pub mod span;
 
 pub use bench::BenchRecord;
 pub use json::Json;
+pub use kernel::{keys as kernel_keys, KernelStats};
 pub use mem::{keys as mem_keys, MemStats};
 pub use metrics::{Counters, Histogram, MetricsRegistry};
 pub use phase::Phase;

@@ -14,6 +14,12 @@ smoke:
 bench-smoke:
     cargo run --release --offline -p gesall-bench --bin experiments -- smoke .
 
+# Kernel microbenches: each bit-parallel map-phase kernel (packed rank,
+# banded SW, radix spill sort) timed against its scalar twin; appends a
+# record to BENCH_micro.json next to bench-smoke's.
+bench-micro:
+    cargo run --release --offline -p gesall-microbench -- .
+
 # Fast inner-loop check.
 check:
     cargo check --offline --workspace --all-targets

@@ -283,6 +283,30 @@ fn cmd_pipeline(opts: &Opts) -> Result<(), AnyError> {
     );
     println!("\nPer-phase breakdown (ms, summed across tasks):");
     print!("{}", out.phase_table());
+    // Kernel activity (DESIGN.md §5): proof the bit-parallel fast paths
+    // ran, and how much of the extension load the band answered.
+    let mut kernel_sums: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for r in &out.rounds {
+        for (key, v) in &r.counters {
+            if key.starts_with("kernel.") {
+                *kernel_sums.entry(key.clone()).or_insert(0) += v;
+            }
+        }
+    }
+    let kernel_snapshot: Vec<(String, u64)> = kernel_sums.into_iter().collect();
+    let k = gesall::telemetry::KernelStats::from_snapshot(&kernel_snapshot);
+    if k != gesall::telemetry::KernelStats::default() {
+        println!(
+            "Kernels: {} occ words popcounted; banded SW {}/{} in-band \
+             ({:.0}% hit rate); {} radix passes, {} comparison fallbacks",
+            k.occ_words_popcounted,
+            k.sw_banded_hits,
+            k.sw_banded_hits + k.sw_full_fallbacks,
+            k.banded_hit_ratio() * 100.0,
+            k.sort_radix_passes,
+            k.sort_comparison_fallbacks
+        );
+    }
     // --dag prints the stage-graph view of the same run: per-stage
     // cache disposition and the critical path through the DAG.
     if opts.contains_key("dag") {
