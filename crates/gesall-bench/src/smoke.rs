@@ -15,7 +15,9 @@ use gesall_datagen::reads::ReadSimConfig;
 use gesall_datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
 use gesall_dfs::{Dfs, DfsConfig};
 use gesall_mapreduce::{ClusterResources, MapReduceEngine, Recorder, SpanKind};
-use gesall_telemetry::report::{critical_path, gantt, shuffle_matrix, straggler_report, GanttRow};
+use gesall_telemetry::report::{
+    critical_path, gantt, shuffle_fetch_summary, shuffle_matrix, straggler_report, GanttRow,
+};
 use gesall_telemetry::{mem_keys, BenchRecord, MemStats};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -86,6 +88,22 @@ pub const KERNEL_MAP_SPEEDUP: f64 = 1.3;
 /// half the cold wall means stages are re-executing instead of being
 /// cache-served.
 pub const DAG_WARM_RERUN_MAX_RATIO: f64 = 0.5;
+
+/// Required fraction of shuffle-fetch bytes served by the reducer's own
+/// node in the locality probe's affinity-hinted run. The probe topology
+/// (2 nodes, replication 2, pinned shuffle placement) keeps a replica of
+/// every segment block on the reducer's node, so nearly every byte
+/// should be local; requiring a majority catches a hint that is
+/// dropped or inverted — without a matching affinity every byte counts
+/// as remote.
+pub const SHUFFLE_LOCAL_FRACTION: f64 = 0.5;
+
+/// Maximum wire bytes through the transit DFS for the Seq-codec shuffle
+/// as a fraction of its Lz twin's, on the codec probe's simulated-read
+/// payload. The genomic domain codec (2-bit packed bases, grouped
+/// literals, delta-coded positions) must beat the general-purpose
+/// compressor by at least this margin at byte-identical reduce output.
+pub const SEQ_VS_LZ_MAX_RATIO: f64 = 0.8;
 
 /// What the multi-tenant job-service probe measured.
 struct JobsvcProbe {
@@ -392,6 +410,228 @@ fn gray_failure_probe() -> Result<GrayFailureProbe, String> {
     })
 }
 
+/// What the shuffle-locality probe measured on its affinity-hinted run.
+struct ShuffleLocalityProbe {
+    local_bytes: u64,
+    remote_bytes: u64,
+    prefetched: u64,
+}
+
+/// Run the same small job twice on twin 2-node replication-2 transit
+/// DFSes — once with the reducer's exec node threaded into the fetch
+/// path as a read-affinity hint (the default), once with the hint
+/// switched off — and require byte-identical reduce output. Pinned
+/// shuffle placement plus full replication puts a copy of every segment
+/// block on the reducer's node, so the hinted run must serve most fetch
+/// bytes from the co-located replica.
+fn shuffle_locality_probe() -> Result<ShuffleLocalityProbe, String> {
+    use gesall_mapreduce::counters::keys;
+    use gesall_mapreduce::{
+        HashPartitioner, InputSplit, JobConfig, MapContext, Mapper, ReduceContext, Reducer,
+    };
+
+    struct ModKey;
+    impl Mapper for ModKey {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn map(&self, k: &u64, v: &u64, ctx: &mut MapContext<'_, u64, u64>) {
+            ctx.emit(k % 61, v.wrapping_add(*k));
+        }
+    }
+    struct Sum;
+    impl Reducer for Sum {
+        type InKey = u64;
+        type InValue = u64;
+        type OutKey = u64;
+        type OutValue = u64;
+        fn reduce(&self, k: u64, vs: Vec<u64>, ctx: &mut ReduceContext<'_, u64, u64>) {
+            ctx.emit(k, vs.iter().fold(0u64, |a, b| a.wrapping_add(*b)));
+        }
+    }
+
+    let splits = || -> Vec<InputSplit<u64, u64>> {
+        (0..8)
+            .map(|s| {
+                let records: Vec<(u64, u64)> =
+                    (0..50).map(|i| ((s * 50 + i) as u64, i as u64)).collect();
+                InputSplit::new(format!("s{s}"), records)
+            })
+            .collect()
+    };
+    let cfg = |locality: bool| JobConfig {
+        name: "locality-probe".into(),
+        n_reducers: 2,
+        io_sort_bytes: 2048,
+        retry_backoff_ms: 1.0,
+        speculative: false,
+        shuffle_locality: locality,
+        ..JobConfig::default()
+    };
+    let run = |locality: bool| {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1 << 20,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let engine =
+            MapReduceEngine::new(ClusterResources::uniform(2, 2, 4096)).with_shuffle_dfs(dfs);
+        engine
+            .run_job(cfg(locality), &ModKey, &Sum, &HashPartitioner, splits())
+            .map_err(|e| format!("shuffle-locality probe: run failed: {e}"))
+    };
+    let hinted = run(true)?;
+    let blind = run(false)?;
+
+    let sorted = |res: &gesall_mapreduce::JobResult<u64, u64>| -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = res.outputs.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        all
+    };
+    if sorted(&hinted) != sorted(&blind) {
+        return Err(
+            "shuffle-locality gate: affinity-hinted run's reduce output differs from the \
+             no-affinity twin — replica selection changed bytes, not just placement"
+                .into(),
+        );
+    }
+    Ok(ShuffleLocalityProbe {
+        local_bytes: hinted.counters.get(keys::SHUFFLE_FETCH_BYTES_LOCAL),
+        remote_bytes: hinted.counters.get(keys::SHUFFLE_FETCH_BYTES_REMOTE),
+        prefetched: hinted.counters.get(keys::SHUFFLE_FETCH_PREFETCHED),
+    })
+}
+
+/// What the shuffle-codec probe measured.
+struct ShuffleCodecProbe {
+    lz_dfs_bytes: u64,
+    seq_dfs_bytes: u64,
+    bytes_saved: u64,
+}
+
+/// Run the same simulated-read shuffle twice — alignment-record values
+/// from datagen, once with the general-purpose Lz codec forced and once
+/// with the genomic Seq codec — and require byte-identical reduce
+/// output. The gate compares wire bytes through the transit DFS: the
+/// domain codec must shrink the shuffle, not just roundtrip.
+fn shuffle_codec_probe() -> Result<ShuffleCodecProbe, String> {
+    use gesall_formats::sam::SamRecord;
+    use gesall_formats::Codec;
+    use gesall_mapreduce::counters::keys;
+    use gesall_mapreduce::{
+        HashPartitioner, InputSplit, JobConfig, MapContext, Mapper, ReduceContext, Reducer,
+    };
+
+    /// Buckets alignment records by position, carrying the record whole
+    /// — the payload shape of the pipeline's sort round.
+    struct Bucket;
+    impl Mapper for Bucket {
+        type InKey = u64;
+        type InValue = SamRecord;
+        type OutKey = u64;
+        type OutValue = SamRecord;
+        fn map(&self, _k: &u64, v: &SamRecord, ctx: &mut MapContext<'_, u64, SamRecord>) {
+            ctx.emit(v.pos as u64 / 256, v.clone());
+        }
+    }
+    struct Collect;
+    impl Reducer for Collect {
+        type InKey = u64;
+        type InValue = SamRecord;
+        type OutKey = u64;
+        type OutValue = SamRecord;
+        fn reduce(&self, k: u64, vs: Vec<SamRecord>, ctx: &mut ReduceContext<'_, u64, SamRecord>) {
+            for v in vs {
+                ctx.emit(k, v);
+            }
+        }
+    }
+
+    // 150 bp reads (a standard Illumina length) keep the payload honest:
+    // real simulated bases and noisy quality strings, wire-encoded
+    // exactly as a map-output partition carries them.
+    let genome = ReferenceGenome::generate(&GenomeConfig {
+        chromosome_lengths: vec![30_000],
+        ..GenomeConfig::default()
+    });
+    let donor = DonorGenome::generate(&genome, &DonorConfig::default());
+    let (pairs, _) = ReadSimulator::new(
+        &genome,
+        &donor,
+        ReadSimConfig {
+            n_pairs: 400,
+            read_len: 150,
+            ..ReadSimConfig::default()
+        },
+    )
+    .simulate();
+    let mut recs = Vec::new();
+    let mut pos = 0i64;
+    for (i, p) in pairs.iter().enumerate() {
+        for r in [&p.r1, &p.r2] {
+            let mut rec = SamRecord::unmapped(r.name.clone(), r.seq.clone(), r.qual.clone());
+            // Mostly-sorted positions, like a sorted partition payload.
+            pos += (i % 7) as i64;
+            rec.pos = pos;
+            recs.push(rec);
+        }
+    }
+    let splits = |recs: &[SamRecord]| -> Vec<InputSplit<u64, SamRecord>> {
+        recs.chunks(200)
+            .enumerate()
+            .map(|(s, chunk)| {
+                let records: Vec<(u64, SamRecord)> = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| ((s * 200 + i) as u64, r.clone()))
+                    .collect();
+                InputSplit::new(format!("s{s}"), records)
+            })
+            .collect()
+    };
+    let run = |codec: Codec| {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1 << 20,
+            replication: 1,
+            ..DfsConfig::default()
+        });
+        let engine =
+            MapReduceEngine::new(ClusterResources::uniform(2, 2, 4096)).with_shuffle_dfs(dfs);
+        let cfg = JobConfig {
+            name: format!("codec-probe-{}", codec.name()),
+            n_reducers: 2,
+            io_sort_bytes: 16 * 1024,
+            compress_min_bytes: 1,
+            retry_backoff_ms: 1.0,
+            speculative: false,
+            shuffle_codec: Some(codec),
+            ..JobConfig::default()
+        };
+        engine
+            .run_job(cfg, &Bucket, &Collect, &HashPartitioner, splits(&recs))
+            .map_err(|e| format!("shuffle-codec probe: {} run failed: {e}", codec.name()))
+    };
+    let lz = run(Codec::Lz)?;
+    let seq = run(Codec::Seq)?;
+    if lz.outputs != seq.outputs {
+        return Err(
+            "shuffle-codec gate: reduce output differs between the Lz and Seq shuffles — \
+             a codec changed bytes, not just wire size"
+                .into(),
+        );
+    }
+    let lz_dfs_bytes = lz.counters.get(keys::SHUFFLE_BYTES_DFS);
+    let seq_dfs_bytes = seq.counters.get(keys::SHUFFLE_BYTES_DFS);
+    Ok(ShuffleCodecProbe {
+        lz_dfs_bytes,
+        seq_dfs_bytes,
+        bytes_saved: lz_dfs_bytes.saturating_sub(seq_dfs_bytes),
+    })
+}
+
 /// Peak decoded-side resident bytes of one streaming merge over
 /// `n_runs` equal-sized sorted runs at the given fan-in — the
 /// flatness-gate probe. Deterministic: same runs, same peak.
@@ -590,6 +830,13 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
     // Job-service probe: the same two jobs serial vs concurrent under
     // two tenants, with a forced elastic borrow + reclaim in between.
     let jobsvc = jobsvc_probe()?;
+    // Shuffle-locality probe: affinity-hinted vs hint-off twins on a
+    // pinned replication-2 topology where every segment has a
+    // co-located replica.
+    let locality = shuffle_locality_probe()?;
+    // Shuffle-codec probe: the genomic Seq codec vs the Lz baseline on
+    // the same simulated-read shuffle.
+    let codec = shuffle_codec_probe()?;
 
     // Kernel twin: the identical cold pipeline with every bit-parallel
     // kernel (packed rank, banded SW, radix spill sort) switched off via
@@ -689,6 +936,27 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         ("dfs_corrupt_detected".into(), gray.detected.to_string()),
         ("gray_clean_ms".into(), format!("{:.2}", gray.clean_ms)),
         ("gray_faulty_ms".into(), format!("{:.2}", gray.faulty_ms)),
+        (
+            "shuffle_fetch_local_bytes".into(),
+            locality.local_bytes.to_string(),
+        ),
+        (
+            "shuffle_fetch_remote_bytes".into(),
+            locality.remote_bytes.to_string(),
+        ),
+        (
+            "shuffle_fetch_prefetched".into(),
+            locality.prefetched.to_string(),
+        ),
+        ("shuffle_lz_dfs_bytes".into(), codec.lz_dfs_bytes.to_string()),
+        (
+            "shuffle_seq_dfs_bytes".into(),
+            codec.seq_dfs_bytes.to_string(),
+        ),
+        (
+            "shuffle_seq_bytes_saved".into(),
+            codec.bytes_saved.to_string(),
+        ),
         (
             "jobsvc_queue_wait_p90_nanos".into(),
             jobsvc.queue_wait_p90_nanos.to_string(),
@@ -848,6 +1116,49 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
             gray.faulty_ms, gray.clean_ms, gray_allowed_ms
         ));
     }
+    // Shuffle-locality gates: with a replica of every pinned shuffle
+    // block on the reducer's node, the affinity hint must route the
+    // majority of fetch bytes to the co-located copy. A dropped or
+    // inverted hint lands at zero — without a matching affinity every
+    // byte counts as remote.
+    let fetch_total = locality.local_bytes + locality.remote_bytes;
+    if fetch_total == 0 {
+        return Err(
+            "shuffle-locality gate: the probe recorded no fetch bytes — \
+             the transit fetch path is not being measured"
+                .into(),
+        );
+    }
+    let local_fraction = locality.local_bytes as f64 / fetch_total as f64;
+    if local_fraction <= SHUFFLE_LOCAL_FRACTION {
+        return Err(format!(
+            "shuffle-locality gate: only {:.1}% of {fetch_total} fetch bytes were \
+             served by the reducer's own node (need > {:.0}%) — the read-affinity \
+             hint is not steering replica selection",
+            local_fraction * 100.0,
+            SHUFFLE_LOCAL_FRACTION * 100.0
+        ));
+    }
+    // Codec gate: at byte-identical reduce output, the Seq shuffle must
+    // move meaningfully fewer wire bytes through the DFS than the Lz
+    // twin — the domain codec has to pay for itself on alignment
+    // records, not just roundtrip.
+    if codec.lz_dfs_bytes == 0 || codec.seq_dfs_bytes == 0 {
+        return Err(
+            "codec gate: a codec-probe run shuffled zero wire bytes through the DFS — \
+             the forced codec is not reaching the transit path"
+                .into(),
+        );
+    }
+    let seq_vs_lz = codec.seq_dfs_bytes as f64 / codec.lz_dfs_bytes as f64;
+    if seq_vs_lz > SEQ_VS_LZ_MAX_RATIO {
+        return Err(format!(
+            "codec gate: the Seq shuffle moved {} wire bytes vs {} under Lz \
+             ({seq_vs_lz:.2}x, need <= {SEQ_VS_LZ_MAX_RATIO}x) — the genomic codec \
+             is not beating the general-purpose baseline on alignment records",
+            codec.seq_dfs_bytes, codec.lz_dfs_bytes
+        ));
+    }
     // Job-service gates: tenant A's whole-cluster ask must have been an
     // elastic borrow (and reclaimed when B arrived), and running both
     // jobs through the service must genuinely overlap them — a
@@ -956,6 +1267,15 @@ pub fn run_smoke(out_dir: Option<&Path>) -> Result<SmokeOutcome, String> {
         "Gray failures: {} corrupt blocks detected / {} repaired, {} reads \
          hedged, {} retried; faulty twin {:.1} ms vs {:.1} ms clean\n",
         gray.detected, gray.repaired, gray.hedged, gray.retried, gray.faulty_ms, gray.clean_ms
+    ));
+    text.push_str(&format!(
+        "Locality probe: {}",
+        shuffle_fetch_summary(locality.local_bytes, locality.remote_bytes, locality.prefetched)
+    ));
+    text.push_str(&format!(
+        "Codec twin: Seq shuffled {} wire bytes vs {} under Lz ({seq_vs_lz:.2}x, \
+         {} B saved at byte-identical output)\n",
+        codec.seq_dfs_bytes, codec.lz_dfs_bytes, codec.bytes_saved
     ));
     text.push_str(&format!(
         "Job service: 2 tenants concurrent {:.1} ms vs serial {:.1}/{:.1} ms; \
@@ -1085,6 +1405,22 @@ mod tests {
         );
         assert_eq!(field("dfs_corrupt_repaired"), field("dfs_corrupt_detected"));
         assert!(outcome.report.contains("Gray failures"));
+        // Locality probe: the affinity hint steered the majority of
+        // fetch bytes to the co-located replica.
+        assert!(
+            field("shuffle_fetch_local_bytes") > field("shuffle_fetch_remote_bytes"),
+            "the read-affinity hint must serve most fetch bytes locally"
+        );
+        let _ = field("shuffle_fetch_prefetched");
+        assert!(outcome.report.contains("Locality probe"));
+        // Codec probe: the genomic Seq codec beat Lz on wire bytes at
+        // byte-identical reduce output.
+        assert!(
+            field("shuffle_seq_bytes_saved") > 0,
+            "the Seq codec must save wire bytes over Lz"
+        );
+        assert!(field("shuffle_seq_dfs_bytes") < field("shuffle_lz_dfs_bytes"));
+        assert!(outcome.report.contains("Codec twin"));
         // Job-service probe: the whole-cluster ask borrowed the idle
         // tenant's share and gave it back when the second tenant arrived.
         assert!(

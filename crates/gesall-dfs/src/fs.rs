@@ -705,17 +705,34 @@ impl Dfs {
     /// replica is hedged against an alternate (see
     /// [`DfsConfig::hedge_after_micros`]).
     pub fn read_block(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
+        self.read_block_at(block, ReadAffinity::NONE)
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// [`Dfs::read_block`] with a replica-placement preference: when the
+    /// affinity node holds a live replica it is tried first, so a
+    /// reader co-located with a replica is served without crossing the
+    /// network. Affinity only *reorders* replica preference — every
+    /// fallback (hedging a slow preferred node, quarantine, retry,
+    /// repair) behaves exactly as without it. Also returns the node
+    /// that actually served the bytes, so callers can account local
+    /// versus remote traffic.
+    pub fn read_block_at(
+        &self,
+        block: &BlockInfo,
+        affinity: ReadAffinity,
+    ) -> Result<(SharedBytes, usize), DfsError> {
         let cfg = &self.inner.config;
         let start = Instant::now();
         let deadline = Duration::from_millis(cfg.read_deadline_ms.max(1));
         let mut attempt = 0usize;
         loop {
-            match self.read_block_once(block) {
-                Ok(bytes) => {
+            match self.read_block_once(block, affinity) {
+                Ok((bytes, node)) => {
                     let m = &self.inner.metrics;
                     m.counter(metrics_keys::BLOCKS_READ).add(1);
                     m.counter(metrics_keys::BYTES_READ).add(bytes.len() as u64);
-                    return Ok(bytes);
+                    return Ok((bytes, node));
                 }
                 Err(e) if e.is_retryable() && attempt < cfg.read_retries => {
                     attempt += 1;
@@ -738,32 +755,48 @@ impl Dfs {
         }
     }
 
-    /// One pass over the block's live replicas: hedge the primary when
-    /// its node looks slow, verify whatever payload is served, and
-    /// classify the failure if nothing verifies.
-    fn read_block_once(&self, block: &BlockInfo) -> Result<SharedBytes, DfsError> {
-        let nodes = self.live_replica_nodes(block);
+    /// One pass over the block's live replicas: prefer the affinity
+    /// node's replica when it exists, hedge the first-choice replica
+    /// when its node looks slow, verify whatever payload is served, and
+    /// classify the failure if nothing verifies. On success also
+    /// returns the node that served the payload.
+    fn read_block_once(
+        &self,
+        block: &BlockInfo,
+        affinity: ReadAffinity,
+    ) -> Result<(SharedBytes, usize), DfsError> {
+        let mut nodes = self.live_replica_nodes(block);
         if nodes.is_empty() {
             return Err(DfsError::BlockMissing(block.id));
         }
+        // Affinity is a preference, not a pin: rotate the co-located
+        // replica to the front (keeping the rest in placement order for
+        // fallback) and leave every other defence untouched — a slow
+        // co-located replica still gets hedged against the alternate,
+        // and a quarantined one simply isn't in the live list.
+        if let Some(want) = affinity.0 {
+            if let Some(i) = nodes.iter().position(|&n| n == want) {
+                nodes[..=i].rotate_right(1);
+            }
+        }
         let mut transient: Option<String> = None;
         let mut saw_corrupt = false;
-        let mut result: Option<SharedBytes> = None;
+        let mut result: Option<(SharedBytes, usize)> = None;
         let mut next = 0usize;
         if nodes.len() > 1 && self.node_suspect_slow(nodes[0]) {
             next = 2;
             match self.hedged_read(block, nodes[0], nodes[1]) {
-                ReplicaRead::Ok(b) => result = Some(b),
-                ReplicaRead::Corrupt => saw_corrupt = true,
-                ReplicaRead::Transient(m) => transient = Some(m),
-                ReplicaRead::Missing => {}
+                (ReplicaRead::Ok(b), node) => result = Some((b, node)),
+                (ReplicaRead::Corrupt, _) => saw_corrupt = true,
+                (ReplicaRead::Transient(m), _) => transient = Some(m),
+                (ReplicaRead::Missing, _) => {}
             }
         }
         if result.is_none() {
             for &n in &nodes[next.min(nodes.len())..] {
                 match self.read_replica(n, block) {
                     ReplicaRead::Ok(b) => {
-                        result = Some(b);
+                        result = Some((b, n));
                         break;
                     }
                     ReplicaRead::Corrupt => saw_corrupt = true,
@@ -773,7 +806,7 @@ impl Dfs {
             }
         }
         match (result, transient) {
-            (Some(bytes), _) => Ok(bytes),
+            (Some(served), _) => Ok(served),
             // A transient failure may clear on retry even if another
             // replica was corrupt (that one is already quarantined).
             (None, Some(msg)) => Err(DfsError::Io(msg)),
@@ -816,7 +849,7 @@ impl Dfs {
     /// the primary runs on a helper thread; if it hasn't answered
     /// within the hedge budget, read the alternate inline and take
     /// whichever verifies first.
-    fn hedged_read(&self, block: &BlockInfo, primary: usize, alt: usize) -> ReplicaRead {
+    fn hedged_read(&self, block: &BlockInfo, primary: usize, alt: usize) -> (ReplicaRead, usize) {
         let (tx, rx) = std::sync::mpsc::channel();
         let dfs = self.clone();
         let blk = block.clone();
@@ -825,18 +858,21 @@ impl Dfs {
         });
         let budget = Duration::from_micros(self.inner.config.hedge_after_micros.max(1));
         match rx.recv_timeout(budget) {
-            Ok(outcome) => outcome,
+            Ok(outcome) => (outcome, primary),
             Err(_) => {
                 let m = &self.inner.metrics;
                 m.counter(metrics_keys::READS_HEDGED).add(1);
                 let alt_outcome = self.read_replica(alt, block);
                 if matches!(alt_outcome, ReplicaRead::Ok(_)) {
                     m.counter(metrics_keys::READS_HEDGE_WINS).add(1);
-                    return alt_outcome;
+                    return (alt_outcome, alt);
                 }
                 // Alternate lost too: fall back to whatever the primary
                 // eventually produces (its thread always terminates).
-                rx.recv().unwrap_or(alt_outcome)
+                match rx.recv() {
+                    Ok(outcome) => (outcome, primary),
+                    Err(_) => (alt_outcome, alt),
+                }
             }
         }
     }
@@ -998,6 +1034,23 @@ impl Dfs {
         offset: usize,
         len: usize,
     ) -> Result<SharedBytes, DfsError> {
+        self.read_file_range_shared_at(path, offset, len, ReadAffinity::NONE)
+            .map(|r| r.bytes)
+    }
+
+    /// [`Dfs::read_file_range_shared`] with a [`ReadAffinity`] hint:
+    /// every block read in the range prefers the affinity node's
+    /// replica, and the returned [`RangeRead`] splits the bytes by
+    /// whether the serving replica was the affinity node (local) or any
+    /// other (remote) — the shuffle's locality accounting. Without an
+    /// affinity node everything counts as remote.
+    pub fn read_file_range_shared_at(
+        &self,
+        path: &str,
+        offset: usize,
+        len: usize,
+        affinity: ReadAffinity,
+    ) -> Result<RangeRead, DfsError> {
         let info = self.stat(path)?;
         let end = offset
             .checked_add(len)
@@ -1009,7 +1062,11 @@ impl Dfs {
                 ))
             })?;
         if len == 0 {
-            return Ok(SharedBytes::new());
+            return Ok(RangeRead {
+                bytes: SharedBytes::new(),
+                local_bytes: 0,
+                remote_bytes: 0,
+            });
         }
         // Which slice of each block does the range overlap?
         let mut parts: Vec<(&BlockInfo, usize, usize)> = Vec::new();
@@ -1026,24 +1083,45 @@ impl Dfs {
                 break;
             }
         }
+        let mut local_bytes = 0u64;
+        let mut remote_bytes = 0u64;
+        let mut tally = |served: usize, n: u64| {
+            if affinity.0 == Some(served) {
+                local_bytes += n;
+            } else {
+                remote_bytes += n;
+            }
+        };
         if let [(b, lo, hi)] = parts[..] {
-            let block = self.read_block(b)?;
-            return Ok(if lo == 0 && hi == block.len() {
+            let (block, served) = self.read_block_at(b, affinity)?;
+            tally(served, (hi - lo) as u64);
+            let bytes = if lo == 0 && hi == block.len() {
                 block
             } else {
                 block.slice(lo..hi)
+            };
+            return Ok(RangeRead {
+                bytes,
+                local_bytes,
+                remote_bytes,
             });
         }
         let mut v = Vec::with_capacity(len);
         for (b, lo, hi) in parts {
-            v.extend_from_slice(&self.read_block(b)?.slice(lo..hi));
+            let (block, served) = self.read_block_at(b, affinity)?;
+            tally(served, (hi - lo) as u64);
+            v.extend_from_slice(&block.slice(lo..hi));
         }
         debug_assert_eq!(v.len(), len);
         self.inner
             .metrics
             .counter(metrics_keys::BYTES_COPIED_RANGE)
             .add(v.len() as u64);
-        Ok(SharedBytes::from_vec(v))
+        Ok(RangeRead {
+            bytes: SharedBytes::from_vec(v),
+            local_bytes,
+            remote_bytes,
+        })
     }
 
     /// Would every block of `path` still be readable if the nodes in
@@ -1559,6 +1637,35 @@ impl Dfs {
         blocks.insert(id, BlockBacking::Resident(SharedBytes::from_vec(flipped)));
         Ok(())
     }
+}
+
+/// A reader's replica-placement preference: the node the reader is
+/// executing on. [`Dfs::read_block_at`] serves the co-located replica
+/// when one is live, falling back to the normal replica order (and all
+/// of the hedging/quarantine/retry machinery) when there isn't — the
+/// shuffle's "move the fetch, not the bytes" lever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadAffinity(pub Option<usize>);
+
+impl ReadAffinity {
+    /// No preference: replicas are tried in placement order.
+    pub const NONE: ReadAffinity = ReadAffinity(None);
+
+    /// Prefer replicas on `node`.
+    pub fn node(node: usize) -> ReadAffinity {
+        ReadAffinity(Some(node))
+    }
+}
+
+/// A range read plus its locality split: how many of the bytes were
+/// served by the affinity node's own replica versus shipped from
+/// another node. `local_bytes + remote_bytes` counts the block slices
+/// actually read for the range.
+#[derive(Debug, Clone)]
+pub struct RangeRead {
+    pub bytes: SharedBytes,
+    pub local_bytes: u64,
+    pub remote_bytes: u64,
 }
 
 /// Outcome of serving one replica.
@@ -2307,6 +2414,112 @@ mod tests {
         assert_eq!(hedged, 3);
         assert_eq!(wins, 3, "fast replica must win every race");
         assert_eq!(dfs.read_block(&info.blocks[0]).unwrap().as_slice(), &data[..]);
+    }
+
+    #[test]
+    fn read_affinity_prefers_co_located_replica() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(800);
+        let info = dfs
+            .write_file_with_policy("/aff", &data, &PinnedPlacement(0))
+            .unwrap();
+        let homes = info.blocks[0].nodes.clone();
+        assert_eq!(homes.len(), 2);
+        // Affinity on either replica home: all bytes served locally.
+        for &n in &homes {
+            let r = dfs
+                .read_file_range_shared_at("/aff", 0, 800, ReadAffinity::node(n))
+                .unwrap();
+            assert_eq!(r.bytes.as_slice(), &data[..]);
+            assert_eq!((r.local_bytes, r.remote_bytes), (800, 0), "node {n}");
+        }
+        // Affinity on the replica-less node, or no affinity at all:
+        // same bytes, all remote.
+        let stranger = (0..3).find(|n| !homes.contains(n)).unwrap();
+        for aff in [ReadAffinity::node(stranger), ReadAffinity::NONE] {
+            let r = dfs
+                .read_file_range_shared_at("/aff", 0, 800, aff)
+                .unwrap();
+            assert_eq!(r.bytes.as_slice(), &data[..]);
+            assert_eq!((r.local_bytes, r.remote_bytes), (0, 800));
+        }
+    }
+
+    #[test]
+    fn read_affinity_falls_back_when_local_replica_quarantined() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 3,
+            block_size: 1024,
+            replication: 2,
+            ..DfsConfig::default()
+        });
+        let data = payload(700);
+        let info = dfs
+            .write_file_with_policy("/q", &data, &PinnedPlacement(0))
+            .unwrap();
+        let homes = info.blocks[0].nodes.clone();
+        // Corrupt the replica on the reader's own node: the read must
+        // detect it, quarantine, and serve the survivor — correct bytes,
+        // counted remote because the co-located copy was unusable.
+        dfs.corrupt_block("/q", 0, 0).unwrap();
+        let r = dfs
+            .read_file_range_shared_at("/q", 0, 700, ReadAffinity::node(homes[0]))
+            .unwrap();
+        assert_eq!(r.bytes.as_slice(), &data[..]);
+        assert_eq!((r.local_bytes, r.remote_bytes), (0, 700));
+        assert_eq!(
+            dfs.metrics()
+                .counter(metrics_keys::BLOCKS_CORRUPT_DETECTED)
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn read_affinity_does_not_defeat_hedged_reads() {
+        let dfs = Dfs::new(DfsConfig {
+            n_nodes: 2,
+            block_size: 1024,
+            replication: 2,
+            hedge_after_micros: 2_000,
+            ..DfsConfig::default()
+        });
+        let data = payload(900);
+        dfs.write_file_with_policy("/ha", &data, &PinnedPlacement(0))
+            .unwrap();
+        dfs.inject_slow_node(0, 20);
+        // Seed node 0's latency history (affinity pointed straight at
+        // the slow node, so this read is served slowly by it).
+        let r = dfs
+            .read_file_range_shared_at("/ha", 0, 900, ReadAffinity::node(0))
+            .unwrap();
+        assert_eq!(r.bytes.as_slice(), &data[..]);
+        assert_eq!(dfs.metrics().counter(metrics_keys::READS_HEDGED).get(), 0);
+        // Now node 0 is suspect: even though affinity prefers it, the
+        // read must hedge to node 1, which wins — affinity reorders
+        // preference, it never disables the slow-node defence.
+        for _ in 0..3 {
+            let r = dfs
+                .read_file_range_shared_at("/ha", 0, 900, ReadAffinity::node(0))
+                .unwrap();
+            assert_eq!(r.bytes.as_slice(), &data[..]);
+            assert_eq!(
+                (r.local_bytes, r.remote_bytes),
+                (0, 900),
+                "hedge winner is the remote replica"
+            );
+        }
+        assert_eq!(dfs.metrics().counter(metrics_keys::READS_HEDGED).get(), 3);
+        assert_eq!(
+            dfs.metrics().counter(metrics_keys::READS_HEDGE_WINS).get(),
+            3,
+            "fast replica must win every race"
+        );
     }
 
     #[test]

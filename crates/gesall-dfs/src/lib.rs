@@ -22,7 +22,7 @@ pub mod placement;
 
 pub use fs::{
     metrics_keys, BlockBacking, BlockInfo, Dfs, DfsConfig, DfsError, FailureReport, FileInfo,
-    NodeStats, SweepReason, SweepReport,
+    NodeStats, RangeRead, ReadAffinity, SweepReason, SweepReport,
 };
 pub use placement::{
     BlockPlacementPolicy, DefaultPlacement, LogicalPartitionPlacement, PinnedPlacement,

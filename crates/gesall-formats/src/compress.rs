@@ -25,17 +25,32 @@ pub enum Codec {
     Raw,
     /// This module's LZ77 container ([`compress`]/[`decompress`]).
     Lz,
+    /// The genomic sequence codec ([`crate::seq_codec`]): 2-bit-packed
+    /// bases, run-length binned qualities, delta-coded position runs,
+    /// with leftover literals LZ-compressed as a backstop.
+    Seq,
 }
 
 impl Codec {
-    /// All codecs, in tag order.
-    pub const ALL: [Codec; 2] = [Codec::Raw, Codec::Lz];
+    /// The codec registry, in tag order. Wire tags are append-only: a
+    /// codec's tag, once shipped, is never reused or renumbered — a
+    /// frame written by an old build must decode on a new one, and an
+    /// unknown (future) tag must stay a typed [`FormatError::Compress`],
+    /// never a panic. Prefer [`Codec::registry`] over spelling the
+    /// array out at call sites.
+    pub const ALL: [Codec; 3] = [Codec::Raw, Codec::Lz, Codec::Seq];
+
+    /// Every registered codec, in stable tag order.
+    pub fn registry() -> &'static [Codec] {
+        &Self::ALL
+    }
 
     /// Stable one-byte wire tag.
     pub fn tag(self) -> u8 {
         match self {
             Codec::Raw => 0,
             Codec::Lz => 1,
+            Codec::Seq => 2,
         }
     }
 
@@ -43,6 +58,7 @@ impl Codec {
         match tag {
             0 => Ok(Codec::Raw),
             1 => Ok(Codec::Lz),
+            2 => Ok(Codec::Seq),
             other => Err(FormatError::Compress(format!("unknown codec tag {other}"))),
         }
     }
@@ -51,11 +67,34 @@ impl Codec {
         match self {
             Codec::Raw => "raw",
             Codec::Lz => "lz",
+            Codec::Seq => "seq",
         }
     }
 
     pub fn is_compressed(self) -> bool {
         self != Codec::Raw
+    }
+
+    /// Encode `input` with this codec, appending to `out`. `Raw` is the
+    /// identity; compressed codecs append their self-describing
+    /// container. The single dispatch point for segment writers — new
+    /// codecs plug in here without touching the shuffle.
+    pub fn encode_append(self, input: &[u8], out: &mut Vec<u8>) {
+        match self {
+            Codec::Raw => out.extend_from_slice(input),
+            Codec::Lz => compress_append(input, out),
+            Codec::Seq => crate::seq_codec::compress_append(input, out),
+        }
+    }
+
+    /// Decode a payload encoded with this codec. The single dispatch
+    /// point for segment readers (cursor activation, transcoding).
+    pub fn decode(self, data: &[u8]) -> Result<Vec<u8>> {
+        match self {
+            Codec::Raw => Ok(data.to_vec()),
+            Codec::Lz => decompress(data),
+            Codec::Seq => crate::seq_codec::decompress(data),
+        }
     }
 }
 
@@ -78,7 +117,7 @@ fn hash4(data: &[u8]) -> usize {
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
         v >>= 7;
@@ -90,7 +129,7 @@ fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+pub(crate) fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

@@ -15,7 +15,11 @@
 //!   packed into independently-compressed variable-length chunks, so chunks
 //!   can straddle DFS block boundaries exactly as §3.1 of the paper requires.
 //! * [`compress`] — the from-scratch LZ block codec that plays the role of
-//!   BGZF/Snappy compression (map-output compression in the shuffle).
+//!   BGZF/Snappy compression (map-output compression in the shuffle), and
+//!   the tag-stable [`Codec`] registry segment frames name codecs by.
+//! * [`seq_codec`] — the genomic sequence codec (`Codec::Seq`): 2-bit
+//!   packed bases, run-length binned qualities, delta-coded positions,
+//!   LZ-backstopped literals.
 //! * [`bytes`] — [`SharedBytes`], the `Arc`-backed sliceable byte range
 //!   the zero-copy record path is built on (DFS blocks, map-output
 //!   segments, streaming pipe chunks all share backing allocations).
@@ -36,6 +40,7 @@ pub mod fastq;
 pub mod mapped;
 pub mod quality;
 pub mod sam;
+pub mod seq_codec;
 pub mod vcf;
 pub mod wire;
 

@@ -1,0 +1,510 @@
+//! The genomic sequence codec (`Codec::Seq`).
+//!
+//! Generic LZ77 treats an alignment-record stream as opaque bytes and
+//! leaves most of the sequence field on the table: random-ish DNA has
+//! few byte-level repeats, yet every base fits in 2 bits. Following the
+//! FASTA/Q-aware Hadoop codecs (PAPERS.md, arXiv:2007.13673) this codec
+//! recognises the three shapes that dominate shuffled genomic records
+//! and encodes each with a domain-specific token, falling back to
+//! LZ-compressed literals for everything else:
+//!
+//! * **BASES** — a run of ACGT ASCII bytes, 2-bit packed in the same
+//!   LSB-first word layout as [`crate::dna::PackedSeq`] (base `i` lives
+//!   in bit-lane `(i % 4) * 2` of byte `i / 4`, i.e. the little-endian
+//!   serialization of PackedSeq's `u64` words) — 4 bases per byte.
+//! * **RUN** — a run of one repeated byte, stored as (value, length).
+//!   Covers binned quality strings, homopolymers, and N-runs.
+//! * **DELTA** — a run of canonical LEB128 varints (sorted positions),
+//!   stored as the first value plus zigzag-encoded deltas. Only emitted
+//!   when the encoder proves the token re-expands byte-identically and
+//!   is strictly smaller than the raw varints.
+//! * **LIT** — everything else. Literal bytes are pulled out of line
+//!   into one blob and LZ-compressed together, so read names and
+//!   quality strings sit next to their cross-record twins instead of
+//!   being interleaved with incompressible bases.
+//!
+//! The container is self-describing and *lossless for arbitrary input*
+//! (the round-trip property the format proptests enforce): a method
+//! byte selects `Store` when tokenisation would expand the data, so the
+//! worst case degenerates to the LZ store path plus one byte.
+//!
+//! Container layout:
+//!
+//! ```text
+//! [method u8]               0 = store, 2 = seq
+//! [varint raw_len]
+//! store: [raw bytes]
+//! seq:   [varint token_len] [tokens] [lz container of the literal blob]
+//! ```
+
+use crate::compress::{self, get_varint, put_varint};
+use crate::error::{FormatError, Result};
+
+const METHOD_STORE: u8 = 0;
+const METHOD_SEQ: u8 = 2;
+
+/// Token opcodes inside a seq stream.
+const TOK_BASES: u8 = 0;
+const TOK_RUN: u8 = 1;
+const TOK_LIT: u8 = 2;
+const TOK_DELTA: u8 = 3;
+
+/// Shortest same-byte run worth a RUN token (break-even is 3–4 bytes;
+/// below this a run packs better as bases or literals).
+const RUN_MIN: usize = 6;
+/// Shortest ACGT stretch worth a BASES token. Short stretches (flag
+/// bytes that happen to be letters, "ACGT" inside a read name) stay
+/// literal so the LZ backstop can match them across records.
+const BASES_MIN: usize = 16;
+/// Shortest canonical-varint run worth *attempting* a DELTA token.
+const DELTA_MIN: usize = 4;
+
+#[inline]
+fn base_code(b: u8) -> Option<u8> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+const BASE_ASCII: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Compress `input` into a fresh container.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 3 + 16);
+    compress_append(input, &mut out);
+    out
+}
+
+/// Compress `input`, appending the container to `out`.
+pub fn compress_append(input: &[u8], out: &mut Vec<u8>) {
+    let mut tokens = Vec::with_capacity(input.len() / 16 + 8);
+    let mut lits = Vec::new();
+    tokenize(input, &mut tokens, &mut lits);
+    let lz_lits = compress::compress(&lits);
+
+    // Self-describing sizes: pick whichever container is smaller. The
+    // store arm keeps pathological inputs within one byte of raw.
+    let mut header = Vec::with_capacity(12);
+    put_varint(&mut header, input.len() as u64);
+    let mut token_len = Vec::with_capacity(6);
+    put_varint(&mut token_len, tokens.len() as u64);
+    let seq_total = 1 + header.len() + token_len.len() + tokens.len() + lz_lits.len();
+    let store_total = 1 + header.len() + input.len();
+    if seq_total >= store_total {
+        out.push(METHOD_STORE);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(input);
+    } else {
+        out.push(METHOD_SEQ);
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&token_len);
+        out.extend_from_slice(&tokens);
+        out.extend_from_slice(&lz_lits);
+    }
+}
+
+/// Split `input` into tokens; literal bytes go to `lits`.
+fn tokenize(input: &[u8], tokens: &mut Vec<u8>, lits: &mut Vec<u8>) {
+    let mut i = 0;
+    // Start of the literal stretch not yet flushed as a LIT token.
+    let mut lit_from = 0;
+    let flush_lits = |tokens: &mut Vec<u8>, lits: &mut Vec<u8>, from: usize, to: usize| {
+        if to > from {
+            tokens.push(TOK_LIT);
+            put_varint(tokens, (to - from) as u64);
+            lits.extend_from_slice(&input[from..to]);
+        }
+    };
+    while i < input.len() {
+        // RUN first: a homopolymer is also a bases run, but at RUN_MIN+
+        // lengths the (value, length) pair is strictly smaller.
+        let b = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == b {
+            run += 1;
+        }
+        if run >= RUN_MIN {
+            flush_lits(tokens, lits, lit_from, i);
+            tokens.push(TOK_RUN);
+            tokens.push(b);
+            put_varint(tokens, run as u64);
+            i += run;
+            lit_from = i;
+            continue;
+        }
+        // BASES next: ACGT bytes are also single-byte varints, so this
+        // must win over DELTA.
+        if base_code(b).is_some() {
+            let mut n = 1;
+            while i + n < input.len() && base_code(input[i + n]).is_some() {
+                n += 1;
+            }
+            if n >= BASES_MIN {
+                flush_lits(tokens, lits, lit_from, i);
+                tokens.push(TOK_BASES);
+                put_varint(tokens, n as u64);
+                let start = tokens.len();
+                tokens.resize(start + n.div_ceil(4), 0);
+                for (k, &base) in input[i..i + n].iter().enumerate() {
+                    let code = base_code(base).expect("scanned as ACGT");
+                    tokens[start + k / 4] |= code << ((k % 4) * 2);
+                }
+                i += n;
+                lit_from = i;
+                continue;
+            }
+        }
+        // DELTA: a run of canonical varints that shrinks under
+        // first + zigzag deltas (sorted genomic positions).
+        if let Some((consumed, token)) = try_delta(&input[i..]) {
+            flush_lits(tokens, lits, lit_from, i);
+            tokens.extend_from_slice(&token);
+            i += consumed;
+            lit_from = i;
+            continue;
+        }
+        i += 1;
+    }
+    flush_lits(tokens, lits, lit_from, input.len());
+}
+
+/// Parse canonical varints at the head of `data`; if at least
+/// [`DELTA_MIN`] of them delta-encode strictly smaller than their raw
+/// bytes, return `(bytes consumed, encoded DELTA token)`.
+///
+/// Canonical means the value re-encodes to the exact same bytes (no
+/// overlong encodings), which is what makes the decoder's re-encode
+/// byte-identical. Deltas wrap in `u64` space, so any value sequence is
+/// representable.
+fn try_delta(data: &[u8]) -> Option<(usize, Vec<u8>)> {
+    // Fast reject: a run of single-byte varints (quality scores, ASCII
+    // text — any bytes < 0x80) costs at least one token byte per
+    // consumed byte and so can never repay the token header — yet it
+    // *parses* as a valid varint stream, so without this check every
+    // literal byte of a noisy payload would trigger a full 255-value
+    // probe, making the tokenizer quadratic. A profitable delta run
+    // must lead with a multi-byte varint (continuation bit set).
+    if data.first().is_none_or(|&b| b < 0x80) {
+        return None;
+    }
+    let mut values = Vec::new();
+    let mut pos = 0;
+    while values.len() < 255 {
+        let start = pos;
+        let mut p = start;
+        let Ok(v) = get_varint(data, &mut p) else { break };
+        // Reject non-canonical encodings: the value must re-encode to
+        // the exact same bytes. Length alone is not enough — a 10-byte
+        // varint can silently drop bits past u64 and re-encode to the
+        // same length with a different final byte.
+        let mut canon = Vec::with_capacity(10);
+        put_varint(&mut canon, v);
+        if canon[..] != data[start..p] {
+            break;
+        }
+        values.push(v);
+        pos = p;
+    }
+    if values.len() < DELTA_MIN {
+        return None;
+    }
+    // Greedy: take the longest run, then check profitability.
+    let mut token = Vec::with_capacity(pos / 2 + 4);
+    token.push(TOK_DELTA);
+    put_varint(&mut token, values.len() as u64);
+    put_varint(&mut token, values[0]);
+    for w in values.windows(2) {
+        let delta = w[1].wrapping_sub(w[0]) as i64;
+        put_varint(&mut token, zigzag(delta));
+    }
+    if token.len() + 2 <= pos {
+        Some((pos, token))
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decompress a container produced by [`compress`]/[`compress_append`].
+/// Corrupt input is a typed [`FormatError::Compress`], never a panic.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
+    let mut pos = 0;
+    let method = *data
+        .get(pos)
+        .ok_or_else(|| FormatError::Compress("empty seq container".into()))?;
+    pos += 1;
+    let raw_len = get_varint(data, &mut pos)? as usize;
+    match method {
+        METHOD_STORE => {
+            let payload = data
+                .get(pos..pos + raw_len)
+                .ok_or_else(|| FormatError::Compress("truncated seq store payload".into()))?;
+            if pos + raw_len != data.len() {
+                return Err(FormatError::Compress("trailing bytes after store".into()));
+            }
+            Ok(payload.to_vec())
+        }
+        METHOD_SEQ => {
+            let token_len = get_varint(data, &mut pos)? as usize;
+            let tokens = data
+                .get(pos..pos + token_len)
+                .ok_or_else(|| FormatError::Compress("truncated seq token stream".into()))?;
+            let lits = compress::decompress(&data[pos + token_len..])?;
+            expand_tokens(tokens, &lits, raw_len)
+        }
+        other => Err(FormatError::Compress(format!(
+            "unknown seq method byte {other}"
+        ))),
+    }
+}
+
+fn expand_tokens(tokens: &[u8], lits: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0;
+    let mut lit_pos = 0;
+    let need = |n: usize, out: &Vec<u8>| -> Result<()> {
+        if out.len() + n > raw_len {
+            Err(FormatError::Compress("seq tokens overflow raw length".into()))
+        } else {
+            Ok(())
+        }
+    };
+    while pos < tokens.len() {
+        let op = tokens[pos];
+        pos += 1;
+        match op {
+            TOK_BASES => {
+                let n = get_varint(tokens, &mut pos)? as usize;
+                need(n, &out)?;
+                let packed = tokens
+                    .get(pos..pos + n.div_ceil(4))
+                    .ok_or_else(|| FormatError::Compress("truncated BASES token".into()))?;
+                for k in 0..n {
+                    let code = (packed[k / 4] >> ((k % 4) * 2)) & 0b11;
+                    out.push(BASE_ASCII[code as usize]);
+                }
+                pos += n.div_ceil(4);
+            }
+            TOK_RUN => {
+                let value = *tokens
+                    .get(pos)
+                    .ok_or_else(|| FormatError::Compress("truncated RUN token".into()))?;
+                pos += 1;
+                let n = get_varint(tokens, &mut pos)? as usize;
+                need(n, &out)?;
+                out.resize(out.len() + n, value);
+            }
+            TOK_LIT => {
+                let n = get_varint(tokens, &mut pos)? as usize;
+                need(n, &out)?;
+                let chunk = lits
+                    .get(lit_pos..lit_pos + n)
+                    .ok_or_else(|| FormatError::Compress("literal blob underrun".into()))?;
+                out.extend_from_slice(chunk);
+                lit_pos += n;
+            }
+            TOK_DELTA => {
+                let count = get_varint(tokens, &mut pos)? as usize;
+                if count == 0 {
+                    return Err(FormatError::Compress("empty DELTA token".into()));
+                }
+                let mut v = get_varint(tokens, &mut pos)?;
+                need(1, &out)?; // at least one varint lands
+                put_varint(&mut out, v);
+                for _ in 1..count {
+                    let delta = unzigzag(get_varint(tokens, &mut pos)?);
+                    v = v.wrapping_add(delta as u64);
+                    put_varint(&mut out, v);
+                }
+                if out.len() > raw_len {
+                    return Err(FormatError::Compress("seq tokens overflow raw length".into()));
+                }
+            }
+            other => {
+                return Err(FormatError::Compress(format!(
+                    "unknown seq token opcode {other}"
+                )))
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(FormatError::Compress(format!(
+            "seq expanded {} bytes, container promised {raw_len}",
+            out.len()
+        )));
+    }
+    if lit_pos != lits.len() {
+        return Err(FormatError::Compress("unconsumed literal bytes".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        decompress(&c).expect("roundtrip")
+    }
+
+    #[test]
+    fn roundtrips_empty_and_tiny() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"x"), b"x");
+        assert_eq!(roundtrip(b"ACGT"), b"ACGT");
+    }
+
+    #[test]
+    fn packs_dna_four_to_one() {
+        // Pseudo-random bases: no long byte-level repeats for LZ to
+        // exploit, but still exactly 2 bits of alphabet per byte.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let seq: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                BASE_ASCII[(x >> 33) as usize % 4]
+            })
+            .collect();
+        let c = compress(&seq);
+        assert_eq!(decompress(&c).unwrap(), seq);
+        // 2 bits per base plus container overhead — far below LZ on the
+        // same data, the whole point of the codec.
+        assert!(
+            c.len() < seq.len() / 3,
+            "expected ~4x packing, got {} for {}",
+            c.len(),
+            seq.len()
+        );
+        let lz = compress::compress(&seq);
+        assert!(c.len() < lz.len(), "seq {} must beat lz {}", c.len(), lz.len());
+    }
+
+    #[test]
+    fn bases_layout_matches_packed_seq_words() {
+        // The BASES payload is the little-endian serialization of
+        // PackedSeq's words: verify against the kernel type directly.
+        let seq = b"ACGTTGCAACGTACGTACGTTGCAACGTACGTACGT".to_vec();
+        let packed = crate::dna::PackedSeq::from_ascii(&seq);
+        let c = compress(&seq);
+        // Container: [2][raw_len][token_len][TOK_BASES][n][payload...]
+        assert_eq!(c[0], METHOD_SEQ);
+        let mut pos = 1;
+        let raw_len = get_varint(&c, &mut pos).unwrap() as usize;
+        assert_eq!(raw_len, seq.len());
+        let _token_len = get_varint(&c, &mut pos).unwrap();
+        assert_eq!(c[pos], TOK_BASES);
+        pos += 1;
+        let n = get_varint(&c, &mut pos).unwrap() as usize;
+        assert_eq!(n, seq.len());
+        let payload = &c[pos..pos + n.div_ceil(4)];
+        let mut expect = Vec::new();
+        for w in packed.words() {
+            expect.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(payload, &expect[..payload.len()]);
+    }
+
+    #[test]
+    fn rle_covers_binned_quals_and_n_runs() {
+        let mut data = Vec::new();
+        for _ in 0..32 {
+            data.extend_from_slice(&[37u8; 60]);
+            data.extend_from_slice(&[28u8; 30]);
+            data.extend_from_slice(&[2u8; 10]);
+        }
+        data.extend_from_slice(&[b'N'; 500]);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // 3 tokens of ~3 bytes per 100-byte record: ~12x.
+        assert!(c.len() < data.len() / 10, "RLE should crush runs: {}", c.len());
+    }
+
+    #[test]
+    fn delta_token_fires_on_sorted_positions() {
+        // A run of ascending multi-byte varints — the sorted-position
+        // shape — must delta down and round-trip byte-identically.
+        let mut data = Vec::new();
+        let mut pos = 1_000_000_000u64;
+        for i in 0..200u64 {
+            pos += 1 + (i * 37) % 50;
+            put_varint(&mut data, pos);
+        }
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(
+            c.len() < data.len() / 2,
+            "deltas should at least halve sorted varints: {} vs {}",
+            c.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_input_degrades_to_store() {
+        // Pseudo-random bytes: no runs, no bases, no varint wins. The
+        // container must fall back to store within a byte or two of raw.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..2048)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() <= data.len() + 4, "store fallback: {}", c.len());
+    }
+
+    #[test]
+    fn corrupt_input_is_an_error_not_a_panic() {
+        let good = compress(b"ACGTACGTACGTACGTACGTACGTACGT quality 333333333333");
+        for cut in 0..good.len() {
+            let _ = decompress(&good[..cut]); // must not panic
+        }
+        let mut bad = good.clone();
+        bad[0] = 9; // unknown method
+        assert!(decompress(&bad).is_err());
+        for i in 0..good.len() {
+            let mut mutated = good.clone();
+            mutated[i] ^= 0x55;
+            let _ = decompress(&mutated); // arbitrary corruption: Ok-or-Err, never panic
+        }
+        assert!(decompress(&[]).is_err());
+    }
+
+    #[test]
+    fn via_codec_registry_dispatch() {
+        use crate::compress::Codec;
+        let data = b"ACGTACGTACGTACGTACGTACGTACGTNNNNNNNNNNNN".to_vec();
+        for &codec in Codec::registry() {
+            let mut enc = Vec::new();
+            codec.encode_append(&data, &mut enc);
+            let dec = if codec.is_compressed() {
+                codec.decode(&enc).unwrap()
+            } else {
+                enc.clone()
+            };
+            assert_eq!(dec, data, "{} must roundtrip through dispatch", codec.name());
+        }
+        assert_eq!(Codec::from_tag(2).unwrap(), Codec::Seq);
+        assert!(Codec::from_tag(250).is_err());
+    }
+}

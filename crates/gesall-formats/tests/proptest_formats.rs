@@ -3,7 +3,8 @@
 //! and the codec must never corrupt data regardless of content.
 
 use gesall_formats::bam;
-use gesall_formats::compress::{compress, crc32, decompress};
+use gesall_formats::compress::{compress, crc32, decompress, Codec};
+use gesall_formats::seq_codec;
 use gesall_formats::fastq::{self, FastqRecord, ReadPair};
 use gesall_formats::sam::cigar::{Cigar, CigarOp};
 use gesall_formats::sam::header::{ReferenceSeq, SamHeader};
@@ -100,6 +101,53 @@ proptest! {
         let c = compress(&data);
         let d = decompress(&c).unwrap();
         prop_assert_eq!(d, data);
+    }
+
+    #[test]
+    fn seq_codec_roundtrips_any_records(
+        // Arbitrary record-shaped streams: bases (with N stretches),
+        // quality strings (possibly empty), varint position runs, and
+        // raw junk, concatenated in random order.
+        chunks in proptest::collection::vec(
+            prop_oneof![
+                // Base stretch, N-contaminated.
+                (arb_dna(300), proptest::collection::vec(0usize..4096, 0..8))
+                    .prop_map(|(mut seq, ns)| {
+                        let len = seq.len();
+                        for ix in ns {
+                            seq[ix % len] = b'N';
+                        }
+                        seq
+                    }),
+                // Quality string: binned or noisy, possibly empty.
+                proptest::collection::vec(0u8..60, 0..200),
+                // Sorted-ish position run, varint encoded.
+                (1u64..1_000_000_000, proptest::collection::vec(0u64..10_000, 0..40))
+                    .prop_map(|(start, deltas)| {
+                        let mut buf = Vec::new();
+                        let mut pos = start;
+                        for d in deltas {
+                            pos = pos.wrapping_add(d);
+                            gesall_formats::wire::put_varint(&mut buf, pos);
+                        }
+                        buf
+                    }),
+                // Arbitrary bytes.
+                proptest::collection::vec(any::<u8>(), 0..120),
+            ],
+            0..12,
+        )
+    ) {
+        let data: Vec<u8> = chunks.concat();
+        let c = seq_codec::compress(&data);
+        prop_assert_eq!(seq_codec::decompress(&c).unwrap(), data.clone());
+        // And through the registry dispatch every codec must agree.
+        for &codec in Codec::registry() {
+            let mut enc = Vec::new();
+            codec.encode_append(&data, &mut enc);
+            let dec = if codec.is_compressed() { codec.decode(&enc).unwrap() } else { enc };
+            prop_assert_eq!(dec, data.clone());
+        }
     }
 
     #[test]

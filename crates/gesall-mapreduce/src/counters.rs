@@ -99,6 +99,17 @@ pub mod keys {
     /// retryable DFS error survived the DFS's own internal retries —
     /// the second tier of the gray-failure defence.
     pub const SHUFFLE_FETCH_RETRIES: &str = "shuffle.fetch.retries";
+    /// Shuffle fetch bytes served by a replica on the reducer's own
+    /// node (the locality-aware replica selection hit its affinity).
+    pub const SHUFFLE_FETCH_BYTES_LOCAL: &str = "shuffle.fetch.bytes.local";
+    /// Shuffle fetch bytes shipped from another node — an affinity
+    /// miss, a hedge win on the remote replica, or a reducer with no
+    /// co-located replica at all.
+    pub const SHUFFLE_FETCH_BYTES_REMOTE: &str = "shuffle.fetch.bytes.remote";
+    /// Map-output partition fetches that were already resident when the
+    /// reduce merge asked for them — the bounded prefetch pipeline ran
+    /// ahead of the loser-tree drain.
+    pub const SHUFFLE_FETCH_PREFETCHED: &str = "shuffle.fetch.prefetched";
     /// Map-output segments that travelled the shuffle uncompressed.
     pub const SHUFFLE_SEGMENTS_RAW: &str = "shuffle.segments.raw";
     /// Map-output segments that travelled the shuffle compressed (shipped

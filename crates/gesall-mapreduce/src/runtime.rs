@@ -16,10 +16,12 @@ use crate::error::{panic_message, GesallError};
 use crate::fault::{FaultPlan, NodeDeath};
 use crate::lease::{LeasePermit, SlotLease};
 use crate::shipping;
-use crate::shuffle::{reduce_merge, Segment, SortSpillBuffer, COMPRESS_MIN_BYTES};
+use crate::shuffle::{reduce_merge_streamed, Segment, SortSpillBuffer, COMPRESS_MIN_BYTES};
 use crate::spillpool::SpillPool;
 use crate::task::{MapContext, Mapper, Partitioner, ReduceContext, Reducer};
-use gesall_dfs::{Dfs, PinnedPlacement, SweepReason};
+use gesall_dfs::{Dfs, PinnedPlacement, ReadAffinity, SweepReason};
+use gesall_formats::wire::Wire;
+use gesall_formats::Codec;
 use gesall_telemetry::{Phase, Recorder, Span, SpanId, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashSet;
@@ -53,6 +55,12 @@ enum MapOutput {
 struct SegMeta {
     wire_len: usize,
     compressed: bool,
+    /// Record count — lets a reducer know how many nonempty source
+    /// runs its merge will see *before* fetching them, which is what
+    /// allows the fetch to pipeline with the merge without perturbing
+    /// the multipass structure (see
+    /// [`reduce_merge_streamed`](crate::shuffle::reduce_merge_streamed)).
+    records: u64,
 }
 
 /// Per-job configuration (the Hadoop parameters the paper tunes).
@@ -128,6 +136,24 @@ pub struct JobConfig {
     /// `/{name}/shuffle-{run}/…`. The job service sets `/{tenant}/{job}`
     /// here so every tenant's transit sits under one sweepable prefix.
     pub shuffle_namespace: Option<String>,
+    /// Codec compressed map-output partitions travel under. `None` (the
+    /// default) defers to the key-type's
+    /// [`Wire::codec_hint`](gesall_formats::wire::Wire::codec_hint)
+    /// (value type first, then key type), falling back to [`Codec::Lz`];
+    /// benchmarks set it to force twin runs onto a specific codec.
+    pub shuffle_codec: Option<Codec>,
+    /// Pass the reducer's exec node to the DFS as a replica-selection
+    /// affinity so shuffle fetches prefer the co-located replica (map
+    /// outputs are pinned to their mapper's node, so with replication
+    /// above 1 a reducer scheduled there reads locally). Off = every
+    /// fetch uses the DFS's default replica order — the locality
+    /// twin's baseline.
+    pub shuffle_locality: bool,
+    /// How many map-output partition fetches may run ahead of the
+    /// reduce merge (the bounded prefetch pipeline). 0 behaves as 1:
+    /// the fetch of segment *n+1* always overlaps the merge draining
+    /// segment *n*.
+    pub shuffle_prefetch: usize,
 }
 
 impl Default for JobConfig {
@@ -155,6 +181,9 @@ impl Default for JobConfig {
             parent_span: SpanId::NONE,
             slot_lease: None,
             shuffle_namespace: None,
+            shuffle_codec: None,
+            shuffle_locality: true,
+            shuffle_prefetch: 2,
         }
     }
 }
@@ -490,6 +519,15 @@ impl MapReduceEngine {
             None => None,
         };
 
+        // Which codec compressed map-output partitions travel under:
+        // the job override wins, else the key-type's hint (value type
+        // first — it dominates the bytes), else the LZ default.
+        let shuffle_codec = config.shuffle_codec.unwrap_or_else(|| {
+            <M::OutValue as Wire>::codec_hint()
+                .or_else(<M::OutKey as Wire>::codec_hint)
+                .unwrap_or(Codec::Lz)
+        });
+
         let map_wave = self.run_wave(
             TaskKind::Map,
             &config,
@@ -512,6 +550,7 @@ impl MapReduceEngine {
                     bag.clone(),
                 )
                 .with_min_compress_bytes(config.compress_min_bytes)
+                .with_codec(shuffle_codec)
                 .with_radix(config.radix_sort);
                 if let Some(pool) = &pool {
                     buf = buf.with_pool(pool.clone());
@@ -546,6 +585,7 @@ impl MapReduceEngine {
                             .map(|s| SegMeta {
                                 wire_len: s.wire_len(),
                                 compressed: s.is_compressed(),
+                                records: s.records,
                             })
                             .collect();
                         // Attempt-unique path: a speculative or retried
@@ -643,56 +683,117 @@ impl MapReduceEngine {
             &reduce_prefs,
             &reduce_outputs,
             None,
-            |partition, _exec_node, bag| {
+            |partition, exec_node, bag| {
                 let t_task = Instant::now();
+                // Locality hint: the reducer's exec node, mapped onto
+                // the DFS node space exactly as map outputs were
+                // pinned, so a fetch prefers the co-located replica.
+                let affinity = match &shuffle_dfs {
+                    Some(dfs) if config.shuffle_locality => {
+                        ReadAffinity::node(exec_node % dfs.config().n_nodes)
+                    }
+                    _ => ReadAffinity::NONE,
+                };
+                // The merge must know its nonempty-run count before
+                // fetching anything — the shipped metas carry it.
+                let n_runs = map_outputs
+                    .iter()
+                    .filter(|out| match out {
+                        MapOutput::Memory(per_map) => per_map[partition].records > 0,
+                        MapOutput::Dfs { metas, .. } => metas[partition].records > 0,
+                    })
+                    .count();
+                let outputs: &[MapOutput] = &map_outputs;
+                let dfs_ref = shuffle_dfs.as_ref();
+                let depth = config.shuffle_prefetch.max(1);
                 // Pull this partition from every map output: a DFS range
                 // read per shipped file (only this reducer's frame
                 // travels), or — on the in-memory path — a zero-copy
-                // refcount bump on the map task's output backing. Either
-                // way the time is shuffle, not reduce.
-                let t_fetch = Instant::now();
-                let segments: Vec<Segment> = map_outputs
-                    .iter()
-                    .map(|out| match out {
-                        MapOutput::Memory(per_map) => {
-                            let seg = per_map[partition].clone();
-                            bag.add(keys::SHUFFLE_BYTES_MEMORY, seg.wire_len() as u64);
-                            seg
-                        }
-                        MapOutput::Dfs { path, .. } => {
-                            // The DFS already retries transient replica
-                            // failures internally; this outer loop covers
-                            // whole-op failures that outlive its budget
-                            // (e.g. a deadline expiry). Non-retryable
-                            // errors — corrupt beyond repair, missing
-                            // file — panic immediately: that's an attempt
-                            // failure, and the scheduler's re-run (or
-                            // reship probe) is the right recovery.
-                            let dfs = shuffle_dfs.as_ref().expect("Dfs output implies a DFS");
-                            let mut tries = 0usize;
-                            let seg = loop {
-                                match shipping::fetch_partition(dfs, path, partition) {
-                                    Ok(seg) => break seg,
-                                    Err(e) if e.is_retryable() && tries < 2 => {
-                                        tries += 1;
-                                        bag.add(keys::SHUFFLE_FETCH_RETRIES, 1);
-                                    }
-                                    Err(e) => {
-                                        panic!("fetching partition {partition} of {path}: {e}")
+                // refcount bump on the map task's output backing. The
+                // fetcher thread runs up to `depth` segments ahead of
+                // the merge; only the time the merge *waits* on it is
+                // charged as shuffle — overlapped fetch time is the
+                // latency the pipeline hides.
+                let grouped = std::thread::scope(|scope| {
+                    let (tx, rx) =
+                        std::sync::mpsc::sync_channel::<Result<Segment, String>>(depth);
+                    scope.spawn(move || {
+                        for out in outputs {
+                            let res = match out {
+                                MapOutput::Memory(per_map) => {
+                                    let seg = per_map[partition].clone();
+                                    bag.add(keys::SHUFFLE_BYTES_MEMORY, seg.wire_len() as u64);
+                                    Ok(seg)
+                                }
+                                MapOutput::Dfs { path, .. } => {
+                                    // The DFS already retries transient
+                                    // replica failures internally; this
+                                    // outer loop covers whole-op failures
+                                    // that outlive its budget (e.g. a
+                                    // deadline expiry). Non-retryable
+                                    // errors — corrupt beyond repair,
+                                    // missing file — surface immediately:
+                                    // that's an attempt failure, and the
+                                    // scheduler's re-run (or reship probe)
+                                    // is the right recovery.
+                                    let dfs = dfs_ref.expect("Dfs output implies a DFS");
+                                    let mut tries = 0usize;
+                                    loop {
+                                        match shipping::fetch_partition_at(
+                                            dfs, path, partition, affinity, bag,
+                                        ) {
+                                            Ok(seg) => {
+                                                bag.add(
+                                                    keys::SHUFFLE_BYTES_DFS,
+                                                    seg.wire_len() as u64,
+                                                );
+                                                break Ok(seg);
+                                            }
+                                            Err(e) if e.is_retryable() && tries < 2 => {
+                                                tries += 1;
+                                                bag.add(keys::SHUFFLE_FETCH_RETRIES, 1);
+                                            }
+                                            Err(e) => {
+                                                break Err(format!(
+                                                    "fetching partition {partition} of {path}: {e}"
+                                                ));
+                                            }
+                                        }
                                     }
                                 }
                             };
-                            bag.add(keys::SHUFFLE_BYTES_DFS, seg.wire_len() as u64);
-                            seg
+                            let failed = res.is_err();
+                            // A closed channel means the merge side is
+                            // done (or unwinding); either way stop.
+                            if tx.send(res).is_err() || failed {
+                                return;
+                            }
                         }
-                    })
-                    .collect();
-                bag.add(
-                    Phase::Shuffle.counter_key(),
-                    t_fetch.elapsed().as_nanos() as u64,
-                );
-                let grouped =
-                    reduce_merge::<M::OutKey, M::OutValue>(segments, config.merge_factor, bag);
+                    });
+                    let next_segment = || match rx.try_recv() {
+                        Ok(res) => {
+                            // Already resident: the prefetch ran ahead
+                            // of the merge drain.
+                            bag.add(keys::SHUFFLE_FETCH_PREFETCHED, 1);
+                            Some(res.unwrap_or_else(|e| panic!("{e}")))
+                        }
+                        // Blocking wait: the prefetch hasn't caught up.
+                        // The wait elapses inside the merge, whose own
+                        // ledger attributes supplier time to the shuffle
+                        // phase — no charge here.
+                        Err(std::sync::mpsc::TryRecvError::Empty) => match rx.recv() {
+                            Ok(res) => Some(res.unwrap_or_else(|e| panic!("{e}"))),
+                            Err(_) => None,
+                        },
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => None,
+                    };
+                    reduce_merge_streamed::<M::OutKey, M::OutValue>(
+                        n_runs,
+                        next_segment,
+                        config.merge_factor,
+                        bag,
+                    )
+                });
                 let mut out = Vec::new();
                 {
                     let mut ctx = ReduceContext { out: &mut out };

@@ -16,8 +16,7 @@
 
 use crate::counters::{keys, Counters};
 use crate::shuffle::{read_frame, write_frame, Segment, FRAME_HEADER_BYTES};
-use gesall_dfs::{Dfs, DfsError};
-use gesall_formats::compress::{compress_append, decompress};
+use gesall_dfs::{Dfs, DfsError, ReadAffinity};
 use gesall_formats::wire::{put_u64, Cursor};
 use gesall_formats::{Codec, FormatError, SharedBytes};
 use std::fmt;
@@ -127,11 +126,22 @@ pub fn store_map_output(
 
 /// Decode the index header of a stored map output: frame count and the
 /// absolute byte range `[start, end)` of each frame within the file.
-fn read_index(dfs: &Dfs, path: &str) -> Result<Vec<(usize, usize)>, ShipError> {
-    let head = dfs.read_file_range_shared(path, 0, 8)?;
-    let n = Cursor::new(&head[..]).get_u64()? as usize;
-    let idx = dfs.read_file_range_shared(path, 8, 8 * n)?;
-    let mut cur = Cursor::new(&idx[..]);
+/// Index reads carry the same affinity hint as the frame read and fold
+/// into the same local/remote tally.
+fn read_index(
+    dfs: &Dfs,
+    path: &str,
+    affinity: ReadAffinity,
+    tally: &mut (u64, u64),
+) -> Result<Vec<(usize, usize)>, ShipError> {
+    let head = dfs.read_file_range_shared_at(path, 0, 8, affinity)?;
+    tally.0 += head.local_bytes;
+    tally.1 += head.remote_bytes;
+    let n = Cursor::new(&head.bytes[..]).get_u64()? as usize;
+    let idx = dfs.read_file_range_shared_at(path, 8, 8 * n, affinity)?;
+    tally.0 += idx.local_bytes;
+    tally.1 += idx.remote_bytes;
+    let mut cur = Cursor::new(&idx.bytes[..]);
     let base = 8 * (1 + n);
     let mut ranges = Vec::with_capacity(n);
     let mut start = base;
@@ -183,24 +193,50 @@ pub fn fetch_map_output(dfs: &Dfs, path: &str) -> Result<Vec<Segment>, ShipError
 /// zero-copy mapped window, and the other R−1 partitions are never
 /// touched.
 pub fn fetch_partition(dfs: &Dfs, path: &str, r: usize) -> Result<Segment, ShipError> {
-    let ranges = read_index(dfs, path)?;
-    let Some(&(start, end)) = ranges.get(r) else {
-        return Err(FormatError::Bam(format!(
-            "partition {r} out of range: map output has {} frames",
-            ranges.len()
-        ))
-        .into());
-    };
-    let window = dfs.read_file_range_shared(path, start, end - start)?;
-    let (seg, consumed) = read_frame(&window, 0)?;
-    if consumed != window.len() {
-        return Err(FormatError::Bam(format!(
-            "partition {r}: frame consumed {consumed} of {} indexed bytes",
-            window.len()
-        ))
-        .into());
-    }
-    Ok(seg)
+    fetch_partition_at(dfs, path, r, ReadAffinity::NONE, &Counters::new())
+}
+
+/// [`fetch_partition`] with a [`ReadAffinity`] hint: every read on the
+/// fetch (index header and partition frame) prefers the replica on the
+/// reducer's own node, and the bytes served are split onto
+/// [`keys::SHUFFLE_FETCH_BYTES_LOCAL`] /
+/// [`keys::SHUFFLE_FETCH_BYTES_REMOTE`] by whether the serving replica
+/// was that node — the locality half of the shuffle byte matrix.
+pub fn fetch_partition_at(
+    dfs: &Dfs,
+    path: &str,
+    r: usize,
+    affinity: ReadAffinity,
+    counters: &Counters,
+) -> Result<Segment, ShipError> {
+    let mut tally = (0u64, 0u64);
+    let ranges = read_index(dfs, path, affinity, &mut tally)?;
+    let fetched = (|| -> Result<Segment, ShipError> {
+        let Some(&(start, end)) = ranges.get(r) else {
+            return Err(FormatError::Bam(format!(
+                "partition {r} out of range: map output has {} frames",
+                ranges.len()
+            ))
+            .into());
+        };
+        let window = dfs.read_file_range_shared_at(path, start, end - start, affinity)?;
+        tally.0 += window.local_bytes;
+        tally.1 += window.remote_bytes;
+        let (seg, consumed) = read_frame(&window.bytes, 0)?;
+        if consumed != window.bytes.len() {
+            return Err(FormatError::Bam(format!(
+                "partition {r}: frame consumed {consumed} of {} indexed bytes",
+                window.bytes.len()
+            ))
+            .into());
+        }
+        Ok(seg)
+    })();
+    // Bytes moved are charged even when the fetch then fails to frame —
+    // the reads happened.
+    counters.add(keys::SHUFFLE_FETCH_BYTES_LOCAL, tally.0);
+    counters.add(keys::SHUFFLE_FETCH_BYTES_REMOTE, tally.1);
+    fetched
 }
 
 /// Bring a fetched segment to the codec the consumer speaks. When the
@@ -211,29 +247,32 @@ pub fn adapt_codec(seg: &Segment, want: Codec, counters: &Counters) -> Result<Se
     if seg.codec == want {
         return Ok(seg.clone());
     }
-    match want {
-        Codec::Raw => {
-            let raw = decompress(&seg.data)?;
-            counters.add(keys::BYTES_COPIED, raw.len() as u64);
-            Ok(Segment {
-                data: SharedBytes::from_vec(raw),
-                raw_len: seg.raw_len,
-                records: seg.records,
-                codec: Codec::Raw,
-            })
-        }
-        Codec::Lz => {
-            let mut data = Vec::new();
-            compress_append(&seg.data, &mut data);
-            counters.add(keys::BYTES_COPIED, (seg.raw_len + data.len()) as u64);
-            Ok(Segment {
-                data: SharedBytes::from_vec(data),
-                raw_len: seg.raw_len,
-                records: seg.records,
-                codec: Codec::Lz,
-            })
-        }
-    }
+    // Registry dispatch both ways — decode under the segment's codec,
+    // re-encode under `want` — so any pair of registered codecs
+    // transcodes without this function enumerating them.
+    let raw: std::borrow::Cow<'_, [u8]> = if seg.codec.is_compressed() {
+        let v = seg.codec.decode(&seg.data)?;
+        counters.add(keys::BYTES_COPIED, v.len() as u64);
+        std::borrow::Cow::Owned(v)
+    } else {
+        std::borrow::Cow::Borrowed(&seg.data)
+    };
+    let data = if want.is_compressed() {
+        let mut data = Vec::new();
+        want.encode_append(&raw, &mut data);
+        counters.add(keys::BYTES_COPIED, (raw.len() + data.len()) as u64);
+        data
+    } else {
+        // `raw` is Owned here: a raw source with `want == Raw` returned
+        // early above, so reaching this arm means the source decoded.
+        raw.into_owned()
+    };
+    Ok(Segment {
+        data: SharedBytes::from_vec(data),
+        raw_len: seg.raw_len,
+        records: seg.records,
+        codec: want,
+    })
 }
 
 #[cfg(test)]
@@ -331,6 +370,35 @@ mod tests {
         let back = adapt_codec(&raw, Codec::Lz, &counters).unwrap();
         assert_eq!(back.codec, Codec::Lz);
         assert_eq!(back.to_pairs::<u64, u64>(), raw.to_pairs::<u64, u64>());
+    }
+
+    // Iterates the codec registry rather than naming codecs, so a newly
+    // registered codec is covered (and its same-codec fast path pinned)
+    // the day it lands.
+    #[test]
+    fn adapt_codec_transcodes_between_every_registered_pair() {
+        let segs = segments();
+        let compressed = &segs[1];
+        let want_pairs = compressed.to_pairs::<u64, u64>();
+        for &from in Codec::registry() {
+            let counters = Counters::new();
+            let src = adapt_codec(compressed, from, &counters).unwrap();
+            for &to in Codec::registry() {
+                let counters = Counters::new();
+                let got = adapt_codec(&src, to, &counters).unwrap();
+                assert_eq!(got.codec, to);
+                if from == to {
+                    assert!(
+                        got.data.same_backing(&src.data),
+                        "{from:?} -> {to:?} must be a refcount bump"
+                    );
+                    assert_eq!(counters.get(keys::BYTES_COPIED), 0);
+                } else {
+                    assert!(counters.get(keys::BYTES_COPIED) > 0);
+                }
+                assert_eq!(got.to_pairs::<u64, u64>(), want_pairs);
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,6 @@
 use crate::counters::{keys, Counters};
 use crate::spillpool::SpillPool;
 use crate::task::Partitioner;
-use gesall_formats::compress::{compress_append, decompress};
 use gesall_formats::wire::{put_u64, Cursor, Wire};
 use gesall_formats::{Codec, FormatError, SharedBytes};
 use gesall_telemetry::{kernel_keys, Phase};
@@ -43,13 +42,18 @@ pub const COMPRESS_MIN_BYTES: usize = 1024;
 pub const SPILL_ARENA_MAX_FREE: usize = 8;
 
 /// How a job picks the codec for each map-output partition: compression
-/// on/off plus the minimum payload size worth compressing.
+/// on/off, the minimum payload size worth compressing, and which
+/// registered codec compressed payloads travel under (per key-type —
+/// genomic record streams hint [`Codec::Seq`] via
+/// [`Wire::codec_hint`], everything else defaults to LZ).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodecPolicy {
     /// Compress at all?
     pub compress: bool,
     /// Smallest raw payload the codec is applied to.
     pub min_bytes: usize,
+    /// The compressed codec applied when a payload qualifies.
+    pub codec: Codec,
 }
 
 impl CodecPolicy {
@@ -59,13 +63,26 @@ impl CodecPolicy {
             // A floor of 1 keeps empty partitions raw, so zero-length
             // segments never carry a codec container.
             min_bytes: min_bytes.max(1),
+            codec: Codec::Lz,
         }
+    }
+
+    /// Use `codec` for qualifying payloads instead of the LZ default.
+    /// `Codec::Raw` here is a configuration error; it is coerced to
+    /// "compression off".
+    pub fn with_codec(mut self, codec: Codec) -> CodecPolicy {
+        if codec.is_compressed() {
+            self.codec = codec;
+        } else {
+            self.compress = false;
+        }
+        self
     }
 
     /// The codec a payload of `raw_len` bytes travels under.
     pub fn choose(&self, raw_len: usize) -> Codec {
         if self.compress && raw_len >= self.min_bytes {
-            Codec::Lz
+            self.codec
         } else {
             Codec::Raw
         }
@@ -130,13 +147,12 @@ impl Segment {
         }
         debug_assert_eq!(raw.len(), raw_len, "encoded_len must be exact");
         let codec = policy.choose(raw_len);
-        let data = match codec {
-            Codec::Raw => raw,
-            Codec::Lz => {
-                let mut data = Vec::new();
-                compress_append(&raw, &mut data);
-                data
-            }
+        let data = if codec.is_compressed() {
+            let mut data = Vec::new();
+            codec.encode_append(&raw, &mut data);
+            data
+        } else {
+            raw
         };
         Segment {
             data: SharedBytes::from_vec(data),
@@ -150,7 +166,7 @@ impl Segment {
     pub fn to_pairs<K: Wire, V: Wire>(&self) -> Vec<(K, V)> {
         let raw_storage;
         let raw: &[u8] = if self.codec.is_compressed() {
-            raw_storage = decompress(&self.data).expect("segment payload corrupt");
+            raw_storage = self.codec.decode(&self.data).expect("segment payload corrupt");
             &raw_storage
         } else {
             &self.data
@@ -641,7 +657,14 @@ where
 
     /// Override the compression threshold (the `JobConfig` knob).
     pub fn with_min_compress_bytes(mut self, min_bytes: usize) -> Self {
-        self.policy = CodecPolicy::new(self.policy.compress, min_bytes);
+        self.policy = CodecPolicy::new(self.policy.compress, min_bytes).with_codec(self.policy.codec);
+        self
+    }
+
+    /// Use `codec` for qualifying partitions instead of the LZ default
+    /// (the per-key-type [`Wire::codec_hint`] or the job override).
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.policy = self.policy.with_codec(codec);
         self
     }
 
@@ -771,7 +794,7 @@ where
                     k.encode(&mut scratch);
                     v.encode(&mut scratch);
                 }
-                compress_append(&scratch, &mut backing);
+                codec.encode_append(&scratch, &mut backing);
                 arena.release(scratch);
                 // Raw encode into scratch + the compressor's write.
                 let copied = raw_len + (backing.len() - start);
@@ -874,7 +897,7 @@ impl<K: Wire + Ord + Clone, V: Wire> RunCursor<K, V> {
                 let remaining = seg.records;
                 let buf = if seg.is_compressed() {
                     let t0 = Instant::now();
-                    let raw = decompress(&seg.data).expect("segment payload corrupt");
+                    let raw = seg.codec.decode(&seg.data).expect("segment payload corrupt");
                     *shuffle_nanos += t0.elapsed().as_nanos() as u64;
                     let charged = raw.len() as u64;
                     gauge.charge(charged);
@@ -1008,12 +1031,39 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
     merge_factor: usize,
     counters: &Counters,
 ) -> Vec<(K, Vec<V>)> {
+    let n_runs = segments.iter().filter(|s| s.records > 0).count();
+    let mut it = segments.into_iter();
+    reduce_merge_streamed(n_runs, move || it.next(), merge_factor, counters)
+}
+
+/// [`reduce_merge`] with the segment supply inverted: the caller
+/// promises `n_runs` nonempty source runs up front (from the shipped
+/// `SegMeta` record counts) and hands over a `next_segment` supplier
+/// that yields them — possibly blocking on a prefetch channel — in map
+/// order, so partition fetches pipeline with the merge instead of all
+/// completing before it starts.
+///
+/// `n_runs` must be promised because the multipass queue discipline
+/// (pop `merge_factor` runs from the front, append the rewritten run at
+/// the back) makes equal-key output order depend on the number of
+/// nonempty runs: knowing the count up front lets the streamed path
+/// reproduce [`reduce_merge`]'s pass structure — and therefore
+/// byte-identical output — while only pulling a source run at the
+/// moment a pass activates it. Empty segments are skipped as merge
+/// inputs (exactly as the batch path filters them) but still accounted;
+/// any left after the last nonempty run are drained at the end.
+pub fn reduce_merge_streamed<K: Wire + Ord + Clone, V: Wire>(
+    n_runs: usize,
+    mut next_segment: impl FnMut() -> Option<Segment>,
+    merge_factor: usize,
+    counters: &Counters,
+) -> Vec<(K, Vec<V>)> {
     let merge_factor = merge_factor.max(2);
-    // Per-segment shuffle accounting is unchanged from the
-    // materializing path: the decode copies still happen (lazily, in
-    // the merge), so the same bytes are charged.
     let t0 = Instant::now();
-    for s in &segments {
+    // Per-segment shuffle accounting is unchanged from the batch path:
+    // the decode copies still happen (lazily, in the merge), so the
+    // same bytes are charged — just as each segment arrives.
+    let account = |s: &Segment| {
         counters.add(keys::SHUFFLE_RECORDS, s.records);
         counters.add(keys::SHUFFLE_BYTES, s.wire_len() as u64);
         counters.add(keys::SHUFFLE_BYTES_RAW, s.raw_len as u64);
@@ -1025,33 +1075,47 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         // Decode into typed records, plus the decompressor's write.
         let copied = s.raw_len + if s.is_compressed() { s.raw_len } else { 0 };
         counters.add(keys::BYTES_COPIED, copied as u64);
-    }
-    let mut runs: std::collections::VecDeque<StreamRun> = segments
-        .into_iter()
-        .filter(|s| s.records > 0)
-        .map(StreamRun::Pending)
-        .collect();
-    counters.add(Phase::Shuffle.counter_key(), t0.elapsed().as_nanos() as u64);
-    let t0 = Instant::now();
-    // Lazy decode work (Lz decompression at cursor activation) is still
-    // shuffle-phase time; it accumulates here and is attributed at the
-    // end so the merge phase doesn't double-count it.
+    };
+    // The logical multipass queue: `pending` not-yet-pulled source runs
+    // at the front, rewritten runs behind them. Source runs are only
+    // materialized (pulled from the supplier) when a pass activates
+    // them.
+    let mut pending = n_runs;
+    let mut rewritten: std::collections::VecDeque<StreamRun> = std::collections::VecDeque::new();
+    // Lazy decode work (codec decode at cursor activation) and time
+    // spent waiting on the supplier (a blocking fetch the prefetch
+    // didn't hide) are shuffle-phase time; both accumulate here and are
+    // attributed at the end so the merge phase doesn't double-count
+    // them.
     let mut shuffle_nanos = 0u64;
+    let mut pull = |shuffle_nanos: &mut u64| -> StreamRun {
+        loop {
+            let ta = Instant::now();
+            let s = next_segment().expect("supplier ended before promised run count");
+            account(&s);
+            *shuffle_nanos += ta.elapsed().as_nanos() as u64;
+            if s.records > 0 {
+                return StreamRun::Pending(s);
+            }
+        }
+    };
     let mut arena = SpillArena::new(counters.clone());
     let mut gauge = ResidentGauge::default();
     // Intermediate passes: merge `merge_factor` runs at a time,
-    // re-encoding the merged run into an arena buffer (the rewrite the
-    // old path only *accounted*; REDUCE_MERGE_BYTES counts the same
-    // encoded length either way).
-    while runs.len() > merge_factor {
-        let take = merge_factor.min(runs.len());
+    // re-encoding the merged run into an arena buffer
+    // (REDUCE_MERGE_BYTES counts the same encoded length as the
+    // materializing oracle).
+    while pending + rewritten.len() > merge_factor {
+        let take = merge_factor.min(pending + rewritten.len());
         let cursors: Vec<RunCursor<K, V>> = (0..take)
             .map(|_| {
-                RunCursor::activate(
-                    runs.pop_front().unwrap(),
-                    &mut gauge,
-                    &mut shuffle_nanos,
-                )
+                let run = if pending > 0 {
+                    pending -= 1;
+                    pull(&mut shuffle_nanos)
+                } else {
+                    rewritten.pop_front().unwrap()
+                };
+                RunCursor::activate(run, &mut gauge, &mut shuffle_nanos)
             })
             .collect();
         let mut out = arena.acquire(0);
@@ -1063,13 +1127,20 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
         });
         counters.add(keys::REDUCE_MERGE_PASSES, 1);
         counters.add(keys::REDUCE_MERGE_BYTES, out.len() as u64);
-        runs.push_back(StreamRun::Rewritten { buf: out, records });
+        rewritten.push_back(StreamRun::Rewritten { buf: out, records });
     }
     // Final pass: merge the remaining ≤ merge_factor runs, grouping
     // consecutive equal keys straight off the stream.
-    let cursors: Vec<RunCursor<K, V>> = runs
-        .into_iter()
-        .map(|r| RunCursor::activate(r, &mut gauge, &mut shuffle_nanos))
+    let cursors: Vec<RunCursor<K, V>> = (0..pending + rewritten.len())
+        .map(|_| {
+            let run = if pending > 0 {
+                pending -= 1;
+                pull(&mut shuffle_nanos)
+            } else {
+                rewritten.pop_front().unwrap()
+            };
+            RunCursor::activate(run, &mut gauge, &mut shuffle_nanos)
+        })
         .collect();
     let mut out: Vec<(K, Vec<V>)> = Vec::new();
     merge_streams(cursors, &mut arena, &mut gauge, |k: K, v: V| {
@@ -1078,6 +1149,16 @@ pub fn reduce_merge<K: Wire + Ord + Clone, V: Wire>(
             _ => out.push((k, vec![v])),
         }
     });
+    // Trailing empty segments (after the last nonempty run) were never
+    // pulled by a pass; drain them so their accounting still lands.
+    {
+        let ta = Instant::now();
+        while let Some(s) = next_segment() {
+            debug_assert_eq!(s.records, 0, "nonempty run beyond the promised count");
+            account(&s);
+        }
+        shuffle_nanos += ta.elapsed().as_nanos() as u64;
+    }
     counters.add(keys::REDUCE_INPUT_GROUPS, out.len() as u64);
     counters.add(keys::REDUCE_PEAK_RESIDENT, gauge.peak);
     counters.add(Phase::Shuffle.counter_key(), shuffle_nanos);

@@ -203,14 +203,20 @@ proptest! {
     fn frame_roundtrip_any_offset_and_codec(
         pairs in proptest::collection::vec(("[a-z]{0,12}", any::<u64>()), 0..200),
         compress in any::<bool>(),
+        codec_pick in any::<u8>(),
         min_shift in 0u32..12,
         prefix in 0usize..64,
     ) {
         // A segment framed mid-buffer (arbitrary junk prefix, arbitrary
-        // codec threshold) must read back as a zero-copy window of the
+        // codec threshold, any *registered* codec — not a hard-coded
+        // Raw/Lz pair) must read back as a zero-copy window of the
         // enclosing buffer with codec, counts, and payload intact.
         let pairs: Vec<(String, u64)> = pairs;
-        let seg = Segment::from_pairs_with(&pairs, CodecPolicy::new(compress, 1usize << min_shift));
+        let codec = Codec::registry()[codec_pick as usize % Codec::registry().len()];
+        let seg = Segment::from_pairs_with(
+            &pairs,
+            CodecPolicy::new(compress, 1usize << min_shift).with_codec(codec),
+        );
         let mut buf = vec![0xAAu8; prefix];
         write_frame(&seg, &mut buf);
         write_frame(&Segment::empty(), &mut buf); // trailing neighbour
@@ -230,18 +236,23 @@ proptest! {
     #[test]
     fn compressed_by_reference_fetch_decodes_like_owned(
         pairs in proptest::collection::vec((0u64..50, any::<u64>()), 0..200),
-        codec_is_lz in any::<bool>(),
+        codec_pick in any::<u8>(),
         prefix in 0usize..48,
     ) {
         // The by-reference shuffle contract: a segment fetched as a
         // window of a larger backing (what a reducer gets from a stored
-        // map output, raw or compressed) must reduce-merge to exactly
-        // what an owned, detached copy of the same segment produces.
+        // map output, raw or under any registered codec) must
+        // reduce-merge to exactly what an owned, detached copy of the
+        // same segment produces.
         let mut pairs: Vec<(u64, u64)> = pairs;
         pairs.sort_unstable();
-        let codec = if codec_is_lz { Codec::Lz } else { Codec::Raw };
-        let seg = Segment::from_pairs_with(&pairs, CodecPolicy::new(codec_is_lz, 1));
-        prop_assert_eq!(seg.codec == Codec::Lz, codec == Codec::Lz && !pairs.is_empty());
+        let codec = Codec::registry()[codec_pick as usize % Codec::registry().len()];
+        let seg = Segment::from_pairs_with(
+            &pairs,
+            CodecPolicy::new(codec.is_compressed(), 1).with_codec(codec),
+        );
+        let want_codec = if codec.is_compressed() && !pairs.is_empty() { codec } else { Codec::Raw };
+        prop_assert_eq!(seg.codec, want_codec);
         let mut buf = vec![0x11u8; prefix];
         write_frame(&seg, &mut buf);
         let shared = SharedBytes::from_vec(buf);
@@ -266,24 +277,32 @@ proptest! {
             1..5,
         ),
         compress in any::<bool>(),
+        codec_pick in any::<u8>(),
         min_shift in 0u32..10,
         block_shift in 7u32..11,
         block_frac in 0u32..1000,
         replica_frac in 0u32..1000,
     ) {
-        // A stored map output — raw or compressed frames, arbitrary
-        // block sizes cutting frames mid-payload — must fetch back
-        // partition-exact even after an arbitrary replica of an
-        // arbitrary block is bit-flipped: verify-on-read quarantines the
-        // rot, serves from the survivor, and repairs, so the codec
-        // layer above never sees a damaged byte.
+        // A stored map output — raw frames or frames under any
+        // registered codec, arbitrary block sizes cutting frames
+        // mid-payload — must fetch back partition-exact even after an
+        // arbitrary replica of an arbitrary block is bit-flipped:
+        // verify-on-read quarantines the rot, serves from the survivor,
+        // and repairs, so the codec layer above never sees a damaged
+        // byte.
         use gesall_dfs::{metrics_keys, Dfs, DfsConfig};
         use gesall_mapreduce::shipping;
 
         let pairs: Vec<Vec<(String, u64)>> = partitions;
+        let codec = Codec::registry()[codec_pick as usize % Codec::registry().len()];
         let segments: Vec<Segment> = pairs
             .iter()
-            .map(|p| Segment::from_pairs_with(p, CodecPolicy::new(compress, 1usize << min_shift)))
+            .map(|p| {
+                Segment::from_pairs_with(
+                    p,
+                    CodecPolicy::new(compress, 1usize << min_shift).with_codec(codec),
+                )
+            })
             .collect();
         let dfs = Dfs::new(DfsConfig {
             n_nodes: 4,
@@ -334,15 +353,18 @@ proptest! {
         // materializing oracle on any mix of run sizes, codecs, and
         // fan-ins — including empty runs, singleton runs, duplicate
         // keys across runs, and run counts forcing multipass merges.
+        // Every registered codec rotates through the mix, so a new
+        // registry entry is exercised here without editing the test.
         let segments: Vec<Segment> = runs
             .into_iter()
             .enumerate()
             .map(|(i, mut pairs)| {
                 pairs.sort_unstable();
                 let compress = (codec_bits >> (i % 16)) & 1 == 1;
+                let codec = Codec::registry()[i % Codec::registry().len()];
                 Segment::from_pairs_with(
                     &pairs,
-                    CodecPolicy::new(compress, 1usize << min_shift),
+                    CodecPolicy::new(compress, 1usize << min_shift).with_codec(codec),
                 )
             })
             .collect();

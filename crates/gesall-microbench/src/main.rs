@@ -11,6 +11,12 @@
 
 use gesall_aligner::fm::FmIndex;
 use gesall_aligner::sw::{self, Band, Scoring};
+use gesall_datagen::donor::DonorConfig;
+use gesall_datagen::reads::ReadSimConfig;
+use gesall_datagen::{DonorGenome, GenomeConfig, ReadSimulator, ReferenceGenome};
+use gesall_formats::sam::SamRecord;
+use gesall_formats::wire::Wire;
+use gesall_formats::Codec;
 use gesall_mapreduce::shuffle::SortSpillBuffer;
 use gesall_mapreduce::task::HashPartitioner;
 use gesall_mapreduce::Counters;
@@ -152,10 +158,76 @@ fn bench_spill_sort() -> Pair {
     }
 }
 
+struct CodecRow {
+    name: &'static str,
+    compress_ns_per_byte: f64,
+    decompress_ns_per_byte: f64,
+    ratio: f64,
+}
+
+/// Every registered compressed codec on the same simulated-read
+/// alignment-record stream (datagen reads, wire-encoded exactly as a
+/// map-output partition carries them): compress/decompress ns per raw
+/// byte and the achieved ratio. The Seq row is the genomic domain codec
+/// the shuffle hints for `SamRecord` streams; Lz is the general-purpose
+/// baseline it must beat on this payload.
+fn bench_codecs() -> Vec<CodecRow> {
+    let genome = ReferenceGenome::generate(&GenomeConfig {
+        chromosome_lengths: vec![50_000],
+        ..GenomeConfig::default()
+    });
+    let donor = DonorGenome::generate(&genome, &DonorConfig::default());
+    let (pairs, _) = ReadSimulator::new(
+        &genome,
+        &donor,
+        ReadSimConfig {
+            n_pairs: 1_000,
+            ..ReadSimConfig::default()
+        },
+    )
+    .simulate();
+    let mut blob = Vec::new();
+    let mut pos = 0i64;
+    for (i, p) in pairs.iter().enumerate() {
+        for r in [&p.r1, &p.r2] {
+            let mut rec = SamRecord::unmapped(r.name.clone(), r.seq.clone(), r.qual.clone());
+            // Mostly-sorted positions, like a sorted partition payload.
+            pos += (i % 7) as i64;
+            rec.pos = pos;
+            rec.encode(&mut blob);
+        }
+    }
+    Codec::registry()
+        .iter()
+        .filter(|c| c.is_compressed())
+        .map(|&codec| {
+            let mut encoded = Vec::new();
+            codec.encode_append(&blob, &mut encoded);
+            let roundtrip = codec.decode(&encoded).expect("codec must roundtrip");
+            assert_eq!(roundtrip, blob, "{} is not lossless", codec.name());
+            let compress_ns = time_ns(9, 3, || {
+                let mut out = Vec::new();
+                codec.encode_append(black_box(&blob), &mut out);
+                black_box(out.len());
+            });
+            let decompress_ns = time_ns(9, 3, || {
+                black_box(codec.decode(black_box(&encoded)).unwrap().len());
+            });
+            CodecRow {
+                name: codec.name(),
+                compress_ns_per_byte: compress_ns as f64 / blob.len() as f64,
+                decompress_ns_per_byte: decompress_ns as f64 / blob.len() as f64,
+                ratio: blob.len() as f64 / encoded.len() as f64,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let t0 = Instant::now();
     let pairs = [bench_occ(), bench_sw(), bench_spill_sort()];
+    let codec_rows = bench_codecs();
 
     println!("== bench-micro: bit-parallel kernels vs scalar twins ==\n");
     println!(
@@ -172,6 +244,18 @@ fn main() {
         );
     }
 
+    println!("\n== bench-micro: shuffle codecs on datagen reads ==\n");
+    println!(
+        "{:<28} {:>16} {:>18} {:>8}",
+        "codec", "compress ns/B", "decompress ns/B", "ratio"
+    );
+    for r in &codec_rows {
+        println!(
+            "{:<28} {:>16.3} {:>18.3} {:>7.2}x",
+            r.name, r.compress_ns_per_byte, r.decompress_ns_per_byte, r.ratio
+        );
+    }
+
     let mut record = BenchRecord::new("micro");
     record.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     for p in &pairs {
@@ -184,6 +268,19 @@ fn main() {
         record
             .workload
             .push((format!("{}_speedup", p.name), format!("{:.2}", p.speedup())));
+    }
+    for r in &codec_rows {
+        record.workload.push((
+            format!("codec_{}_compress_ns_per_byte", r.name),
+            format!("{:.3}", r.compress_ns_per_byte),
+        ));
+        record.workload.push((
+            format!("codec_{}_decompress_ns_per_byte", r.name),
+            format!("{:.3}", r.decompress_ns_per_byte),
+        ));
+        record
+            .workload
+            .push((format!("codec_{}_ratio", r.name), format!("{:.2}", r.ratio)));
     }
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create output dir {out_dir}: {e}");
